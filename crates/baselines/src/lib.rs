@@ -1,0 +1,263 @@
+//! # baselines — comparison structures for the experiments
+//!
+//! * [`NaiveTopK`] — a plain external B-tree over the coordinates; a query
+//!   scans the whole range and keeps the best `k` (`O(log_B n + |S∩q|/B)`
+//!   I/Os), an update is a single B-tree update. This is the "no top-k
+//!   support" lower bar every experiment compares against.
+//! * [`RamPst`] — the internal-memory pointer-machine structure sketched in
+//!   §1.1 of the paper (priority search tree + heap selection), run on the EM
+//!   cost model by charging one I/O per node it touches. Its query cost is
+//!   `O(lg n + k)` node accesses, illustrating why a RAM structure is not
+//!   I/O-efficient.
+
+use emsim::Device;
+use embtree::BTree;
+use epst::{top_k_by_score, Point};
+
+
+/// The naive baseline: scan the range, keep the best `k`.
+pub struct NaiveTopK {
+    tree: BTree<Point>,
+}
+
+impl NaiveTopK {
+    /// Create an empty structure.
+    pub fn new(device: &Device, name: &str) -> Self {
+        Self {
+            tree: BTree::new(device, name),
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Space in blocks.
+    pub fn space_blocks(&self) -> usize {
+        self.tree.space_blocks()
+    }
+
+    /// Insert a point (`O(log_B n)` I/Os).
+    pub fn insert(&self, p: Point) {
+        self.tree.insert(p);
+    }
+
+    /// Delete a point by coordinate (`O(log_B n)` I/Os).
+    pub fn delete(&self, p: Point) -> bool {
+        self.tree.remove(p.x).is_some()
+    }
+
+    /// Bulk build from points sorted by coordinate.
+    pub fn bulk_build(&self, points: &[Point]) {
+        let mut sorted = points.to_vec();
+        sorted.sort_unstable();
+        self.tree.bulk_load(&sorted);
+    }
+
+    /// Top-k query by scanning the whole range: `O(log_B n + |S∩q|/B)` I/Os.
+    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
+        if x1 > x2 || k == 0 {
+            return Vec::new();
+        }
+        let in_range = self.tree.collect_range(x1, x2);
+        top_k_by_score(in_range, k)
+    }
+
+    /// Number of points in the range.
+    pub fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+        self.tree.count_range(x1, x2)
+    }
+}
+
+/// The internal-memory (pointer-machine) structure of §1.1, priced in the EM
+/// model: a static balanced priority search tree over the coordinates whose
+/// every node visit costs one I/O, queried with heap selection.
+///
+/// It is rebuilt from scratch on every update batch (`rebuild`), because its
+/// purpose in the experiments is only to show the `O(lg n + k)` I/O behaviour
+/// of a RAM structure, not to be a serious dynamic contender.
+pub struct RamPst {
+    /// Heap-ordered PST: node i covers a coordinate range, stores one point,
+    /// and its children hold lower-scoring points.
+    nodes: std::cell::RefCell<Vec<RamNode>>,
+    /// Nodes touched by the last query — the structure's I/O cost in the EM
+    /// model, since a pointer-machine node is not block-aligned.
+    last_visited: std::cell::Cell<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RamNode {
+    point: Point,
+    /// Coordinate range covered by the subtree.
+    lo: u64,
+    hi: u64,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl RamPst {
+    /// Create an empty structure. The device argument is accepted for
+    /// interface symmetry with the other structures; the RAM structure tracks
+    /// its node accesses itself (see [`RamPst::last_visited`]).
+    pub fn new(_device: &Device) -> Self {
+        Self {
+            nodes: std::cell::RefCell::new(Vec::new()),
+            last_visited: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Nodes touched by the most recent query (its cost in the EM model).
+    pub fn last_visited(&self) -> u64 {
+        self.last_visited.get()
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Rebuild from `points`.
+    pub fn rebuild(&self, points: &[Point]) {
+        let mut sorted = points.to_vec();
+        sorted.sort_unstable();
+        let mut nodes = Vec::with_capacity(sorted.len());
+        Self::build_rec(&mut nodes, &mut sorted[..]);
+        *self.nodes.borrow_mut() = nodes;
+    }
+
+    fn build_rec(nodes: &mut Vec<RamNode>, pts: &mut [Point]) -> Option<usize> {
+        if pts.is_empty() {
+            return None;
+        }
+        // The highest-scoring point becomes the root of this subtree; the rest
+        // split at the median coordinate (a classic priority search tree).
+        let (best_idx, _) = pts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.score)
+            .expect("non-empty");
+        let lo = pts.first().unwrap().x;
+        let hi = pts.last().unwrap().x;
+        let last = pts.len() - 1;
+        pts.swap(best_idx, last);
+        let best = pts[last];
+        let rest = &mut pts[..last];
+        rest.sort_unstable();
+        let mid = rest.len() / 2;
+        let idx = nodes.len();
+        nodes.push(RamNode {
+            point: best,
+            lo,
+            hi,
+            left: None,
+            right: None,
+        });
+        let (left_half, right_half) = rest.split_at_mut(mid);
+        let left = Self::build_rec(nodes, left_half);
+        let right = Self::build_rec(nodes, right_half);
+        nodes[idx].left = left;
+        nodes[idx].right = right;
+        idx.into()
+    }
+
+    /// Top-k query: best-first search over the priority search tree (the
+    /// combination of McCreight's PST and heap selection described in §1.1).
+    /// Touches — and therefore costs — `O(lg n + k)` nodes.
+    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
+        self.last_visited.set(0);
+        if k == 0 || self.nodes.borrow().is_empty() || x1 > x2 {
+            return Vec::new();
+        }
+        let nodes = self.nodes.borrow();
+        let mut frontier = std::collections::BinaryHeap::new();
+        let mut visited = 0u64;
+        let push = |frontier: &mut std::collections::BinaryHeap<(u64, usize)>, idx: usize| {
+            let n = &nodes[idx];
+            if n.hi >= x1 && n.lo <= x2 {
+                frontier.push((n.point.score, idx));
+            }
+        };
+        push(&mut frontier, 0);
+        let mut out = Vec::with_capacity(k);
+        while let Some((_, idx)) = frontier.pop() {
+            visited += 1;
+            let n = nodes[idx];
+            if n.point.x >= x1 && n.point.x <= x2 {
+                out.push(n.point);
+                if out.len() == k {
+                    break;
+                }
+            }
+            if let Some(l) = n.left {
+                push(&mut frontier, l);
+            }
+            if let Some(r) = n.right {
+                push(&mut frontier, r);
+            }
+        }
+        self.last_visited.set(visited);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsim::EmConfig;
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, SeedableRng};
+
+    fn random_points(seed: u64, n: usize) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+        let mut scores: Vec<u64> = (0..n as u64).map(|i| i * 7 + 2).collect();
+        xs.shuffle(&mut rng);
+        scores.shuffle(&mut rng);
+        xs.into_iter()
+            .zip(scores)
+            .map(|(x, score)| Point { x, score })
+            .collect()
+    }
+
+    #[test]
+    fn naive_matches_brute_force() {
+        let dev = Device::new(EmConfig::new(128, 64 * 128));
+        let naive = NaiveTopK::new(&dev, "naive");
+        let pts = random_points(1, 800);
+        for &p in &pts {
+            naive.insert(p);
+        }
+        assert_eq!(naive.len(), 800);
+        let got = naive.query(100, 1500, 7);
+        let expect = top_k_by_score(
+            pts.iter().filter(|p| p.x >= 100 && p.x <= 1500).copied().collect(),
+            7,
+        );
+        assert_eq!(got, expect);
+        assert!(naive.delete(pts[0]));
+        assert!(!naive.delete(Point::new(99_999, 1)));
+    }
+
+    #[test]
+    fn ram_pst_matches_brute_force_on_queries() {
+        let dev = Device::new(EmConfig::new(128, 64 * 128));
+        let ram = RamPst::new(&dev);
+        let pts = random_points(3, 600);
+        ram.rebuild(&pts);
+        assert_eq!(ram.len(), 600);
+        for (x1, x2, k) in [(0u64, 2000u64, 5usize), (50, 60, 3), (0, u64::MAX, 20)] {
+            let got = ram.query(x1, x2, k);
+            let expect = top_k_by_score(
+                pts.iter().filter(|p| p.x >= x1 && p.x <= x2).copied().collect(),
+                k,
+            );
+            assert_eq!(got, expect, "range [{x1},{x2}] k={k}");
+        }
+    }
+}

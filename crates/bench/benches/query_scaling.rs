@@ -1,0 +1,42 @@
+//! Criterion bench backing experiments E1/E2: wall-clock latency of top-k
+//! queries as n and k grow (the I/O counts themselves are produced by the
+//! `exp_query_vs_n` / `exp_query_vs_k` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_bench::{build_index, small_machine, uniform_points};
+use topk_core::SmallKEngine;
+use workload::QueryGen;
+
+fn query_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_scaling");
+    group.sample_size(10);
+    for &n in &[1usize << 13, 1 << 15, 1 << 17] {
+        let pts = uniform_points(7, n);
+        let index = build_index(small_machine(), SmallKEngine::Polylog, 64, &pts);
+        let queries = QueryGen::new(0.1, 10, 3).generate(&pts, 8);
+        group.bench_with_input(BenchmarkId::new("topk_k10", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(index.query(q.x1, q.x2, q.k));
+                }
+            })
+        });
+    }
+    // k sweep at fixed n: exercises the small-k → large-k crossover.
+    let pts = uniform_points(11, 1 << 15);
+    let index = build_index(small_machine(), SmallKEngine::Polylog, 128, &pts);
+    for &k in &[1usize, 16, 128, 1024, 4096] {
+        let queries = QueryGen::new(0.25, k, 5).generate(&pts, 8);
+        group.bench_with_input(BenchmarkId::new("topk_by_k", k), &k, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(index.query(q.x1, q.x2, q.k));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_scaling);
+criterion_main!(benches);

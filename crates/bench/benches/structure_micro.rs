@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the substrates (experiment E7 ablations): B-tree
+//! operations, sketch encoding, Lemma 7 merging, and heap selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use embtree::BTree;
+use emsim::{Device, EmConfig};
+use emsketch::{lemma7, CompressedSketchSet, PivotEntry, Sketch, SketchSetCodec};
+use heapsel::{select_top, VecHeap};
+
+fn substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+
+    group.bench_function("embtree_insert_10k", |b| {
+        b.iter_batched(
+            || {
+                let dev = Device::new(EmConfig::default());
+                BTree::<u64>::new(&dev, "bench")
+            },
+            |tree| {
+                for i in 0..10_000u64 {
+                    tree.insert(i * 2654435761 % 1_000_003);
+                }
+                std::hint::black_box(tree.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    let sets: Vec<Vec<u64>> = (0..16u64)
+        .map(|g| (0..1000u64).map(|i| i * 16 + g + 1).rev().collect())
+        .collect();
+    let sketches: Vec<Sketch> = sets.iter().map(|s| Sketch::from_sorted_desc(s)).collect();
+    let views: Vec<&[u64]> = sketches.iter().map(|s| s.pivots()).collect();
+    group.bench_function("lemma7_merge_16x1000", |b| {
+        b.iter(|| std::hint::black_box(lemma7::approx_rank_select(&views, 37)))
+    });
+
+    let codec = SketchSetCodec::new(16, 1024);
+    let mut set = CompressedSketchSet::empty(16);
+    for g in 0..16 {
+        for j in 0..10u64 {
+            set.pivots_mut(g).push(PivotEntry {
+                global_rank: g as u64 * 100 + j * 7 + 1,
+                local_rank: (1 << j).min(1000),
+            });
+        }
+    }
+    group.bench_function("compressed_sketch_roundtrip", |b| {
+        b.iter(|| {
+            let words = set.encode(&codec);
+            std::hint::black_box(CompressedSketchSet::decode(&codec, &words))
+        })
+    });
+
+    let (heap, root) =
+        VecHeap::heapified((0..100_000u64).map(|i| i * 48271 % 0xffff_ffff).collect());
+    group.bench_function("heap_select_top_100_of_100k", |b| {
+        b.iter(|| std::hint::black_box(select_top(&heap, &[root.unwrap()], 100)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, substrates);
+criterion_main!(benches);

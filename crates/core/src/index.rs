@@ -1,0 +1,201 @@
+//! The combined Theorem 1 index.
+
+use std::cell::Cell;
+
+use emsim::Device;
+use epst::{top_k_by_score, PilotPst, Point, ThreeSidedPst};
+use kselect::{PolylogConfig, PolylogKSelect, RangeKSelect, St12Config, St12KSelect};
+
+use crate::config::{SmallKEngine, TopKConfig};
+
+/// The dynamic top-k range reporting index of Theorem 1. See the crate docs
+/// for the guarantees and an example.
+pub struct TopKIndex {
+    device: Device,
+    config: TopKConfig,
+    /// §2 structure, used for `k ≥ l` (the paper's `k = Ω(B·lg n)` regime).
+    pilot: PilotPst,
+    /// 3-sided reporting substrate of the small-`k` reduction.
+    reporter: ThreeSidedPst,
+    /// Approximate range k-selection structure for small `k`.
+    small_k: Box<dyn RangeKSelect>,
+    /// Live size at the last global rebuild, for the rebuild policy.
+    size_at_rebuild: Cell<u64>,
+    len: Cell<u64>,
+}
+
+impl TopKIndex {
+    /// Create an empty index on `device`.
+    pub fn new(device: &Device, config: TopKConfig) -> Self {
+        let engine = config.resolve_engine(device.block_words(), 1 << 20);
+        let small_k: Box<dyn RangeKSelect> = match engine {
+            SmallKEngine::Polylog | SmallKEngine::Auto => Box::new(PolylogKSelect::new(
+                device,
+                "topk.polylog",
+                PolylogConfig::for_device(device, config.l),
+            )),
+            SmallKEngine::St12 => Box::new(St12KSelect::new(
+                device,
+                "topk.st12",
+                St12Config::for_device(device),
+            )),
+        };
+        Self {
+            device: device.clone(),
+            config,
+            pilot: PilotPst::new(device, "topk.pilot"),
+            reporter: ThreeSidedPst::new(device, "topk.reporter"),
+            small_k,
+            size_at_rebuild: Cell::new(0),
+            len: Cell::new(0),
+        }
+    }
+
+    /// The device the index lives on (useful for reading I/O statistics).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> TopKConfig {
+        self.config
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> u64 {
+        self.len.get()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len.get() == 0
+    }
+
+    /// Space occupied by all components, in blocks.
+    pub fn space_blocks(&self) -> u64 {
+        (self.pilot.space_blocks() + self.reporter.space_blocks() + self.small_k.space_blocks())
+            as u64
+    }
+
+    /// Name of the active small-`k` engine (for experiment reports).
+    pub fn small_k_engine_name(&self) -> &'static str {
+        self.small_k.name()
+    }
+
+    // ----- updates -----
+
+    /// Insert a point. Coordinates and scores must be distinct across the
+    /// whole set (the paper's standard assumption). `O(log_B n)` amortized
+    /// I/Os.
+    pub fn insert(&self, p: Point) {
+        self.pilot.insert(p);
+        self.reporter.insert(p);
+        self.small_k.insert(p);
+        self.len.set(self.len.get() + 1);
+        self.maybe_rebuild();
+    }
+
+    /// Delete a point (exact coordinate and score). Returns `false` if it was
+    /// not present. `O(log_B n)` amortized I/Os.
+    pub fn delete(&self, p: Point) -> bool {
+        if !self.reporter.delete(p) {
+            return false;
+        }
+        let in_pilot = self.pilot.delete(p);
+        debug_assert!(in_pilot, "components disagree about membership");
+        let in_small = self.small_k.delete(p);
+        debug_assert!(in_small, "components disagree about membership");
+        self.len.set(self.len.get() - 1);
+        self.maybe_rebuild();
+        true
+    }
+
+    /// Build the index from scratch out of `points` (`O((n/B)·log_B n)` I/Os),
+    /// replacing the current contents.
+    pub fn bulk_build(&self, points: &[Point]) {
+        self.pilot.rebuild_all(points);
+        self.reporter.rebuild_from_points(points);
+        self.small_k.rebuild(points);
+        self.len.set(points.len() as u64);
+        self.size_at_rebuild.set(points.len() as u64);
+    }
+
+    /// The paper's global rebuilding: once the live size has doubled or halved
+    /// relative to the last rebuild, rebuild every component. Amortized over
+    /// the `Ω(n)` updates in between this costs `O(log_B n)` per update.
+    fn maybe_rebuild(&self) {
+        let n0 = self.size_at_rebuild.get().max(64);
+        let n = self.len.get();
+        let factor = self.config.rebuild_factor.max(2);
+        if n > factor * n0 || (n0 >= 128 && n < n0 / factor) {
+            let pts = self.reporter.all_points();
+            self.bulk_build(&pts);
+        }
+    }
+
+    // ----- queries -----
+
+    /// Report the `k` highest-scoring points with `x ∈ [x1, x2]`, sorted by
+    /// descending score (fewer if the range holds fewer points).
+    ///
+    /// Cost: `O(log_B n + k/B)` I/Os for `k ≤ l`, `O(lg n + k/B)` I/Os beyond
+    /// (Theorem 1's dispatch).
+    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
+        if k == 0 || x1 > x2 || self.is_empty() {
+            return Vec::new();
+        }
+        if k >= self.config.l {
+            // Large k: the §2 structure answers directly in O(lg n + k/B).
+            return self.pilot.query_top_k(x1, x2, k);
+        }
+        let total = self.reporter.count_in_range(x1, x2);
+        if total == 0 {
+            return Vec::new();
+        }
+        let want = (k as u64).min(total) as usize;
+        if total <= k as u64 {
+            // Small output: report the whole range.
+            let pts = self.reporter.query(x1, x2, 0);
+            return top_k_by_score(pts, k);
+        }
+        // The reduction of §3.3: get an approximate rank-k threshold, report
+        // everything above it, keep the exact top k. If the approximation
+        // under-delivers (possible when the AURS preconditions are violated,
+        // see DESIGN.md §3), double the target rank and retry; the final
+        // fallback reports the whole range.
+        let mut target = k as u64;
+        for _ in 0..8 {
+            let tau = self.small_k.select(x1, x2, target);
+            let tau = match tau {
+                Some(t) => t,
+                None => 0,
+            };
+            let pts = self.reporter.query(x1, x2, tau);
+            if pts.len() >= want || tau == 0 {
+                return top_k_by_score(pts, k);
+            }
+            target = target.saturating_mul(2);
+        }
+        let pts = self.reporter.query(x1, x2, 0);
+        top_k_by_score(pts, k)
+    }
+
+    /// Number of points with `x ∈ [x1, x2]` (`O(log_B n)` I/Os).
+    pub fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+        self.reporter.count_in_range(x1, x2)
+    }
+
+    /// All stored points (an `O(n/B)` scan; used by rebuilds and tests).
+    pub fn all_points(&self) -> Vec<Point> {
+        self.reporter.all_points()
+    }
+
+    /// Run the internal consistency checks of every component (test support).
+    pub fn check_invariants(&self) {
+        self.pilot.check_invariants();
+        self.reporter.check_invariants();
+        assert_eq!(self.pilot.len(), self.len.get());
+        assert_eq!(self.reporter.len(), self.len.get());
+        assert_eq!(self.small_k.len(), self.len.get());
+    }
+}

@@ -1,0 +1,99 @@
+//! An in-memory reference implementation used by tests and by the experiment
+//! harness to validate every query answer (experiment E8).
+
+use epst::{top_k_by_score, Point};
+
+/// A trivially correct top-k range reporting oracle: a plain vector scanned on
+/// every query. CPU is free in the EM model, but this structure lives outside
+//  the simulator and is used only for validation.
+#[derive(Debug, Default, Clone)]
+pub struct Oracle {
+    points: Vec<Point>,
+}
+
+impl Oracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build an oracle holding `points`.
+    pub fn from_points(points: &[Point]) -> Self {
+        Self {
+            points: points.to_vec(),
+        }
+    }
+
+    /// Insert a point.
+    pub fn insert(&mut self, p: Point) {
+        self.points.push(p);
+    }
+
+    /// Delete a point; returns whether it was present.
+    pub fn delete(&mut self, p: Point) -> bool {
+        let before = self.points.len();
+        self.points.retain(|q| !(q.x == p.x && q.score == p.score));
+        self.points.len() != before
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the oracle is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The exact top-k answer, sorted by descending score.
+    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
+        if x1 > x2 || k == 0 {
+            return Vec::new();
+        }
+        let in_range: Vec<Point> = self
+            .points
+            .iter()
+            .filter(|p| p.x >= x1 && p.x <= x2)
+            .copied()
+            .collect();
+        top_k_by_score(in_range, k)
+    }
+
+    /// Number of points in the x-range.
+    pub fn count(&self, x1: u64, x2: u64) -> usize {
+        self.points
+            .iter()
+            .filter(|p| p.x >= x1 && p.x <= x2)
+            .count()
+    }
+
+    /// All stored points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_basic_behaviour() {
+        let mut o = Oracle::new();
+        assert!(o.is_empty());
+        o.insert(Point::new(1, 10));
+        o.insert(Point::new(2, 30));
+        o.insert(Point::new(3, 20));
+        assert_eq!(o.len(), 3);
+        assert_eq!(o.count(1, 2), 2);
+        assert_eq!(
+            o.query(1, 3, 2),
+            vec![Point::new(2, 30), Point::new(3, 20)]
+        );
+        assert!(o.delete(Point::new(2, 30)));
+        assert!(!o.delete(Point::new(2, 30)));
+        assert_eq!(o.query(1, 3, 2), vec![Point::new(3, 20), Point::new(1, 10)]);
+        assert!(o.query(5, 9, 3).is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! # embtree — an external-memory B-tree
+//!
+//! A B+-tree whose nodes are pages on an [`emsim::Device`], so that every node
+//! visit is charged through the simulated buffer pool. The tree is augmented
+//! with per-subtree entry counts and a per-subtree maximum of an auxiliary
+//! value, which gives, all in `O(log_B n)` I/Os:
+//!
+//! * point lookups, insertions, deletions;
+//! * *rank* queries in the paper's convention (`rank(e) = #{e' ≥ e}`, the
+//!   largest element has rank 1) via [`BTree::count_ge`];
+//! * *selection* of the r-th largest / smallest entry via
+//!   [`BTree::select_desc`] / [`BTree::select_asc`];
+//! * range counting and range-maximum queries over the auxiliary value
+//!   ([`BTree::range_max_aux`]), which implements the "slightly augmented
+//!   B-tree" of §3.3 of the paper (maximum score in a contiguous run of child
+//!   groups);
+//! * ordered range scans at `O(log_B n + t/B)` I/Os.
+//!
+//! These are exactly the operations the paper's structures need from their
+//! secondary B-trees (the B-trees on `G` and each `G_i` in §4, the score
+//! B-trees of §3.3, and the rank→element conversion of §4.1).
+
+mod node;
+mod tree;
+
+pub use node::{BTreeConfig, NodePage};
+pub use tree::BTree;
+
+/// An entry stored in a [`BTree`].
+///
+/// Entries are small `Copy` records; the tree orders them by [`Entry::key`]
+/// (keys must be unique — the paper assumes distinct coordinates and distinct
+/// scores) and additionally aggregates [`Entry::aux`] with `max` over subtrees
+/// for range-maximum queries.
+pub trait Entry: Copy {
+    /// The ordering key.
+    type Key: Copy + Ord + std::fmt::Debug;
+
+    /// Words one entry occupies on disk.
+    const WORDS: usize;
+    /// Words a routing key occupies in an internal node.
+    const KEY_WORDS: usize;
+
+    /// The entry's key.
+    fn key(&self) -> Self::Key;
+
+    /// Auxiliary value aggregated with `max` (default 0 when unused).
+    fn aux(&self) -> u64 {
+        0
+    }
+}
+
+/// A bare `u64` key (e.g. a score set `G_i` from §4 of the paper).
+impl Entry for u64 {
+    type Key = u64;
+    const WORDS: usize = 1;
+    const KEY_WORDS: usize = 1;
+
+    fn key(&self) -> u64 {
+        *self
+    }
+
+    fn aux(&self) -> u64 {
+        *self
+    }
+}
+
+/// A `(key, value)` pair of words; `aux` is the value, so range-max over the
+/// value is available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct KvEntry {
+    /// Ordering key.
+    pub key: u64,
+    /// Payload, also used as the range-max auxiliary.
+    pub value: u64,
+}
+
+impl Entry for KvEntry {
+    type Key = u64;
+    const WORDS: usize = 2;
+    const KEY_WORDS: usize = 1;
+
+    fn key(&self) -> u64 {
+        self.key
+    }
+
+    fn aux(&self) -> u64 {
+        self.value
+    }
+}
+
+/// An entry keyed by a pair `(group, score)`, used for the range-maximum
+/// B-tree of §3.3 (maximum score within a contiguous range of child groups)
+/// and for composite orderings in general.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroupScoreEntry {
+    /// Group index (e.g. child slab index `i` in §3.3).
+    pub group: u64,
+    /// Score value.
+    pub score: u64,
+}
+
+impl Entry for GroupScoreEntry {
+    type Key = (u64, u64);
+    const WORDS: usize = 2;
+    const KEY_WORDS: usize = 2;
+
+    fn key(&self) -> (u64, u64) {
+        (self.group, self.score)
+    }
+
+    fn aux(&self) -> u64 {
+        self.score
+    }
+}
+
+#[cfg(test)]
+mod entry_tests {
+    use super::*;
+
+    #[test]
+    fn u64_entry_is_its_own_key_and_aux() {
+        let e = 42u64;
+        assert_eq!(e.key(), 42);
+        assert_eq!(e.aux(), 42);
+        assert_eq!(u64::WORDS, 1);
+    }
+
+    #[test]
+    fn group_score_orders_by_group_then_score() {
+        let a = GroupScoreEntry { group: 1, score: 9 };
+        let b = GroupScoreEntry { group: 2, score: 1 };
+        assert!(a.key() < b.key());
+        assert_eq!(b.aux(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! On-disk node layout of the external B-tree.
+
+use emsim::{Page, PageId};
+
+use crate::Entry;
+
+/// Reference to a child subtree held by an internal node: the largest key in
+/// the subtree (used as the router), the child page, and the subtree
+/// aggregates (entry count and maximum auxiliary value).
+#[derive(Debug, Clone, Copy)]
+pub struct ChildRef<K> {
+    /// Largest key stored in the child's subtree.
+    pub max_key: K,
+    /// The child page.
+    pub page: PageId,
+    /// Number of entries in the child's subtree.
+    pub count: u64,
+    /// Maximum auxiliary value in the child's subtree.
+    pub max_aux: u64,
+}
+
+/// A B-tree node: either a leaf holding entries sorted by key, or an internal
+/// node holding child references sorted by router key.
+#[derive(Debug, Clone)]
+pub enum NodePage<E: Entry> {
+    /// Leaf node with entries sorted by `Entry::key`.
+    Leaf(Vec<E>),
+    /// Internal node with children sorted by `ChildRef::max_key`.
+    Internal(Vec<ChildRef<E::Key>>),
+}
+
+impl<E: Entry> NodePage<E> {
+    /// Number of slots (entries or children) in the node.
+    pub fn slots(&self) -> usize {
+        match self {
+            NodePage::Leaf(v) => v.len(),
+            NodePage::Internal(v) => v.len(),
+        }
+    }
+
+    /// Whether the node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, NodePage::Leaf(_))
+    }
+}
+
+impl<E: Entry> Page for NodePage<E> {
+    fn words(&self) -> usize {
+        // 2 header words (node kind + slot count) in either case.
+        match self {
+            NodePage::Leaf(v) => 2 + v.len() * E::WORDS,
+            // Each child reference: router key + page id + count + max_aux.
+            NodePage::Internal(v) => 2 + v.len() * (E::KEY_WORDS + 3),
+        }
+    }
+}
+
+/// Fan-out configuration for a B-tree over entries of type `E`, derived from
+/// the block size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTreeConfig {
+    /// Maximum number of entries per leaf.
+    pub leaf_cap: usize,
+    /// Maximum number of children per internal node.
+    pub internal_cap: usize,
+}
+
+impl BTreeConfig {
+    /// Derive the fan-out from the device's block size so that every node fits
+    /// in one block. The minimum fan-out of 4 keeps tiny test configurations
+    /// functional.
+    pub fn for_entry<E: Entry>(block_words: usize) -> Self {
+        let leaf_cap = ((block_words.saturating_sub(2)) / E::WORDS.max(1)).max(4);
+        let internal_cap = ((block_words.saturating_sub(2)) / (E::KEY_WORDS + 3)).max(4);
+        Self {
+            leaf_cap,
+            internal_cap,
+        }
+    }
+
+    /// Underflow threshold for a node with capacity `cap`.
+    pub fn min_fill(cap: usize) -> usize {
+        (cap / 4).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_accounts_for_slots() {
+        let leaf: NodePage<u64> = NodePage::Leaf(vec![1, 2, 3]);
+        assert_eq!(leaf.words(), 2 + 3);
+        let internal: NodePage<u64> = NodePage::Internal(vec![ChildRef {
+            max_key: 7,
+            page: PageId(0),
+            count: 3,
+            max_aux: 7,
+        }]);
+        assert_eq!(internal.words(), 2 + (1 + 3));
+    }
+
+    #[test]
+    fn config_respects_block_size() {
+        let cfg = BTreeConfig::for_entry::<u64>(64);
+        assert_eq!(cfg.leaf_cap, 62);
+        assert_eq!(cfg.internal_cap, (64 - 2) / 4);
+        // Tiny blocks still give a functional tree.
+        let tiny = BTreeConfig::for_entry::<u64>(8);
+        assert!(tiny.leaf_cap >= 4);
+        assert!(tiny.internal_cap >= 4);
+    }
+
+    #[test]
+    fn min_fill_is_quarter() {
+        assert_eq!(BTreeConfig::min_fill(62), 15);
+        assert_eq!(BTreeConfig::min_fill(3), 1);
+    }
+}

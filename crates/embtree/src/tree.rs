@@ -1,0 +1,983 @@
+//! The external B-tree proper.
+
+use std::cell::Cell;
+
+use emsim::{BlockFile, Device, PageId};
+
+use crate::node::{BTreeConfig, ChildRef, NodePage};
+use crate::Entry;
+
+/// An external-memory B+-tree over entries of type `E`, augmented with
+/// subtree counts (rank/select) and subtree maxima of the auxiliary value
+/// (range-max). See the crate documentation for the supported operations and
+/// their costs.
+pub struct BTree<E: Entry> {
+    file: BlockFile<NodePage<E>>,
+    root: Cell<PageId>,
+    len: Cell<u64>,
+    config: BTreeConfig,
+}
+
+impl<E: Entry> BTree<E> {
+    /// Create an empty tree on `device`. `name` labels the node file in space
+    /// breakdowns.
+    pub fn new(device: &Device, name: &str) -> Self {
+        let config = BTreeConfig::for_entry::<E>(device.block_words());
+        let file = device.open_file::<NodePage<E>>(name);
+        let root = file.alloc(NodePage::Leaf(Vec::new()));
+        Self {
+            file,
+            root: Cell::new(root),
+            len: Cell::new(0),
+            config,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.len.get()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len.get() == 0
+    }
+
+    /// Fan-out configuration in use.
+    pub fn config(&self) -> BTreeConfig {
+        self.config
+    }
+
+    /// Number of live node pages (the tree's space in blocks).
+    pub fn space_blocks(&self) -> usize {
+        self.file.live_pages()
+    }
+
+    // ----- summaries -----
+
+    fn child_ref(&self, page: PageId) -> ChildRef<E::Key> {
+        self.file.with(page, |node| match node {
+            NodePage::Leaf(entries) => {
+                let count = entries.len() as u64;
+                let max_key = entries
+                    .last()
+                    .map(|e| e.key())
+                    .expect("child_ref of empty leaf");
+                let max_aux = entries.iter().map(|e| e.aux()).max().unwrap_or(0);
+                ChildRef {
+                    max_key,
+                    page,
+                    count,
+                    max_aux,
+                }
+            }
+            NodePage::Internal(children) => {
+                let count = children.iter().map(|c| c.count).sum();
+                let max_key = children.last().expect("empty internal node").max_key;
+                let max_aux = children.iter().map(|c| c.max_aux).max().unwrap_or(0);
+                ChildRef {
+                    max_key,
+                    page,
+                    count,
+                    max_aux,
+                }
+            }
+        })
+    }
+
+    fn child_slots(&self, page: PageId) -> usize {
+        self.file.with(page, |node| node.slots())
+    }
+
+    // ----- insertion -----
+
+    /// Insert `entry`. If an entry with the same key already exists it is
+    /// replaced and returned. Cost: `O(log_B n)` I/Os.
+    pub fn insert(&self, entry: E) -> Option<E> {
+        let root = self.root.get();
+        let (replaced, split) = self.insert_rec(root, entry);
+        if let Some(new_sibling) = split {
+            let left = self.child_ref(root);
+            let right = self.child_ref(new_sibling);
+            let new_root = self.file.alloc(NodePage::Internal(vec![left, right]));
+            self.root.set(new_root);
+        }
+        if replaced.is_none() {
+            self.len.set(self.len.get() + 1);
+        }
+        replaced
+    }
+
+    fn insert_rec(&self, page: PageId, entry: E) -> (Option<E>, Option<PageId>) {
+        let node = self.file.get(page);
+        match node {
+            NodePage::Leaf(mut entries) => {
+                let key = entry.key();
+                let pos = entries.partition_point(|e| e.key() < key);
+                let replaced = if pos < entries.len() && entries[pos].key() == key {
+                    let old = entries[pos];
+                    entries[pos] = entry;
+                    Some(old)
+                } else {
+                    entries.insert(pos, entry);
+                    None
+                };
+                let split = if entries.len() > self.config.leaf_cap {
+                    let mid = entries.len() / 2;
+                    let right: Vec<E> = entries.split_off(mid);
+                    self.file.put(page, NodePage::Leaf(entries));
+                    Some(self.file.alloc(NodePage::Leaf(right)))
+                } else {
+                    self.file.put(page, NodePage::Leaf(entries));
+                    None
+                };
+                (replaced, split)
+            }
+            NodePage::Internal(mut children) => {
+                let key = entry.key();
+                let mut idx = children.partition_point(|c| c.max_key < key);
+                if idx == children.len() {
+                    idx -= 1;
+                }
+                let child_page = children[idx].page;
+                let (replaced, child_split) = self.insert_rec(child_page, entry);
+                children[idx] = self.child_ref(child_page);
+                if let Some(sib) = child_split {
+                    children.insert(idx + 1, self.child_ref(sib));
+                }
+                let split = if children.len() > self.config.internal_cap {
+                    let mid = children.len() / 2;
+                    let right: Vec<ChildRef<E::Key>> = children.split_off(mid);
+                    self.file.put(page, NodePage::Internal(children));
+                    Some(self.file.alloc(NodePage::Internal(right)))
+                } else {
+                    self.file.put(page, NodePage::Internal(children));
+                    None
+                };
+                (replaced, split)
+            }
+        }
+    }
+
+    // ----- deletion -----
+
+    /// Remove the entry with key `key`, returning it if present.
+    /// Cost: `O(log_B n)` I/Os.
+    pub fn remove(&self, key: E::Key) -> Option<E> {
+        let root = self.root.get();
+        let removed = self.remove_rec(root, key);
+        if removed.is_some() {
+            self.len.set(self.len.get() - 1);
+            // Collapse a root with a single child.
+            loop {
+                let root = self.root.get();
+                let collapse = self.file.with(root, |node| match node {
+                    NodePage::Internal(children) if children.len() == 1 => Some(children[0].page),
+                    _ => None,
+                });
+                match collapse {
+                    Some(only_child) => {
+                        self.file.free(root);
+                        self.root.set(only_child);
+                    }
+                    None => break,
+                }
+            }
+            // A root that lost all children becomes an empty leaf.
+            let root = self.root.get();
+            let empty_internal = self
+                .file
+                .with(root, |node| matches!(node, NodePage::Internal(c) if c.is_empty()));
+            if empty_internal {
+                self.file.put(root, NodePage::Leaf(Vec::new()));
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(&self, page: PageId, key: E::Key) -> Option<E> {
+        let node = self.file.get(page);
+        match node {
+            NodePage::Leaf(mut entries) => {
+                let pos = entries.partition_point(|e| e.key() < key);
+                if pos < entries.len() && entries[pos].key() == key {
+                    let removed = entries.remove(pos);
+                    self.file.put(page, NodePage::Leaf(entries));
+                    Some(removed)
+                } else {
+                    None
+                }
+            }
+            NodePage::Internal(mut children) => {
+                let idx = children.partition_point(|c| c.max_key < key);
+                if idx == children.len() {
+                    return None;
+                }
+                let child_page = children[idx].page;
+                let removed = self.remove_rec(child_page, key);
+                if removed.is_none() {
+                    return None;
+                }
+                let child_now_empty = self.child_slots(child_page) == 0;
+                if child_now_empty {
+                    self.file.free(child_page);
+                    children.remove(idx);
+                } else {
+                    children[idx] = self.child_ref(child_page);
+                    let min_leaf = BTreeConfig::min_fill(self.config.leaf_cap);
+                    let min_internal = BTreeConfig::min_fill(self.config.internal_cap);
+                    let slots = self.child_slots(child_page);
+                    let is_leaf_child = self.file.with(child_page, |n| n.is_leaf());
+                    let underfull = if is_leaf_child {
+                        slots < min_leaf
+                    } else {
+                        slots < min_internal
+                    };
+                    if underfull && children.len() > 1 {
+                        self.rebalance(&mut children, idx);
+                    }
+                }
+                self.file.put(page, NodePage::Internal(children));
+                removed
+            }
+        }
+    }
+
+    /// Merge the child at `idx` with a neighbour; if the merged node would
+    /// overflow, redistribute instead.
+    fn rebalance(&self, children: &mut Vec<ChildRef<E::Key>>, idx: usize) {
+        let sib = if idx + 1 < children.len() {
+            idx + 1
+        } else {
+            idx - 1
+        };
+        let (li, ri) = if idx < sib { (idx, sib) } else { (sib, idx) };
+        let left_page = children[li].page;
+        let right_page = children[ri].page;
+        let left_node = self.file.get(left_page);
+        let right_node = self.file.get(right_page);
+        let merged_away = match (left_node, right_node) {
+            (NodePage::Leaf(mut a), NodePage::Leaf(b)) => {
+                a.extend(b);
+                if a.len() <= self.config.leaf_cap {
+                    self.file.put(left_page, NodePage::Leaf(a));
+                    true
+                } else {
+                    let mid = a.len() / 2;
+                    let right = a.split_off(mid);
+                    self.file.put(left_page, NodePage::Leaf(a));
+                    self.file.put(right_page, NodePage::Leaf(right));
+                    false
+                }
+            }
+            (NodePage::Internal(mut a), NodePage::Internal(b)) => {
+                a.extend(b);
+                if a.len() <= self.config.internal_cap {
+                    self.file.put(left_page, NodePage::Internal(a));
+                    true
+                } else {
+                    let mid = a.len() / 2;
+                    let right = a.split_off(mid);
+                    self.file.put(left_page, NodePage::Internal(a));
+                    self.file.put(right_page, NodePage::Internal(right));
+                    false
+                }
+            }
+            _ => unreachable!("siblings are at the same level"),
+        };
+        if merged_away {
+            self.file.free(right_page);
+            children.remove(ri);
+            children[li] = self.child_ref(left_page);
+        } else {
+            children[li] = self.child_ref(left_page);
+            children[ri] = self.child_ref(right_page);
+        }
+    }
+
+    // ----- lookups -----
+
+    /// The entry with key `key`, if any.
+    pub fn get(&self, key: E::Key) -> Option<E> {
+        let mut page = self.root.get();
+        loop {
+            let step: Result<Option<E>, PageId> = self.file.with(page, |node| match node {
+                NodePage::Leaf(entries) => {
+                    let pos = entries.partition_point(|e| e.key() < key);
+                    if pos < entries.len() && entries[pos].key() == key {
+                        Ok(Some(entries[pos]))
+                    } else {
+                        Ok(None)
+                    }
+                }
+                NodePage::Internal(children) => {
+                    let idx = children.partition_point(|c| c.max_key < key);
+                    if idx == children.len() {
+                        Ok(None)
+                    } else {
+                        Err(children[idx].page)
+                    }
+                }
+            });
+            match step {
+                Ok(r) => return r,
+                Err(p) => page = p,
+            }
+        }
+    }
+
+    /// Whether an entry with key `key` exists.
+    pub fn contains(&self, key: E::Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// The entry with the smallest key.
+    pub fn min(&self) -> Option<E> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut page = self.root.get();
+        loop {
+            let step = self.file.with(page, |node| match node {
+                NodePage::Leaf(entries) => Ok(entries.first().copied()),
+                NodePage::Internal(children) => Err(children[0].page),
+            });
+            match step {
+                Ok(e) => return e,
+                Err(p) => page = p,
+            }
+        }
+    }
+
+    /// The entry with the largest key.
+    pub fn max(&self) -> Option<E> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut page = self.root.get();
+        loop {
+            let step = self.file.with(page, |node| match node {
+                NodePage::Leaf(entries) => Ok(entries.last().copied()),
+                NodePage::Internal(children) => Err(children.last().expect("non-empty").page),
+            });
+            match step {
+                Ok(e) => return e,
+                Err(p) => page = p,
+            }
+        }
+    }
+
+    // ----- rank / count -----
+
+    /// Number of entries with key strictly less than `key`.
+    pub fn count_lt(&self, key: E::Key) -> u64 {
+        self.count_bound(key, false)
+    }
+
+    /// Number of entries with key less than or equal to `key`.
+    pub fn count_le(&self, key: E::Key) -> u64 {
+        self.count_bound(key, true)
+    }
+
+    /// Number of entries with key greater than or equal to `key`.
+    ///
+    /// In the paper's convention this is the *rank* of `key` among the stored
+    /// keys (the largest key has rank 1).
+    pub fn count_ge(&self, key: E::Key) -> u64 {
+        self.len() - self.count_lt(key)
+    }
+
+    /// Number of entries with key strictly greater than `key`.
+    pub fn count_gt(&self, key: E::Key) -> u64 {
+        self.len() - self.count_le(key)
+    }
+
+    /// Number of entries with key in `[lo, hi]` (inclusive). Returns 0 when
+    /// `lo > hi`.
+    pub fn count_range(&self, lo: E::Key, hi: E::Key) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        self.count_le(hi).saturating_sub(self.count_lt(lo))
+    }
+
+    fn count_bound(&self, key: E::Key, inclusive: bool) -> u64 {
+        let mut acc = 0u64;
+        let mut page = self.root.get();
+        loop {
+            let step = self.file.with(page, |node| match node {
+                NodePage::Leaf(entries) => {
+                    let n = if inclusive {
+                        entries.partition_point(|e| e.key() <= key)
+                    } else {
+                        entries.partition_point(|e| e.key() < key)
+                    };
+                    Ok(n as u64)
+                }
+                NodePage::Internal(children) => {
+                    let mut below = 0u64;
+                    for c in children.iter() {
+                        let covered = if inclusive {
+                            c.max_key <= key
+                        } else {
+                            c.max_key < key
+                        };
+                        if covered {
+                            below += c.count;
+                        } else {
+                            return Err((below, c.page));
+                        }
+                    }
+                    Ok(below)
+                }
+            });
+            match step {
+                Ok(n) => return acc + n,
+                Err((below, child)) => {
+                    acc += below;
+                    page = child;
+                }
+            }
+        }
+    }
+
+    /// The entry with the `r`-th smallest key (1-based). `None` when
+    /// `r == 0` or `r > len`.
+    pub fn select_asc(&self, r: u64) -> Option<E> {
+        if r == 0 || r > self.len() {
+            return None;
+        }
+        let mut remaining = r;
+        let mut page = self.root.get();
+        loop {
+            let step = self.file.with(page, |node| match node {
+                NodePage::Leaf(entries) => Ok(entries.get(remaining as usize - 1).copied()),
+                NodePage::Internal(children) => {
+                    let mut rem = remaining;
+                    for c in children.iter() {
+                        if rem <= c.count {
+                            return Err((rem, c.page));
+                        }
+                        rem -= c.count;
+                    }
+                    Ok(None)
+                }
+            });
+            match step {
+                Ok(e) => return e,
+                Err((rem, child)) => {
+                    remaining = rem;
+                    page = child;
+                }
+            }
+        }
+    }
+
+    /// The entry with the `r`-th largest key (1-based): the paper's selection
+    /// by rank.
+    pub fn select_desc(&self, r: u64) -> Option<E> {
+        if r == 0 || r > self.len() {
+            return None;
+        }
+        self.select_asc(self.len() - r + 1)
+    }
+
+    /// Smallest entry with key `>= key`.
+    pub fn successor(&self, key: E::Key) -> Option<E> {
+        let rank_lt = self.count_lt(key);
+        self.select_asc(rank_lt + 1)
+    }
+
+    /// Largest entry with key `<= key`.
+    pub fn predecessor(&self, key: E::Key) -> Option<E> {
+        let rank_le = self.count_le(key);
+        self.select_asc(rank_le)
+    }
+
+    // ----- range max -----
+
+    /// The entry with the maximum auxiliary value among entries with key in
+    /// `[lo, hi]`, or `None` if the range is empty. Cost: `O(log_B n)` I/Os.
+    pub fn range_max_aux(&self, lo: E::Key, hi: E::Key) -> Option<E> {
+        if lo > hi || self.is_empty() {
+            return None;
+        }
+        let mut full: Vec<(u64, PageId)> = Vec::new();
+        let mut best: Option<E> = None;
+        self.range_max_collect(self.root.get(), lo, hi, None, &mut full, &mut best);
+        let best_full = full.into_iter().max_by_key(|(aux, _)| *aux);
+        if let Some((aux, page)) = best_full {
+            if best.map(|b| aux > b.aux()).unwrap_or(true) {
+                let candidate = self.descend_max_aux(page);
+                match (best, candidate) {
+                    (Some(b), Some(c)) => {
+                        if c.aux() > b.aux() {
+                            best = Some(c);
+                        }
+                    }
+                    (None, Some(c)) => best = Some(c),
+                    _ => {}
+                }
+            }
+        }
+        best
+    }
+
+    fn range_max_collect(
+        &self,
+        page: PageId,
+        lo: E::Key,
+        hi: E::Key,
+        lower_bound: Option<E::Key>,
+        full: &mut Vec<(u64, PageId)>,
+        best: &mut Option<E>,
+    ) {
+        enum Plan<K> {
+            Leaf(Option<(u64, usize)>),
+            Internal(Vec<(PageId, Option<K>, bool, u64)>),
+        }
+        let plan = self.file.with(page, |node| match node {
+            NodePage::Leaf(entries) => {
+                let mut best_local: Option<(u64, usize)> = None;
+                for (i, e) in entries.iter().enumerate() {
+                    let k = e.key();
+                    if k >= lo && k <= hi {
+                        let a = e.aux();
+                        if best_local.map(|(ba, _)| a > ba).unwrap_or(true) {
+                            best_local = Some((a, i));
+                        }
+                    }
+                }
+                Plan::Leaf(best_local)
+            }
+            NodePage::Internal(children) => {
+                let mut visits = Vec::new();
+                let mut prev: Option<E::Key> = lower_bound;
+                for c in children.iter() {
+                    let overlaps = c.max_key >= lo && prev.map(|p| p < hi).unwrap_or(true);
+                    if overlaps {
+                        let fully = c.max_key <= hi && prev.map(|p| p >= lo).unwrap_or(false);
+                        visits.push((c.page, prev, fully, c.max_aux));
+                    }
+                    prev = Some(c.max_key);
+                }
+                Plan::Internal(visits)
+            }
+        });
+        match plan {
+            Plan::Leaf(Some((_, idx))) => {
+                let e = self.file.with(page, |node| match node {
+                    NodePage::Leaf(entries) => entries[idx],
+                    _ => unreachable!(),
+                });
+                if best.map(|b| e.aux() > b.aux()).unwrap_or(true) {
+                    *best = Some(e);
+                }
+            }
+            Plan::Leaf(None) => {}
+            Plan::Internal(visits) => {
+                for (child, prev, fully, max_aux) in visits {
+                    if fully {
+                        full.push((max_aux, child));
+                    } else {
+                        self.range_max_collect(child, lo, hi, prev, full, best);
+                    }
+                }
+            }
+        }
+    }
+
+    fn descend_max_aux(&self, page: PageId) -> Option<E> {
+        let step = self.file.with(page, |node| match node {
+            NodePage::Leaf(entries) => Ok(entries.iter().copied().max_by_key(|e| e.aux())),
+            NodePage::Internal(children) => Err(children
+                .iter()
+                .max_by_key(|c| c.max_aux)
+                .map(|c| c.page)
+                .expect("non-empty internal node")),
+        });
+        match step {
+            Ok(e) => e,
+            Err(child) => self.descend_max_aux(child),
+        }
+    }
+
+    // ----- scans -----
+
+    /// Visit every entry with key in `[lo, hi]` in ascending key order.
+    /// Cost: `O(log_B n + t/B)` I/Os where `t` is the number of visited
+    /// entries.
+    pub fn for_each_range(&self, lo: E::Key, hi: E::Key, f: &mut dyn FnMut(&E)) {
+        if lo > hi || self.is_empty() {
+            return;
+        }
+        self.range_rec(self.root.get(), lo, hi, None, f);
+    }
+
+    fn range_rec(
+        &self,
+        page: PageId,
+        lo: E::Key,
+        hi: E::Key,
+        lower_bound: Option<E::Key>,
+        f: &mut dyn FnMut(&E),
+    ) {
+        enum Plan<E, K> {
+            Leaf(Vec<E>),
+            Internal(Vec<(PageId, Option<K>)>),
+        }
+        let plan = self.file.with(page, |node| match node {
+            NodePage::Leaf(entries) => Plan::Leaf(
+                entries
+                    .iter()
+                    .filter(|e| e.key() >= lo && e.key() <= hi)
+                    .copied()
+                    .collect(),
+            ),
+            NodePage::Internal(children) => {
+                let mut visits = Vec::new();
+                let mut prev: Option<E::Key> = lower_bound;
+                for c in children.iter() {
+                    let overlaps = c.max_key >= lo && prev.map(|p| p < hi).unwrap_or(true);
+                    if overlaps {
+                        visits.push((c.page, prev));
+                    }
+                    prev = Some(c.max_key);
+                }
+                Plan::Internal(visits)
+            }
+        });
+        match plan {
+            Plan::Leaf(entries) => {
+                for e in &entries {
+                    f(e);
+                }
+            }
+            Plan::Internal(visits) => {
+                for (child, prev) in visits {
+                    self.range_rec(child, lo, hi, prev, f);
+                }
+            }
+        }
+    }
+
+    /// Collect every entry with key in `[lo, hi]`, ascending.
+    pub fn collect_range(&self, lo: E::Key, hi: E::Key) -> Vec<E> {
+        let mut out = Vec::new();
+        self.for_each_range(lo, hi, &mut |e| out.push(*e));
+        out
+    }
+
+    /// Visit every entry in ascending key order.
+    pub fn for_each(&self, f: &mut dyn FnMut(&E)) {
+        if self.is_empty() {
+            return;
+        }
+        self.scan_rec(self.root.get(), f);
+    }
+
+    fn scan_rec(&self, page: PageId, f: &mut dyn FnMut(&E)) {
+        enum Plan<E> {
+            Leaf(Vec<E>),
+            Internal(Vec<PageId>),
+        }
+        let plan = self.file.with(page, |node| match node {
+            NodePage::Leaf(entries) => Plan::Leaf(entries.clone()),
+            NodePage::Internal(children) => {
+                Plan::Internal(children.iter().map(|c| c.page).collect())
+            }
+        });
+        match plan {
+            Plan::Leaf(entries) => {
+                for e in &entries {
+                    f(e);
+                }
+            }
+            Plan::Internal(children) => {
+                for child in children {
+                    self.scan_rec(child, f);
+                }
+            }
+        }
+    }
+
+    /// Collect every entry in ascending key order.
+    pub fn collect_all(&self) -> Vec<E> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        self.for_each(&mut |e| out.push(*e));
+        out
+    }
+
+    // ----- bulk operations -----
+
+    /// Drop all entries and rebuild the tree from `entries`, which must be
+    /// sorted by key with no duplicates. Cost: `O(n/B)` I/Os plus the writes
+    /// for the new nodes — the "global rebuilding" primitive of the paper.
+    pub fn bulk_load(&self, entries: &[E]) {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].key() < w[1].key()),
+            "bulk_load requires sorted, duplicate-free input"
+        );
+        self.free_subtree(self.root.get());
+        if entries.is_empty() {
+            let root = self.file.alloc(NodePage::Leaf(Vec::new()));
+            self.root.set(root);
+            self.len.set(0);
+            return;
+        }
+        // Fill nodes to ~7/8 so that immediate follow-up insertions do not
+        // instantly split every node.
+        let leaf_target = (self.config.leaf_cap * 7 / 8).max(1);
+        let internal_target = (self.config.internal_cap * 7 / 8).max(2);
+
+        let mut level: Vec<ChildRef<E::Key>> = Vec::new();
+        for chunk in entries.chunks(leaf_target) {
+            let page = self.file.alloc(NodePage::Leaf(chunk.to_vec()));
+            level.push(self.child_ref(page));
+        }
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for chunk in level.chunks(internal_target) {
+                let page = self.file.alloc(NodePage::Internal(chunk.to_vec()));
+                next.push(self.child_ref(page));
+            }
+            level = next;
+        }
+        self.root.set(level[0].page);
+        self.len.set(entries.len() as u64);
+    }
+
+    /// Remove every entry.
+    pub fn clear(&self) {
+        self.bulk_load(&[]);
+    }
+
+    fn free_subtree(&self, page: PageId) {
+        let children: Vec<PageId> = self.file.with(page, |node| match node {
+            NodePage::Leaf(_) => Vec::new(),
+            NodePage::Internal(children) => children.iter().map(|c| c.page).collect(),
+        });
+        for child in children {
+            self.free_subtree(child);
+        }
+        self.file.free(page);
+    }
+
+    // ----- invariants (test support) -----
+
+    /// Check structural invariants (sortedness, router keys, counts, aux
+    /// maxima). Panics on violation; intended for tests.
+    pub fn check_invariants(&self) {
+        let (count, _max_key, _max_aux) = self.check_rec(self.root.get());
+        assert_eq!(count, self.len(), "stored len disagrees with tree contents");
+    }
+
+    fn check_rec(&self, page: PageId) -> (u64, Option<E::Key>, u64) {
+        let node = self.file.get(page);
+        match node {
+            NodePage::Leaf(entries) => {
+                assert!(
+                    entries.windows(2).all(|w| w[0].key() < w[1].key()),
+                    "leaf entries out of order"
+                );
+                let max_key = entries.last().map(|e| e.key());
+                let max_aux = entries.iter().map(|e| e.aux()).max().unwrap_or(0);
+                (entries.len() as u64, max_key, max_aux)
+            }
+            NodePage::Internal(children) => {
+                assert!(!children.is_empty(), "internal node with no children");
+                assert!(
+                    children.windows(2).all(|w| w[0].max_key < w[1].max_key),
+                    "children out of order"
+                );
+                let mut total = 0;
+                let mut max_aux = 0;
+                for c in children.iter() {
+                    let (cnt, mk, ma) = self.check_rec(c.page);
+                    assert_eq!(cnt, c.count, "child count aggregate is stale");
+                    assert_eq!(mk, Some(c.max_key), "router key disagrees with subtree max");
+                    assert_eq!(ma, c.max_aux, "aux aggregate is stale");
+                    total += cnt;
+                    max_aux = max_aux.max(ma);
+                }
+                (total, children.last().map(|c| c.max_key), max_aux)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KvEntry;
+    use emsim::EmConfig;
+
+    fn small_tree() -> (Device, BTree<u64>) {
+        let dev = Device::new(EmConfig::new(32, 32 * 64));
+        let t = BTree::new(&dev, "t");
+        (dev, t)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let (_dev, t) = small_tree();
+        for i in 0..500u64 {
+            assert!(t.insert(i * 3).is_none());
+        }
+        assert_eq!(t.len(), 500);
+        t.check_invariants();
+        for i in 0..500u64 {
+            assert_eq!(t.get(i * 3), Some(i * 3));
+            assert_eq!(t.get(i * 3 + 1), None);
+        }
+        for i in (0..500u64).step_by(2) {
+            assert_eq!(t.remove(i * 3), Some(i * 3));
+        }
+        assert_eq!(t.len(), 250);
+        t.check_invariants();
+        for i in 0..500u64 {
+            let expect = i % 2 == 1;
+            assert_eq!(t.contains(i * 3), expect, "key {}", i * 3);
+        }
+    }
+
+    #[test]
+    fn insert_replaces_duplicates() {
+        let dev = Device::new(EmConfig::small());
+        let t: BTree<KvEntry> = BTree::new(&dev, "kv");
+        assert!(t.insert(KvEntry { key: 5, value: 1 }).is_none());
+        let old = t.insert(KvEntry { key: 5, value: 9 });
+        assert_eq!(old, Some(KvEntry { key: 5, value: 1 }));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5).unwrap().value, 9);
+    }
+
+    #[test]
+    fn rank_select_and_bounds() {
+        let (_dev, t) = small_tree();
+        let keys: Vec<u64> = (1..=1000).map(|i| i * 2).collect();
+        for &k in &keys {
+            t.insert(k);
+        }
+        assert_eq!(t.count_lt(2), 0);
+        assert_eq!(t.count_lt(3), 1);
+        assert_eq!(t.count_le(2000), 1000);
+        assert_eq!(t.count_ge(2000), 1);
+        assert_eq!(t.count_ge(1), 1000);
+        assert_eq!(t.count_range(10, 20), 6);
+        assert_eq!(t.select_asc(1), Some(2));
+        assert_eq!(t.select_asc(1000), Some(2000));
+        assert_eq!(t.select_desc(1), Some(2000));
+        assert_eq!(t.select_desc(1000), Some(2));
+        assert_eq!(t.select_asc(0), None);
+        assert_eq!(t.select_asc(1001), None);
+        assert_eq!(t.successor(3), Some(4));
+        assert_eq!(t.successor(4), Some(4));
+        assert_eq!(t.successor(2001), None);
+        assert_eq!(t.predecessor(3), Some(2));
+        assert_eq!(t.predecessor(1), None);
+        assert_eq!(t.min(), Some(2));
+        assert_eq!(t.max(), Some(2000));
+    }
+
+    #[test]
+    fn range_scan_matches_filter() {
+        let (_dev, t) = small_tree();
+        for i in 0..300u64 {
+            t.insert(i * 7 % 1000);
+        }
+        let got = t.collect_range(100, 400);
+        let mut expect: Vec<u64> = (0..300u64)
+            .map(|i| i * 7 % 1000)
+            .filter(|&k| (100..=400).contains(&k))
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn range_max_aux_finds_best() {
+        let dev = Device::new(EmConfig::new(32, 32 * 64));
+        let t: BTree<KvEntry> = BTree::new(&dev, "kv");
+        for i in 0..400u64 {
+            t.insert(KvEntry {
+                key: i,
+                value: (i * 31) % 997,
+            });
+        }
+        for (lo, hi) in [(0, 399), (10, 25), (100, 100), (250, 380), (395, 399)] {
+            let got = t.range_max_aux(lo, hi).unwrap();
+            let expect = (lo..=hi).map(|i| (i * 31) % 997).max().unwrap();
+            assert_eq!(got.value, expect, "range [{lo},{hi}]");
+        }
+        assert!(t.range_max_aux(500, 600).is_none());
+        assert!(t.range_max_aux(30, 10).is_none());
+    }
+
+    #[test]
+    fn bulk_load_then_query() {
+        let (_dev, t) = small_tree();
+        let entries: Vec<u64> = (0..2000).map(|i| i * 5).collect();
+        t.bulk_load(&entries);
+        assert_eq!(t.len(), 2000);
+        t.check_invariants();
+        assert_eq!(t.get(995 * 5), Some(995 * 5));
+        assert_eq!(t.select_desc(1), Some(1999 * 5));
+        // Rebuild with fewer entries frees the old pages.
+        let before = t.space_blocks();
+        t.bulk_load(&entries[..100]);
+        assert_eq!(t.len(), 100);
+        assert!(t.space_blocks() < before);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn logarithmic_io_for_point_lookup() {
+        // With a cold cache, a lookup should touch O(log_B n) blocks, far
+        // fewer than a scan.
+        let dev = Device::new(EmConfig::new(128, 4 * 128)); // tiny pool: 4 frames
+        let t: BTree<u64> = BTree::new(&dev, "t");
+        let n = 20_000u64;
+        let entries: Vec<u64> = (0..n).collect();
+        t.bulk_load(&entries);
+        dev.drop_cache();
+        let (_, d) = dev.measure(|| {
+            assert!(t.contains(n / 2));
+        });
+        assert!(
+            d.reads <= 6,
+            "point lookup should read a root-to-leaf path, got {} reads",
+            d.reads
+        );
+    }
+
+    #[test]
+    fn deleting_everything_leaves_empty_tree() {
+        let (_dev, t) = small_tree();
+        for i in 0..200u64 {
+            t.insert(i);
+        }
+        for i in 0..200u64 {
+            assert!(t.remove(i).is_some());
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.min(), None);
+        assert_eq!(t.collect_all(), Vec::<u64>::new());
+        t.check_invariants();
+        // Reuse after emptying works.
+        t.insert(7);
+        assert_eq!(t.collect_all(), vec![7]);
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let (_dev, t) = small_tree();
+        for i in 0..50u64 {
+            t.insert(i * 2);
+        }
+        assert_eq!(t.remove(1), None);
+        assert_eq!(t.remove(101), None);
+        assert_eq!(t.len(), 50);
+    }
+}

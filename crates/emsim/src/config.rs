@@ -1,0 +1,85 @@
+//! Configuration of the simulated external-memory machine.
+
+/// Parameters of the EM machine: block size `B` and memory size `M`, both in
+/// words.
+///
+/// The paper requires `M = Ω(B)`; [`EmConfig::new`] enforces `M ≥ 2B` (the
+/// minimum of the Aggarwal–Vitter model) and a block of at least 8 words so that
+/// even tiny test configurations can hold a handful of entries per page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmConfig {
+    /// Block size `B` in words.
+    pub block_words: usize,
+    /// Memory size `M` in words.
+    pub mem_words: usize,
+}
+
+impl EmConfig {
+    /// Minimum supported block size in words.
+    pub const MIN_BLOCK_WORDS: usize = 8;
+
+    /// Create a configuration with block size `block_words` and memory
+    /// `mem_words`, clamping to the model's minima (`B ≥ 8`, `M ≥ 2B`).
+    pub fn new(block_words: usize, mem_words: usize) -> Self {
+        let block_words = block_words.max(Self::MIN_BLOCK_WORDS);
+        let mem_words = mem_words.max(2 * block_words);
+        Self {
+            block_words,
+            mem_words,
+        }
+    }
+
+    /// A small configuration convenient for unit tests: `B = 64` words,
+    /// `M = 16` blocks.
+    pub fn small() -> Self {
+        Self::new(64, 16 * 64)
+    }
+
+    /// A configuration mimicking a 4 KiB page / 64 MiB buffer-pool machine with
+    /// 8-byte words: `B = 512` words, `M = 8 Mi` words.
+    pub fn default_disk() -> Self {
+        Self::new(512, 8 * 1024 * 1024)
+    }
+
+    /// Number of buffer-pool frames (`M / B`), at least 2.
+    pub fn frames(&self) -> usize {
+        (self.mem_words / self.block_words).max(2)
+    }
+
+    /// The paper's `lg_B n` for this block size.
+    pub fn log_b(&self, n: usize) -> f64 {
+        crate::log_b(self.block_words, n)
+    }
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self::default_disk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_to_model_minima() {
+        let c = EmConfig::new(1, 1);
+        assert_eq!(c.block_words, EmConfig::MIN_BLOCK_WORDS);
+        assert_eq!(c.mem_words, 2 * EmConfig::MIN_BLOCK_WORDS);
+        assert_eq!(c.frames(), 2);
+    }
+
+    #[test]
+    fn frames_is_m_over_b() {
+        let c = EmConfig::new(128, 128 * 37);
+        assert_eq!(c.frames(), 37);
+    }
+
+    #[test]
+    fn default_is_reasonable() {
+        let c = EmConfig::default();
+        assert_eq!(c.block_words, 512);
+        assert!(c.frames() > 1000);
+    }
+}

@@ -1,0 +1,263 @@
+//! The shared simulated machine: configuration, buffer pool and counters.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::config::EmConfig;
+use crate::file::BlockFile;
+use crate::page::Page;
+use crate::pool::Pool;
+use crate::stats::{IoDelta, IoSnapshot, IoStats};
+
+/// Identifier of a [`BlockFile`] on a device.
+pub type FileId = u32;
+
+/// Address of a page on the device: which file, which page within that file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageAddr {
+    /// File identifier.
+    pub file: FileId,
+    /// Page index within the file.
+    pub page: u32,
+}
+
+#[derive(Debug)]
+struct DeviceInner {
+    config: EmConfig,
+    stats: RefCell<IoStats>,
+    pool: RefCell<Pool>,
+    next_file: RefCell<FileId>,
+    /// Live page count per file, for space accounting.
+    live_pages: RefCell<Vec<u64>>,
+    file_names: RefCell<Vec<String>>,
+}
+
+/// A cheaply clonable handle to the simulated machine. All block files opened
+/// from the same device share its buffer pool and I/O counters, which models one
+/// machine running one data structure composed of many node files.
+#[derive(Debug, Clone)]
+pub struct Device {
+    inner: Rc<DeviceInner>,
+}
+
+impl Device {
+    /// Create a device with the given machine parameters.
+    pub fn new(config: EmConfig) -> Self {
+        Self {
+            inner: Rc::new(DeviceInner {
+                config,
+                stats: RefCell::new(IoStats::default()),
+                pool: RefCell::new(Pool::new(config.frames())),
+                next_file: RefCell::new(0),
+                live_pages: RefCell::new(Vec::new()),
+                file_names: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Create a device with the default disk-like configuration.
+    pub fn default_disk() -> Self {
+        Self::new(EmConfig::default())
+    }
+
+    /// The machine parameters.
+    pub fn config(&self) -> EmConfig {
+        self.inner.config
+    }
+
+    /// Block size `B` in words.
+    pub fn block_words(&self) -> usize {
+        self.inner.config.block_words
+    }
+
+    /// Open a new, empty block file for pages of type `P`. The `name` is only
+    /// used for diagnostics and space breakdowns.
+    pub fn open_file<P: Page>(&self, name: &str) -> BlockFile<P> {
+        let id = {
+            let mut next = self.inner.next_file.borrow_mut();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        self.inner.live_pages.borrow_mut().push(0);
+        self.inner.file_names.borrow_mut().push(name.to_string());
+        BlockFile::new(self.clone(), id)
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> IoStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// Take a snapshot to later measure the cost of an operation.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot(self.stats())
+    }
+
+    /// I/Os performed since `snap`.
+    pub fn since(&self, snap: &IoSnapshot) -> IoDelta {
+        snap.delta(&self.stats())
+    }
+
+    /// Run `f` and return its result together with the I/Os it performed.
+    pub fn measure<R>(&self, f: impl FnOnce() -> R) -> (R, IoDelta) {
+        let snap = self.snapshot();
+        let r = f();
+        (r, self.since(&snap))
+    }
+
+    /// Reset all counters to zero (the buffer-pool contents are kept).
+    pub fn reset_stats(&self) {
+        *self.inner.stats.borrow_mut() = IoStats::default();
+    }
+
+    /// Evict every page from the buffer pool, charging write-backs for dirty
+    /// pages. Used by experiments that want cold-cache query measurements.
+    pub fn drop_cache(&self) {
+        let writes = self.inner.pool.borrow_mut().clear();
+        self.inner.stats.borrow_mut().writes += writes;
+    }
+
+    /// Write back all dirty pages (counted) without evicting them.
+    pub fn flush(&self) {
+        let writes = self.inner.pool.borrow_mut().flush();
+        self.inner.stats.borrow_mut().writes += writes;
+    }
+
+    /// Total number of live pages across all files — the structure's space in
+    /// blocks, the paper's space measure.
+    pub fn space_blocks(&self) -> u64 {
+        self.inner.live_pages.borrow().iter().sum()
+    }
+
+    /// Per-file `(name, live pages)` breakdown.
+    pub fn space_breakdown(&self) -> Vec<(String, u64)> {
+        let names = self.inner.file_names.borrow();
+        let pages = self.inner.live_pages.borrow();
+        names.iter().cloned().zip(pages.iter().copied()).collect()
+    }
+
+    /// Number of buffer-pool frames (`M/B`).
+    pub fn frames(&self) -> usize {
+        self.inner.pool.borrow().capacity()
+    }
+
+    /// Number of pages currently resident in the pool.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.pool.borrow().resident()
+    }
+
+    // ----- internal hooks used by BlockFile -----
+
+    pub(crate) fn record_access(&self, addr: PageAddr, write: bool) {
+        let outcome = self.inner.pool.borrow_mut().access(addr, write);
+        let mut stats = self.inner.stats.borrow_mut();
+        stats.logical += 1;
+        if outcome.miss {
+            stats.reads += 1;
+        }
+        if outcome.wrote_back {
+            stats.writes += 1;
+        }
+    }
+
+    pub(crate) fn record_alloc(&self, file: FileId) {
+        self.inner.stats.borrow_mut().allocs += 1;
+        self.inner.live_pages.borrow_mut()[file as usize] += 1;
+    }
+
+    pub(crate) fn record_free(&self, addr: PageAddr) {
+        self.inner.pool.borrow_mut().discard(addr);
+        let mut stats = self.inner.stats.borrow_mut();
+        stats.frees += 1;
+        drop(stats);
+        let mut live = self.inner.live_pages.borrow_mut();
+        let slot = &mut live[addr.file as usize];
+        *slot = slot.saturating_sub(1);
+    }
+
+    pub(crate) fn record_capacity_violation(&self, words: usize) {
+        self.inner.stats.borrow_mut().capacity_violations += 1;
+        debug_assert!(
+            false,
+            "page of {} words exceeds block capacity of {} words",
+            words,
+            self.block_words()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct P(usize);
+    impl Page for P {
+        fn words(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn measure_reports_deltas() {
+        let dev = Device::new(EmConfig::small());
+        let file: BlockFile<P> = dev.open_file("t");
+        let id = file.alloc(P(4));
+        // Warm access.
+        file.with(id, |_| ());
+        let (_, d) = dev.measure(|| file.with(id, |_| ()));
+        assert_eq!(d.reads, 0, "second access hits the pool");
+        assert_eq!(d.logical, 1);
+    }
+
+    #[test]
+    fn space_accounting_tracks_alloc_and_free() {
+        let dev = Device::new(EmConfig::small());
+        let f1: BlockFile<P> = dev.open_file("a");
+        let f2: BlockFile<P> = dev.open_file("b");
+        let a = f1.alloc(P(1));
+        let _b = f1.alloc(P(1));
+        let _c = f2.alloc(P(1));
+        assert_eq!(dev.space_blocks(), 3);
+        f1.free(a);
+        assert_eq!(dev.space_blocks(), 2);
+        let breakdown = dev.space_breakdown();
+        assert_eq!(breakdown.len(), 2);
+        assert_eq!(breakdown[0], ("a".to_string(), 1));
+        assert_eq!(breakdown[1], ("b".to_string(), 1));
+    }
+
+    #[test]
+    fn small_pool_causes_misses_on_scan() {
+        // With only a handful of frames, repeatedly scanning more pages than
+        // fit must incur physical reads every round.
+        let cfg = EmConfig::new(64, 4 * 64); // 4 frames
+        let dev = Device::new(cfg);
+        let file: BlockFile<P> = dev.open_file("scan");
+        let ids: Vec<_> = (0..16).map(|_| file.alloc(P(8))).collect();
+        dev.reset_stats();
+        for _ in 0..3 {
+            for &id in &ids {
+                file.with(id, |_| ());
+            }
+        }
+        let s = dev.stats();
+        assert_eq!(s.logical, 48);
+        assert!(
+            s.reads >= 40,
+            "a 4-frame pool cannot cache a 16-page scan (reads={})",
+            s.reads
+        );
+    }
+
+    #[test]
+    fn drop_cache_forces_cold_reads() {
+        let dev = Device::new(EmConfig::small());
+        let file: BlockFile<P> = dev.open_file("t");
+        let id = file.alloc(P(1));
+        file.with(id, |_| ());
+        dev.drop_cache();
+        let (_, d) = dev.measure(|| file.with(id, |_| ()));
+        assert_eq!(d.reads, 1);
+    }
+}

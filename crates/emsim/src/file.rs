@@ -1,0 +1,272 @@
+//! Typed block files: collections of pages of one node type sharing the
+//! device's buffer pool and counters.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::device::{Device, FileId, PageAddr};
+use crate::page::Page;
+
+/// Identifier of a page within a [`BlockFile`]. Page ids are stable for the
+/// lifetime of the page (until [`BlockFile::free`]) and may be stored inside
+/// other pages as "child pointers".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// A sentinel id that is never allocated; useful for "null pointer" slots
+    /// inside fixed-layout pages.
+    pub const NULL: PageId = PageId(u32::MAX);
+
+    /// Whether this id is the null sentinel.
+    pub fn is_null(&self) -> bool {
+        *self == Self::NULL
+    }
+}
+
+type Slot<P> = Rc<RefCell<Option<P>>>;
+
+/// A file of pages of type `P` on a [`Device`].
+///
+/// Every [`with`](BlockFile::with) / [`with_mut`](BlockFile::with_mut) call is a
+/// logical page access charged through the device's buffer pool. Accessing a
+/// page therefore costs one read I/O the first time (and after eviction), and is
+/// free while the page stays resident — exactly the EM model.
+#[derive(Debug)]
+pub struct BlockFile<P> {
+    device: Device,
+    file_id: FileId,
+    slots: RefCell<Vec<Slot<P>>>,
+    free_list: RefCell<Vec<u32>>,
+    _marker: PhantomData<P>,
+}
+
+impl<P: Page> BlockFile<P> {
+    pub(crate) fn new(device: Device, file_id: FileId) -> Self {
+        Self {
+            device,
+            file_id,
+            slots: RefCell::new(Vec::new()),
+            free_list: RefCell::new(Vec::new()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The file's identifier on its device.
+    pub fn file_id(&self) -> FileId {
+        self.file_id
+    }
+
+    /// The device this file lives on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    fn addr(&self, id: PageId) -> PageAddr {
+        PageAddr {
+            file: self.file_id,
+            page: id.0,
+        }
+    }
+
+    fn slot(&self, id: PageId) -> Slot<P> {
+        let slots = self.slots.borrow();
+        let slot = slots
+            .get(id.0 as usize)
+            .unwrap_or_else(|| panic!("page {:?} out of range in file {}", id, self.file_id))
+            .clone();
+        slot
+    }
+
+    fn check_capacity(&self, page: &P) {
+        let words = page.words();
+        if words > self.device.block_words() {
+            self.device.record_capacity_violation(words);
+        }
+    }
+
+    /// Allocate a new page holding `page`, charging one write access.
+    pub fn alloc(&self, page: P) -> PageId {
+        self.check_capacity(&page);
+        let id = if let Some(recycled) = self.free_list.borrow_mut().pop() {
+            let slots = self.slots.borrow();
+            *slots[recycled as usize].borrow_mut() = Some(page);
+            PageId(recycled)
+        } else {
+            let mut slots = self.slots.borrow_mut();
+            let idx = slots.len() as u32;
+            slots.push(Rc::new(RefCell::new(Some(page))));
+            PageId(idx)
+        };
+        self.device.record_alloc(self.file_id);
+        self.device.record_access(self.addr(id), true);
+        id
+    }
+
+    /// Free a page. Its id may later be recycled by `alloc`.
+    pub fn free(&self, id: PageId) {
+        let slot = self.slot(id);
+        let was = slot.borrow_mut().take();
+        assert!(was.is_some(), "double free of page {:?}", id);
+        self.free_list.borrow_mut().push(id.0);
+        self.device.record_free(self.addr(id));
+    }
+
+    /// Whether `id` refers to a live page.
+    pub fn is_live(&self, id: PageId) -> bool {
+        if id.is_null() {
+            return false;
+        }
+        let slots = self.slots.borrow();
+        slots
+            .get(id.0 as usize)
+            .map(|s| s.borrow().is_some())
+            .unwrap_or(false)
+    }
+
+    /// Read access to a page: charges one logical access (a physical read if
+    /// the page is not resident).
+    pub fn with<R>(&self, id: PageId, f: impl FnOnce(&P) -> R) -> R {
+        self.device.record_access(self.addr(id), false);
+        let slot = self.slot(id);
+        let guard = slot.borrow();
+        let page = guard
+            .as_ref()
+            .unwrap_or_else(|| panic!("access to freed page {:?} in file {}", id, self.file_id));
+        f(page)
+    }
+
+    /// Write access to a page: charges one logical access and marks the page
+    /// dirty (a physical write happens when it is evicted or flushed).
+    pub fn with_mut<R>(&self, id: PageId, f: impl FnOnce(&mut P) -> R) -> R {
+        self.device.record_access(self.addr(id), true);
+        let slot = self.slot(id);
+        let mut guard = slot.borrow_mut();
+        let page = guard
+            .as_mut()
+            .unwrap_or_else(|| panic!("access to freed page {:?} in file {}", id, self.file_id));
+        let r = f(page);
+        let words = page.words();
+        if words > self.device.block_words() {
+            drop(guard);
+            self.device.record_capacity_violation(words);
+        }
+        r
+    }
+
+    /// Convenience: clone the page contents out (still one read access).
+    pub fn get(&self, id: PageId) -> P
+    where
+        P: Clone,
+    {
+        self.with(id, |p| p.clone())
+    }
+
+    /// Replace the contents of a page (one write access).
+    pub fn put(&self, id: PageId, page: P) {
+        self.check_capacity(&page);
+        self.with_mut(id, |slot| *slot = page);
+    }
+
+    /// Number of live pages in this file.
+    pub fn live_pages(&self) -> usize {
+        let slots = self.slots.borrow();
+        slots.iter().filter(|s| s.borrow().is_some()).count()
+    }
+
+    /// Ids of all live pages (mainly for debugging and invariant checks).
+    pub fn live_ids(&self) -> Vec<PageId> {
+        let slots = self.slots.borrow();
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.borrow().is_some())
+            .map(|(i, _)| PageId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmConfig;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Node {
+        vals: Vec<u64>,
+    }
+    impl Page for Node {
+        fn words(&self) -> usize {
+            1 + self.vals.len()
+        }
+    }
+
+    fn device() -> Device {
+        Device::new(EmConfig::small())
+    }
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let dev = device();
+        let f: BlockFile<Node> = dev.open_file("nodes");
+        let id = f.alloc(Node { vals: vec![1, 2] });
+        f.with_mut(id, |n| n.vals.push(3));
+        assert_eq!(f.get(id).vals, vec![1, 2, 3]);
+        assert_eq!(f.live_pages(), 1);
+    }
+
+    #[test]
+    fn free_then_realloc_recycles_ids() {
+        let dev = device();
+        let f: BlockFile<Node> = dev.open_file("nodes");
+        let a = f.alloc(Node { vals: vec![] });
+        let b = f.alloc(Node { vals: vec![] });
+        f.free(a);
+        assert!(!f.is_live(a));
+        assert!(f.is_live(b));
+        let c = f.alloc(Node { vals: vec![9] });
+        assert_eq!(c, a, "freed id is recycled");
+        assert_eq!(f.get(c).vals, vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "access to freed page")]
+    fn access_after_free_panics() {
+        let dev = device();
+        let f: BlockFile<Node> = dev.open_file("nodes");
+        let a = f.alloc(Node { vals: vec![] });
+        f.free(a);
+        f.with(a, |_| ());
+    }
+
+    #[test]
+    fn null_page_id_is_never_live() {
+        let dev = device();
+        let f: BlockFile<Node> = dev.open_file("nodes");
+        assert!(!f.is_live(PageId::NULL));
+        assert!(PageId::NULL.is_null());
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn oversized_page_counts_violation() {
+        let dev = device();
+        let f: BlockFile<Node> = dev.open_file("nodes");
+        let huge = Node {
+            vals: vec![0; 1000],
+        };
+        let _ = f.alloc(huge);
+        assert!(dev.stats().capacity_violations > 0);
+    }
+
+    #[test]
+    fn live_ids_reports_current_pages() {
+        let dev = device();
+        let f: BlockFile<Node> = dev.open_file("nodes");
+        let a = f.alloc(Node { vals: vec![] });
+        let b = f.alloc(Node { vals: vec![] });
+        f.free(a);
+        assert_eq!(f.live_ids(), vec![b]);
+    }
+}

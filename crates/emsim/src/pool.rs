@@ -1,0 +1,213 @@
+//! LRU buffer pool over page addresses.
+//!
+//! The pool does not hold page *contents* (those stay in their typed
+//! [`BlockFile`](crate::BlockFile)); it only decides, for every access, whether
+//! the page is resident in the simulated memory of `M/B` frames, and which page
+//! to evict when it is not. This is sufficient — and exactly faithful — for the
+//! EM cost model, where the only observable is the number of block transfers.
+
+use std::collections::HashMap;
+
+use crate::device::PageAddr;
+
+/// Outcome of an access, used by the device to update [`IoStats`](crate::IoStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AccessOutcome {
+    /// The access missed the pool and required a physical read.
+    pub miss: bool,
+    /// A dirty frame had to be written back to make room.
+    pub wrote_back: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    addr: PageAddr,
+    dirty: bool,
+    /// Last-use stamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// A simple exact-LRU pool. CPU cost is irrelevant in the EM model, so the
+/// implementation favours clarity: a `HashMap` from address to frame slot plus a
+/// linear scan for the eviction victim (bounded by the number of frames).
+#[derive(Debug)]
+pub(crate) struct Pool {
+    capacity: usize,
+    clock: u64,
+    frames: Vec<Frame>,
+    index: HashMap<PageAddr, usize>,
+}
+
+impl Pool {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            clock: 0,
+            frames: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Touch `addr`, marking it dirty if `write`. Returns whether a physical
+    /// read (miss) and/or a physical write-back happened.
+    pub(crate) fn access(&mut self, addr: PageAddr, write: bool) -> AccessOutcome {
+        let stamp = self.tick();
+        if let Some(&slot) = self.index.get(&addr) {
+            let f = &mut self.frames[slot];
+            f.stamp = stamp;
+            f.dirty |= write;
+            return AccessOutcome {
+                miss: false,
+                wrote_back: false,
+            };
+        }
+
+        let mut wrote_back = false;
+        if self.frames.len() >= self.capacity {
+            // Evict the least recently used frame.
+            let victim = self
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.stamp)
+                .map(|(i, _)| i)
+                .expect("pool is non-empty");
+            let evicted = self.frames.swap_remove(victim);
+            self.index.remove(&evicted.addr);
+            // `swap_remove` moved the last frame into `victim`; fix its index.
+            if victim < self.frames.len() {
+                let moved = self.frames[victim].addr;
+                self.index.insert(moved, victim);
+            }
+            wrote_back = evicted.dirty;
+        }
+
+        let slot = self.frames.len();
+        self.frames.push(Frame {
+            addr,
+            dirty: write,
+            stamp,
+        });
+        self.index.insert(addr, slot);
+        AccessOutcome {
+            miss: true,
+            wrote_back,
+        }
+    }
+
+    /// Drop `addr` from the pool without writing it back (used when a page is
+    /// freed; its contents no longer matter).
+    pub(crate) fn discard(&mut self, addr: PageAddr) {
+        if let Some(slot) = self.index.remove(&addr) {
+            self.frames.swap_remove(slot);
+            if slot < self.frames.len() {
+                let moved = self.frames[slot].addr;
+                self.index.insert(moved, slot);
+            }
+        }
+    }
+
+    /// Write back every dirty frame, returning how many writes that took. The
+    /// frames stay resident (clean).
+    pub(crate) fn flush(&mut self) -> u64 {
+        let mut writes = 0;
+        for f in &mut self.frames {
+            if f.dirty {
+                f.dirty = false;
+                writes += 1;
+            }
+        }
+        writes
+    }
+
+    /// Evict everything (e.g. when an experiment wants a cold cache). Dirty
+    /// frames are written back and counted.
+    pub(crate) fn clear(&mut self) -> u64 {
+        let writes = self.frames.iter().filter(|f| f.dirty).count() as u64;
+        self.frames.clear();
+        self.index.clear();
+        writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(file: u32, page: u32) -> PageAddr {
+        PageAddr { file, page }
+    }
+
+    #[test]
+    fn hits_after_first_access() {
+        let mut p = Pool::new(4);
+        assert!(p.access(addr(0, 1), false).miss);
+        assert!(!p.access(addr(0, 1), false).miss);
+        assert!(!p.access(addr(0, 1), true).miss);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut p = Pool::new(2);
+        p.access(addr(0, 1), false);
+        p.access(addr(0, 2), false);
+        // Touch page 1 so page 2 becomes LRU.
+        p.access(addr(0, 1), false);
+        p.access(addr(0, 3), false); // evicts page 2
+        assert!(!p.access(addr(0, 1), false).miss, "page 1 should be resident");
+        assert!(p.access(addr(0, 2), false).miss, "page 2 should have been evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut p = Pool::new(1);
+        p.access(addr(0, 1), true);
+        let out = p.access(addr(0, 2), false);
+        assert!(out.miss);
+        assert!(out.wrote_back, "dirty page 1 must be written back");
+        let out = p.access(addr(0, 3), false);
+        assert!(out.miss);
+        assert!(!out.wrote_back, "clean page 2 needs no write-back");
+    }
+
+    #[test]
+    fn flush_counts_dirty_frames_once() {
+        let mut p = Pool::new(8);
+        p.access(addr(0, 1), true);
+        p.access(addr(0, 2), true);
+        p.access(addr(0, 3), false);
+        assert_eq!(p.flush(), 2);
+        assert_eq!(p.flush(), 0, "frames are clean after a flush");
+    }
+
+    #[test]
+    fn discard_forgets_without_write() {
+        let mut p = Pool::new(2);
+        p.access(addr(0, 1), true);
+        p.discard(addr(0, 1));
+        assert_eq!(p.resident(), 0);
+        assert_eq!(p.flush(), 0);
+    }
+
+    #[test]
+    fn clear_reports_dirty_count() {
+        let mut p = Pool::new(4);
+        p.access(addr(0, 1), true);
+        p.access(addr(0, 2), false);
+        assert_eq!(p.clear(), 1);
+        assert_eq!(p.resident(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! I/O accounting.
+
+use std::fmt;
+
+/// Running I/O counters of a [`Device`](crate::Device).
+///
+/// `reads` and `writes` are *physical* block transfers (buffer-pool misses and
+/// dirty evictions / flushes). `logical` counts every page access regardless of
+/// whether it hit the pool; it is useful to sanity-check that the pool is in fact
+/// absorbing repeated accesses.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Physical block reads (pool misses).
+    pub reads: u64,
+    /// Physical block writes (dirty evictions and explicit flushes).
+    pub writes: u64,
+    /// Logical page accesses (hits + misses).
+    pub logical: u64,
+    /// Pages allocated over the device lifetime.
+    pub allocs: u64,
+    /// Pages freed over the device lifetime.
+    pub frees: u64,
+    /// Number of times a page exceeded the block capacity `B` when written.
+    /// Any non-zero value indicates a layout bug in a data structure.
+    pub capacity_violations: u64,
+}
+
+impl IoStats {
+    /// Total physical I/Os (`reads + writes`).
+    pub fn total_ios(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of logical accesses served from the buffer pool, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.logical == 0 {
+            return 1.0;
+        }
+        1.0 - (self.reads as f64 / self.logical as f64)
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} total={} logical={} hit_rate={:.3}",
+            self.reads,
+            self.writes,
+            self.total_ios(),
+            self.logical,
+            self.hit_rate()
+        )
+    }
+}
+
+/// A point-in-time copy of the counters, used to measure a single operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoSnapshot(pub IoStats);
+
+/// The difference between two snapshots: the I/O cost of the work done in
+/// between.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoDelta {
+    /// Physical reads performed.
+    pub reads: u64,
+    /// Physical writes performed.
+    pub writes: u64,
+    /// Logical accesses performed.
+    pub logical: u64,
+}
+
+impl IoDelta {
+    /// Total physical I/Os in the interval.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Element-wise sum, useful when aggregating per-operation costs.
+    pub fn add(&self, other: &IoDelta) -> IoDelta {
+        IoDelta {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            logical: self.logical + other.logical,
+        }
+    }
+}
+
+impl IoSnapshot {
+    /// I/Os performed since this snapshot was taken, given the current stats.
+    pub fn delta(&self, now: &IoStats) -> IoDelta {
+        IoDelta {
+            reads: now.reads.saturating_sub(self.0.reads),
+            writes: now.writes.saturating_sub(self.0.writes),
+            logical: now.logical.saturating_sub(self.0.logical),
+        }
+    }
+}
+
+impl fmt::Display for IoDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} total={}",
+            self.reads,
+            self.writes,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts() {
+        let before = IoSnapshot(IoStats {
+            reads: 10,
+            writes: 5,
+            logical: 100,
+            ..Default::default()
+        });
+        let now = IoStats {
+            reads: 14,
+            writes: 6,
+            logical: 120,
+            ..Default::default()
+        };
+        let d = before.delta(&now);
+        assert_eq!(d.reads, 4);
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.logical, 20);
+        assert_eq!(d.total(), 5);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut s = IoStats::default();
+        assert_eq!(s.hit_rate(), 1.0);
+        s.logical = 10;
+        s.reads = 10;
+        assert_eq!(s.hit_rate(), 0.0);
+        s.reads = 5;
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_add() {
+        let a = IoDelta {
+            reads: 1,
+            writes: 2,
+            logical: 3,
+        };
+        let b = IoDelta {
+            reads: 10,
+            writes: 20,
+            logical: 30,
+        };
+        let c = a.add(&b);
+        assert_eq!(c.reads, 11);
+        assert_eq!(c.writes, 22);
+        assert_eq!(c.logical, 33);
+    }
+}

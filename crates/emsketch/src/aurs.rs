@@ -1,0 +1,309 @@
+//! Approximate union-rank selection (AURS, Lemma 5 and the appendix of the
+//! paper).
+//!
+//! Given `m` disjoint sets `L_1, …, L_m` that can only be accessed through a
+//! `Max` operator and an approximate `Rank` operator (returning an element
+//! whose local rank lies in `[ρ, c1·ρ)`), and a rank `k`, return an element of
+//! the union whose union-rank lies in `[k, c'·k]` for a constant `c'` that
+//! depends only on `c1`, using `O(m · (cost_max + cost_rank))` I/Os.
+//!
+//! In §3.3 each `L_i` is the point set of one canonical multi-slab and the two
+//! operators are implemented by the node's [`GroupSelect`](crate::GroupSelect)
+//! structure and range-maximum B-tree; the I/O charging therefore happens
+//! inside the [`RankedSet`] implementation.
+
+/// A set of distinct scores accessible through the two operators the AURS
+/// algorithm is allowed to use.
+pub trait RankedSet {
+    /// The largest element (`Max` operator), or `None` when the set is empty.
+    fn max(&self) -> Option<u64>;
+
+    /// The `Rank` operator: an element whose rank in this set lies in
+    /// `[rho, c1·rho)` for the structure's constant `c1`. Implementations
+    /// should clamp `rho` to the set size (returning the minimum element) so
+    /// the algorithm degrades gracefully when the paper's precondition
+    /// `k ≤ min_i |L_i| / c1` does not hold exactly.
+    fn approx_rank(&self, rho: u64) -> Option<u64>;
+}
+
+/// A pivot collected by the algorithm: its value and the weight of the round
+/// it was fetched in.
+#[derive(Debug, Clone, Copy)]
+struct WeightedPivot {
+    value: u64,
+    weight: u64,
+}
+
+/// Run AURS over `sets` with rank parameter `k` and rank-operator slack `c1`
+/// (`c1 ≥ 2`). Returns `None` only if every set is empty.
+pub fn aurs(sets: &[&dyn RankedSet], k: u64, c1: u64) -> Option<u64> {
+    let c = c1.max(2);
+    let k = k.max(1);
+    // Fetch the maxima once; empty sets drop out immediately.
+    let maxima: Vec<(usize, u64)> = sets
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.max().map(|v| (i, v)))
+        .collect();
+    if maxima.is_empty() {
+        return None;
+    }
+    let m = maxima.len() as u64;
+
+    if k < m {
+        // Case k < m: keep only the k sets with the largest maxima; the k-th
+        // largest maximum v' is itself a candidate answer.
+        let mut sorted = maxima.clone();
+        sorted.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        let v_prime = sorted[(k - 1) as usize].1;
+        let active: Vec<usize> = sorted[..k as usize].iter().map(|&(i, _)| i).collect();
+        let v = rounds(sets, &active, k, c);
+        return Some(match v {
+            Some(v) => v.max(v_prime),
+            None => v_prime,
+        });
+    }
+
+    let active: Vec<usize> = maxima.iter().map(|&(i, _)| i).collect();
+    match rounds(sets, &active, k, c) {
+        Some(v) => Some(v),
+        // Degenerate fallback (k larger than the union): smallest maximum.
+        None => maxima.iter().map(|&(_, v)| v).min(),
+    }
+}
+
+/// The main round-based algorithm for the case `k ≥ m` (appendix of the
+/// paper), run over the given active set indices.
+fn rounds(sets: &[&dyn RankedSet], initial_active: &[usize], k: u64, c: u64) -> Option<u64> {
+    let m = initial_active.len() as u64;
+    if m == 0 {
+        return None;
+    }
+    let total_rounds = {
+        // ⌈log_c m⌉, at least 1.
+        let mut r = 1u32;
+        let mut cover = c;
+        while cover < m {
+            cover = cover.saturating_mul(c);
+            r += 1;
+        }
+        r
+    };
+
+    let mut active: Vec<usize> = initial_active.to_vec();
+    let mut pivots: Vec<WeightedPivot> = Vec::new();
+    let mut prev_cum_weight = 0u64;
+
+    for j in 1..=total_rounds {
+        if active.is_empty() {
+            break;
+        }
+        let c_pow_j = c.saturating_pow(j);
+        // ρ = c^j · k / m, at least 1.
+        let rho = ((c_pow_j.saturating_mul(k)) + m - 1) / m;
+        let rho = rho.max(1);
+        let cum_weight = ((c_pow_j.saturating_mul(k)) + m - 1) / m; // ⌈c^j k / m⌉
+        let weight = cum_weight.saturating_sub(prev_cum_weight).max(1);
+        prev_cum_weight = cum_weight;
+
+        // Fetch one marker per active set.
+        let mut markers: Vec<(usize, u64)> = Vec::with_capacity(active.len());
+        for &i in &active {
+            if let Some(v) = sets[i].approx_rank(rho) {
+                markers.push((i, v));
+            }
+        }
+        if markers.is_empty() {
+            break;
+        }
+        // The ⌈m / c^j⌉ largest markers become pivots; their sets stay active.
+        let keep = (((m + c_pow_j - 1) / c_pow_j) as usize).max(1);
+        markers.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        let kept = &markers[..keep.min(markers.len())];
+        for &(_, v) in kept {
+            pivots.push(WeightedPivot { value: v, weight });
+        }
+        active = kept.iter().map(|&(i, _)| i).collect();
+    }
+
+    // Weighted selection: the largest pivot whose prefix weight reaches k.
+    pivots.sort_unstable_by(|a, b| b.value.cmp(&a.value));
+    let mut acc = 0u64;
+    for p in &pivots {
+        acc += p.weight;
+        if acc >= k {
+            return Some(p.value);
+        }
+    }
+    pivots.last().map(|p| p.value)
+}
+
+/// A [`RankedSet`] over an in-memory sorted vector, with a configurable rank
+/// slack; used by tests and by the RAM-model baseline.
+#[derive(Debug, Clone)]
+pub struct VecRankedSet {
+    /// Scores in descending order.
+    desc: Vec<u64>,
+    /// Simulated slack: the rank operator returns the element of rank
+    /// `min(|L|, rho + (slack_num·rho)/slack_den)` — within `[ρ, c1·ρ)` as long
+    /// as `1 + slack_num/slack_den < c1`.
+    slack_num: u64,
+    slack_den: u64,
+}
+
+impl VecRankedSet {
+    /// Build from scores in any order.
+    pub fn new(mut scores: Vec<u64>) -> Self {
+        scores.sort_unstable_by(|a, b| b.cmp(a));
+        Self {
+            desc: scores,
+            slack_num: 0,
+            slack_den: 1,
+        }
+    }
+
+    /// Use an approximate rank operator that overshoots the requested rank by
+    /// a factor `1 + num/den`.
+    pub fn with_slack(mut self, num: u64, den: u64) -> Self {
+        self.slack_num = num;
+        self.slack_den = den.max(1);
+        self
+    }
+
+    /// The underlying scores, descending.
+    pub fn scores_desc(&self) -> &[u64] {
+        &self.desc
+    }
+}
+
+impl RankedSet for VecRankedSet {
+    fn max(&self) -> Option<u64> {
+        self.desc.first().copied()
+    }
+
+    fn approx_rank(&self, rho: u64) -> Option<u64> {
+        if self.desc.is_empty() {
+            return None;
+        }
+        let target = rho + (self.slack_num * rho) / self.slack_den;
+        let idx = (target.max(1) as usize - 1).min(self.desc.len() - 1);
+        Some(self.desc[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Accept anything within this factor of k (the paper's c' for c1 = 2 is
+    /// c1²·(2 + 2c1) = 24; keep a little slack for the ceilings we use).
+    const ACCEPT_FACTOR: u64 = 32;
+
+    fn union_rank(sets: &[VecRankedSet], x: u64) -> u64 {
+        sets.iter()
+            .flat_map(|s| s.scores_desc())
+            .filter(|&&v| v >= x)
+            .count() as u64
+    }
+
+    fn union_len(sets: &[VecRankedSet]) -> u64 {
+        sets.iter().map(|s| s.scores_desc().len() as u64).sum()
+    }
+
+    /// Build sets whose sizes respect the paper's precondition (2):
+    /// `k ≤ min_i |L_i| / c1`, i.e. every set has at least `min_size` elements.
+    fn build_sets(seed: u64, m: usize, min_size: usize, max_size: usize) -> Vec<VecRankedSet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut next = 1u64;
+        (0..m)
+            .map(|_| {
+                let size = rng.gen_range(min_size..=max_size);
+                let scores: Vec<u64> = (0..size)
+                    .map(|_| {
+                        let v = next * 3;
+                        next += 1;
+                        v
+                    })
+                    .collect();
+                VecRankedSet::new(scores)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rank_is_at_least_k_and_bounded() {
+        for seed in 0..8u64 {
+            let sets = build_sets(seed, 7, 800, 1200);
+            let views: Vec<&dyn RankedSet> = sets.iter().map(|s| s as &dyn RankedSet).collect();
+            for k in [1u64, 2, 3, 10, 40, 100, 400] {
+                let v = aurs(&views, k, 2).expect("non-empty union");
+                let r = union_rank(&sets, v);
+                assert!(r >= k, "seed {seed} k {k}: rank {r} < k");
+                assert!(
+                    r <= ACCEPT_FACTOR * k,
+                    "seed {seed} k {k}: rank {r} > {ACCEPT_FACTOR}·k"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn works_when_k_smaller_than_set_count() {
+        let sets = build_sets(5, 20, 20, 50);
+        let views: Vec<&dyn RankedSet> = sets.iter().map(|s| s as &dyn RankedSet).collect();
+        for k in 1..10u64 {
+            let v = aurs(&views, k, 2).unwrap();
+            let r = union_rank(&sets, v);
+            assert!(r >= k && r <= ACCEPT_FACTOR * k, "k={k} rank={r}");
+        }
+    }
+
+    #[test]
+    fn tolerates_approximate_rank_operator() {
+        let base = build_sets(11, 6, 260, 300);
+        let sets: Vec<VecRankedSet> = base.into_iter().map(|s| s.with_slack(4, 5)).collect();
+        let views: Vec<&dyn RankedSet> = sets.iter().map(|s| s as &dyn RankedSet).collect();
+        for k in [1u64, 5, 25, 125] {
+            let v = aurs(&views, k, 2).unwrap();
+            let r = union_rank(&sets, v);
+            assert!(r >= k && r <= ACCEPT_FACTOR * k, "k={k} rank={r}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let views: Vec<&dyn RankedSet> = Vec::new();
+        assert_eq!(aurs(&views, 3, 2), None);
+
+        let one = VecRankedSet::new(vec![42]);
+        let views: Vec<&dyn RankedSet> = vec![&one];
+        let v = aurs(&views, 1, 2).unwrap();
+        assert_eq!(v, 42);
+
+        let empty = VecRankedSet::new(vec![]);
+        let views: Vec<&dyn RankedSet> = vec![&empty];
+        assert_eq!(aurs(&views, 1, 2), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn random_instances_stay_within_factor(seed in 0u64..10_000, m in 1usize..10, k in 1u64..200) {
+            // Respect precondition (2): every set at least 2k elements.
+            let sets = build_sets(seed, m, 2 * k as usize, 2 * k as usize + 150);
+            let total = union_len(&sets);
+            if k > total {
+                return Ok(());
+            }
+            let views: Vec<&dyn RankedSet> = sets.iter().map(|s| s as &dyn RankedSet).collect();
+            let v = aurs(&views, k, 2).unwrap();
+            let r = union_rank(&sets, v);
+            prop_assert!(r >= k);
+            prop_assert!(r <= ACCEPT_FACTOR * k);
+        }
+    }
+}

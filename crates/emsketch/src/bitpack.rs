@@ -1,0 +1,173 @@
+//! Bit-level packing used by the compressed sketch and prefix sets.
+//!
+//! §4.1 and §4.4 of the paper pack pivot and prefix descriptors into single
+//! blocks by spending only `lg(f·l)` bits on a global rank and `lg l` bits on
+//! a local rank. This module provides the writer/reader pair those encodings
+//! use; everything is plain CPU work (free in the EM model), but doing the
+//! packing for real lets the simulator verify that the compressed structures
+//! genuinely fit in one block.
+
+/// Number of bits needed to express values in `0..=max_value`.
+pub fn bits_for(max_value: u64) -> usize {
+    if max_value == 0 {
+        1
+    } else {
+        (64 - max_value.leading_zeros()) as usize
+    }
+}
+
+/// An append-only bit writer producing a `Vec<u64>` of words.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the lowest `bits` bits of `value` (`bits ≤ 64`). `value` must
+    /// fit in `bits` bits.
+    pub fn write(&mut self, value: u64, bits: usize) {
+        debug_assert!(bits <= 64);
+        debug_assert!(bits == 64 || value < (1u64 << bits), "value {value} does not fit in {bits} bits");
+        if bits == 0 {
+            return;
+        }
+        let word_idx = self.bits / 64;
+        let offset = self.bits % 64;
+        if word_idx == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word_idx] |= value << offset;
+        let spill = offset + bits;
+        if spill > 64 {
+            let high = value >> (64 - offset);
+            self.words.push(high);
+        }
+        self.bits += bits;
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bits
+    }
+
+    /// Finish and return the packed words.
+    pub fn finish(self) -> Vec<u64> {
+        self.words
+    }
+}
+
+/// A sequential reader over packed words produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Start reading from the beginning of `words`.
+    pub fn new(words: &'a [u64]) -> Self {
+        Self { words, pos: 0 }
+    }
+
+    /// Read the next `bits` bits as an unsigned value.
+    pub fn read(&mut self, bits: usize) -> u64 {
+        debug_assert!(bits <= 64);
+        if bits == 0 {
+            return 0;
+        }
+        let word_idx = self.pos / 64;
+        let offset = self.pos % 64;
+        let mut value = self.words[word_idx] >> offset;
+        if offset + bits > 64 {
+            value |= self.words[word_idx + 1] << (64 - offset);
+        }
+        self.pos += bits;
+        if bits < 64 {
+            value & ((1u64 << bits) - 1)
+        } else {
+            value
+        }
+    }
+
+    /// Current read position in bits.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bits_for_covers_edges() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let items: Vec<(u64, usize)> = vec![
+            (5, 3),
+            (0, 1),
+            (1023, 10),
+            (1, 1),
+            (u64::MAX, 64),
+            (77, 7),
+            (0, 5),
+            ((1 << 33) - 1, 33),
+        ];
+        for &(v, b) in &items {
+            w.write(v, b);
+        }
+        let total_bits: usize = items.iter().map(|(_, b)| *b).sum();
+        assert_eq!(w.bit_len(), total_bits);
+        let words = w.finish();
+        let mut r = BitReader::new(&words);
+        for &(v, b) in &items {
+            assert_eq!(r.read(b), v, "width {b}");
+        }
+        assert_eq!(r.position(), total_bits);
+    }
+
+    #[test]
+    fn packing_is_dense() {
+        let mut w = BitWriter::new();
+        for i in 0..100u64 {
+            w.write(i % 8, 3);
+        }
+        let words = w.finish();
+        assert_eq!(words.len(), (100 * 3 + 63) / 64);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(values in proptest::collection::vec((0u64..u64::MAX, 1usize..64), 0..200)) {
+            let items: Vec<(u64, usize)> = values
+                .into_iter()
+                .map(|(v, b)| (if b == 64 { v } else { v & ((1u64 << b) - 1) }, b))
+                .collect();
+            let mut w = BitWriter::new();
+            for &(v, b) in &items {
+                w.write(v, b);
+            }
+            let words = w.finish();
+            let mut r = BitReader::new(&words);
+            for &(v, b) in &items {
+                prop_assert_eq!(r.read(b), v);
+            }
+        }
+    }
+}

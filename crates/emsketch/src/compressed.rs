@@ -1,0 +1,301 @@
+//! The compressed sketch set of §4.1: one block describing the sketches of all
+//! `f` groups, each pivot stored as a (global rank, local rank) pair.
+
+use crate::bitpack::{bits_for, BitReader, BitWriter};
+
+/// One pivot of a compressed sketch: the pivot element is identified by its
+/// global rank in `G = G_1 ∪ … ∪ G_f` and its local rank in its own `G_i`
+/// (both 1-based, paper convention: rank 1 is the largest element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PivotEntry {
+    /// Rank of the pivot in the union `G`.
+    pub global_rank: u64,
+    /// Rank of the pivot within its own group `G_i`.
+    pub local_rank: u64,
+}
+
+/// Bit widths used to pack a sketch set for a given `(f, l)` configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchSetCodec {
+    /// Number of groups `f`.
+    pub f: usize,
+    /// Maximum group size `l` (so global ranks fit in `lg(f·l)` bits).
+    pub l_cap: usize,
+    /// Bits per global rank.
+    pub global_bits: usize,
+    /// Bits per local rank.
+    pub local_bits: usize,
+    /// Bits per per-group pivot count.
+    pub count_bits: usize,
+}
+
+impl SketchSetCodec {
+    /// Codec for `f` groups of at most `l_cap` elements each.
+    pub fn new(f: usize, l_cap: usize) -> Self {
+        let global_max = (f as u64) * (l_cap as u64);
+        let local_max = l_cap as u64;
+        let max_pivots = crate::Sketch::pivot_count(l_cap) as u64;
+        Self {
+            f,
+            l_cap,
+            global_bits: bits_for(global_max),
+            local_bits: bits_for(local_max),
+            count_bits: bits_for(max_pivots.max(1)),
+        }
+    }
+
+    /// Worst-case number of 64-bit words a packed sketch set occupies.
+    pub fn max_words(&self) -> usize {
+        let max_pivots = crate::Sketch::pivot_count(self.l_cap);
+        let bits =
+            self.f * (self.count_bits + max_pivots * (self.global_bits + self.local_bits));
+        (bits + 63) / 64
+    }
+}
+
+/// The decoded (in-memory) form of a compressed sketch set: one pivot vector
+/// per group, ordered by pivot index `j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedSketchSet {
+    groups: Vec<Vec<PivotEntry>>,
+}
+
+impl CompressedSketchSet {
+    /// An empty sketch set for `f` groups.
+    pub fn empty(f: usize) -> Self {
+        Self {
+            groups: vec![Vec::new(); f],
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The pivots of group `i`.
+    pub fn pivots(&self, group: usize) -> &[PivotEntry] {
+        &self.groups[group]
+    }
+
+    /// Mutable access to the pivots of group `i` (used by repair logic).
+    pub fn pivots_mut(&mut self, group: usize) -> &mut Vec<PivotEntry> {
+        &mut self.groups[group]
+    }
+
+    // ----- encoding -----
+
+    /// Pack into 64-bit words using `codec`.
+    pub fn encode(&self, codec: &SketchSetCodec) -> Vec<u64> {
+        assert_eq!(self.groups.len(), codec.f);
+        let mut w = BitWriter::new();
+        for group in &self.groups {
+            w.write(group.len() as u64, codec.count_bits);
+            for p in group {
+                w.write(p.global_rank, codec.global_bits);
+                w.write(p.local_rank, codec.local_bits);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode from words packed by [`encode`](Self::encode).
+    pub fn decode(codec: &SketchSetCodec, words: &[u64]) -> Self {
+        let mut r = BitReader::new(words);
+        let mut groups = Vec::with_capacity(codec.f);
+        for _ in 0..codec.f {
+            let count = r.read(codec.count_bits) as usize;
+            let mut pivots = Vec::with_capacity(count);
+            for _ in 0..count {
+                let global_rank = r.read(codec.global_bits);
+                let local_rank = r.read(codec.local_bits);
+                pivots.push(PivotEntry {
+                    global_rank,
+                    local_rank,
+                });
+            }
+            groups.push(pivots);
+        }
+        Self { groups }
+    }
+
+    // ----- maintenance (§4.2 / §4.3) -----
+
+    /// Apply the rank shifts caused by inserting an element with global rank
+    /// `new_global_rank` into group `group`: every pivot with global rank
+    /// `≥ new_global_rank` moves down by one global rank, and within `group`
+    /// also by one local rank.
+    pub fn apply_insert_shift(&mut self, group: usize, new_global_rank: u64) {
+        for (i, pivots) in self.groups.iter_mut().enumerate() {
+            for p in pivots.iter_mut() {
+                if p.global_rank >= new_global_rank {
+                    p.global_rank += 1;
+                    if i == group {
+                        p.local_rank += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply the rank shifts caused by deleting the element with global rank
+    /// `old_global_rank` from group `group`. Pivots equal to the deleted
+    /// element are *not* touched (the caller replaces the dangling pivot).
+    pub fn apply_delete_shift(&mut self, group: usize, old_global_rank: u64) {
+        for (i, pivots) in self.groups.iter_mut().enumerate() {
+            for p in pivots.iter_mut() {
+                if p.global_rank > old_global_rank {
+                    p.global_rank -= 1;
+                    if i == group {
+                        p.local_rank -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Position of the pivot of `group` whose global rank equals `rank`, if
+    /// any (used to detect a dangling pivot after a deletion).
+    pub fn find_pivot_by_global(&self, group: usize, rank: u64) -> Option<usize> {
+        self.groups[group]
+            .iter()
+            .position(|p| p.global_rank == rank)
+    }
+
+    /// Indices `j` (0-based; pivot `j+1` in the paper's 1-based numbering)
+    /// whose local rank lies outside the legal window `[2^j, 2^(j+1))`.
+    pub fn invalid_pivots(&self, group: usize) -> Vec<usize> {
+        self.groups[group]
+            .iter()
+            .enumerate()
+            .filter(|(j, p)| {
+                let lo = 1u64 << j;
+                let hi = 1u64 << (j + 1);
+                p.local_rank < lo || p.local_rank >= hi
+            })
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Check internal consistency for tests: local ranks within windows,
+    /// pivot counts matching `group_sizes`.
+    pub fn check_valid(&self, group_sizes: &[usize]) {
+        assert_eq!(self.groups.len(), group_sizes.len());
+        for (i, (pivots, &size)) in self.groups.iter().zip(group_sizes).enumerate() {
+            assert_eq!(
+                pivots.len(),
+                crate::Sketch::pivot_count(size),
+                "group {i}: wrong pivot count for size {size}"
+            );
+            assert!(
+                self.invalid_pivots(i).is_empty(),
+                "group {i}: invalid pivots {:?}",
+                self.invalid_pivots(i)
+            );
+            for p in pivots {
+                assert!(p.local_rank >= 1 && p.local_rank <= size as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> (SketchSetCodec, CompressedSketchSet) {
+        let codec = SketchSetCodec::new(4, 64);
+        let mut set = CompressedSketchSet::empty(4);
+        set.pivots_mut(0).extend([
+            PivotEntry {
+                global_rank: 3,
+                local_rank: 1,
+            },
+            PivotEntry {
+                global_rank: 17,
+                local_rank: 3,
+            },
+        ]);
+        set.pivots_mut(2).push(PivotEntry {
+            global_rank: 1,
+            local_rank: 1,
+        });
+        (codec, set)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (codec, set) = sample_set();
+        let words = set.encode(&codec);
+        assert!(words.len() <= codec.max_words());
+        let back = CompressedSketchSet::decode(&codec, &words);
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn packed_sketch_set_fits_in_one_typical_block() {
+        // f = √B·lg^ε N style parameters: f = 16 groups of up to 1024 values,
+        // packed into a 512-word block with room to spare.
+        let codec = SketchSetCodec::new(16, 1024);
+        assert!(
+            codec.max_words() <= 512,
+            "packed sketch set needs {} words",
+            codec.max_words()
+        );
+    }
+
+    #[test]
+    fn insert_shift_moves_ranks() {
+        let (_codec, mut set) = sample_set();
+        set.apply_insert_shift(0, 3);
+        assert_eq!(set.pivots(0)[0].global_rank, 4);
+        assert_eq!(set.pivots(0)[0].local_rank, 2);
+        assert_eq!(set.pivots(0)[1].global_rank, 18);
+        assert_eq!(set.pivots(0)[1].local_rank, 4);
+        // Other groups shift global ranks only.
+        assert_eq!(set.pivots(2)[0].global_rank, 1);
+        assert_eq!(set.pivots(2)[0].local_rank, 1);
+        set.apply_insert_shift(2, 1);
+        assert_eq!(set.pivots(2)[0].global_rank, 2);
+        assert_eq!(set.pivots(2)[0].local_rank, 2);
+        assert_eq!(set.pivots(0)[0].global_rank, 5);
+        assert_eq!(set.pivots(0)[0].local_rank, 2, "local rank untouched in other groups");
+    }
+
+    #[test]
+    fn delete_shift_moves_ranks_back() {
+        let (_codec, mut set) = sample_set();
+        set.apply_delete_shift(0, 2);
+        assert_eq!(set.pivots(0)[0].global_rank, 2);
+        assert_eq!(set.pivots(0)[0].local_rank, 0, "local rank shifts in the deleted group");
+        assert_eq!(set.pivots(2)[0].global_rank, 1, "rank below the deleted one is unchanged");
+    }
+
+    #[test]
+    fn invalid_pivot_detection() {
+        let mut set = CompressedSketchSet::empty(1);
+        set.pivots_mut(0).extend([
+            PivotEntry {
+                global_rank: 1,
+                local_rank: 1,
+            },
+            PivotEntry {
+                global_rank: 9,
+                local_rank: 5, // window for j=2 (0-based 1) is [2,4): invalid
+            },
+            PivotEntry {
+                global_rank: 20,
+                local_rank: 5, // window for j=3 (0-based 2) is [4,8): valid
+            },
+        ]);
+        assert_eq!(set.invalid_pivots(0), vec![1]);
+    }
+
+    #[test]
+    fn find_pivot_by_global_rank() {
+        let (_codec, set) = sample_set();
+        assert_eq!(set.find_pivot_by_global(0, 17), Some(1));
+        assert_eq!(set.find_pivot_by_global(0, 4), None);
+        assert_eq!(set.find_pivot_by_global(2, 1), Some(0));
+    }
+}

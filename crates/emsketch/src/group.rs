@@ -1,0 +1,821 @@
+//! The `(f, l)`-group approximate k-selection structure of Lemma 6.
+//!
+//! The structure stores an `(f, l)`-group `G = (G_1, …, G_f)` of disjoint score
+//! sets and answers: *given a contiguous range of groups `[α1, α2]` and a rank
+//! `k`, return a score whose rank in `∪_{i∈[α1,α2]} G_i` lies in `[k, c2·k]`*
+//! (or `−∞`), in `O(log_B(f·l))` I/Os; insertions and deletions also cost
+//! `O(log_B(f·l))` I/Os amortized.
+//!
+//! Components (exactly §4.1–§4.4 of the paper):
+//!
+//! * a **compressed sketch set** — one block holding, for every group, a
+//!   logarithmic sketch whose pivots are described by (global rank, local
+//!   rank) pairs;
+//! * a **compressed prefix set** (Lemma 8) — one block holding the global
+//!   ranks of every group's `s = √B·log_B(f·l)` largest elements, used to
+//!   repair small-index pivots without B-tree searches;
+//! * a B-tree over all of `G` (rank ⇄ element conversions);
+//! * a B-tree over `(group, score)` pairs (per-group local selections and
+//!   range-maximum queries, standing in for the per-`G_i` B-trees and the
+//!   "slightly augmented" B-tree of §3.3).
+
+use emsim::{BlockFile, Device, Page, PageId};
+
+use embtree::{BTree, Entry, GroupScoreEntry};
+
+use crate::compressed::{CompressedSketchSet, PivotEntry, SketchSetCodec};
+use crate::prefix::{PrefixCodec, PrefixSet};
+use crate::{lemma7, Sketch};
+
+/// Configuration of a [`GroupSelect`] structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSelectConfig {
+    /// Number of groups `f`.
+    pub f: usize,
+    /// Maximum number of elements a group may hold (`c2·l` in the §3.3 usage).
+    pub l_cap: usize,
+    /// Prefix length `s`; `None` uses the paper's `√B·log_B(f·l)`.
+    pub prefix_cap: Option<usize>,
+}
+
+impl GroupSelectConfig {
+    /// A configuration for `f` groups of at most `l_cap` elements.
+    pub fn new(f: usize, l_cap: usize) -> Self {
+        Self {
+            f: f.max(1),
+            l_cap: l_cap.max(2),
+            prefix_cap: None,
+        }
+    }
+
+    fn resolved_prefix_cap(&self, block_words: usize) -> usize {
+        match self.prefix_cap {
+            Some(s) => s.max(1),
+            None => {
+                let fl = (self.f * self.l_cap).max(2);
+                let s = (block_words as f64).sqrt() * emsim::log_b(block_words, fl);
+                (s.ceil() as usize).clamp(2, self.l_cap)
+            }
+        }
+    }
+}
+
+/// One-block page holding a bit-packed structure plus the per-group sizes
+/// (the sizes take `f/2` words and ride along in the same block).
+#[derive(Debug, Clone)]
+struct PackedPage {
+    words: Vec<u64>,
+    sizes: Vec<u32>,
+}
+
+impl Page for PackedPage {
+    fn words(&self) -> usize {
+        1 + self.words.len() + (self.sizes.len() + 1) / 2
+    }
+}
+
+/// The Lemma 6 structure. See the module docs.
+pub struct GroupSelect {
+    config: GroupSelectConfig,
+    prefix_cap: usize,
+    codec: SketchSetCodec,
+    prefix_codec: PrefixCodec,
+    /// B-tree over every score in `G`.
+    global: BTree<u64>,
+    /// B-tree over `(group, score)`.
+    groups: BTree<GroupScoreEntry>,
+    pages: BlockFile<PackedPage>,
+    sketch_page: PageId,
+    prefix_page: PageId,
+}
+
+impl GroupSelect {
+    /// Create an empty structure on `device`.
+    pub fn new(device: &Device, name: &str, config: GroupSelectConfig) -> Self {
+        let block_words = device.block_words();
+        let codec = SketchSetCodec::new(config.f, config.l_cap);
+        let prefix_cap = config.resolved_prefix_cap(block_words);
+        let prefix_codec = PrefixCodec::new(config.f, config.l_cap, prefix_cap);
+        let global = BTree::new(device, &format!("{name}.G"));
+        let groups = BTree::new(device, &format!("{name}.Gi"));
+        let pages = device.open_file::<PackedPage>(&format!("{name}.packed"));
+        let empty_sketch = CompressedSketchSet::empty(config.f).encode(&codec);
+        let sketch_page = pages.alloc(PackedPage {
+            words: empty_sketch,
+            sizes: vec![0; config.f],
+        });
+        let empty_prefix = PrefixSet::empty(config.f).encode(&prefix_codec);
+        let prefix_page = pages.alloc(PackedPage {
+            words: empty_prefix,
+            sizes: Vec::new(),
+        });
+        Self {
+            config,
+            prefix_cap,
+            codec,
+            prefix_codec,
+            global,
+            groups,
+            pages,
+            sketch_page,
+            prefix_page,
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.config.f
+    }
+
+    /// Total number of stored scores.
+    pub fn len(&self) -> u64 {
+        self.global.len()
+    }
+
+    /// Whether the structure holds no scores.
+    pub fn is_empty(&self) -> bool {
+        self.global.is_empty()
+    }
+
+    /// Number of scores currently in `group`.
+    pub fn group_len(&self, group: usize) -> u64 {
+        self.pages
+            .with(self.sketch_page, |p| p.sizes[group] as u64)
+    }
+
+    /// Space in blocks.
+    pub fn space_blocks(&self) -> usize {
+        self.global.space_blocks() + self.groups.space_blocks() + self.pages.live_pages()
+    }
+
+    /// The prefix length `s` in use.
+    pub fn prefix_cap(&self) -> usize {
+        self.prefix_cap
+    }
+
+    // ----- helpers -----
+
+    fn group_bounds(group: usize) -> (GroupScoreEntry, GroupScoreEntry) {
+        (
+            GroupScoreEntry {
+                group: group as u64,
+                score: 0,
+            },
+            GroupScoreEntry {
+                group: group as u64,
+                score: u64::MAX,
+            },
+        )
+    }
+
+    /// The score of the element with the given local rank (1-based, rank 1 is
+    /// the largest) in `group`.
+    fn local_select(&self, group: usize, local_rank: u64) -> Option<u64> {
+        let (lo, hi) = Self::group_bounds(group);
+        let size = self.groups.count_range(lo.key(), hi.key());
+        if local_rank == 0 || local_rank > size {
+            return None;
+        }
+        let before = self.groups.count_lt(lo.key());
+        let idx_asc = before + (size - local_rank + 1);
+        self.groups.select_asc(idx_asc).map(|e| e.score)
+    }
+
+    /// Global rank (in all of `G`) of `score`, assuming it is present.
+    fn global_rank_of(&self, score: u64) -> u64 {
+        self.global.count_ge(score)
+    }
+
+    /// Global rank → element conversion via the B-tree on `G` (§4.1).
+    fn element_of_global_rank(&self, rank: u64) -> Option<u64> {
+        self.global.select_desc(rank)
+    }
+
+    fn load_sketch(&self) -> (CompressedSketchSet, Vec<u32>) {
+        self.pages.with(self.sketch_page, |p| {
+            (
+                CompressedSketchSet::decode(&self.codec, &p.words),
+                p.sizes.clone(),
+            )
+        })
+    }
+
+    fn store_sketch(&self, set: &CompressedSketchSet, sizes: &[u32]) {
+        let words = set.encode(&self.codec);
+        self.pages.with_mut(self.sketch_page, |p| {
+            p.words = words;
+            p.sizes = sizes.to_vec();
+        });
+    }
+
+    fn load_prefix(&self) -> PrefixSet {
+        self.pages
+            .with(self.prefix_page, |p| PrefixSet::decode(&self.prefix_codec, &p.words))
+    }
+
+    fn store_prefix(&self, prefix: &PrefixSet) {
+        let words = prefix.encode(&self.prefix_codec);
+        self.pages.with_mut(self.prefix_page, |p| p.words = words);
+    }
+
+    /// Global rank of the element of `group` with the given local rank, using
+    /// the prefix block when the rank is small (the Lemma 8 fast path) and the
+    /// B-trees otherwise.
+    fn global_rank_of_local(&self, prefix: &PrefixSet, group: usize, local_rank: u64) -> Option<u64> {
+        if local_rank as usize <= self.prefix_cap {
+            if let Some(r) = prefix.global_rank(group, local_rank) {
+                return Some(r);
+            }
+        }
+        let score = self.local_select(group, local_rank)?;
+        Some(self.global_rank_of(score))
+    }
+
+    /// Repair every pivot of `group` whose local rank drifted out of its
+    /// window, and make the pivot count match the group size.
+    fn repair_group_sketch(
+        &self,
+        set: &mut CompressedSketchSet,
+        prefix: &PrefixSet,
+        group: usize,
+        size: usize,
+    ) {
+        let want = Sketch::pivot_count(size);
+        // Shrink or grow the pivot vector to the required length.
+        while set.pivots(group).len() > want {
+            set.pivots_mut(group).pop();
+        }
+        while set.pivots(group).len() < want {
+            // Placeholder; filled below because it is reported as invalid.
+            set.pivots_mut(group).push(PivotEntry {
+                global_rank: 0,
+                local_rank: 0,
+            });
+        }
+        for j in set.invalid_pivots(group) {
+            let target = Sketch::target_rank(j + 1, size);
+            let global_rank = self
+                .global_rank_of_local(prefix, group, target)
+                .expect("target rank is within the group size");
+            set.pivots_mut(group)[j] = PivotEntry {
+                global_rank,
+                local_rank: target,
+            };
+        }
+    }
+
+    // ----- updates -----
+
+    /// Insert `score` into `group`. Scores must be globally distinct.
+    /// Amortized `O(log_B(f·l))` I/Os.
+    pub fn insert(&self, group: usize, score: u64) {
+        assert!(group < self.config.f, "group {group} out of range");
+        debug_assert!(!self.global.contains(score), "scores must be distinct");
+
+        // Rank the new element will take in G and in its group.
+        let rnew = self.global.count_ge(score) + 1;
+        let (glo, ghi) = Self::group_bounds(group);
+        let local_new = self
+            .groups
+            .count_range(GroupScoreEntry { group: group as u64, score }.key(), ghi.key())
+            + 1;
+        let _ = glo;
+
+        // B-trees.
+        self.global.insert(score);
+        self.groups.insert(GroupScoreEntry {
+            group: group as u64,
+            score,
+        });
+
+        // Prefix block (Lemma 8): shift ranks, then admit the new element if
+        // it lands in the prefix of its group.
+        let mut prefix = self.load_prefix();
+        prefix.apply_insert_shift(rnew);
+        if (local_new as usize) <= self.prefix_cap {
+            prefix.insert(group, local_new, rnew, self.prefix_cap);
+        }
+        self.store_prefix(&prefix);
+
+        // Compressed sketch set (§4.2). The group size is re-derived from the
+        // B-tree (rather than trusting the cached copy) so that the cached
+        // sizes are self-healing under any drift.
+        let (mut set, mut sizes) = self.load_sketch();
+        set.apply_insert_shift(group, rnew);
+        let (glo3, ghi3) = Self::group_bounds(group);
+        let size = self.groups.count_range(glo3.key(), ghi3.key()) as usize;
+        sizes[group] = size as u32;
+        if size.is_power_of_two() {
+            // The sketch expands: the new pivot is the smallest element of the
+            // group, whose local rank is exactly the group size.
+            if let Some(global_rank) = self.global_rank_of_local(&prefix, group, size as u64) {
+                set.pivots_mut(group).push(PivotEntry {
+                    global_rank,
+                    local_rank: size as u64,
+                });
+            }
+        }
+        self.repair_group_sketch(&mut set, &prefix, group, size);
+        self.store_sketch(&set, &sizes);
+    }
+
+    /// Delete `score` from `group`. Returns `false` if it was not present.
+    /// Amortized `O(log_B(f·l))` I/Os.
+    pub fn delete(&self, group: usize, score: u64) -> bool {
+        assert!(group < self.config.f, "group {group} out of range");
+        if !self
+            .groups
+            .contains(GroupScoreEntry { group: group as u64, score }.key())
+        {
+            return false;
+        }
+        let rold = self.global_rank_of(score);
+        let (_, ghi) = Self::group_bounds(group);
+        let local_old = self
+            .groups
+            .count_range(GroupScoreEntry { group: group as u64, score }.key(), ghi.key());
+
+        // B-trees.
+        self.global.remove(score);
+        self.groups.remove(GroupScoreEntry {
+            group: group as u64,
+            score,
+        }
+        .key());
+
+        // Prefix block.
+        let mut prefix = self.load_prefix();
+        if (local_old as usize) <= self.prefix_cap {
+            prefix.remove(group, local_old);
+        }
+        prefix.apply_delete_shift(rold);
+        // Refill the freed slot from the B-trees if the group still has enough
+        // elements (§4.4).
+        let (glo2, ghi2) = Self::group_bounds(group);
+        let group_size_now = self.groups.count_range(glo2.key(), ghi2.key());
+        if (local_old as usize) <= self.prefix_cap
+            && prefix.len(group) < self.prefix_cap
+            && group_size_now >= prefix.len(group) as u64 + 1
+        {
+            let next_rank = prefix.len(group) as u64 + 1;
+            if let Some(s) = self.local_select(group, next_rank) {
+                let gr = self.global_rank_of(s);
+                prefix.entries_mut(group).push(gr);
+            }
+        }
+        self.store_prefix(&prefix);
+
+        // Compressed sketch set (§4.3).
+        let (mut set, mut sizes) = self.load_sketch();
+        let old_size = sizes[group] as usize;
+        let (glo3, ghi3) = Self::group_bounds(group);
+        let size = self.groups.count_range(glo3.key(), ghi3.key()) as usize;
+        sizes[group] = size as u32;
+        // A pivot equal to the deleted element dangles; invalidate it so the
+        // repair pass recomputes it.
+        if let Some(idx) = set.find_pivot_by_global(group, rold) {
+            set.pivots_mut(group)[idx] = PivotEntry {
+                global_rank: 0,
+                local_rank: 0,
+            };
+        }
+        if old_size.is_power_of_two() && !set.pivots(group).is_empty() {
+            // The sketch shrinks.
+            set.pivots_mut(group).pop();
+        }
+        set.apply_delete_shift(group, rold);
+        self.repair_group_sketch(&mut set, &prefix, group, size);
+        self.store_sketch(&set, &sizes);
+        true
+    }
+
+    // ----- queries -----
+
+    /// Approximate rank selection over groups `α1..=α2` (0-based, inclusive):
+    /// returns a score whose rank in `∪_{i∈[α1,α2]} G_i` lies in `[k, c2·k]`
+    /// with `c2 = 8`, or `None` for `−∞` (fewer than `2k` elements in the
+    /// union). Cost `O(log_B(f·l))` I/Os.
+    pub fn query(&self, alpha1: usize, alpha2: usize, k: u64) -> Option<u64> {
+        assert!(alpha1 <= alpha2 && alpha2 < self.config.f);
+        assert!(k >= 1);
+        let (set, _sizes) = self.load_sketch();
+        // Lemma 7 runs in "value space"; global ranks order elements in the
+        // opposite direction, so flip them.
+        let flipped: Vec<Vec<u64>> = (alpha1..=alpha2)
+            .map(|g| {
+                set.pivots(g)
+                    .iter()
+                    .map(|p| u64::MAX - p.global_rank)
+                    .collect()
+            })
+            .collect();
+        let views: Vec<&[u64]> = flipped.iter().map(|v| v.as_slice()).collect();
+        let answer = lemma7::approx_rank_select(&views, k)?;
+        let global_rank = u64::MAX - answer;
+        self.element_of_global_rank(global_rank)
+    }
+
+    /// The largest score among groups `α1..=α2`, if any (the `Max` operator
+    /// needed by AURS / §3.3). Cost `O(log_B(f·l))` I/Os.
+    pub fn max_in_groups(&self, alpha1: usize, alpha2: usize) -> Option<u64> {
+        assert!(alpha1 <= alpha2 && alpha2 < self.config.f);
+        let lo = GroupScoreEntry {
+            group: alpha1 as u64,
+            score: 0,
+        };
+        let hi = GroupScoreEntry {
+            group: alpha2 as u64,
+            score: u64::MAX,
+        };
+        self.groups.range_max_aux(lo.key(), hi.key()).map(|e| e.score)
+    }
+
+    /// Total number of scores in groups `α1..=α2`.
+    pub fn count_in_groups(&self, alpha1: usize, alpha2: usize) -> u64 {
+        let lo = GroupScoreEntry {
+            group: alpha1 as u64,
+            score: 0,
+        };
+        let hi = GroupScoreEntry {
+            group: alpha2 as u64,
+            score: u64::MAX,
+        };
+        self.groups.count_range(lo.key(), hi.key())
+    }
+
+    /// Smallest score currently stored in `group`, if any.
+    pub fn group_min(&self, group: usize) -> Option<u64> {
+        let size = self.group_len(group);
+        if size == 0 {
+            return None;
+        }
+        self.local_select(group, size)
+    }
+
+    /// Whether `group` currently contains `score`.
+    pub fn group_contains(&self, group: usize, score: u64) -> bool {
+        self.groups.contains(
+            GroupScoreEntry {
+                group: group as u64,
+                score,
+            }
+            .key(),
+        )
+    }
+
+    /// The `rank`-th largest score over all groups (exact, via the B-tree on
+    /// `G`), if the union is that large.
+    pub fn union_select_desc(&self, rank: u64) -> Option<u64> {
+        self.global.select_desc(rank)
+    }
+
+    /// The `limit` largest scores over all groups, descending.
+    pub fn union_top_scores(&self, limit: usize) -> Vec<u64> {
+        let mut all = self.global.collect_all();
+        all.reverse();
+        all.truncate(limit);
+        all
+    }
+
+    /// Free every page this structure owns except the (empty) B-tree roots;
+    /// called when a tree node rebuilds its secondary structures.
+    pub fn release(&self) {
+        self.global.clear();
+        self.groups.clear();
+        self.pages.free(self.sketch_page);
+        self.pages.free(self.prefix_page);
+    }
+
+    /// All scores of `group`, descending (test / rebuild support;
+    /// `O(l/B + log_B(f·l))` I/Os).
+    pub fn group_scores_desc(&self, group: usize) -> Vec<u64> {
+        let (lo, hi) = Self::group_bounds(group);
+        let mut v: Vec<u64> = self
+            .groups
+            .collect_range(lo.key(), hi.key())
+            .into_iter()
+            .map(|e| e.score)
+            .collect();
+        v.reverse();
+        v
+    }
+
+    // ----- bulk construction -----
+
+    /// Build the structure from explicit group contents (used when a tree node
+    /// rebuilds its secondary structures). `contents[i]` holds the scores of
+    /// `G_i` in any order.
+    pub fn bulk_build(device: &Device, name: &str, config: GroupSelectConfig, contents: &[Vec<u64>]) -> Self {
+        assert!(contents.len() <= config.f);
+        let s = Self::new(device, name, config);
+        // Global B-tree.
+        let mut all: Vec<u64> = contents.iter().flatten().copied().collect();
+        all.sort_unstable();
+        s.global.bulk_load(&all);
+        // Group B-tree.
+        let mut pairs: Vec<GroupScoreEntry> = contents
+            .iter()
+            .enumerate()
+            .flat_map(|(g, scores)| {
+                scores.iter().map(move |&score| GroupScoreEntry {
+                    group: g as u64,
+                    score,
+                })
+            })
+            .collect();
+        pairs.sort_unstable_by_key(|e| e.key());
+        s.groups.bulk_load(&pairs);
+
+        // Sketches, prefixes and sizes.
+        let mut set = CompressedSketchSet::empty(config.f);
+        let mut prefix = PrefixSet::empty(config.f);
+        let mut sizes = vec![0u32; config.f];
+        for (g, scores) in contents.iter().enumerate() {
+            let mut desc: Vec<u64> = scores.clone();
+            desc.sort_unstable_by(|a, b| b.cmp(a));
+            sizes[g] = desc.len() as u32;
+            for (r, &score) in desc.iter().enumerate().take(s.prefix_cap) {
+                let _ = r;
+                prefix.entries_mut(g).push(s.global_rank_of(score));
+            }
+            let m = Sketch::pivot_count(desc.len());
+            for j in 1..=m {
+                let local = Sketch::target_rank(j, desc.len());
+                let score = desc[(local - 1) as usize];
+                set.pivots_mut(g).push(PivotEntry {
+                    global_rank: s.global_rank_of(score),
+                    local_rank: local,
+                });
+            }
+        }
+        s.store_sketch(&set, &sizes);
+        s.store_prefix(&prefix);
+        s
+    }
+
+    // ----- verification (test support) -----
+
+    /// Check every internal invariant against the B-tree contents; panics on
+    /// violation. Intended for tests (it scans the structure).
+    pub fn verify(&self) {
+        let (set, sizes) = self.load_sketch();
+        let prefix = self.load_prefix();
+        let mut group_sizes = Vec::new();
+        for g in 0..self.config.f {
+            let scores = self.group_scores_desc(g);
+            group_sizes.push(scores.len());
+            assert_eq!(scores.len(), sizes[g] as usize, "cached size of group {g}");
+            // Prefix correctness.
+            let expect: Vec<u64> = scores
+                .iter()
+                .take(self.prefix_cap)
+                .map(|&s| self.global_rank_of(s))
+                .collect();
+            let got: Vec<u64> = (1..=expect.len() as u64)
+                .map(|r| prefix.global_rank(g, r).unwrap())
+                .collect();
+            assert_eq!(got, expect, "prefix of group {g}");
+            // Sketch pivots: correct count, windows, and rank consistency.
+            assert_eq!(set.pivots(g).len(), Sketch::pivot_count(scores.len()));
+            for (j, p) in set.pivots(g).iter().enumerate() {
+                let lo = 1u64 << j;
+                let hi = 1u64 << (j + 1);
+                assert!(
+                    p.local_rank >= lo && p.local_rank < hi,
+                    "group {g} pivot {j} local rank {} outside [{lo},{hi})",
+                    p.local_rank
+                );
+                let score = scores[(p.local_rank - 1) as usize];
+                assert_eq!(
+                    p.global_rank,
+                    self.global_rank_of(score),
+                    "group {g} pivot {j}: stale global rank"
+                );
+            }
+        }
+        set.check_valid(&group_sizes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsim::EmConfig;
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+    fn device() -> Device {
+        Device::new(EmConfig::new(128, 128 * 128))
+    }
+
+    /// Oracle: per-group sorted-descending score vectors.
+    struct Oracle {
+        groups: Vec<Vec<u64>>,
+    }
+
+    impl Oracle {
+        fn new(f: usize) -> Self {
+            Self {
+                groups: vec![Vec::new(); f],
+            }
+        }
+        fn insert(&mut self, g: usize, s: u64) {
+            self.groups[g].push(s);
+            self.groups[g].sort_unstable_by(|a, b| b.cmp(a));
+        }
+        fn delete(&mut self, g: usize, s: u64) {
+            self.groups[g].retain(|&x| x != s);
+        }
+        fn union_rank(&self, a1: usize, a2: usize, x: u64) -> u64 {
+            self.groups[a1..=a2]
+                .iter()
+                .flatten()
+                .filter(|&&v| v >= x)
+                .count() as u64
+        }
+        fn union_len(&self, a1: usize, a2: usize) -> u64 {
+            self.groups[a1..=a2].iter().map(|g| g.len() as u64).sum()
+        }
+    }
+
+    fn check_query(gs: &GroupSelect, oracle: &Oracle, a1: usize, a2: usize, k: u64) {
+        match gs.query(a1, a2, k) {
+            Some(x) => {
+                let r = oracle.union_rank(a1, a2, x);
+                assert!(
+                    r >= k && r <= crate::LEMMA7_FACTOR * k,
+                    "query([{a1},{a2}], {k}) returned rank {r}"
+                );
+            }
+            None => {
+                assert!(
+                    oracle.union_len(a1, a2) < 2 * k,
+                    "-inf returned but union has {} elements (k={k})",
+                    oracle.union_len(a1, a2)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inserts_maintain_invariants_and_queries() {
+        let dev = device();
+        let gs = GroupSelect::new(&dev, "gs", GroupSelectConfig::new(4, 256));
+        let mut oracle = Oracle::new(4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut next_score = 1u64;
+        for step in 0..400 {
+            let g = rng.gen_range(0..4);
+            let s = next_score * 7;
+            next_score += 1;
+            gs.insert(g, s);
+            oracle.insert(g, s);
+            if step % 50 == 0 {
+                gs.verify();
+            }
+        }
+        gs.verify();
+        assert_eq!(gs.len(), 400);
+        for (a1, a2) in [(0, 3), (1, 2), (0, 0), (2, 3)] {
+            for k in [1u64, 2, 5, 20, 50] {
+                if k <= oracle.union_len(a1, a2) {
+                    check_query(&gs, &oracle, a1, a2, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_maintain_invariants_and_queries() {
+        let dev = device();
+        let gs = GroupSelect::new(&dev, "gs", GroupSelectConfig::new(3, 256));
+        let mut oracle = Oracle::new(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut live: Vec<(usize, u64)> = Vec::new();
+        for i in 0..300u64 {
+            let g = rng.gen_range(0..3);
+            let s = (i + 1) * 3;
+            gs.insert(g, s);
+            oracle.insert(g, s);
+            live.push((g, s));
+        }
+        live.shuffle(&mut rng);
+        for (step, &(g, s)) in live.iter().take(200).enumerate() {
+            assert!(gs.delete(g, s));
+            oracle.delete(g, s);
+            if step % 25 == 0 {
+                gs.verify();
+            }
+        }
+        gs.verify();
+        assert_eq!(gs.len(), 100);
+        for k in [1u64, 3, 10, 25] {
+            if k <= oracle.union_len(0, 2) {
+                check_query(&gs, &oracle, 0, 2, k);
+            }
+        }
+        // Deleting something absent is a no-op.
+        assert!(!gs.delete(0, 999_999));
+    }
+
+    #[test]
+    fn mixed_workload_against_oracle() {
+        let dev = device();
+        let f = 5;
+        let gs = GroupSelect::new(&dev, "gs", GroupSelectConfig::new(f, 512));
+        let mut oracle = Oracle::new(f);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut live: Vec<(usize, u64)> = Vec::new();
+        let mut next = 1u64;
+        for _ in 0..1200 {
+            let do_delete = !live.is_empty() && rng.gen_bool(0.35);
+            if do_delete {
+                let idx = rng.gen_range(0..live.len());
+                let (g, s) = live.swap_remove(idx);
+                assert!(gs.delete(g, s));
+                oracle.delete(g, s);
+            } else {
+                let g = rng.gen_range(0..f);
+                let s = next * 11;
+                next += 1;
+                gs.insert(g, s);
+                oracle.insert(g, s);
+                live.push((g, s));
+            }
+        }
+        gs.verify();
+        for _ in 0..30 {
+            let a1 = rng.gen_range(0..f);
+            let a2 = rng.gen_range(a1..f);
+            let total = oracle.union_len(a1, a2);
+            if total == 0 {
+                continue;
+            }
+            let k = rng.gen_range(1..=total);
+            check_query(&gs, &oracle, a1, a2, k);
+        }
+    }
+
+    #[test]
+    fn max_and_count_operators() {
+        let dev = device();
+        let gs = GroupSelect::new(&dev, "gs", GroupSelectConfig::new(4, 64));
+        gs.insert(0, 10);
+        gs.insert(1, 50);
+        gs.insert(1, 40);
+        gs.insert(3, 99);
+        assert_eq!(gs.max_in_groups(0, 1), Some(50));
+        assert_eq!(gs.max_in_groups(0, 3), Some(99));
+        assert_eq!(gs.max_in_groups(2, 2), None);
+        assert_eq!(gs.count_in_groups(0, 1), 3);
+        assert_eq!(gs.count_in_groups(2, 2), 0);
+        assert_eq!(gs.group_len(1), 2);
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        let dev = device();
+        let contents = vec![
+            vec![5u64, 15, 25, 35],
+            vec![100, 200],
+            vec![],
+            (1..=60).map(|i| 1000 + i * 2).collect::<Vec<u64>>(),
+        ];
+        let gs = GroupSelect::bulk_build(&dev, "gs", GroupSelectConfig::new(4, 128), &contents);
+        gs.verify();
+        assert_eq!(gs.len(), 66);
+        assert_eq!(gs.group_len(3), 60);
+        let mut oracle = Oracle::new(4);
+        for (g, scores) in contents.iter().enumerate() {
+            for &s in scores {
+                oracle.insert(g, s);
+            }
+        }
+        for k in [1u64, 2, 8, 30] {
+            check_query(&gs, &oracle, 0, 3, k);
+        }
+        // Continue updating after a bulk build.
+        gs.insert(2, 7);
+        gs.delete(0, 5);
+        gs.verify();
+    }
+
+    #[test]
+    fn query_io_cost_is_logarithmic() {
+        let dev = Device::new(EmConfig::new(128, 8 * 128)); // small pool to force misses
+        let f = 8;
+        let contents: Vec<Vec<u64>> = (0..f)
+            .map(|g| (0..200u64).map(|i| (g as u64) + 1 + i * (f as u64) * 2).collect())
+            .collect();
+        let gs = GroupSelect::bulk_build(&dev, "gs", GroupSelectConfig::new(f, 256), &contents);
+        dev.drop_cache();
+        let (_, cost) = dev.measure(|| {
+            let _ = gs.query(0, f - 1, 5);
+        });
+        assert!(
+            cost.reads <= 10,
+            "query should read the sketch block plus one B-tree path, got {} reads",
+            cost.reads
+        );
+    }
+}

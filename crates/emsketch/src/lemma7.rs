@@ -1,0 +1,202 @@
+//! Lemma 7: approximate rank selection over the union of sketched sets.
+//!
+//! Given the sketches of `m` disjoint sets `L_1, …, L_m` and a rank
+//! `1 ≤ k ≤ |∪L_i|`, find a value `x` whose rank in the union lies in
+//! `[k, c3·k]`; `x` is either an element of the union (in fact one of the
+//! pivots) or `−∞` (represented as `None`).
+//!
+//! ## Algorithm and the constant `c3 = 8`
+//!
+//! For a candidate value `x` and sketch `Σ_i`, let `j*` be the largest pivot
+//! index with `Σ_i[j*] ≥ x`. The pivot rank windows give
+//!
+//! * a lower bound `lb_i(x) = 2^(j*-1)` on `rank_i(x)` (0 when `j* = 0`), and
+//! * an upper bound `ub_i(x) ≤ min(|L_i|, 2^(j*+1) − 1) < 4·lb_i(x)`
+//!   (0 when `j* = 0`, because then even the maximum of `L_i` is `< x`).
+//!
+//! Summing over the sets: `LB(x) ≤ rank_∪(x) ≤ UB(x) ≤ 4·LB(x)`.
+//! The algorithm returns the largest candidate (pivot) `x*` with `LB(x*) ≥ k`.
+//! Let `x'` be the smallest candidate larger than `x*` (if any); moving from
+//! `x'` down to `x*` changes `j*` in exactly one sketch — the one `x*` belongs
+//! to — and there at most from `j*−1` to `j*`, so `LB(x*) ≤ 2·LB(x') + 1 < 2k + 1`.
+//! Hence `k ≤ rank(x*) ≤ 4·(2k) = 8k`.
+//! If no candidate reaches `LB ≥ k`, then in particular the globally smallest
+//! pivot `x0` has `LB(x0) < k`; since `LB(x0) > |∪L_i| / 2`, the union holds
+//! fewer than `2k` elements and `−∞` (rank `|∪L_i| ∈ [k, 2k)`) is a valid
+//! answer, exactly as the lemma permits.
+
+/// Result of [`approx_rank_select`]: `None` stands for `−∞` (every element of
+/// the union is at least as large as the answer).
+pub type RankSelectResult = Option<u64>;
+
+/// Run Lemma 7 on the pivot arrays of `m` sketches (element `[i]` is the
+/// pivot array of `Σ_i`, ordered by pivot index). Purely in-memory: the caller
+/// has already paid the I/O to load the sketches.
+///
+/// Returns a value whose rank in the union is in `[k, 8k]`, or `None` (−∞)
+/// when the union is guaranteed to hold fewer than `2k` elements.
+pub fn approx_rank_select(sketches: &[&[u64]], k: u64) -> RankSelectResult {
+    assert!(k >= 1, "rank parameter k must be at least 1");
+    let mut best: Option<u64> = None;
+    for pivots in sketches {
+        for &candidate in pivots.iter() {
+            if best.map(|b| candidate <= b).unwrap_or(false) {
+                // A larger candidate already qualified; LB only grows as the
+                // candidate shrinks, so this one cannot improve the answer.
+                continue;
+            }
+            if lower_bound(sketches, candidate) >= k {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+/// `LB(x) = Σ_i 2^(j*_i − 1)`: a lower bound on the rank of `x` in the union.
+pub fn lower_bound(sketches: &[&[u64]], x: u64) -> u64 {
+    let mut lb = 0u64;
+    for pivots in sketches {
+        let mut local = 0u64;
+        for (idx, &p) in pivots.iter().enumerate() {
+            if p >= x {
+                local = 1u64 << idx;
+            }
+        }
+        lb += local;
+    }
+    lb
+}
+
+/// `UB(x)`: an upper bound on the rank of `x` in the union, using the same
+/// per-sketch windows (`set_sizes[i] = |L_i|` tightens the last window).
+pub fn upper_bound(sketches: &[&[u64]], set_sizes: &[u64], x: u64) -> u64 {
+    let mut ub = 0u64;
+    for (i, pivots) in sketches.iter().enumerate() {
+        let mut j_star = 0usize;
+        for (idx, &p) in pivots.iter().enumerate() {
+            if p >= x {
+                j_star = idx + 1;
+            }
+        }
+        if j_star > 0 {
+            let window = (1u64 << (j_star + 1)) - 1;
+            ub += window.min(set_sizes[i]);
+        }
+    }
+    ub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rank_in, Sketch, LEMMA7_FACTOR};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Build disjoint sets with distinct values, their sketches, and the union.
+    fn build_sets(seed: u64, m: usize, max_size: usize) -> (Vec<Vec<u64>>, Vec<u64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all: Vec<u64> = (1..=(m * max_size) as u64).map(|v| v * 13).collect();
+        // Shuffle and deal out to sets of random sizes.
+        for i in (1..all.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            all.swap(i, j);
+        }
+        let mut sets = Vec::new();
+        let mut cursor = 0usize;
+        for _ in 0..m {
+            let size = rng.gen_range(1..=max_size);
+            let mut set: Vec<u64> = all[cursor..cursor + size].to_vec();
+            cursor += size;
+            set.sort_unstable_by(|a, b| b.cmp(a));
+            sets.push(set);
+        }
+        let mut union: Vec<u64> = sets.iter().flatten().copied().collect();
+        union.sort_unstable_by(|a, b| b.cmp(a));
+        (sets, union)
+    }
+
+    #[test]
+    fn returned_rank_is_within_factor() {
+        for seed in 0..10u64 {
+            let (sets, union) = build_sets(seed, 6, 200);
+            let sketches: Vec<Sketch> = sets.iter().map(|s| Sketch::from_sorted_desc(s)).collect();
+            let views: Vec<&[u64]> = sketches.iter().map(|s| s.pivots()).collect();
+            for k in [1u64, 2, 5, 10, 50, 100, union.len() as u64] {
+                if k > union.len() as u64 {
+                    continue;
+                }
+                match approx_rank_select(&views, k) {
+                    Some(x) => {
+                        let r = rank_in(&union, x);
+                        assert!(
+                            r >= k && r <= LEMMA7_FACTOR * k,
+                            "seed {seed} k={k}: rank {r} outside [{k}, {}]",
+                            LEMMA7_FACTOR * k
+                        );
+                        assert!(union.contains(&x), "answer must be an element of the union");
+                    }
+                    None => {
+                        assert!(
+                            (union.len() as u64) < 2 * k,
+                            "-infinity answer but union has {} ≥ 2k elements",
+                            union.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_set_behaves() {
+        let set: Vec<u64> = (1..=100u64).rev().map(|v| v * 2).collect();
+        let sketch = Sketch::from_sorted_desc(&set);
+        let views = vec![sketch.pivots()];
+        for k in 1..=100u64 {
+            match approx_rank_select(&views, k) {
+                Some(x) => {
+                    let r = rank_in(&set, x);
+                    assert!(r >= k && r <= LEMMA7_FACTOR * k, "k={k} rank={r}");
+                }
+                None => assert!(100 < 2 * k),
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_consistent() {
+        let (sets, union) = build_sets(3, 4, 150);
+        let sketches: Vec<Sketch> = sets.iter().map(|s| Sketch::from_sorted_desc(s)).collect();
+        let views: Vec<&[u64]> = sketches.iter().map(|s| s.pivots()).collect();
+        let sizes: Vec<u64> = sets.iter().map(|s| s.len() as u64).collect();
+        for &probe in union.iter().step_by(7) {
+            let r = rank_in(&union, probe);
+            assert!(lower_bound(&views, probe) <= r);
+            assert!(upper_bound(&views, &sizes, probe) >= r);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn factor_holds_for_random_instances(seed in 0u64..5000, m in 1usize..8, k in 1u64..300) {
+            let (sets, union) = build_sets(seed, m, 120);
+            if k > union.len() as u64 {
+                return Ok(());
+            }
+            let sketches: Vec<Sketch> = sets.iter().map(|s| Sketch::from_sorted_desc(s)).collect();
+            let views: Vec<&[u64]> = sketches.iter().map(|s| s.pivots()).collect();
+            match approx_rank_select(&views, k) {
+                Some(x) => {
+                    let r = rank_in(&union, x);
+                    prop_assert!(r >= k && r <= LEMMA7_FACTOR * k);
+                }
+                None => prop_assert!((union.len() as u64) < 2 * k),
+            }
+        }
+    }
+}

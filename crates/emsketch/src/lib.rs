@@ -1,0 +1,61 @@
+//! # emsketch — the sketch toolkit of §3–§4 of the paper
+//!
+//! This crate implements the "RAM-reminiscent" machinery that powers the
+//! paper's small-`k` structure:
+//!
+//! * [`Sketch`] — the *logarithmic sketch* of Sheng & Tao (PODS'12): an array
+//!   of `⌊lg l⌋ + 1` pivots, the `j`-th of which is an element of the
+//!   underlying set with rank in `[2^(j-1), 2^j)`.
+//! * [`lemma7::approx_rank_select`] — given the sketches of `m` disjoint sets
+//!   and a rank `k`, returns a value whose rank in the union lies in
+//!   `[k, c3·k]` (Lemma 7; our implementation guarantees `c3 = 8`, see the
+//!   module docs for the proof sketch), using no I/O beyond reading the
+//!   sketches.
+//! * [`bitpack`] — bit-level packing used by the *compressed* sketch and
+//!   prefix sets, which describe each pivot by its global rank (`lg(f·l)`
+//!   bits) and local rank (`lg l` bits) so that an entire sketch set fits in
+//!   one block (§4.1).
+//! * [`CompressedSketchSet`] / [`PrefixSet`] — the one-block compressed forms
+//!   of a sketch set and of the per-group prefixes of Lemma 8.
+//! * [`GroupSelect`] — the `(f, l)`-group approximate k-selection structure of
+//!   Lemma 6: `O(f·l/B)` space, `O(log_B(f·l))` query and amortized update.
+//! * [`aurs`] — approximate union-rank selection (Lemma 5), running on any
+//!   collection of sets exposing `Max` and approximate `Rank` operators.
+
+pub mod aurs;
+pub mod bitpack;
+mod compressed;
+mod group;
+pub mod lemma7;
+mod prefix;
+mod sketch;
+
+pub use compressed::{CompressedSketchSet, PivotEntry, SketchSetCodec};
+pub use group::{GroupSelect, GroupSelectConfig};
+pub use prefix::{PrefixCodec, PrefixSet};
+pub use sketch::Sketch;
+
+/// The approximation factor `c3` guaranteed by this crate's implementation of
+/// Lemma 7: the returned value's rank in the union lies in `[k, LEMMA7_FACTOR·k]`.
+pub const LEMMA7_FACTOR: u64 = 8;
+
+/// The paper's rank convention: the rank of `x` in a set `L` is
+/// `|{e ∈ L : e ≥ x}|`; the largest element has rank 1.
+pub fn rank_in(values: &[u64], x: u64) -> u64 {
+    values.iter().filter(|&&v| v >= x).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_convention() {
+        let vals = vec![10, 20, 30, 40];
+        assert_eq!(rank_in(&vals, 40), 1);
+        assert_eq!(rank_in(&vals, 35), 1);
+        assert_eq!(rank_in(&vals, 30), 2);
+        assert_eq!(rank_in(&vals, 5), 4);
+        assert_eq!(rank_in(&vals, 41), 0);
+    }
+}

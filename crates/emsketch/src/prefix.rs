@@ -1,0 +1,229 @@
+//! The compressed prefix set of Lemma 8 (§4.4): for every group `G_i`, the
+//! global ranks of its `s` largest elements, packed into one block, so that a
+//! single I/O yields the global rank of the element of any small local rank.
+
+use crate::bitpack::{bits_for, BitReader, BitWriter};
+
+/// Bit widths for packing a prefix set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixCodec {
+    /// Number of groups `f`.
+    pub f: usize,
+    /// Prefix length `s` (the paper's `√B · log_B(f·l)`).
+    pub prefix_cap: usize,
+    /// Bits per global rank.
+    pub global_bits: usize,
+    /// Bits per per-group entry count.
+    pub count_bits: usize,
+}
+
+impl PrefixCodec {
+    /// Codec for `f` groups with at most `l_cap` elements each and prefixes of
+    /// length `prefix_cap`.
+    pub fn new(f: usize, l_cap: usize, prefix_cap: usize) -> Self {
+        Self {
+            f,
+            prefix_cap: prefix_cap.max(1),
+            global_bits: bits_for((f as u64) * (l_cap as u64)),
+            count_bits: bits_for(prefix_cap.max(1) as u64),
+        }
+    }
+
+    /// Worst-case packed size in 64-bit words.
+    pub fn max_words(&self) -> usize {
+        let bits = self.f * (self.count_bits + self.prefix_cap * self.global_bits);
+        (bits + 63) / 64
+    }
+}
+
+/// Decoded prefix set: `per_group[i][r-1]` is the global rank of the element
+/// of local rank `r` in `G_i`, for `r` up to the prefix length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixSet {
+    per_group: Vec<Vec<u64>>,
+}
+
+impl PrefixSet {
+    /// An empty prefix set for `f` groups.
+    pub fn empty(f: usize) -> Self {
+        Self {
+            per_group: vec![Vec::new(); f],
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.per_group.len()
+    }
+
+    /// Global rank of the element with local rank `local_rank` in `group`, if
+    /// it is covered by the prefix.
+    pub fn global_rank(&self, group: usize, local_rank: u64) -> Option<u64> {
+        if local_rank == 0 {
+            return None;
+        }
+        self.per_group[group].get(local_rank as usize - 1).copied()
+    }
+
+    /// Number of entries stored for `group`.
+    pub fn len(&self, group: usize) -> usize {
+        self.per_group[group].len()
+    }
+
+    /// Whether no group stores any entry.
+    pub fn is_empty(&self) -> bool {
+        self.per_group.iter().all(|g| g.is_empty())
+    }
+
+    /// Direct access for rebuilds.
+    pub fn entries_mut(&mut self, group: usize) -> &mut Vec<u64> {
+        &mut self.per_group[group]
+    }
+
+    // ----- encoding -----
+
+    /// Pack into 64-bit words.
+    pub fn encode(&self, codec: &PrefixCodec) -> Vec<u64> {
+        assert_eq!(self.per_group.len(), codec.f);
+        let mut w = BitWriter::new();
+        for group in &self.per_group {
+            debug_assert!(group.len() <= codec.prefix_cap);
+            w.write(group.len() as u64, codec.count_bits);
+            for &rank in group {
+                w.write(rank, codec.global_bits);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode from packed words.
+    pub fn decode(codec: &PrefixCodec, words: &[u64]) -> Self {
+        let mut r = BitReader::new(words);
+        let mut per_group = Vec::with_capacity(codec.f);
+        for _ in 0..codec.f {
+            let count = r.read(codec.count_bits) as usize;
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(r.read(codec.global_bits));
+            }
+            per_group.push(entries);
+        }
+        Self { per_group }
+    }
+
+    // ----- maintenance (§4.4) -----
+
+    /// Shift every stored global rank `≥ new_global_rank` up by one (an
+    /// element of that rank was inserted somewhere in `G`).
+    pub fn apply_insert_shift(&mut self, new_global_rank: u64) {
+        for group in &mut self.per_group {
+            for rank in group.iter_mut() {
+                if *rank >= new_global_rank {
+                    *rank += 1;
+                }
+            }
+        }
+    }
+
+    /// Shift every stored global rank `> old_global_rank` down by one (the
+    /// element of that rank was deleted). An entry equal to the deleted rank
+    /// must be removed by the caller first.
+    pub fn apply_delete_shift(&mut self, old_global_rank: u64) {
+        for group in &mut self.per_group {
+            for rank in group.iter_mut() {
+                if *rank > old_global_rank {
+                    *rank -= 1;
+                }
+            }
+        }
+    }
+
+    /// Insert an element of `group` with the given local and (post-shift)
+    /// global rank; entries beyond `prefix_cap` fall off the end.
+    pub fn insert(&mut self, group: usize, local_rank: u64, global_rank: u64, prefix_cap: usize) {
+        let entries = &mut self.per_group[group];
+        let pos = (local_rank as usize - 1).min(entries.len());
+        entries.insert(pos, global_rank);
+        entries.truncate(prefix_cap);
+    }
+
+    /// Remove the entry of `group` at `local_rank` (if covered). The caller is
+    /// responsible for refilling the last slot from the B-trees.
+    pub fn remove(&mut self, group: usize, local_rank: u64) -> Option<u64> {
+        let entries = &mut self.per_group[group];
+        let idx = local_rank as usize - 1;
+        if idx < entries.len() {
+            Some(entries.remove(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Check consistency against a full description of the groups (tests):
+    /// `groups_desc[i]` are the global ranks of `G_i`'s elements in descending
+    /// element order (i.e. index 0 is the largest element of `G_i`).
+    pub fn check_against(&self, groups_desc: &[Vec<u64>], prefix_cap: usize) {
+        for (i, expected) in groups_desc.iter().enumerate() {
+            let want: Vec<u64> = expected.iter().copied().take(prefix_cap).collect();
+            assert_eq!(
+                self.per_group[i], want,
+                "prefix of group {i} disagrees with oracle"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let codec = PrefixCodec::new(3, 100, 8);
+        let mut p = PrefixSet::empty(3);
+        p.entries_mut(0).extend([1, 5, 9]);
+        p.entries_mut(2).extend([2, 3]);
+        let words = p.encode(&codec);
+        assert!(words.len() <= codec.max_words());
+        assert_eq!(PrefixSet::decode(&codec, &words), p);
+    }
+
+    #[test]
+    fn typical_parameters_fit_one_block() {
+        // f = 16 groups, l = 1024, prefix of √B·log_B(fl) ≈ 23·2 ≈ 46 entries.
+        let codec = PrefixCodec::new(16, 1024, 46);
+        assert!(codec.max_words() <= 512, "{} words", codec.max_words());
+    }
+
+    #[test]
+    fn shifts_and_inserts() {
+        let mut p = PrefixSet::empty(2);
+        p.entries_mut(0).extend([2, 7]);
+        p.entries_mut(1).extend([1, 4]);
+        // Insert an element that takes global rank 4 into group 0 at local rank 2.
+        p.apply_insert_shift(4);
+        assert_eq!(p.global_rank(0, 2), Some(8));
+        assert_eq!(p.global_rank(1, 2), Some(5));
+        p.insert(0, 2, 4, 4);
+        assert_eq!(p.global_rank(0, 1), Some(2));
+        assert_eq!(p.global_rank(0, 2), Some(4));
+        assert_eq!(p.global_rank(0, 3), Some(8));
+        // Delete the element of global rank 1 (group 1, local rank 1).
+        let removed = p.remove(1, 1);
+        assert_eq!(removed, Some(1));
+        p.apply_delete_shift(1);
+        assert_eq!(p.global_rank(1, 1), Some(4));
+        assert_eq!(p.global_rank(0, 1), Some(1));
+    }
+
+    #[test]
+    fn truncates_at_capacity() {
+        let mut p = PrefixSet::empty(1);
+        p.entries_mut(0).extend([1, 2, 3]);
+        p.insert(0, 1, 10, 3);
+        assert_eq!(p.len(0), 3);
+        assert_eq!(p.global_rank(0, 1), Some(10));
+        assert_eq!(p.global_rank(0, 3), Some(2));
+        assert_eq!(p.global_rank(0, 4), None);
+    }
+}

@@ -1,0 +1,187 @@
+//! The logarithmic sketch of a set of scores.
+
+/// A *logarithmic sketch* of a set `L` of distinct scores: an array of
+/// `⌊lg |L|⌋ + 1` pivots where the `j`-th pivot (1-based) is an element of `L`
+/// whose rank in `L` (paper convention: `rank(e) = #{e' ≥ e}`) lies in
+/// `[2^(j-1), 2^j)`.
+///
+/// Any element in the rank window is a valid pivot; static constructions in
+/// this crate pick the element of rank `min(⌊3·2^(j-1)/2⌋, |L|)` (clamped into
+/// the window), matching the slack the paper's dynamic maintenance relies on
+/// so that `Ω(2^j)` updates are needed before the pivot drifts out of its
+/// window again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sketch {
+    pivots: Vec<u64>,
+}
+
+impl Sketch {
+    /// Number of pivots a sketch of a set of `len` elements has:
+    /// `⌊log2 len⌋ + 1` (so that the `j`-th rank window `[2^(j-1), 2^j)`
+    /// always contains at least one feasible rank).
+    pub fn pivot_count(len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            (len.ilog2() + 1) as usize
+        }
+    }
+
+    /// The rank (1-based, paper convention) that the `j`-th pivot (1-based) is
+    /// given at construction / repair time: `min(⌊3·2^(j-1)/2⌋, len)`, clamped
+    /// into the legal window `[2^(j-1), 2^j)`.
+    pub fn target_rank(j: usize, len: usize) -> u64 {
+        debug_assert!(j >= 1);
+        let lo = 1u64 << (j - 1);
+        let hi = (1u64 << j) - 1;
+        let target = (3 * lo) / 2;
+        target.clamp(lo, hi).min(len as u64).max(lo.min(len as u64))
+    }
+
+    /// Build a sketch from scores sorted in **descending** order (rank `r`
+    /// element at index `r - 1`).
+    pub fn from_sorted_desc(desc: &[u64]) -> Self {
+        debug_assert!(desc.windows(2).all(|w| w[0] > w[1]), "scores must be distinct and descending");
+        let m = Self::pivot_count(desc.len());
+        let mut pivots = Vec::with_capacity(m);
+        for j in 1..=m {
+            let rank = Self::target_rank(j, desc.len());
+            pivots.push(desc[(rank - 1) as usize]);
+        }
+        Self { pivots }
+    }
+
+    /// Build a sketch by fetching elements by rank: `fetch(r)` must return the
+    /// element of rank `r` (1-based). Used when the underlying set lives in a
+    /// B-tree and each fetch costs `O(log_B l)` I/Os.
+    pub fn from_ranked(len: usize, mut fetch: impl FnMut(u64) -> u64) -> Self {
+        let m = Self::pivot_count(len);
+        let mut pivots = Vec::with_capacity(m);
+        for j in 1..=m {
+            pivots.push(fetch(Self::target_rank(j, len)));
+        }
+        Self { pivots }
+    }
+
+    /// The pivot array (index `j - 1` holds the `j`-th pivot).
+    pub fn pivots(&self) -> &[u64] {
+        &self.pivots
+    }
+
+    /// Number of pivots.
+    pub fn len(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Whether the sketch is empty (underlying set empty).
+    pub fn is_empty(&self) -> bool {
+        self.pivots.is_empty()
+    }
+
+    /// Lower bound on the rank of `x` in the sketched set derived from the
+    /// pivots alone: `2^(j*-1)` where `j*` is the largest index whose pivot is
+    /// `≥ x` (0 when no pivot is `≥ x`, i.e. `x` is larger than the set's
+    /// maximum).
+    pub fn rank_lower_bound(&self, x: u64) -> u64 {
+        let mut lb = 0;
+        for (idx, &p) in self.pivots.iter().enumerate() {
+            if p >= x {
+                lb = 1u64 << idx;
+            }
+        }
+        // `1 << idx` is 2^(j-1) for j = idx + 1.
+        lb
+    }
+
+    /// Upper bound on the rank of `x` derived from the pivots: strictly less
+    /// than `2^(j*+1)` (and 0 when no pivot is `≥ x`). Together with
+    /// [`rank_lower_bound`](Self::rank_lower_bound) this brackets the true
+    /// rank within a factor 4.
+    pub fn rank_upper_bound(&self, x: u64, set_len: usize) -> u64 {
+        let mut j_star = 0usize;
+        for (idx, &p) in self.pivots.iter().enumerate() {
+            if p >= x {
+                j_star = idx + 1;
+            }
+        }
+        if j_star == 0 {
+            0
+        } else {
+            ((1u64 << (j_star + 1)) - 1).min(set_len as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank_in;
+    use proptest::prelude::*;
+
+    fn desc(n: u64) -> Vec<u64> {
+        (1..=n).rev().map(|i| i * 10).collect()
+    }
+
+    #[test]
+    fn pivot_count_follows_paper() {
+        assert_eq!(Sketch::pivot_count(0), 0);
+        assert_eq!(Sketch::pivot_count(1), 1);
+        assert_eq!(Sketch::pivot_count(2), 2);
+        assert_eq!(Sketch::pivot_count(3), 2);
+        assert_eq!(Sketch::pivot_count(8), 4);
+        assert_eq!(Sketch::pivot_count(1000), 10);
+    }
+
+    #[test]
+    fn pivots_sit_in_their_rank_windows() {
+        for n in [1u64, 2, 3, 5, 17, 64, 100, 513] {
+            let values = desc(n);
+            let sketch = Sketch::from_sorted_desc(&values);
+            for (idx, &p) in sketch.pivots().iter().enumerate() {
+                let j = idx + 1;
+                let r = rank_in(&values, p);
+                let lo = 1u64 << (j - 1);
+                let hi = 1u64 << j;
+                assert!(
+                    r >= lo.min(n) && r < hi.max(2),
+                    "n={n} pivot {j} has rank {r}, window [{lo},{hi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_ranked_matches_from_sorted() {
+        let values = desc(300);
+        let a = Sketch::from_sorted_desc(&values);
+        let b = Sketch::from_ranked(values.len(), |r| values[(r - 1) as usize]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bounds_bracket_true_rank() {
+        let values = desc(777);
+        let sketch = Sketch::from_sorted_desc(&values);
+        for probe in [5u64, 10, 775, 2000, 7770, 10000] {
+            let true_rank = rank_in(&values, probe);
+            let lb = sketch.rank_lower_bound(probe);
+            let ub = sketch.rank_upper_bound(probe, values.len());
+            assert!(lb <= true_rank, "lb {lb} > rank {true_rank} (probe {probe})");
+            assert!(ub >= true_rank, "ub {ub} < rank {true_rank} (probe {probe})");
+            if lb > 0 {
+                assert!(ub <= 4 * lb, "bracket wider than factor 4");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn lower_bound_is_sound(n in 1usize..600, probe in 0u64..10_000) {
+            let values: Vec<u64> = (1..=n as u64).rev().map(|i| i * 7).collect();
+            let sketch = Sketch::from_sorted_desc(&values);
+            let true_rank = rank_in(&values, probe);
+            prop_assert!(sketch.rank_lower_bound(probe) <= true_rank);
+            prop_assert!(sketch.rank_upper_bound(probe, n) >= true_rank || true_rank == 0);
+        }
+    }
+}

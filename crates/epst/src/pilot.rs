@@ -1,0 +1,1001 @@
+//! The pilot-set external priority search tree of §2 (Lemma 1).
+//!
+//! The base tree `T` is a weight-balanced B-tree over the x-coordinates with
+//! branching parameter `Θ(B)`. Every internal base node `u` carries a balanced
+//! binary *secondary tree* `T(u)` whose leaves are the slabs of `u`'s
+//! children; concatenating all secondary trees (the leaf for child `u'`
+//! adopting the root of `T(u')` as its only child) yields the *script tree*
+//! 𝒯 of height `O(lg n)`. Every script node `v` owns a *pilot set*: the
+//! highest points of its slab that are not stored at a script ancestor, capped
+//! at `Θ(B)` points (one block). The lowest pilot point is the node's
+//! *representative*; each internal base node keeps a *representative block*
+//! listing the representatives of all script nodes of its secondary tree, so
+//! that updates can descend one base level per I/O.
+//!
+//! * Queries (`top-k`): walk the two boundary script paths (`O(lg n)` I/Os),
+//!   form the concatenated max-heap over the hanging subtrees `Π`, extract
+//!   `φ·(lg n + k/B)` representatives with best-first heap selection
+//!   (standing in for Frederickson, see DESIGN.md), expand by siblings and
+//!   children (the set `S*_R`), and keep the `k` best of the collected pilot
+//!   points — `O(lg n + k/B)` I/Os.
+//! * Insertions descend via representative blocks (`O(log_B n)` I/Os) and
+//!   resolve pilot overflow with *push-downs*; deletions locate the holder via
+//!   representative blocks and resolve underflow with *pull-ups*; base-tree
+//!   splits rebuild the secondary structures of the split region, and a global
+//!   rebuild runs after `n/2` deletions — `O(log_B n)` amortized I/Os per
+//!   update (Lemma 3's token argument).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use emsim::{BlockFile, Device, Page, PageId};
+use heapsel::{select_top, HeapSource};
+use wbbtree::{NodeId, WbbConfig, WbbTree};
+
+use crate::point::Point;
+use crate::top_k_by_score;
+
+/// Parameters of a [`PilotPst`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PilotConfig {
+    /// Base-tree branching parameter (`Θ(B)`).
+    pub branching: usize,
+    /// Base-tree leaf target (keys per leaf).
+    pub leaf_target: usize,
+    /// Maximum pilot-set size (one block of points).
+    pub pilot_max: usize,
+    /// The constant `φ` of the query algorithm (the paper proves `φ = 16`
+    /// suffices).
+    pub phi: usize,
+}
+
+impl PilotConfig {
+    /// Derive a configuration from the device's block size.
+    pub fn for_device(device: &Device) -> Self {
+        let b = device.block_words();
+        let branching = (b / 32).clamp(2, 32);
+        let pilot_max = ((b.saturating_sub(16)) / Point::WORDS).max(8);
+        let leaf_target = (pilot_max / 2).max(4);
+        Self {
+            branching,
+            leaf_target,
+            pilot_max,
+            phi: 16,
+        }
+    }
+
+    fn pilot_target(&self) -> usize {
+        (self.pilot_max / 2).max(1)
+    }
+
+    fn pilot_min(&self) -> usize {
+        (self.pilot_max / 8).max(1)
+    }
+}
+
+/// A script-tree node page: routing information plus the pilot set.
+#[derive(Debug, Clone)]
+struct ScriptNode {
+    /// Base node whose secondary tree this script node belongs to.
+    owner: NodeId,
+    /// Script parent (NULL for the global script root).
+    parent: PageId,
+    /// Script children as `(max x routed into the child, child page)`.
+    children: Vec<(u64, PageId)>,
+    /// The pilot set.
+    pilot: Vec<Point>,
+}
+
+impl Page for ScriptNode {
+    fn words(&self) -> usize {
+        8 + self.children.len() * 2 + self.pilot.len() * Point::WORDS
+    }
+}
+
+impl ScriptNode {
+    fn rep(&self) -> Option<u64> {
+        self.pilot.iter().map(|p| p.score).min()
+    }
+}
+
+/// Representative-block entry for one script node of a secondary tree.
+#[derive(Debug, Clone, Copy)]
+struct RepEntry {
+    script: PageId,
+    rep: u64,
+    len: u32,
+    below: u64,
+}
+
+/// Representative block of one internal base node.
+#[derive(Debug, Clone, Default)]
+struct RepBlock {
+    entries: Vec<RepEntry>,
+}
+
+impl Page for RepBlock {
+    fn words(&self) -> usize {
+        2 + self.entries.len() * 4
+    }
+}
+
+/// The §2 structure. See the module docs.
+pub struct PilotPst {
+    config: PilotConfig,
+    base: WbbTree<u64>,
+    scripts: BlockFile<ScriptNode>,
+    reps: BlockFile<RepBlock>,
+    /// Root of the whole script tree.
+    script_root: Cell<PageId>,
+    /// Directory: internal base node → its representative block.
+    rep_of: RefCell<HashMap<NodeId, PageId>>,
+    /// Directory: base node → the script node that represents its slab
+    /// (the root of `T(u)` for internal `u`, the slab leaf for a base leaf).
+    slab_of: RefCell<HashMap<NodeId, PageId>>,
+    len: Cell<u64>,
+    deletes: Cell<u64>,
+}
+
+impl PilotPst {
+    /// Create an empty structure.
+    pub fn new(device: &Device, name: &str) -> Self {
+        let config = PilotConfig::for_device(device);
+        Self::with_config(device, name, config)
+    }
+
+    /// Create an empty structure with explicit parameters.
+    pub fn with_config(device: &Device, name: &str, config: PilotConfig) -> Self {
+        let base = WbbTree::new(
+            device,
+            &format!("{name}.base"),
+            WbbConfig::new(config.branching, config.leaf_target, 1),
+        );
+        let scripts = device.open_file::<ScriptNode>(&format!("{name}.script"));
+        let reps = device.open_file::<RepBlock>(&format!("{name}.reps"));
+        let s = Self {
+            config,
+            base,
+            scripts,
+            reps,
+            script_root: Cell::new(PageId::NULL),
+            rep_of: RefCell::new(HashMap::new()),
+            slab_of: RefCell::new(HashMap::new()),
+            len: Cell::new(0),
+            deletes: Cell::new(0),
+        };
+        s.rebuild_all(&[]);
+        s
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> u64 {
+        self.len.get()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len.get() == 0
+    }
+
+    /// Space in blocks.
+    pub fn space_blocks(&self) -> usize {
+        self.base.space_blocks() + self.scripts.live_pages() + self.reps.live_pages()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> PilotConfig {
+        self.config
+    }
+
+    // ----- script tree construction -----
+
+    /// Rebuild everything from scratch from `points`.
+    pub fn rebuild_all(&self, points: &[Point]) {
+        // Drop old secondary pages.
+        for id in self.scripts.live_ids() {
+            self.scripts.free(id);
+        }
+        for id in self.reps.live_ids() {
+            self.reps.free(id);
+        }
+        self.rep_of.borrow_mut().clear();
+        self.slab_of.borrow_mut().clear();
+
+        let mut xs: Vec<u64> = points.iter().map(|p| p.x).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        self.base.bulk_load(&xs);
+        self.len.set(points.len() as u64);
+        self.deletes.set(0);
+
+        let root = self.base.root();
+        let script_root = self.build_script(root, PageId::NULL);
+        self.script_root.set(script_root);
+        let mut sorted: Vec<Point> = points.to_vec();
+        sorted.sort_unstable_by(|a, b| b.score.cmp(&a.score));
+        self.assign_pilots(script_root, sorted);
+        self.rebuild_rep_blocks_under(root);
+    }
+
+    /// Build the secondary/script structure for the base subtree rooted at
+    /// `base_node`; returns the script node representing `base_node`'s slab.
+    fn build_script(&self, base_node: NodeId, script_parent: PageId) -> PageId {
+        let children = self.base.children(base_node);
+        if children.is_empty() {
+            // Base leaf: a single slab-leaf script node.
+            let page = self.scripts.alloc(ScriptNode {
+                owner: base_node,
+                parent: script_parent,
+                children: Vec::new(),
+                pilot: Vec::new(),
+            });
+            self.slab_of.borrow_mut().insert(base_node, page);
+            return page;
+        }
+        // Balanced binary tree over the child slabs.
+        let leaves: Vec<(u64, NodeId)> = children
+            .iter()
+            .map(|c| (c.max_key, c.id))
+            .collect();
+        let root = self.build_binary(base_node, script_parent, &leaves);
+        self.slab_of.borrow_mut().insert(base_node, root);
+        root
+    }
+
+    /// Build a balanced binary script tree over `slabs` (child max-key, child
+    /// base node); returns its root. Slab leaves adopt the recursively built
+    /// script of their base child.
+    fn build_binary(
+        &self,
+        owner: NodeId,
+        script_parent: PageId,
+        slabs: &[(u64, NodeId)],
+    ) -> PageId {
+        if slabs.len() == 1 {
+            let (max_key, base_child) = slabs[0];
+            let page = self.scripts.alloc(ScriptNode {
+                owner,
+                parent: script_parent,
+                children: Vec::new(),
+                pilot: Vec::new(),
+            });
+            // Concatenation: the slab leaf adopts the child's script root as
+            // its only child (unless the child is a base leaf, which gets its
+            // own slab-leaf node directly).
+            if !self.base.is_leaf(base_child) {
+                let child_root = self.build_script(base_child, page);
+                self.scripts
+                    .with_mut(page, |n| n.children.push((max_key, child_root)));
+            } else {
+                let child_leaf = self.build_script(base_child, page);
+                self.scripts
+                    .with_mut(page, |n| n.children.push((max_key, child_leaf)));
+            }
+            return page;
+        }
+        let mid = slabs.len() / 2;
+        let page = self.scripts.alloc(ScriptNode {
+            owner,
+            parent: script_parent,
+            children: Vec::new(),
+            pilot: Vec::new(),
+        });
+        let left = self.build_binary(owner, page, &slabs[..mid]);
+        let right = self.build_binary(owner, page, &slabs[mid..]);
+        let left_max = slabs[mid - 1].0;
+        let right_max = slabs[slabs.len() - 1].0;
+        self.scripts.with_mut(page, |n| {
+            n.children.push((left_max, left));
+            n.children.push((right_max, right));
+        });
+        page
+    }
+
+    /// Assign `pts` (sorted by descending score) to the pilot sets of the
+    /// script subtree rooted at `script`: the top `pilot_target` stay here,
+    /// the rest are routed by x to the children.
+    fn assign_pilots(&self, script: PageId, pts: Vec<Point>) {
+        let children: Vec<(u64, PageId)> = self.scripts.with(script, |n| n.children.clone());
+        let keep = if children.is_empty() {
+            pts.len()
+        } else {
+            pts.len().min(self.config.pilot_target())
+        };
+        let (here, rest) = pts.split_at(keep);
+        self.scripts
+            .with_mut(script, |n| n.pilot = here.to_vec());
+        if children.is_empty() {
+            debug_assert!(rest.is_empty(), "a slab leaf must absorb its points");
+            return;
+        }
+        let mut buckets: Vec<Vec<Point>> = vec![Vec::new(); children.len()];
+        for &p in rest {
+            let idx = children
+                .iter()
+                .position(|&(mk, _)| p.x <= mk)
+                .unwrap_or(children.len() - 1);
+            buckets[idx].push(p);
+        }
+        for ((_, child), bucket) in children.iter().zip(buckets) {
+            self.assign_pilots(*child, bucket);
+        }
+    }
+
+    /// Recompute the representative blocks of every internal base node in the
+    /// subtree of `base_node`.
+    fn rebuild_rep_blocks_under(&self, base_node: NodeId) {
+        for node in self.base.subtree_nodes_bottom_up(base_node) {
+            if !self.base.is_leaf(node) {
+                self.rebuild_rep_block(node);
+            }
+        }
+    }
+
+    /// Script nodes belonging to `T(u)` (the secondary tree of base node `u`),
+    /// found by walking down from its root without crossing into other
+    /// owners.
+    fn secondary_nodes(&self, u: NodeId) -> Vec<PageId> {
+        let root = *self.slab_of.borrow().get(&u).expect("script root exists");
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(s) = stack.pop() {
+            let (owner, children) = self.scripts.with(s, |n| (n.owner, n.children.clone()));
+            if owner != u {
+                continue;
+            }
+            out.push(s);
+            for (_, c) in children {
+                let child_owner = self.scripts.with(c, |n| n.owner);
+                if child_owner == u {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    fn rebuild_rep_block(&self, u: NodeId) {
+        let mut entries = Vec::new();
+        for s in self.secondary_nodes(u) {
+            let (rep, len) = self
+                .scripts
+                .with(s, |n| (n.rep().unwrap_or(0), n.pilot.len() as u32));
+            let below = self.count_points_below_script(s);
+            entries.push(RepEntry {
+                script: s,
+                rep,
+                len,
+                below,
+            });
+        }
+        let page = {
+            let mut map = self.rep_of.borrow_mut();
+            match map.get(&u) {
+                Some(&p) => p,
+                None => {
+                    let p = self.reps.alloc(RepBlock::default());
+                    map.insert(u, p);
+                    p
+                }
+            }
+        };
+        self.reps.with_mut(page, |b| b.entries = entries);
+    }
+
+    fn count_points_below_script(&self, script: PageId) -> u64 {
+        let children: Vec<(u64, PageId)> = self.scripts.with(script, |n| n.children.clone());
+        let mut total = 0;
+        for (_, c) in children {
+            total += self.scripts.with(c, |n| n.pilot.len() as u64);
+            total += self.count_points_below_script(c);
+        }
+        total
+    }
+
+    // ----- representative-block bookkeeping -----
+
+    fn rep_block_of(&self, u: NodeId) -> PageId {
+        *self
+            .rep_of
+            .borrow()
+            .get(&u)
+            .unwrap_or_else(|| panic!("no representative block for base node {u:?}"))
+    }
+
+    /// Refresh the rep/len entry of `script` (owned by `owner`), adjusting the
+    /// `below` counter by `below_delta`.
+    fn refresh_rep_entry(&self, owner: NodeId, script: PageId, below_delta: i64) {
+        if self.base.is_leaf(owner) {
+            return; // base leaves have no representative block
+        }
+        let (rep, len) = self
+            .scripts
+            .with(script, |n| (n.rep().unwrap_or(0), n.pilot.len() as u32));
+        let page = self.rep_block_of(owner);
+        self.reps.with_mut(page, |b| {
+            if let Some(e) = b.entries.iter_mut().find(|e| e.script == script) {
+                e.rep = rep;
+                e.len = len;
+                e.below = (e.below as i64 + below_delta).max(0) as u64;
+            }
+        });
+    }
+
+    // ----- updates -----
+
+    /// Insert a point (distinct x and score). `O(log_B n)` amortized I/Os.
+    pub fn insert(&self, pt: Point) {
+        let report = self.base.insert(pt.x);
+        debug_assert!(report.inserted, "coordinates must be distinct");
+        if !report.splits.is_empty() {
+            // Rebuild the secondary structures of the subtree of the highest
+            // split's parent, exactly as the paper rebuilds the subtree of the
+            // parent of the highest unbalanced node.
+            let top = report.splits.last().unwrap();
+            self.rebuild_subtree_secondary(top.parent);
+        }
+
+        // Descend by representative blocks to the script node that should
+        // incorporate the point.
+        let mut passed: Vec<(NodeId, PageId)> = Vec::new();
+        let mut cur = self.script_root.get();
+        let target = loop {
+            let (owner, children, len, rep, below) = self.scripts.with(cur, |n| {
+                (
+                    n.owner,
+                    n.children.clone(),
+                    n.pilot.len(),
+                    n.rep().unwrap_or(0),
+                    0u64,
+                )
+            });
+            let below = if self.base.is_leaf(owner) {
+                below
+            } else {
+                let page = self.rep_block_of(owner);
+                self.reps.with(page, |b| {
+                    b.entries
+                        .iter()
+                        .find(|e| e.script == cur)
+                        .map(|e| e.below)
+                        .unwrap_or(0)
+                })
+            };
+            if children.is_empty() {
+                break cur; // slab leaf: the point must live here
+            }
+            if below == 0 || (len > 0 && pt.score > rep) || len < self.config.pilot_min() {
+                break cur;
+            }
+            passed.push((owner, cur));
+            let idx = children
+                .iter()
+                .position(|&(mk, _)| pt.x <= mk)
+                .unwrap_or(children.len() - 1);
+            cur = children[idx].1;
+        };
+
+        for (owner, script) in &passed {
+            self.refresh_rep_entry(*owner, *script, 1);
+        }
+        self.push_points_down(target, vec![pt]);
+        self.len.set(self.len.get() + 1);
+    }
+
+    /// Delete a point (exact x and score). Returns `false` if absent.
+    pub fn delete(&self, pt: Point) -> bool {
+        // Locate the holder: the first script node on the x-path whose
+        // representative is ≤ the point's score must hold it if it exists.
+        let mut passed: Vec<(NodeId, PageId)> = Vec::new();
+        let mut cur = self.script_root.get();
+        let holder = loop {
+            let (owner, children, pilot) = self
+                .scripts
+                .with(cur, |n| (n.owner, n.children.clone(), n.pilot.clone()));
+            if pilot.iter().any(|q| q.x == pt.x && q.score == pt.score) {
+                break Some((owner, cur));
+            }
+            let rep = pilot.iter().map(|p| p.score).min();
+            if let Some(rep) = rep {
+                if pt.score >= rep {
+                    // Everything below is strictly smaller than the rep.
+                    break None;
+                }
+            }
+            if children.is_empty() {
+                break None;
+            }
+            passed.push((owner, cur));
+            let idx = children
+                .iter()
+                .position(|&(mk, _)| pt.x <= mk)
+                .unwrap_or(children.len() - 1);
+            cur = children[idx].1;
+        };
+        let Some((owner, holder)) = holder else {
+            return false;
+        };
+        self.scripts.with_mut(holder, |n| {
+            n.pilot.retain(|q| !(q.x == pt.x && q.score == pt.score));
+        });
+        self.refresh_rep_entry(owner, holder, 0);
+        for (o, s) in &passed {
+            self.refresh_rep_entry(*o, *s, -1);
+        }
+        self.base.delete(pt.x);
+        self.pull_up_if_needed(holder);
+        self.len.set(self.len.get() - 1);
+        self.deletes.set(self.deletes.get() + 1);
+        if self.deletes.get() > self.len.get() / 2 + 16 {
+            let pts = self.all_points();
+            self.rebuild_all(&pts);
+        }
+        true
+    }
+
+    /// Merge `incoming` into `script`'s pilot set; on overflow keep the
+    /// highest `pilot_target` points here and cascade the rest downwards (the
+    /// push-down of the paper). Pages are never written above their capacity.
+    fn push_points_down(&self, script: PageId, incoming: Vec<Point>) {
+        if incoming.is_empty() {
+            return;
+        }
+        let (owner, children, mut pilot) = self
+            .scripts
+            .with(script, |n| (n.owner, n.children.clone(), n.pilot.clone()));
+        pilot.extend(incoming);
+        if pilot.len() <= self.config.pilot_max || children.is_empty() {
+            // A slab leaf may exceed `pilot_max` by the couple of keys its base
+            // leaf can hold beyond the split threshold; the sizing in
+            // `PilotConfig::for_device` keeps that within one block.
+            self.scripts.with_mut(script, |n| n.pilot = pilot);
+            self.refresh_rep_entry(owner, script, 0);
+            return;
+        }
+        pilot.sort_unstable_by(|a, b| b.score.cmp(&a.score));
+        let moved: Vec<Point> = pilot.split_off(self.config.pilot_target());
+        self.scripts.with_mut(script, |n| n.pilot = pilot);
+        self.refresh_rep_entry(owner, script, moved.len() as i64);
+        let mut buckets: Vec<Vec<Point>> = vec![Vec::new(); children.len()];
+        for p in moved {
+            let idx = children
+                .iter()
+                .position(|&(mk, _)| p.x <= mk)
+                .unwrap_or(children.len() - 1);
+            buckets[idx].push(p);
+        }
+        for ((_, child), bucket) in children.iter().zip(buckets) {
+            self.push_points_down(*child, bucket);
+        }
+    }
+
+    fn pull_up_if_needed(&self, script: PageId) {
+        let (owner, children, pilot_len) = self
+            .scripts
+            .with(script, |n| (n.owner, n.children.clone(), n.pilot.len()));
+        if children.is_empty() || pilot_len >= self.config.pilot_min() {
+            return;
+        }
+        // Gather the children's pilot points and pull up the highest ones
+        // until the target size is reached (a draining pull-up takes all).
+        let mut pool: Vec<(PageId, Point)> = Vec::new();
+        for (_, c) in &children {
+            let pts = self.scripts.with(*c, |n| n.pilot.clone());
+            pool.extend(pts.into_iter().map(|p| (*c, p)));
+        }
+        if pool.is_empty() {
+            return;
+        }
+        pool.sort_unstable_by(|a, b| b.1.score.cmp(&a.1.score));
+        let want = self.config.pilot_target().saturating_sub(pilot_len);
+        let take = want.min(pool.len());
+        let pulled = &pool[..take];
+        for (child, p) in pulled {
+            self.scripts.with_mut(*child, |n| {
+                n.pilot.retain(|q| !(q.x == p.x && q.score == p.score))
+            });
+        }
+        self.scripts
+            .with_mut(script, |n| n.pilot.extend(pulled.iter().map(|(_, p)| *p)));
+        self.refresh_rep_entry(owner, script, -(take as i64));
+        let mut touched: Vec<PageId> = Vec::new();
+        for (child, _) in pulled {
+            if !touched.contains(child) {
+                touched.push(*child);
+            }
+        }
+        for child in touched {
+            let child_owner = self.scripts.with(child, |n| n.owner);
+            self.refresh_rep_entry(child_owner, child, 0);
+            // Fix a child that underflowed because of the pull-up.
+            self.pull_up_if_needed(child);
+        }
+    }
+
+    /// Rebuild the secondary structures (script trees, pilot sets,
+    /// representative blocks) of the base subtree rooted at `base_node` — the
+    /// paper's pilot grounding + bottom-up refill, implemented as a collect
+    /// and top-down redistribution.
+    fn rebuild_subtree_secondary(&self, base_node: NodeId) {
+        // A freshly created base root has no script node yet; the region it
+        // covers is the whole old script tree.
+        let slab = self.slab_of.borrow().get(&base_node).copied().or({
+            if self.base.root() == base_node && !self.script_root.get().is_null() {
+                Some(self.script_root.get())
+            } else {
+                None
+            }
+        });
+        let (script_parent, old_root) = match slab {
+            Some(root) => (self.scripts.with(root, |n| n.parent), Some(root)),
+            None => (PageId::NULL, None),
+        };
+        // Collect all pilot points stored in the region's script nodes.
+        let mut pts = Vec::new();
+        if let Some(root) = old_root {
+            self.collect_and_free_script(root, &mut pts);
+        }
+        // Drop stale directory entries and representative blocks.
+        for node in self.base.subtree_nodes_bottom_up(base_node) {
+            self.slab_of.borrow_mut().remove(&node);
+            if let Some(p) = self.rep_of.borrow_mut().remove(&node) {
+                self.reps.free(p);
+            }
+        }
+        let new_root = self.build_script(base_node, script_parent);
+        let mut sorted = pts;
+        sorted.sort_unstable_by(|a, b| b.score.cmp(&a.score));
+        self.assign_pilots(new_root, sorted);
+        self.rebuild_rep_blocks_under(base_node);
+        // Reattach to the script parent (or install as the global root).
+        if script_parent.is_null() {
+            self.script_root.set(new_root);
+        } else {
+            self.scripts.with_mut(script_parent, |n| {
+                for slot in n.children.iter_mut() {
+                    if Some(slot.1) == old_root {
+                        slot.1 = new_root;
+                    }
+                }
+            });
+            // The ancestors' below counters may have drifted; refresh the
+            // owning base node's representative block entirely.
+            let parent_owner = self.scripts.with(script_parent, |n| n.owner);
+            if !self.base.is_leaf(parent_owner) {
+                self.rebuild_rep_block(parent_owner);
+            }
+        }
+    }
+
+    fn collect_and_free_script(&self, script: PageId, out: &mut Vec<Point>) {
+        let (children, pilot) = self
+            .scripts
+            .with(script, |n| (n.children.clone(), n.pilot.clone()));
+        out.extend(pilot);
+        for (_, c) in children {
+            self.collect_and_free_script(c, out);
+        }
+        self.scripts.free(script);
+    }
+
+    // ----- queries -----
+
+    /// Report the `k` highest-scoring points with `x ∈ [x1, x2]`, in
+    /// descending score order. `O(lg n + k/B)` I/Os.
+    pub fn query_top_k(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
+        if x1 > x2 || k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // Phase 1: the two boundary paths.
+        let path1 = self.script_path(x1);
+        let path2 = self.script_path(x2);
+        let mut candidates: Vec<Point> = Vec::new();
+        let mut on_paths: Vec<PageId> = Vec::new();
+        for &s in path1.iter().chain(path2.iter()) {
+            if !on_paths.contains(&s) {
+                on_paths.push(s);
+                let pilot = self.scripts.with(s, |n| n.pilot.clone());
+                candidates.extend(pilot.into_iter().filter(|p| p.x >= x1 && p.x <= x2));
+            }
+        }
+        // Phase 2: the hanging subtrees Π.
+        let roots = self.hanging_roots(&path1, &path2);
+        // Phase 3: heap selection of Θ(lg n + k/B) representatives.
+        let points_per_block = self.config.pilot_max.max(1);
+        let lg_n = emsim::lg(self.len.get().max(2) as usize) as usize;
+        let t = self.config.phi * (lg_n + k / points_per_block + 1);
+        let source = PilotHeap { pst: self };
+        let selected = select_top(&source, &roots, t);
+        let mut sr: Vec<PageId> = selected.iter().map(|s| s.id).collect();
+        // Phase 4: expand by siblings and children (S*_R) and gather pilots.
+        let mut expansion: Vec<PageId> = Vec::new();
+        for &v in &sr {
+            let parent = self.scripts.with(v, |n| n.parent);
+            if !parent.is_null() && !roots.contains(&v) {
+                for (_, sib) in self.scripts.with(parent, |n| n.children.clone()) {
+                    if sib != v && !sr.contains(&sib) && !expansion.contains(&sib) {
+                        expansion.push(sib);
+                    }
+                }
+            }
+            for (_, child) in self.scripts.with(v, |n| n.children.clone()) {
+                if !sr.contains(&child) && !expansion.contains(&child) {
+                    expansion.push(child);
+                }
+            }
+        }
+        sr.extend(expansion);
+        for v in sr {
+            if on_paths.contains(&v) {
+                continue;
+            }
+            let pilot = self.scripts.with(v, |n| n.pilot.clone());
+            candidates.extend(pilot.into_iter().filter(|p| p.x >= x1 && p.x <= x2));
+        }
+        top_k_by_score(candidates, k)
+    }
+
+    /// Root-to-leaf script path toward coordinate `x`.
+    fn script_path(&self, x: u64) -> Vec<PageId> {
+        let mut path = Vec::new();
+        let mut cur = self.script_root.get();
+        loop {
+            path.push(cur);
+            let children = self.scripts.with(cur, |n| n.children.clone());
+            if children.is_empty() {
+                return path;
+            }
+            let idx = children
+                .iter()
+                .position(|&(mk, _)| x <= mk)
+                .unwrap_or(children.len() - 1);
+            cur = children[idx].1;
+        }
+    }
+
+    /// The roots of the hanging subtrees Π: children of the divergent parts of
+    /// the two boundary paths that lie strictly between them.
+    fn hanging_roots(&self, path1: &[PageId], path2: &[PageId]) -> Vec<PageId> {
+        let mut out = Vec::new();
+        // Find the lowest common node (paths share a prefix).
+        let mut lca_idx = 0;
+        while lca_idx + 1 < path1.len()
+            && lca_idx + 1 < path2.len()
+            && path1[lca_idx + 1] == path2[lca_idx + 1]
+        {
+            lca_idx += 1;
+        }
+        // Below the LCA: on path1, everything hanging to the right of the
+        // descent; on path2, everything hanging to the left.
+        for (path, take_right) in [(path1, true), (path2, false)] {
+            for w in path.iter().skip(lca_idx).collect::<Vec<_>>().windows(2) {
+                let (node, next) = (*w[0], *w[1]);
+                let children = self.scripts.with(node, |n| n.children.clone());
+                let next_pos = children.iter().position(|&(_, c)| c == next).unwrap_or(0);
+                for (i, &(_, c)) in children.iter().enumerate() {
+                    let hanging = if take_right { i > next_pos } else { i < next_pos };
+                    if hanging && !path1.contains(&c) && !path2.contains(&c) {
+                        let nonempty = self.scripts.with(c, |n| !n.pilot.is_empty());
+                        if nonempty && !out.contains(&c) {
+                            out.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All stored points (testing / rebuild support).
+    pub fn all_points(&self) -> Vec<Point> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.script_root.get()];
+        while let Some(s) = stack.pop() {
+            let (children, pilot) = self
+                .scripts
+                .with(s, |n| (n.children.clone(), n.pilot.clone()));
+            out.extend(pilot);
+            stack.extend(children.into_iter().map(|(_, c)| c));
+        }
+        out
+    }
+
+    /// Verify structural invariants (test support): the heap property of pilot
+    /// sets along the script tree and the pilot-capacity bounds.
+    pub fn check_invariants(&self) {
+        let total = self.check_rec(self.script_root.get(), u64::MAX);
+        assert_eq!(total, self.len.get(), "stored point count disagrees");
+    }
+
+    fn check_rec(&self, script: PageId, ancestor_min: u64) -> u64 {
+        let (children, pilot) = self
+            .scripts
+            .with(script, |n| (n.children.clone(), n.pilot.clone()));
+        assert!(
+            pilot.len() <= self.config.pilot_max + 1,
+            "pilot set exceeds its capacity"
+        );
+        for p in &pilot {
+            assert!(
+                p.score < ancestor_min || ancestor_min == u64::MAX,
+                "pilot point {:?} violates the ancestor ordering",
+                p
+            );
+        }
+        let my_min = pilot
+            .iter()
+            .map(|p| p.score)
+            .min()
+            .unwrap_or(ancestor_min);
+        if pilot.is_empty() && !children.is_empty() {
+            // An empty pilot set must mean an empty subtree below.
+            for (_, c) in &children {
+                assert_eq!(
+                    self.count_points_below_script(*c)
+                        + self.scripts.with(*c, |n| n.pilot.len() as u64),
+                    0,
+                    "empty pilot set above a non-empty subtree"
+                );
+            }
+        }
+        let mut total = pilot.len() as u64;
+        for (_, c) in children {
+            total += self.check_rec(c, my_min);
+        }
+        total
+    }
+}
+
+/// Heap view over the script tree used by the query's heap selection: keys are
+/// representatives, children are the script children with non-empty pilots.
+struct PilotHeap<'a> {
+    pst: &'a PilotPst,
+}
+
+impl<'a> HeapSource for PilotHeap<'a> {
+    type Id = PageId;
+
+    fn key(&self, node: PageId) -> u64 {
+        self.pst.scripts.with(node, |n| n.rep().unwrap_or(0))
+    }
+
+    fn children(&self, node: PageId) -> Vec<PageId> {
+        self.pst
+            .scripts
+            .with(node, |n| n.children.clone())
+            .into_iter()
+            .map(|(_, c)| c)
+            .filter(|&c| self.pst.scripts.with(c, |n| !n.pilot.is_empty()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsim::EmConfig;
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+    fn device() -> Device {
+        Device::new(EmConfig::new(128, 64 * 128))
+    }
+
+    fn random_points(seed: u64, n: usize) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs: Vec<u64> = (0..n as u64).map(|i| i * 5 + 1).collect();
+        let mut scores: Vec<u64> = (0..n as u64).map(|i| i * 11 + 3).collect();
+        xs.shuffle(&mut rng);
+        scores.shuffle(&mut rng);
+        xs.into_iter()
+            .zip(scores)
+            .map(|(x, score)| Point { x, score })
+            .collect()
+    }
+
+    fn oracle_top_k(pts: &[Point], x1: u64, x2: u64, k: usize) -> Vec<Point> {
+        let in_range: Vec<Point> = pts
+            .iter()
+            .filter(|p| p.x >= x1 && p.x <= x2)
+            .copied()
+            .collect();
+        top_k_by_score(in_range, k)
+    }
+
+    #[test]
+    fn incremental_inserts_answer_top_k() {
+        let dev = device();
+        let pst = PilotPst::new(&dev, "pilot");
+        let pts = random_points(1, 1200);
+        for (i, &p) in pts.iter().enumerate() {
+            pst.insert(p);
+            if i % 400 == 0 {
+                pst.check_invariants();
+            }
+        }
+        pst.check_invariants();
+        assert_eq!(pst.len(), 1200);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let a = rng.gen_range(0..6000u64);
+            let b = rng.gen_range(a..=6000u64);
+            let k = rng.gen_range(1..200usize);
+            let got = pst.query_top_k(a, b, k);
+            let expect = oracle_top_k(&pts, a, b, k);
+            assert_eq!(got, expect, "range [{a},{b}] k={k}");
+        }
+    }
+
+    #[test]
+    fn bulk_build_and_full_range_query() {
+        let dev = device();
+        let pst = PilotPst::new(&dev, "pilot");
+        let pts = random_points(9, 3000);
+        pst.rebuild_all(&pts);
+        pst.check_invariants();
+        let got = pst.query_top_k(0, u64::MAX, 10);
+        let expect = oracle_top_k(&pts, 0, u64::MAX, 10);
+        assert_eq!(got, expect);
+        // Large k: the whole range.
+        let got = pst.query_top_k(0, u64::MAX, 3000);
+        assert_eq!(got.len(), 3000);
+    }
+
+    #[test]
+    fn deletions_preserve_correctness() {
+        let dev = device();
+        let pst = PilotPst::new(&dev, "pilot");
+        let pts = random_points(5, 900);
+        pst.rebuild_all(&pts);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut live = pts.clone();
+        for _ in 0..500 {
+            let idx = rng.gen_range(0..live.len());
+            let victim = live.swap_remove(idx);
+            assert!(pst.delete(victim), "deleting {victim:?}");
+        }
+        assert!(!pst.delete(Point { x: 10_000_000, score: 1 }));
+        pst.check_invariants();
+        assert_eq!(pst.len(), live.len() as u64);
+        for _ in 0..20 {
+            let a = rng.gen_range(0..4500u64);
+            let b = rng.gen_range(a..=4500u64);
+            let k = rng.gen_range(1..100usize);
+            assert_eq!(pst.query_top_k(a, b, k), oracle_top_k(&live, a, b, k));
+        }
+    }
+
+    #[test]
+    fn mixed_workload_against_oracle() {
+        let dev = device();
+        let pst = PilotPst::new(&dev, "pilot");
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut live: Vec<Point> = Vec::new();
+        let mut next = 1u64;
+        for step in 0..2500 {
+            if !live.is_empty() && rng.gen_bool(0.3) {
+                let idx = rng.gen_range(0..live.len());
+                let victim = live.swap_remove(idx);
+                assert!(pst.delete(victim));
+            } else {
+                let p = Point {
+                    x: next * 23 % 1_000_003,
+                    score: next * 13,
+                };
+                next += 1;
+                live.push(p);
+                pst.insert(p);
+            }
+            if step % 600 == 0 {
+                pst.check_invariants();
+            }
+        }
+        pst.check_invariants();
+        for _ in 0..25 {
+            let a = rng.gen_range(0..1_000_003u64);
+            let b = rng.gen_range(a..=1_000_003u64);
+            let k = rng.gen_range(1..150usize);
+            assert_eq!(pst.query_top_k(a, b, k), oracle_top_k(&live, a, b, k));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The point type shared by every structure in this reproduction.
+
+use embtree::Entry;
+
+/// A point of the top-k range reporting input: a key (coordinate) `x ∈ R` and
+/// a distinct score. Both are `u64`s; the paper's standard assumption that all
+/// scores are distinct (§1, footnote 1) is required by every structure built
+/// on this type, and the public API of `topk-core` enforces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Point {
+    /// The coordinate queried by ranges `[x1, x2]`.
+    pub x: u64,
+    /// The (distinct) score; top-k queries return the `k` highest.
+    pub score: u64,
+}
+
+impl Point {
+    /// Convenience constructor.
+    pub fn new(x: u64, score: u64) -> Self {
+        Self { x, score }
+    }
+
+    /// Number of machine words a point occupies on disk.
+    pub const WORDS: usize = 2;
+}
+
+impl PartialOrd for Point {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Point {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Order by coordinate, then score, so points form a total order even
+        // if two points share a coordinate.
+        (self.x, self.score).cmp(&(other.x, other.score))
+    }
+}
+
+/// Points can be stored directly in an [`embtree::BTree`] keyed by coordinate,
+/// with the score available to range-maximum queries. This is what the naive
+/// baseline and several leaf structures use.
+impl Entry for Point {
+    type Key = u64;
+    const WORDS: usize = 2;
+    const KEY_WORDS: usize = 1;
+
+    fn key(&self) -> u64 {
+        self.x
+    }
+
+    fn aux(&self) -> u64 {
+        self.score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_x_then_score() {
+        let a = Point::new(1, 50);
+        let b = Point::new(2, 10);
+        let c = Point::new(2, 20);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn entry_impl_exposes_key_and_aux() {
+        let p = Point::new(7, 99);
+        assert_eq!(p.key(), 7);
+        assert_eq!(p.aux(), 99);
+        assert_eq!(<Point as Entry>::WORDS, 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! # kselect — approximate range k-selection structures
+//!
+//! The paper reduces small-`k` top-k reporting to *approximate range
+//! k-selection*: given `q = [x1, x2]` and `k ≤ |S ∩ q|`, return a score
+//! threshold such that between `k` and `O(k)` points of `S ∩ q` score at least
+//! that much (§3.3). Two implementations are provided behind the
+//! [`RangeKSelect`] trait:
+//!
+//! * [`PolylogKSelect`] — the paper's new structure: a weight-balanced base
+//!   tree whose internal nodes maintain, for each child, the set `G_child` of
+//!   the `c2·l` highest scores of the child's subtree, organised in a
+//!   [`GroupSelect`](emsketch::GroupSelect) (Lemma 6); a query decomposes the
+//!   range into canonical multi-slabs and runs AURS (Lemma 5) over them.
+//!   Queries and amortized updates both cost `O(log_B n)` I/Os.
+//! * [`St12KSelect`] — a Sheng–Tao PODS'12-style baseline: every internal node
+//!   keeps, per child, a logarithmic sketch of *all* scores in the child's
+//!   subtree plus a score B-tree to repair the sketch; an update therefore
+//!   performs `Θ(log_B n)` B-tree work at each of the `O(log_B n)` ancestors —
+//!   the `O(log_B² n)` amortized update bound the paper improves on. Queries
+//!   merge the sketches of the canonical children with Lemma 7 in
+//!   `O(log_B n)` I/Os.
+//!
+//! Both structures store the boundary-leaf points directly (`Θ(B)` points per
+//! leaf) and resolve boundary leaves by scanning, as discussed in DESIGN.md.
+
+mod polylog;
+mod st12;
+
+pub use polylog::{PolylogConfig, PolylogKSelect};
+pub use st12::{St12Config, St12KSelect};
+
+use epst::Point;
+
+/// The approximate range k-selection interface used by the top-k reduction.
+pub trait RangeKSelect {
+    /// Insert a point (distinct x and score).
+    fn insert(&self, pt: Point);
+
+    /// Delete a point; returns `false` if it was not present.
+    fn delete(&self, pt: Point) -> bool;
+
+    /// Return a score threshold `τ` such that the number of points of
+    /// `S ∩ [x1,x2]` with score `≥ τ` is at least `min(k, |S ∩ q|)` and at most
+    /// `O(k)`; `None` means the range holds only `O(k)` points and the caller
+    /// should simply report everything.
+    fn select(&self, x1: u64, x2: u64, k: u64) -> Option<u64>;
+
+    /// Number of stored points.
+    fn len(&self) -> u64;
+
+    /// Whether the structure is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rebuild the structure from scratch out of `points` (used by the
+    /// combined index's global rebuilding).
+    fn rebuild(&self, points: &[Point]);
+
+    /// Space used, in blocks.
+    fn space_blocks(&self) -> usize;
+
+    /// Human-readable name used by the experiment harness.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use emsim::{Device, EmConfig};
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let dev = Device::new(EmConfig::new(128, 64 * 128));
+        let structures: Vec<Box<dyn RangeKSelect>> = vec![
+            Box::new(PolylogKSelect::new(
+                &dev,
+                "p",
+                PolylogConfig::for_device(&dev, 64),
+            )),
+            Box::new(St12KSelect::new(&dev, "s", St12Config::for_device(&dev))),
+        ];
+        for s in &structures {
+            assert!(s.is_empty());
+            s.insert(Point::new(1, 10));
+            s.insert(Point::new(2, 20));
+            assert_eq!(s.len(), 2);
+            let _ = s.select(0, 10, 1);
+            assert!(s.delete(Point::new(1, 10)));
+            assert!(!s.delete(Point::new(1, 10)));
+            assert!(s.space_blocks() > 0);
+            assert!(!s.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! The paper's §3.3 approximate range k-selection structure (for
+//! `k ≤ l = O(polylg n)`).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use emsim::{BlockFile, Device, Page, PageId};
+use emsketch::aurs::{aurs, RankedSet};
+use emsketch::{GroupSelect, GroupSelectConfig, LEMMA7_FACTOR};
+use epst::Point;
+use wbbtree::{CanonicalPiece, NodeId, WbbConfig, WbbTree};
+
+use crate::RangeKSelect;
+
+/// Parameters of a [`PolylogKSelect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolylogConfig {
+    /// Base-tree branching parameter `f` (the paper uses `f ≤ √B·lg^ε N`).
+    pub branching: usize,
+    /// Points per base-tree leaf (`Θ(B)`, see DESIGN.md §3 on parameter
+    /// scaling).
+    pub leaf_target: usize,
+    /// Size cap of each per-child score set `G_child` (`c2·l` in the paper).
+    pub group_cap: usize,
+    /// Largest `k` the structure is tuned for (`l`).
+    pub l: usize,
+}
+
+impl PolylogConfig {
+    /// Derive a configuration supporting approximate selection up to rank `l`.
+    pub fn for_device(device: &Device, l: usize) -> Self {
+        let b = device.block_words();
+        let branching = ((b as f64).sqrt() as usize).clamp(2, 32);
+        let leaf_target = ((b.saturating_sub(8)) / (2 * Point::WORDS)).max(4);
+        let l = l.max(4);
+        Self {
+            branching,
+            leaf_target,
+            group_cap: LEMMA7_FACTOR as usize * l,
+            l,
+        }
+    }
+}
+
+/// A leaf's point page.
+#[derive(Debug, Clone, Default)]
+struct LeafPage {
+    pts: Vec<Point>,
+}
+
+impl Page for LeafPage {
+    fn words(&self) -> usize {
+        2 + self.pts.len() * Point::WORDS
+    }
+}
+
+/// The §3.3 structure. See the crate docs.
+pub struct PolylogKSelect {
+    device: Device,
+    name: String,
+    config: PolylogConfig,
+    base: WbbTree<u64>,
+    leaves: BlockFile<LeafPage>,
+    leaf_of: RefCell<HashMap<NodeId, PageId>>,
+    groups_of: RefCell<HashMap<NodeId, GroupSelect>>,
+    next_group_id: Cell<u64>,
+    len: Cell<u64>,
+}
+
+impl PolylogKSelect {
+    /// Create an empty structure.
+    pub fn new(device: &Device, name: &str, config: PolylogConfig) -> Self {
+        let base = WbbTree::new(
+            device,
+            &format!("{name}.base"),
+            WbbConfig::new(config.branching, config.leaf_target, 1),
+        );
+        let leaves = device.open_file::<LeafPage>(&format!("{name}.leaves"));
+        let s = Self {
+            device: device.clone(),
+            name: name.to_string(),
+            config,
+            base,
+            leaves,
+            leaf_of: RefCell::new(HashMap::new()),
+            groups_of: RefCell::new(HashMap::new()),
+            next_group_id: Cell::new(0),
+            len: Cell::new(0),
+        };
+        s.ensure_leaf_page(s.base.root());
+        s
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> PolylogConfig {
+        self.config
+    }
+
+    /// Rebuild everything from `points`.
+    pub fn rebuild_from_points(&self, points: &[Point]) {
+        for (_, p) in self.leaf_of.borrow_mut().drain() {
+            self.leaves.free(p);
+        }
+        for (_, gs) in self.groups_of.borrow_mut().drain() {
+            gs.release();
+        }
+        let mut xs: Vec<u64> = points.iter().map(|p| p.x).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        self.base.bulk_load(&xs);
+        self.len.set(points.len() as u64);
+        // Distribute the points over the leaves.
+        let mut sorted: Vec<Point> = points.to_vec();
+        sorted.sort_unstable();
+        let mut cursor = 0usize;
+        for leaf in self.base.leaves() {
+            let keys = self.base.leaf_keys(leaf);
+            let take = keys.len();
+            let page = self.leaves.alloc(LeafPage {
+                pts: sorted[cursor..cursor + take].to_vec(),
+            });
+            self.leaf_of.borrow_mut().insert(leaf, page);
+            cursor += take;
+        }
+        self.rebuild_secondary_under(self.base.root());
+    }
+
+    // ----- plumbing -----
+
+    fn ensure_leaf_page(&self, leaf: NodeId) -> PageId {
+        if let Some(&p) = self.leaf_of.borrow().get(&leaf) {
+            return p;
+        }
+        let p = self.leaves.alloc(LeafPage::default());
+        self.leaf_of.borrow_mut().insert(leaf, p);
+        p
+    }
+
+    fn leaf_points(&self, leaf: NodeId) -> Vec<Point> {
+        let page = self.ensure_leaf_page(leaf);
+        self.leaves.with(page, |p| p.pts.clone())
+    }
+
+    /// Top `limit` scores (descending) of the subtree of `node`.
+    fn top_scores_of(&self, node: NodeId, limit: usize) -> Vec<u64> {
+        if self.base.is_leaf(node) {
+            let mut scores: Vec<u64> = self.leaf_points(node).iter().map(|p| p.score).collect();
+            scores.sort_unstable_by(|a, b| b.cmp(a));
+            scores.truncate(limit);
+            scores
+        } else {
+            let groups = self.groups_of.borrow();
+            let gs = groups.get(&node).expect("internal node has a GroupSelect");
+            gs.union_top_scores(limit)
+        }
+    }
+
+    /// Rebuild the secondary structure (the per-child `G` sets and their
+    /// `GroupSelect`) of internal node `u`.
+    fn rebuild_node_secondary(&self, u: NodeId) {
+        let children = self.base.children(u);
+        let contents: Vec<Vec<u64>> = children
+            .iter()
+            .map(|c| self.top_scores_of(c.id, self.config.group_cap))
+            .collect();
+        let f = self.config.branching * 4; // max_children of the base tree
+        let id = self.next_group_id.get();
+        self.next_group_id.set(id + 1);
+        let gs = GroupSelect::bulk_build(
+            &self.device,
+            &format!("{}.g{}", self.name, id),
+            GroupSelectConfig::new(f, self.config.group_cap),
+            &contents,
+        );
+        if let Some(old) = self.groups_of.borrow_mut().insert(u, gs) {
+            old.release();
+        }
+    }
+
+    fn rebuild_secondary_under(&self, node: NodeId) {
+        for n in self.base.subtree_nodes_bottom_up(node) {
+            if !self.base.is_leaf(n) {
+                self.rebuild_node_secondary(n);
+            } else {
+                self.ensure_leaf_page(n);
+            }
+        }
+    }
+
+    fn handle_splits(&self, report: &wbbtree::InsertReport) {
+        if report.splits.is_empty() {
+            return;
+        }
+        // Split the leaf pages of any split leaves by the new boundary.
+        for ev in &report.splits {
+            if ev.level != 0 {
+                continue;
+            }
+            let boundary = self.base.max_key(ev.node).expect("split leaf is non-empty");
+            let old_page = self.ensure_leaf_page(ev.node);
+            let moved: Vec<Point> = self.leaves.with_mut(old_page, |p| {
+                let moved = p.pts.iter().copied().filter(|q| q.x > boundary).collect();
+                p.pts.retain(|q| q.x <= boundary);
+                moved
+            });
+            let new_page = self.ensure_leaf_page(ev.new_sibling);
+            self.leaves.with_mut(new_page, |p| p.pts.extend(moved));
+        }
+        // Rebuild the secondary structures of the affected region bottom-up.
+        let top = report.splits.last().unwrap();
+        self.rebuild_secondary_under(top.parent);
+    }
+
+    /// Index of `child` among `node`'s children.
+    fn child_index(&self, node: NodeId, child: NodeId) -> usize {
+        self.base
+            .children(node)
+            .iter()
+            .position(|c| c.id == child)
+            .expect("child belongs to node")
+    }
+}
+
+/// AURS view of one canonical multi-slab, backed by the owning node's
+/// `GroupSelect` (the `Rank` and `Max` operators of §3.3).
+struct MultiSlab<'a> {
+    gs: &'a GroupSelect,
+    lo: usize,
+    hi: usize,
+}
+
+impl<'a> RankedSet for MultiSlab<'a> {
+    fn max(&self) -> Option<u64> {
+        self.gs.max_in_groups(self.lo, self.hi)
+    }
+
+    fn approx_rank(&self, rho: u64) -> Option<u64> {
+        self.gs.query(self.lo, self.hi, rho)
+    }
+}
+
+impl RangeKSelect for PolylogKSelect {
+    fn insert(&self, pt: Point) {
+        let report = self.base.insert(pt.x);
+        debug_assert!(report.inserted, "coordinates must be distinct");
+        self.handle_splits(&report);
+        // Place the point in its leaf.
+        let path = self.base.descend(pt.x);
+        let leaf = *path.last().unwrap();
+        let page = self.ensure_leaf_page(leaf);
+        self.leaves.with_mut(page, |p| p.pts.push(pt));
+        self.len.set(self.len.get() + 1);
+        // Propagate the score up the path while it keeps entering the G sets
+        // (appendix update algorithm).
+        for w in path.windows(2).rev() {
+            let (node, child) = (w[0], w[1]);
+            let idx = self.child_index(node, child);
+            let groups = self.groups_of.borrow();
+            let Some(gs) = groups.get(&node) else { continue };
+            let size = gs.group_len(idx);
+            let enters = if (size as usize) < self.config.group_cap {
+                true
+            } else {
+                gs.group_min(idx).map(|m| pt.score > m).unwrap_or(true)
+            };
+            if !enters {
+                break;
+            }
+            if size as usize >= self.config.group_cap {
+                if let Some(min) = gs.group_min(idx) {
+                    gs.delete(idx, min);
+                }
+            }
+            gs.insert(idx, pt.score);
+        }
+    }
+
+    fn delete(&self, pt: Point) -> bool {
+        let path = self.base.descend(pt.x);
+        let leaf = *path.last().unwrap();
+        let page = self.ensure_leaf_page(leaf);
+        let present = self
+            .leaves
+            .with(page, |p| p.pts.iter().any(|q| q.x == pt.x && q.score == pt.score));
+        if !present {
+            return false;
+        }
+        self.leaves.with_mut(page, |p| {
+            p.pts.retain(|q| !(q.x == pt.x && q.score == pt.score))
+        });
+        self.base.delete(pt.x);
+        self.len.set(self.len.get() - 1);
+        // Remove the score from every G set on the path that holds it and pull
+        // in the replacement (the next-best score of the child's subtree).
+        for w in path.windows(2).rev() {
+            let (node, child) = (w[0], w[1]);
+            let idx = self.child_index(node, child);
+            let refill = {
+                let groups = self.groups_of.borrow();
+                let Some(gs) = groups.get(&node) else { continue };
+                if !gs.group_contains(idx, pt.score) {
+                    break;
+                }
+                gs.delete(idx, pt.score);
+                // The child's own structure has already been updated (we walk
+                // bottom-up), so its (group_cap)-th best score is the element
+                // that newly belongs in G_child.
+                self.top_scores_of(child, self.config.group_cap)
+                    .get(self.config.group_cap - 1)
+                    .copied()
+            };
+            if let Some(r) = refill {
+                let groups = self.groups_of.borrow();
+                if let Some(gs) = groups.get(&node) {
+                    if !gs.group_contains(idx, r) {
+                        gs.insert(idx, r);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn select(&self, x1: u64, x2: u64, k: u64) -> Option<u64> {
+        if x1 > x2 || self.is_empty() || k == 0 {
+            return None;
+        }
+        let pieces = self.base.canonical_decompose(x1, x2);
+        // Exact size of S ∩ q from the decomposition (child weights plus the
+        // boundary leaves): when the whole range is only O(k) points the
+        // reduction is better off reporting everything, so signal that.
+        let mut range_count = 0u64;
+        for piece in &pieces {
+            match piece {
+                CanonicalPiece::Leaf(leaf) => {
+                    range_count += self
+                        .leaf_points(*leaf)
+                        .iter()
+                        .filter(|p| p.x >= x1 && p.x <= x2)
+                        .count() as u64;
+                }
+                CanonicalPiece::MultiSlab {
+                    node,
+                    child_lo,
+                    child_hi,
+                } => {
+                    let children = self.base.children(*node);
+                    range_count += children[*child_lo..=*child_hi]
+                        .iter()
+                        .map(|c| c.weight)
+                        .sum::<u64>();
+                }
+            }
+        }
+        if range_count <= 4 * k {
+            return None;
+        }
+        let mut leaf_candidates: Vec<u64> = Vec::new();
+        let mut slabs: Vec<(NodeId, usize, usize)> = Vec::new();
+        for piece in pieces {
+            match piece {
+                CanonicalPiece::Leaf(leaf) => {
+                    let mut scores: Vec<u64> = self
+                        .leaf_points(leaf)
+                        .into_iter()
+                        .filter(|p| p.x >= x1 && p.x <= x2)
+                        .map(|p| p.score)
+                        .collect();
+                    scores.sort_unstable_by(|a, b| b.cmp(a));
+                    if scores.len() >= k as usize {
+                        leaf_candidates.push(scores[k as usize - 1]);
+                    }
+                }
+                CanonicalPiece::MultiSlab {
+                    node,
+                    child_lo,
+                    child_hi,
+                } => slabs.push((node, child_lo, child_hi)),
+            }
+        }
+        let groups = self.groups_of.borrow();
+        let views: Vec<MultiSlab<'_>> = slabs
+            .iter()
+            .filter_map(|&(node, lo, hi)| {
+                groups.get(&node).map(|gs| MultiSlab { gs, lo, hi })
+            })
+            .collect();
+        let refs: Vec<&dyn RankedSet> = views.iter().map(|v| v as &dyn RankedSet).collect();
+        let aurs_answer = if refs.is_empty() { None } else { aurs(&refs, k, LEMMA7_FACTOR) };
+        let best = aurs_answer
+            .into_iter()
+            .chain(leaf_candidates.into_iter())
+            .max();
+        best
+    }
+
+    fn len(&self) -> u64 {
+        self.len.get()
+    }
+
+    fn rebuild(&self, points: &[Point]) {
+        self.rebuild_from_points(points);
+    }
+
+    fn space_blocks(&self) -> usize {
+        let groups = self.groups_of.borrow();
+        self.base.space_blocks()
+            + self.leaves.live_pages()
+            + groups.values().map(|g| g.space_blocks()).sum::<usize>()
+    }
+
+    fn name(&self) -> &'static str {
+        "polylog-kselect (this paper)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsim::EmConfig;
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+    fn rank_in_range(pts: &[Point], x1: u64, x2: u64, score: u64) -> u64 {
+        pts.iter()
+            .filter(|p| p.x >= x1 && p.x <= x2 && p.score >= score)
+            .count() as u64
+    }
+
+    fn count_range(pts: &[Point], x1: u64, x2: u64) -> u64 {
+        pts.iter().filter(|p| p.x >= x1 && p.x <= x2).count() as u64
+    }
+
+    fn random_points(seed: u64, n: usize) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+        let mut scores: Vec<u64> = (0..n as u64).map(|i| i * 7 + 2).collect();
+        xs.shuffle(&mut rng);
+        scores.shuffle(&mut rng);
+        xs.into_iter()
+            .zip(scores)
+            .map(|(x, score)| Point { x, score })
+            .collect()
+    }
+
+    /// The factor allowed between k and the rank of the returned threshold.
+    /// (AURS contributes ~c1²(2+2c1) and the leaf candidates are exact.)
+    const QUALITY: u64 = 64;
+
+    /// The contract the top-k reduction relies on: the threshold never lets
+    /// more than O(k) points through, and if it under-delivers (possible when
+    /// small canonical pieces violate the AURS precondition, see DESIGN.md),
+    /// retrying with a doubled rank target quickly reaches k — exactly what
+    /// `TopKIndex::query` does.
+    fn check_select(s: &PolylogKSelect, pts: &[Point], x1: u64, x2: u64, k: u64) {
+        let total = count_range(pts, x1, x2);
+        let mut target = k;
+        for _ in 0..8 {
+            match s.select(x1, x2, target) {
+                Some(tau) => {
+                    let r = rank_in_range(pts, x1, x2, tau);
+                    assert!(
+                        r <= QUALITY * target,
+                        "rank {r} > {QUALITY}·target (target={target}, range [{x1},{x2}])"
+                    );
+                    if r >= k.min(total) {
+                        return;
+                    }
+                }
+                None => {
+                    assert!(
+                        total <= QUALITY * target,
+                        "select returned None but the range holds {total} points (target={target})"
+                    );
+                    return;
+                }
+            }
+            target *= 2;
+        }
+        panic!("select never reached rank k={k} in range [{x1},{x2}] (total={total})");
+    }
+
+    #[test]
+    fn insert_only_select_quality() {
+        let dev = Device::new(EmConfig::new(128, 128 * 128));
+        let s = PolylogKSelect::new(&dev, "poly", PolylogConfig::for_device(&dev, 32));
+        let pts = random_points(1, 2500);
+        for &p in &pts {
+            s.insert(p);
+        }
+        assert_eq!(s.len(), 2500);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let a = rng.gen_range(0..7500u64);
+            let b = rng.gen_range(a..=7500u64);
+            let k = rng.gen_range(1..=32u64);
+            check_select(&s, &pts, a, b, k);
+        }
+    }
+
+    #[test]
+    fn bulk_build_then_mixed_updates() {
+        let dev = Device::new(EmConfig::new(128, 128 * 128));
+        let s = PolylogKSelect::new(&dev, "poly", PolylogConfig::for_device(&dev, 16));
+        let mut pts = random_points(5, 1500);
+        s.rebuild_from_points(&pts);
+        assert_eq!(s.len(), 1500);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut next = 100_000u64;
+        for _ in 0..600 {
+            if rng.gen_bool(0.4) && !pts.is_empty() {
+                let idx = rng.gen_range(0..pts.len());
+                let victim = pts.swap_remove(idx);
+                assert!(s.delete(victim));
+            } else {
+                let p = Point {
+                    x: next * 3 + 2,
+                    score: next * 7 + 5,
+                };
+                next += 1;
+                pts.push(p);
+                s.insert(p);
+            }
+        }
+        assert_eq!(s.len(), pts.len() as u64);
+        for _ in 0..25 {
+            let a = rng.gen_range(0..400_000u64);
+            let b = rng.gen_range(a..=400_000u64);
+            let k = rng.gen_range(1..=16u64);
+            check_select(&s, &pts, a, b, k);
+        }
+        assert!(!s.delete(Point::new(1, 1)));
+    }
+}

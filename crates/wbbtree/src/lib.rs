@@ -1,0 +1,70 @@
+//! # wbbtree — a weight-balanced B-tree base tree
+//!
+//! The paper builds all of its structures on *weight-balanced B-trees*
+//! (WBB-trees, Arge & Vitter): a node at level `i` (leaves at level 0) covers a
+//! slab of the key space and its subtree holds `Θ(leaf_target · branching^i)`
+//! keys. Rebalancing is performed by splitting a node whose weight grew beyond
+//! its level budget, which guarantees that `Ω(weight)` updates happen between
+//! two consecutive splits of the same region — the property every secondary-
+//! structure amortization argument in the paper leans on.
+//!
+//! This crate provides the base tree only. Secondary structures (pilot sets,
+//! `(f,l)`-structures, per-child caches, …) are owned by the caller and are
+//! keyed by the stable [`NodeId`]s this tree hands out; structural changes are
+//! reported as [`SplitEvent`]s so the owner can rebuild exactly the affected
+//! secondary data, mirroring the paper's "rebuild the subtree of the parent of
+//! the highest unbalanced node" policy.
+//!
+//! Deletions are *weak* (the key is removed from its leaf and weights are
+//! decremented, but no rebalancing happens), exactly as in §2 of the paper;
+//! owners periodically trigger global rebuilding, which the paper also relies
+//! on.
+
+mod node;
+mod tree;
+
+pub use node::{NodeId, WbbChild, WbbConfig, WbbNode, WbbNodeKind};
+pub use tree::{CanonicalPiece, DeleteReport, InsertReport, SplitEvent, WbbTree};
+
+#[cfg(test)]
+mod proptests {
+    use crate::{WbbConfig, WbbTree};
+    use emsim::{Device, EmConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Inserting any permutation of distinct keys keeps the tree balanced
+        /// and searchable, and canonical decompositions cover ranges exactly.
+        #[test]
+        fn insert_then_decompose(keys in proptest::collection::hash_set(0u64..10_000, 1..400)) {
+            let dev = Device::new(EmConfig::new(64, 64 * 64));
+            let tree = WbbTree::new(&dev, "base", WbbConfig::new(4, 8, 1));
+            let mut sorted: Vec<u64> = keys.iter().copied().collect();
+            sorted.sort_unstable();
+            for &k in keys.iter() {
+                tree.insert(k);
+            }
+            tree.check_invariants();
+            prop_assert_eq!(tree.len(), sorted.len() as u64);
+
+            // Every key is found in exactly one leaf by descent.
+            for &k in sorted.iter().take(20) {
+                let path = tree.descend(k);
+                let leaf = *path.last().unwrap();
+                prop_assert!(tree.leaf_keys(leaf).contains(&k));
+            }
+
+            // A canonical decomposition of a range covers exactly the keys in it.
+            if sorted.len() >= 2 {
+                let lo = sorted[sorted.len() / 4];
+                let hi = sorted[(3 * sorted.len()) / 4];
+                let covered = tree.keys_covered_by_decomposition(lo, hi);
+                let expected: Vec<u64> =
+                    sorted.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
+                prop_assert_eq!(covered, expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Node layout of the weight-balanced base tree.
+
+use emsim::{Page, PageId};
+
+/// Stable identifier of a base-tree node. Owners key their secondary
+/// structures by this id.
+pub type NodeId = PageId;
+
+/// Configuration of a WBB-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WbbConfig {
+    /// Branching parameter `a`: a node at level `i` has a weight budget of
+    /// `leaf_target · a^i` and splits when it exceeds twice that budget.
+    pub branching: usize,
+    /// Target number of keys per leaf; a leaf splits when it exceeds twice
+    /// this value.
+    pub leaf_target: usize,
+}
+
+impl WbbConfig {
+    /// Create a configuration, clamping the parameters to workable minima.
+    pub fn new(branching: usize, leaf_target: usize, _key_words: usize) -> Self {
+        Self {
+            branching: branching.max(2),
+            leaf_target: leaf_target.max(2),
+        }
+    }
+
+    /// Weight budget of a node at `level` (leaves are level 0). A node splits
+    /// when its weight exceeds `2 ×` this budget.
+    pub fn level_budget(&self, level: u32) -> u64 {
+        let mut budget = self.leaf_target as u64;
+        for _ in 0..level {
+            budget = budget.saturating_mul(self.branching as u64);
+        }
+        budget
+    }
+
+    /// Hard cap on the number of children of an internal node, so that the
+    /// node always fits in one block.
+    pub fn max_children(&self) -> usize {
+        4 * self.branching
+    }
+}
+
+/// A child slot of an internal node: the largest key of the child's subtree
+/// (the router), the child's id, and a cached copy of its subtree weight.
+#[derive(Debug, Clone, Copy)]
+pub struct WbbChild<K> {
+    /// Largest key in the child's subtree (may be stale-high after weak
+    /// deletions, which is safe for routing).
+    pub max_key: K,
+    /// Child node id.
+    pub id: NodeId,
+    /// Number of keys in the child's subtree.
+    pub weight: u64,
+}
+
+/// Leaf or internal payload of a node.
+#[derive(Debug, Clone)]
+pub enum WbbNodeKind<K> {
+    /// Leaf: the keys themselves, sorted ascending.
+    Leaf {
+        /// Sorted keys stored in this leaf.
+        keys: Vec<K>,
+    },
+    /// Internal: children ordered by router key.
+    Internal {
+        /// Child slots in key order.
+        children: Vec<WbbChild<K>>,
+    },
+}
+
+/// A base-tree node page.
+#[derive(Debug, Clone)]
+pub struct WbbNode<K> {
+    /// Parent node, [`PageId::NULL`] for the root.
+    pub parent: NodeId,
+    /// Level in the tree; leaves are level 0.
+    pub level: u32,
+    /// Leaf or internal payload.
+    pub kind: WbbNodeKind<K>,
+}
+
+impl<K: Copy> WbbNode<K> {
+    /// Number of keys in this node's subtree.
+    pub fn weight(&self) -> u64 {
+        match &self.kind {
+            WbbNodeKind::Leaf { keys } => keys.len() as u64,
+            WbbNodeKind::Internal { children } => children.iter().map(|c| c.weight).sum(),
+        }
+    }
+
+    /// Largest key (router) of this node, if any.
+    pub fn max_key(&self) -> Option<K> {
+        match &self.kind {
+            WbbNodeKind::Leaf { keys } => keys.last().copied(),
+            WbbNodeKind::Internal { children } => children.last().map(|c| c.max_key),
+        }
+    }
+
+    /// Number of slots (keys or children).
+    pub fn slots(&self) -> usize {
+        match &self.kind {
+            WbbNodeKind::Leaf { keys } => keys.len(),
+            WbbNodeKind::Internal { children } => children.len(),
+        }
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, WbbNodeKind::Leaf { .. })
+    }
+}
+
+impl<K> Page for WbbNode<K> {
+    fn words(&self) -> usize {
+        let key_words = (std::mem::size_of::<K>() + 7) / 8;
+        let key_words = key_words.max(1);
+        match &self.kind {
+            WbbNodeKind::Leaf { keys } => 4 + keys.len() * key_words,
+            WbbNodeKind::Internal { children } => 4 + children.len() * (key_words + 2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_budget_grows_geometrically() {
+        let cfg = WbbConfig::new(4, 8, 1);
+        assert_eq!(cfg.level_budget(0), 8);
+        assert_eq!(cfg.level_budget(1), 32);
+        assert_eq!(cfg.level_budget(3), 512);
+        assert_eq!(cfg.max_children(), 16);
+    }
+
+    #[test]
+    fn node_weight_and_words() {
+        let leaf: WbbNode<u64> = WbbNode {
+            parent: NodeId::NULL,
+            level: 0,
+            kind: WbbNodeKind::Leaf { keys: vec![1, 2, 3] },
+        };
+        assert_eq!(leaf.weight(), 3);
+        assert_eq!(leaf.max_key(), Some(3));
+        assert_eq!(leaf.words(), 4 + 3);
+        assert!(leaf.is_leaf());
+
+        let internal: WbbNode<u64> = WbbNode {
+            parent: NodeId::NULL,
+            level: 1,
+            kind: WbbNodeKind::Internal {
+                children: vec![
+                    WbbChild {
+                        max_key: 10,
+                        id: emsim::PageId(1),
+                        weight: 5,
+                    },
+                    WbbChild {
+                        max_key: 20,
+                        id: emsim::PageId(2),
+                        weight: 7,
+                    },
+                ],
+            },
+        };
+        assert_eq!(internal.weight(), 12);
+        assert_eq!(internal.max_key(), Some(20));
+        assert!(!internal.is_leaf());
+        assert_eq!(internal.words(), 4 + 2 * 3);
+    }
+}

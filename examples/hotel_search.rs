@@ -1,0 +1,56 @@
+//! The motivating example from the paper's introduction: "find the 10
+//! best-rated hotels whose prices are between 100 and 200 dollars per night".
+//!
+//! Prices are the coordinates (in cents, so they are distinct), user ratings
+//! are the scores (scaled to distinct integers). Run with
+//! `cargo run --release --example hotel_search`.
+
+use emsim::{Device, EmConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topk_core::{Point, TopKConfig, TopKIndex};
+
+fn main() {
+    let device = Device::new(EmConfig::new(512, 2 * 1024 * 1024));
+    let index = TopKIndex::new(&device, TopKConfig::default());
+    let mut rng = StdRng::seed_from_u64(2014);
+
+    // 200k hotels with prices between $30 and $900 (in cents + a unique low
+    // digit so prices are distinct) and ratings in [0, 10000] made distinct
+    // the same way.
+    let n = 200_000u64;
+    let mut hotels = Vec::new();
+    for i in 0..n {
+        let price_cents = rng.gen_range(30_00..900_00) as u64 * 1000 + i % 1000;
+        let rating = rng.gen_range(0..10_000u64) * n + i;
+        hotels.push(Point::new(price_cents, rating));
+    }
+    for &h in &hotels {
+        index.insert(h);
+    }
+    println!("indexed {} hotels", index.len());
+
+    // The query from the paper: 10 best-rated hotels between $100 and $200.
+    let lo = 100_00 * 1000;
+    let hi = 200_00 * 1000 + 999;
+    let (best, cost) = device.measure(|| index.query(lo, hi, 10));
+    println!("10 best-rated hotels between $100 and $200 ({} I/Os):", cost.total());
+    for p in &best {
+        println!(
+            "  ${:>7.2}  rating {:.2}/10",
+            (p.x / 1000) as f64 / 100.0,
+            (p.score / n) as f64 / 1000.0
+        );
+    }
+
+    // Prices change over time: delete and re-insert a slice of the inventory.
+    for h in hotels.iter().take(5_000) {
+        index.delete(*h);
+    }
+    for (i, h) in hotels.iter().take(5_000).enumerate() {
+        index.insert(Point::new(h.x + 1, h.score + i as u64 + 1));
+    }
+    let best = index.query(lo, hi, 10);
+    println!("after 10k updates the answer still has {} hotels", best.len());
+    println!("device stats: {}", device.stats());
+}

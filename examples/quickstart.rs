@@ -1,0 +1,40 @@
+//! Quickstart: build an index, run a few top-k range queries, and look at the
+//! I/O counters of the simulated machine.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use emsim::{Device, EmConfig};
+use topk_core::{Point, TopKConfig, TopKIndex};
+
+fn main() {
+    // A machine with 4 KiB blocks (512 words of 8 bytes) and 16 MiB of memory.
+    let device = Device::new(EmConfig::new(512, 2 * 1024 * 1024));
+    let index = TopKIndex::new(&device, TopKConfig::default());
+
+    // Insert 100k points with pseudo-random distinct coordinates and scores.
+    let n = 100_000u64;
+    for i in 0..n {
+        let x = (i * 2654435761) % (8 * n) + 1;
+        let score = (i * 40503) % (16 * n) * 8 + (i % 8);
+        index.insert(Point::new(x, score));
+    }
+    println!("inserted {} points, space = {} blocks", index.len(), index.space_blocks());
+
+    // Top-10 in a 10% slice of the domain.
+    let (top, cost) = device.measure(|| index.query(n, 2 * n, 10));
+    println!("top-10 of [{}..{}]:", n, 2 * n);
+    for p in &top {
+        println!("  x = {:8}  score = {}", p.x, p.score);
+    }
+    println!("query cost: {} physical I/Os ({})", cost.total(), cost);
+
+    // A much larger k exercises the large-k (pilot-set) structure of §2.
+    let (big, cost) = device.measure(|| index.query(0, u64::MAX, 4096));
+    println!(
+        "top-4096 over the whole domain: {} results, {} I/Os",
+        big.len(),
+        cost.total()
+    );
+
+    println!("lifetime device stats: {}", device.stats());
+}

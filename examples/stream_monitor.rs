@@ -1,0 +1,55 @@
+//! A sliding-window monitoring scenario: a stream of measurements is indexed
+//! by timestamp with an "anomaly score"; a dashboard repeatedly asks for the
+//! top-k most anomalous events in recent windows while old events expire.
+//!
+//! This exercises the dynamic side of the structure: every step performs one
+//! insertion, one deletion (expiry) and one query. Run with
+//! `cargo run --release --example stream_monitor`.
+
+use emsim::{Device, EmConfig};
+use std::collections::VecDeque;
+use topk_core::{Point, TopKConfig, TopKIndex};
+
+fn main() {
+    let device = Device::new(EmConfig::new(512, 2 * 1024 * 1024));
+    let index = TopKIndex::new(&device, TopKConfig::default());
+
+    let window = 50_000u64;
+    let steps = 150_000u64;
+    let mut live: VecDeque<Point> = VecDeque::new();
+
+    let mut total_query_ios = 0u64;
+    let mut queries = 0u64;
+    for t in 0..steps {
+        // New measurement at timestamp t with a pseudo-random anomaly score.
+        let score = (t * 48271) % 0x7fff_ffff;
+        let p = Point::new(t + 1, score * steps + t);
+        index.insert(p);
+        live.push_back(p);
+        // Expire the oldest measurement once the window is full.
+        if live.len() as u64 > window {
+            let old = live.pop_front().unwrap();
+            index.delete(old);
+        }
+        // Every 10k steps the dashboard refreshes: top-20 of the last 10k
+        // timestamps.
+        if t % 10_000 == 0 && t > 0 {
+            let (top, cost) = device.measure(|| index.query(t - 9_999, t + 1, 20));
+            total_query_ios += cost.total();
+            queries += 1;
+            println!(
+                "t={:>7}: window size {:>6}, top anomaly score {:>12}, {} I/Os",
+                t,
+                index.len(),
+                top.first().map(|p| p.score).unwrap_or(0),
+                cost.total()
+            );
+        }
+    }
+    println!(
+        "ran {} steps; average dashboard query cost {:.1} I/Os; final space {} blocks",
+        steps,
+        total_query_ios as f64 / queries.max(1) as f64,
+        index.space_blocks()
+    );
+}

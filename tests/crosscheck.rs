@@ -1,0 +1,69 @@
+//! Property-based cross-checks: the combined index, the naive baseline and
+//! the in-memory oracle must agree on every query, for arbitrary point sets
+//! and query parameters.
+
+use emsim::{Device, EmConfig};
+use proptest::prelude::*;
+use topk_core::{Oracle, Point, TopKConfig, TopKIndex};
+
+fn distinct_points(raw: Vec<(u64, u64)>) -> Vec<Point> {
+    // Make coordinates and scores distinct while preserving the rough shape of
+    // the random input.
+    let mut pts = Vec::with_capacity(raw.len());
+    for (i, (x, s)) in raw.into_iter().enumerate() {
+        pts.push(Point::new(x * 1024 + i as u64, s * 1024 + i as u64));
+    }
+    pts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn index_agrees_with_oracle_and_naive(
+        raw in proptest::collection::vec((0u64..50_000, 0u64..50_000), 1..600),
+        queries in proptest::collection::vec((0u64..4_000_000, 0u64..4_000_000, 1usize..300), 1..12),
+    ) {
+        let pts = distinct_points(raw);
+        let device = Device::new(EmConfig::new(128, 128 * 128));
+        let index = TopKIndex::new(&device, TopKConfig::for_tests());
+        let naive_dev = Device::new(EmConfig::new(128, 128 * 128));
+        let naive = baselines::NaiveTopK::new(&naive_dev, "naive");
+        let mut oracle = Oracle::new();
+        for &p in &pts {
+            index.insert(p);
+            naive.insert(p);
+            oracle.insert(p);
+        }
+        for (a, b, k) in queries {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let expect = oracle.query(lo, hi, k);
+            prop_assert_eq!(index.query(lo, hi, k), expect.clone());
+            prop_assert_eq!(naive.query(lo, hi, k), expect);
+        }
+    }
+
+    #[test]
+    fn deletions_never_leave_ghosts(
+        raw in proptest::collection::vec((0u64..10_000, 0u64..10_000), 2..200),
+        delete_every in 2usize..5,
+    ) {
+        let pts = distinct_points(raw);
+        let device = Device::new(EmConfig::new(128, 128 * 128));
+        let index = TopKIndex::new(&device, TopKConfig::for_tests());
+        let mut oracle = Oracle::new();
+        for &p in &pts {
+            index.insert(p);
+            oracle.insert(p);
+        }
+        for (i, &p) in pts.iter().enumerate() {
+            if i % delete_every == 0 {
+                prop_assert!(index.delete(p));
+                oracle.delete(p);
+            }
+        }
+        let all = index.query(0, u64::MAX, pts.len());
+        let expect = oracle.query(0, u64::MAX, pts.len());
+        prop_assert_eq!(all, expect);
+    }
+}
