@@ -10,10 +10,9 @@
 //!   `O(lg n + k)` node accesses, illustrating why a RAM structure is not
 //!   I/O-efficient.
 
-use emsim::Device;
 use embtree::BTree;
+use emsim::Device;
 use epst::{top_k_by_score, Point};
-
 
 /// The naive baseline: scan the range, keep the best `k`.
 pub struct NaiveTopK {
@@ -85,10 +84,10 @@ impl NaiveTopK {
 pub struct RamPst {
     /// Heap-ordered PST: node i covers a coordinate range, stores one point,
     /// and its children hold lower-scoring points.
-    nodes: std::cell::RefCell<Vec<RamNode>>,
+    nodes: std::sync::RwLock<Vec<RamNode>>,
     /// Nodes touched by the last query — the structure's I/O cost in the EM
     /// model, since a pointer-machine node is not block-aligned.
-    last_visited: std::cell::Cell<u64>,
+    last_visited: std::sync::atomic::AtomicU64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -107,19 +106,30 @@ impl RamPst {
     /// its node accesses itself (see [`RamPst::last_visited`]).
     pub fn new(_device: &Device) -> Self {
         Self {
-            nodes: std::cell::RefCell::new(Vec::new()),
-            last_visited: std::cell::Cell::new(0),
+            nodes: std::sync::RwLock::new(Vec::new()),
+            last_visited: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// Nodes touched by the most recent query (its cost in the EM model).
+    ///
+    /// Only meaningful when queries run single-threaded: concurrent queries
+    /// each store their own count into the shared counter, so a reader may
+    /// observe another query's value. The experiment harness measures
+    /// sequentially; a future multi-threaded harness should have `query`
+    /// return its count instead.
     pub fn last_visited(&self) -> u64 {
-        self.last_visited.get()
+        self.last_visited.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Number of stored points.
     pub fn len(&self) -> usize {
-        self.nodes.borrow().len()
+        self.nodes.read().unwrap().len()
+    }
+
+    /// Whether the structure holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Rebuild from `points`.
@@ -128,7 +138,7 @@ impl RamPst {
         sorted.sort_unstable();
         let mut nodes = Vec::with_capacity(sorted.len());
         Self::build_rec(&mut nodes, &mut sorted[..]);
-        *self.nodes.borrow_mut() = nodes;
+        *self.nodes.write().unwrap() = nodes;
     }
 
     fn build_rec(nodes: &mut Vec<RamNode>, pts: &mut [Point]) -> Option<usize> {
@@ -170,11 +180,12 @@ impl RamPst {
     /// combination of McCreight's PST and heap selection described in §1.1).
     /// Touches — and therefore costs — `O(lg n + k)` nodes.
     pub fn query(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
-        self.last_visited.set(0);
-        if k == 0 || self.nodes.borrow().is_empty() || x1 > x2 {
+        self.last_visited
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+        let nodes = self.nodes.read().unwrap();
+        if k == 0 || nodes.is_empty() || x1 > x2 {
             return Vec::new();
         }
-        let nodes = self.nodes.borrow();
         let mut frontier = std::collections::BinaryHeap::new();
         let mut visited = 0u64;
         let push = |frontier: &mut std::collections::BinaryHeap<(u64, usize)>, idx: usize| {
@@ -201,7 +212,8 @@ impl RamPst {
                 push(&mut frontier, r);
             }
         }
-        self.last_visited.set(visited);
+        self.last_visited
+            .store(visited, std::sync::atomic::Ordering::Relaxed);
         out
     }
 }
@@ -236,7 +248,10 @@ mod tests {
         assert_eq!(naive.len(), 800);
         let got = naive.query(100, 1500, 7);
         let expect = top_k_by_score(
-            pts.iter().filter(|p| p.x >= 100 && p.x <= 1500).copied().collect(),
+            pts.iter()
+                .filter(|p| p.x >= 100 && p.x <= 1500)
+                .copied()
+                .collect(),
             7,
         );
         assert_eq!(got, expect);
@@ -254,7 +269,10 @@ mod tests {
         for (x1, x2, k) in [(0u64, 2000u64, 5usize), (50, 60, 3), (0, u64::MAX, 20)] {
             let got = ram.query(x1, x2, k);
             let expect = top_k_by_score(
-                pts.iter().filter(|p| p.x >= x1 && p.x <= x2).copied().collect(),
+                pts.iter()
+                    .filter(|p| p.x >= x1 && p.x <= x2)
+                    .copied()
+                    .collect(),
                 k,
             );
             assert_eq!(got, expect, "range [{x1},{x2}] k={k}");

@@ -1,0 +1,101 @@
+//! Multi-threaded smoke benchmark: read-side scaling of the concurrent index.
+//!
+//! Spawns 1, 2, 4 and 8 query threads against one shared [`ConcurrentTopK`]
+//! (with an update thread taking write locks in the interleaved variant) and
+//! reports wall-clock throughput. Queries take the shared read lock and only
+//! contend on the device's pool mutex, so throughput should grow with the
+//! thread count until that mutex saturates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use topk_bench::{small_machine, uniform_points};
+use topk_core::{ConcurrentTopK, Point, SmallKEngine, TopKConfig};
+use workload::QueryGen;
+
+fn build(n: usize) -> (ConcurrentTopK, Vec<workload::Query>) {
+    let device = emsim::Device::new(small_machine());
+    let index = ConcurrentTopK::new(
+        &device,
+        TopKConfig {
+            l: 64,
+            small_k_engine: SmallKEngine::Polylog,
+            ..TopKConfig::default()
+        },
+    );
+    let pts = uniform_points(17, n);
+    index.bulk_build(&pts);
+    let queries = QueryGen::new(0.05, 10, 23).generate(&pts, 256);
+    (index, queries)
+}
+
+fn run_readers(index: &ConcurrentTopK, queries: &[workload::Query], threads: usize) -> f64 {
+    let done = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let done = &done;
+            scope.spawn(move || {
+                for (i, q) in queries.iter().enumerate() {
+                    if i % threads == t {
+                        std::hint::black_box(index.query(q.x1, q.x2, q.k));
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    done.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let n = 1 << 15;
+    let (index, queries) = build(n);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "read-side scaling, n = {n}, {} queries per run, {cores} core(s) available",
+        queries.len()
+    );
+    println!("(speedup is capped by the core count: expect ~1.0x on a 1-core host)\n");
+    println!("{:>8} {:>16}", "threads", "queries/sec");
+    let mut base = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let qps = run_readers(&index, &queries, threads);
+        if threads == 1 {
+            base = qps;
+        }
+        println!("{threads:>8} {qps:>16.0}   ({:.2}x)", qps / base);
+    }
+
+    // Interleaved variant: one updater takes write locks while 4 readers run.
+    let (index, queries) = build(n);
+    let extra = uniform_points(91, n + 4096);
+    let updates: Vec<Point> = extra[n..].to_vec();
+    let start = Instant::now();
+    let done = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let index = &index;
+        let done = &done;
+        scope.spawn(move || {
+            for &p in &updates {
+                index.insert(p);
+            }
+        });
+        for t in 0..4 {
+            let queries = &queries;
+            scope.spawn(move || {
+                for (i, q) in queries.iter().enumerate() {
+                    if i % 4 == t {
+                        std::hint::black_box(index.query(q.x1, q.x2, q.k));
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    println!(
+        "\ninterleaved: 4 readers + 1 writer (4096 inserts): {:.0} queries/sec over {:.2}s",
+        done.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64(),
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -46,7 +46,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["n", "TopKIndex I/Os", "naive scan I/Os", "RAM PST node accesses"],
+            &[
+                "n",
+                "TopKIndex I/Os",
+                "naive scan I/Os",
+                "RAM PST node accesses"
+            ],
             &rows
         )
     );
@@ -59,7 +64,11 @@ fn main() {
     for k in [1usize, 8, 64, 256, 1024, 8192, 32768] {
         let queries = QueryGen::new(0.25, k, 7).generate(&pts, 6);
         let ios = avg_query_ios(&index, &queries);
-        let regime = if k >= 256 { "large-k (pilot, §2)" } else { "small-k (§3.3)" };
+        let regime = if k >= 256 {
+            "large-k (pilot, §2)"
+        } else {
+            "small-k (§3.3)"
+        };
         rows.push(vec![
             k.to_string(),
             format!("{:.1}", ios),

@@ -32,7 +32,11 @@ fn main() {
     let n = 1usize << 16;
     let pts = uniform_points(6, n);
     let mut rows = Vec::new();
-    for (label, ins, del) in [("90% query", 0.05, 0.05), ("50% query", 0.25, 0.25), ("10% query", 0.45, 0.45)] {
+    for (label, ins, del) in [
+        ("90% query", 0.05, 0.05),
+        ("50% query", 0.25, 0.25),
+        ("10% query", 0.45, 0.45),
+    ] {
         let index = build_index(em, SmallKEngine::Polylog, 256, &pts);
         let trace = TraceGen::new(ins, del, 10, 0.1, 17).generate(&pts, 4000);
         let device = index.device().clone();
@@ -84,7 +88,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["queries", "answer mismatches (must be 0)", "avg reported/k", "device stats"],
+            &[
+                "queries",
+                "answer mismatches (must be 0)",
+                "avg reported/k",
+                "device stats"
+            ],
             &[vec![
                 queries.len().to_string(),
                 mismatches.to_string(),

@@ -1,8 +1,8 @@
 //! Experiments E3 (headline) and E4: amortized update I/Os of the paper's
 //! structure vs the Sheng–Tao-style baseline, as n and the block size grow.
 
-use topk_bench::{avg_insert_ios, build_index, markdown_table, uniform_points};
 use emsim::EmConfig;
+use topk_bench::{avg_insert_ios, build_index, markdown_table, uniform_points};
 use topk_core::SmallKEngine;
 
 fn main() {
@@ -55,7 +55,11 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["B (words)", "this paper (polylog) I/Os", "ST12 baseline I/Os"],
+            &[
+                "B (words)",
+                "this paper (polylog) I/Os",
+                "ST12 baseline I/Os"
+            ],
             &rows
         )
     );

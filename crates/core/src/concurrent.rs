@@ -1,0 +1,151 @@
+//! A thread-safe wrapper around [`TopKIndex`] for concurrent serving.
+//!
+//! [`TopKIndex`] itself is `Send + Sync`: every piece of interior state — the
+//! device's pool and counters, each structure's node pages, directories and
+//! length counters — sits behind its own lock or atomic, so data races are
+//! impossible. What those fine-grained locks do *not* provide is logical
+//! atomicity across pages: an update touches many pages across three component
+//! structures, and a query walking the tree mid-update could observe a torn
+//! state (or chase a just-freed page and panic).
+//!
+//! [`ConcurrentTopK`] supplies that atomicity with one coarse reader–writer
+//! lock, the design this PR deliberately stops at (DESIGN.md §4 records the
+//! finer-grained plan): queries — which never modify structure state — share
+//! the read side and run fully in parallel, while updates take the write side
+//! and are serialised. Read-heavy workloads, the target of the paper's query
+//! bound, therefore scale with the number of threads; see the
+//! `concurrent_reads` bench.
+
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use emsim::Device;
+use epst::Point;
+
+use crate::config::TopKConfig;
+use crate::index::TopKIndex;
+
+/// A [`TopKIndex`] behind a coarse reader–writer lock: concurrent queries,
+/// exclusive updates. Share it across threads as `Arc<ConcurrentTopK>` (or
+/// with scoped threads, as `&ConcurrentTopK`).
+pub struct ConcurrentTopK {
+    /// Kept outside the lock so monitoring reads never block on updates.
+    device: Device,
+    inner: RwLock<TopKIndex>,
+}
+
+impl ConcurrentTopK {
+    /// Create an empty concurrent index on `device`.
+    pub fn new(device: &Device, config: TopKConfig) -> Self {
+        Self::from_index(TopKIndex::new(device, config))
+    }
+
+    /// Wrap an existing index (e.g. one that was bulk-built single-threaded).
+    pub fn from_index(index: TopKIndex) -> Self {
+        Self {
+            device: index.device().clone(),
+            inner: RwLock::new(index),
+        }
+    }
+
+    /// Tear the wrapper down, returning the inner index.
+    pub fn into_inner(self) -> TopKIndex {
+        self.inner.into_inner().unwrap()
+    }
+
+    /// Acquire the shared read side directly, for callers that want to issue
+    /// several queries against one consistent version of the index.
+    pub fn read(&self) -> RwLockReadGuard<'_, TopKIndex> {
+        self.inner.read().unwrap()
+    }
+
+    /// Acquire the exclusive write side directly, for callers that want to
+    /// apply a batch of updates atomically with respect to readers.
+    pub fn write(&self) -> RwLockWriteGuard<'_, TopKIndex> {
+        self.inner.write().unwrap()
+    }
+
+    /// Report the `k` highest-scoring points with `x ∈ [x1, x2]` (shared
+    /// lock; runs concurrently with other queries).
+    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
+        self.read().query(x1, x2, k)
+    }
+
+    /// Number of points with `x ∈ [x1, x2]` (shared lock).
+    pub fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+        self.read().count_in_range(x1, x2)
+    }
+
+    /// Insert a point (exclusive lock).
+    pub fn insert(&self, p: Point) {
+        self.write().insert(p);
+    }
+
+    /// Delete a point; returns `false` if absent (exclusive lock).
+    pub fn delete(&self, p: Point) -> bool {
+        self.write().delete(p)
+    }
+
+    /// Replace the contents with `points` (exclusive lock).
+    pub fn bulk_build(&self, points: &[Point]) {
+        self.write().bulk_build(points);
+    }
+
+    /// Number of stored points (shared lock).
+    pub fn len(&self) -> u64 {
+        self.read().len()
+    }
+
+    /// Whether the index is empty (shared lock).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Space occupied by all components, in blocks (shared lock).
+    pub fn space_blocks(&self) -> u64 {
+        self.read().space_blocks()
+    }
+
+    /// The device the index lives on. Served from a handle held outside the
+    /// lock, so a caller can read I/O statistics without ever blocking on an
+    /// in-flight update.
+    pub fn device(&self) -> Device {
+        self.device.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Oracle;
+    use emsim::EmConfig;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn index_and_wrapper_are_send_sync() {
+        assert_send_sync::<TopKIndex>();
+        assert_send_sync::<ConcurrentTopK>();
+    }
+
+    #[test]
+    fn sequential_smoke_through_the_wrapper() {
+        let device = Device::new(EmConfig::new(256, 256 * 256));
+        let index = ConcurrentTopK::new(&device, TopKConfig::for_tests());
+        assert!(index.is_empty());
+        let pts: Vec<Point> = (0..500u64)
+            .map(|i| Point::new(i * 3 + 1, i * 7 + 2))
+            .collect();
+        index.bulk_build(&pts);
+        assert_eq!(index.len(), 500);
+        let oracle = Oracle::from_points(&pts);
+        assert_eq!(index.query(10, 900, 7), oracle.query(10, 900, 7));
+        assert_eq!(index.count_in_range(10, 900), oracle.count(10, 900) as u64);
+        assert!(index.delete(pts[0]));
+        assert!(!index.delete(pts[0]));
+        index.insert(pts[0]);
+        assert_eq!(index.len(), 500);
+        assert!(index.space_blocks() > 0);
+        let inner = index.into_inner();
+        assert_eq!(inner.len(), 500);
+    }
+}

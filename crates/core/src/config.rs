@@ -75,10 +75,7 @@ mod tests {
     fn auto_resolution_follows_regime_boundary() {
         let cfg = TopKConfig::default();
         // Realistic block sizes put us in the B < lg^6 n regime → polylog.
-        assert_eq!(
-            cfg.resolve_engine(512, 1 << 20),
-            SmallKEngine::Polylog
-        );
+        assert_eq!(cfg.resolve_engine(512, 1 << 20), SmallKEngine::Polylog);
         // Astronomically large blocks relative to n → the ST12 structure is
         // already fast enough.
         assert_eq!(cfg.resolve_engine(1 << 20, 8), SmallKEngine::St12);

@@ -1,6 +1,6 @@
 //! The combined Theorem 1 index.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use emsim::Device;
 use epst::{top_k_by_score, PilotPst, Point, ThreeSidedPst};
@@ -17,18 +17,19 @@ pub struct TopKIndex {
     pilot: PilotPst,
     /// 3-sided reporting substrate of the small-`k` reduction.
     reporter: ThreeSidedPst,
-    /// Approximate range k-selection structure for small `k`.
-    small_k: Box<dyn RangeKSelect>,
+    /// Approximate range k-selection structure for small `k`. The `Send +
+    /// Sync` bounds are what make the whole index shareable across threads.
+    small_k: Box<dyn RangeKSelect + Send + Sync>,
     /// Live size at the last global rebuild, for the rebuild policy.
-    size_at_rebuild: Cell<u64>,
-    len: Cell<u64>,
+    size_at_rebuild: AtomicU64,
+    len: AtomicU64,
 }
 
 impl TopKIndex {
     /// Create an empty index on `device`.
     pub fn new(device: &Device, config: TopKConfig) -> Self {
         let engine = config.resolve_engine(device.block_words(), 1 << 20);
-        let small_k: Box<dyn RangeKSelect> = match engine {
+        let small_k: Box<dyn RangeKSelect + Send + Sync> = match engine {
             SmallKEngine::Polylog | SmallKEngine::Auto => Box::new(PolylogKSelect::new(
                 device,
                 "topk.polylog",
@@ -46,8 +47,8 @@ impl TopKIndex {
             pilot: PilotPst::new(device, "topk.pilot"),
             reporter: ThreeSidedPst::new(device, "topk.reporter"),
             small_k,
-            size_at_rebuild: Cell::new(0),
-            len: Cell::new(0),
+            size_at_rebuild: AtomicU64::new(0),
+            len: AtomicU64::new(0),
         }
     }
 
@@ -63,12 +64,12 @@ impl TopKIndex {
 
     /// Number of stored points.
     pub fn len(&self) -> u64 {
-        self.len.get()
+        self.len.load(Ordering::Relaxed)
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.len.get() == 0
+        self.len() == 0
     }
 
     /// Space occupied by all components, in blocks.
@@ -91,7 +92,7 @@ impl TopKIndex {
         self.pilot.insert(p);
         self.reporter.insert(p);
         self.small_k.insert(p);
-        self.len.set(self.len.get() + 1);
+        self.len.fetch_add(1, Ordering::Relaxed);
         self.maybe_rebuild();
     }
 
@@ -105,7 +106,7 @@ impl TopKIndex {
         debug_assert!(in_pilot, "components disagree about membership");
         let in_small = self.small_k.delete(p);
         debug_assert!(in_small, "components disagree about membership");
-        self.len.set(self.len.get() - 1);
+        self.len.fetch_sub(1, Ordering::Relaxed);
         self.maybe_rebuild();
         true
     }
@@ -116,16 +117,17 @@ impl TopKIndex {
         self.pilot.rebuild_all(points);
         self.reporter.rebuild_from_points(points);
         self.small_k.rebuild(points);
-        self.len.set(points.len() as u64);
-        self.size_at_rebuild.set(points.len() as u64);
+        self.len.store(points.len() as u64, Ordering::Relaxed);
+        self.size_at_rebuild
+            .store(points.len() as u64, Ordering::Relaxed);
     }
 
     /// The paper's global rebuilding: once the live size has doubled or halved
     /// relative to the last rebuild, rebuild every component. Amortized over
     /// the `Ω(n)` updates in between this costs `O(log_B n)` per update.
     fn maybe_rebuild(&self) {
-        let n0 = self.size_at_rebuild.get().max(64);
-        let n = self.len.get();
+        let n0 = self.size_at_rebuild.load(Ordering::Relaxed).max(64);
+        let n = self.len();
         let factor = self.config.rebuild_factor.max(2);
         if n > factor * n0 || (n0 >= 128 && n < n0 / factor) {
             let pts = self.reporter.all_points();
@@ -166,10 +168,7 @@ impl TopKIndex {
         let mut target = k as u64;
         for _ in 0..8 {
             let tau = self.small_k.select(x1, x2, target);
-            let tau = match tau {
-                Some(t) => t,
-                None => 0,
-            };
+            let tau = tau.unwrap_or_default();
             let pts = self.reporter.query(x1, x2, tau);
             if pts.len() >= want || tau == 0 {
                 return top_k_by_score(pts, k);
@@ -194,8 +193,8 @@ impl TopKIndex {
     pub fn check_invariants(&self) {
         self.pilot.check_invariants();
         self.reporter.check_invariants();
-        assert_eq!(self.pilot.len(), self.len.get());
-        assert_eq!(self.reporter.len(), self.len.get());
-        assert_eq!(self.small_k.len(), self.len.get());
+        assert_eq!(self.pilot.len(), self.len());
+        assert_eq!(self.reporter.len(), self.len());
+        assert_eq!(self.small_k.len(), self.len());
     }
 }

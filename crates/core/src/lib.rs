@@ -26,6 +26,10 @@
 //!    standard reduction (find an approximate rank-`k` score threshold, report
 //!    everything above it, keep the exact top `k`).
 //!
+//! [`TopKIndex`] is `Send + Sync`; for serving concurrent traffic, wrap it in
+//! [`ConcurrentTopK`], which lets any number of threads query in parallel
+//! while updates take an exclusive lock (see DESIGN.md §4).
+//!
 //! ```
 //! use emsim::{Device, EmConfig};
 //! use topk_core::{TopKConfig, TopKIndex};
@@ -40,10 +44,12 @@
 //! assert!(top[0].score >= top[4].score);
 //! ```
 
+mod concurrent;
 mod config;
 mod index;
 mod oracle;
 
+pub use concurrent::ConcurrentTopK;
 pub use config::{SmallKEngine, TopKConfig};
 pub use epst::Point;
 pub use index::TopKIndex;
@@ -76,9 +82,7 @@ mod tests {
         for _ in 0..rounds {
             let a = rng.gen_range(0..20_000u64);
             let b = rng.gen_range(a..=20_000u64);
-            let k = *[1usize, 2, 5, 10, 50, 200, 2000]
-                .choose(rng)
-                .unwrap();
+            let k = *[1usize, 2, 5, 10, 50, 200, 2000].choose(rng).unwrap();
             let got = index.query(a, b, k);
             let expect = oracle.query(a, b, k);
             assert_eq!(got, expect, "range [{a},{b}] k={k}");

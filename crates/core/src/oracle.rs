@@ -87,10 +87,7 @@ mod tests {
         o.insert(Point::new(3, 20));
         assert_eq!(o.len(), 3);
         assert_eq!(o.count(1, 2), 2);
-        assert_eq!(
-            o.query(1, 3, 2),
-            vec![Point::new(2, 30), Point::new(3, 20)]
-        );
+        assert_eq!(o.query(1, 3, 2), vec![Point::new(2, 30), Point::new(3, 20)]);
         assert!(o.delete(Point::new(2, 30)));
         assert!(!o.delete(Point::new(2, 30)));
         assert_eq!(o.query(1, 3, 2), vec![Point::new(3, 20), Point::new(1, 10)]);

@@ -1,6 +1,7 @@
 //! The external B-tree proper.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use emsim::{BlockFile, Device, PageId};
 
@@ -13,8 +14,8 @@ use crate::Entry;
 /// their costs.
 pub struct BTree<E: Entry> {
     file: BlockFile<NodePage<E>>,
-    root: Cell<PageId>,
-    len: Cell<u64>,
+    root: RwLock<PageId>,
+    len: AtomicU64,
     config: BTreeConfig,
 }
 
@@ -27,20 +28,28 @@ impl<E: Entry> BTree<E> {
         let root = file.alloc(NodePage::Leaf(Vec::new()));
         Self {
             file,
-            root: Cell::new(root),
-            len: Cell::new(0),
+            root: RwLock::new(root),
+            len: AtomicU64::new(0),
             config,
         }
     }
 
     /// Number of entries.
     pub fn len(&self) -> u64 {
-        self.len.get()
+        self.len.load(Ordering::Relaxed)
     }
 
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
-        self.len.get() == 0
+        self.len() == 0
+    }
+
+    fn root(&self) -> PageId {
+        *self.root.read().unwrap()
+    }
+
+    fn set_root(&self, id: PageId) {
+        *self.root.write().unwrap() = id;
     }
 
     /// Fan-out configuration in use.
@@ -94,16 +103,16 @@ impl<E: Entry> BTree<E> {
     /// Insert `entry`. If an entry with the same key already exists it is
     /// replaced and returned. Cost: `O(log_B n)` I/Os.
     pub fn insert(&self, entry: E) -> Option<E> {
-        let root = self.root.get();
+        let root = self.root();
         let (replaced, split) = self.insert_rec(root, entry);
         if let Some(new_sibling) = split {
             let left = self.child_ref(root);
             let right = self.child_ref(new_sibling);
             let new_root = self.file.alloc(NodePage::Internal(vec![left, right]));
-            self.root.set(new_root);
+            self.set_root(new_root);
         }
         if replaced.is_none() {
-            self.len.set(self.len.get() + 1);
+            self.len.fetch_add(1, Ordering::Relaxed);
         }
         replaced
     }
@@ -164,13 +173,13 @@ impl<E: Entry> BTree<E> {
     /// Remove the entry with key `key`, returning it if present.
     /// Cost: `O(log_B n)` I/Os.
     pub fn remove(&self, key: E::Key) -> Option<E> {
-        let root = self.root.get();
+        let root = self.root();
         let removed = self.remove_rec(root, key);
         if removed.is_some() {
-            self.len.set(self.len.get() - 1);
+            self.len.fetch_sub(1, Ordering::Relaxed);
             // Collapse a root with a single child.
             loop {
-                let root = self.root.get();
+                let root = self.root();
                 let collapse = self.file.with(root, |node| match node {
                     NodePage::Internal(children) if children.len() == 1 => Some(children[0].page),
                     _ => None,
@@ -178,16 +187,17 @@ impl<E: Entry> BTree<E> {
                 match collapse {
                     Some(only_child) => {
                         self.file.free(root);
-                        self.root.set(only_child);
+                        self.set_root(only_child);
                     }
                     None => break,
                 }
             }
             // A root that lost all children becomes an empty leaf.
-            let root = self.root.get();
-            let empty_internal = self
-                .file
-                .with(root, |node| matches!(node, NodePage::Internal(c) if c.is_empty()));
+            let root = self.root();
+            let empty_internal = self.file.with(
+                root,
+                |node| matches!(node, NodePage::Internal(c) if c.is_empty()),
+            );
             if empty_internal {
                 self.file.put(root, NodePage::Leaf(Vec::new()));
             }
@@ -215,9 +225,7 @@ impl<E: Entry> BTree<E> {
                 }
                 let child_page = children[idx].page;
                 let removed = self.remove_rec(child_page, key);
-                if removed.is_none() {
-                    return None;
-                }
+                removed?;
                 let child_now_empty = self.child_slots(child_page) == 0;
                 if child_now_empty {
                     self.file.free(child_page);
@@ -299,7 +307,7 @@ impl<E: Entry> BTree<E> {
 
     /// The entry with key `key`, if any.
     pub fn get(&self, key: E::Key) -> Option<E> {
-        let mut page = self.root.get();
+        let mut page = self.root();
         loop {
             let step: Result<Option<E>, PageId> = self.file.with(page, |node| match node {
                 NodePage::Leaf(entries) => {
@@ -336,7 +344,7 @@ impl<E: Entry> BTree<E> {
         if self.is_empty() {
             return None;
         }
-        let mut page = self.root.get();
+        let mut page = self.root();
         loop {
             let step = self.file.with(page, |node| match node {
                 NodePage::Leaf(entries) => Ok(entries.first().copied()),
@@ -354,7 +362,7 @@ impl<E: Entry> BTree<E> {
         if self.is_empty() {
             return None;
         }
-        let mut page = self.root.get();
+        let mut page = self.root();
         loop {
             let step = self.file.with(page, |node| match node {
                 NodePage::Leaf(entries) => Ok(entries.last().copied()),
@@ -403,7 +411,7 @@ impl<E: Entry> BTree<E> {
 
     fn count_bound(&self, key: E::Key, inclusive: bool) -> u64 {
         let mut acc = 0u64;
-        let mut page = self.root.get();
+        let mut page = self.root();
         loop {
             let step = self.file.with(page, |node| match node {
                 NodePage::Leaf(entries) => {
@@ -448,7 +456,7 @@ impl<E: Entry> BTree<E> {
             return None;
         }
         let mut remaining = r;
-        let mut page = self.root.get();
+        let mut page = self.root();
         loop {
             let step = self.file.with(page, |node| match node {
                 NodePage::Leaf(entries) => Ok(entries.get(remaining as usize - 1).copied()),
@@ -504,16 +512,14 @@ impl<E: Entry> BTree<E> {
         }
         let mut full: Vec<(u64, PageId)> = Vec::new();
         let mut best: Option<E> = None;
-        self.range_max_collect(self.root.get(), lo, hi, None, &mut full, &mut best);
+        self.range_max_collect(self.root(), lo, hi, None, &mut full, &mut best);
         let best_full = full.into_iter().max_by_key(|(aux, _)| *aux);
         if let Some((aux, page)) = best_full {
             if best.map(|b| aux > b.aux()).unwrap_or(true) {
                 let candidate = self.descend_max_aux(page);
                 match (best, candidate) {
-                    (Some(b), Some(c)) => {
-                        if c.aux() > b.aux() {
-                            best = Some(c);
-                        }
+                    (Some(b), Some(c)) if c.aux() > b.aux() => {
+                        best = Some(c);
                     }
                     (None, Some(c)) => best = Some(c),
                     _ => {}
@@ -611,7 +617,7 @@ impl<E: Entry> BTree<E> {
         if lo > hi || self.is_empty() {
             return;
         }
-        self.range_rec(self.root.get(), lo, hi, None, f);
+        self.range_rec(self.root(), lo, hi, None, f);
     }
 
     fn range_rec(
@@ -673,7 +679,7 @@ impl<E: Entry> BTree<E> {
         if self.is_empty() {
             return;
         }
-        self.scan_rec(self.root.get(), f);
+        self.scan_rec(self.root(), f);
     }
 
     fn scan_rec(&self, page: PageId, f: &mut dyn FnMut(&E)) {
@@ -718,11 +724,11 @@ impl<E: Entry> BTree<E> {
             entries.windows(2).all(|w| w[0].key() < w[1].key()),
             "bulk_load requires sorted, duplicate-free input"
         );
-        self.free_subtree(self.root.get());
+        self.free_subtree(self.root());
         if entries.is_empty() {
             let root = self.file.alloc(NodePage::Leaf(Vec::new()));
-            self.root.set(root);
-            self.len.set(0);
+            self.set_root(root);
+            self.len.store(0, Ordering::Relaxed);
             return;
         }
         // Fill nodes to ~7/8 so that immediate follow-up insertions do not
@@ -743,8 +749,8 @@ impl<E: Entry> BTree<E> {
             }
             level = next;
         }
-        self.root.set(level[0].page);
-        self.len.set(entries.len() as u64);
+        self.set_root(level[0].page);
+        self.len.store(entries.len() as u64, Ordering::Relaxed);
     }
 
     /// Remove every entry.
@@ -768,7 +774,7 @@ impl<E: Entry> BTree<E> {
     /// Check structural invariants (sortedness, router keys, counts, aux
     /// maxima). Panics on violation; intended for tests.
     pub fn check_invariants(&self) {
-        let (count, _max_key, _max_aux) = self.check_rec(self.root.get());
+        let (count, _max_key, _max_aux) = self.check_rec(self.root());
         assert_eq!(count, self.len(), "stored len disagrees with tree contents");
     }
 

@@ -1,13 +1,21 @@
 //! The shared simulated machine: configuration, buffer pool and counters.
+//!
+//! Thread safety: a [`Device`] is a cheap clone of an `Arc`-shared inner
+//! state. The I/O counters are atomics (increments are never lost), the buffer
+//! pool sits behind a `Mutex` (every access is a short critical section), and
+//! the file directory behind its own `Mutex`. A `Device` — and every
+//! [`BlockFile`] opened from it — is therefore `Send + Sync` and may be hit
+//! from many threads at once; see DESIGN.md §4 for the locking design and the
+//! finer-grained plan.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
 
 use crate::config::EmConfig;
 use crate::file::BlockFile;
 use crate::page::Page;
 use crate::pool::Pool;
-use crate::stats::{IoDelta, IoSnapshot, IoStats};
+use crate::stats::{AtomicIoStats, IoDelta, IoSnapshot, IoStats};
 
 /// Identifier of a [`BlockFile`] on a device.
 pub type FileId = u32;
@@ -21,15 +29,21 @@ pub struct PageAddr {
     pub page: u32,
 }
 
+/// Per-file bookkeeping: diagnostics name and live page count (the space
+/// measure). Kept behind one mutex so that a name and its counter can never
+/// drift apart.
+#[derive(Debug, Default)]
+struct FileDirectory {
+    names: Vec<String>,
+    live_pages: Vec<u64>,
+}
+
 #[derive(Debug)]
 struct DeviceInner {
     config: EmConfig,
-    stats: RefCell<IoStats>,
-    pool: RefCell<Pool>,
-    next_file: RefCell<FileId>,
-    /// Live page count per file, for space accounting.
-    live_pages: RefCell<Vec<u64>>,
-    file_names: RefCell<Vec<String>>,
+    stats: AtomicIoStats,
+    pool: Mutex<Pool>,
+    files: Mutex<FileDirectory>,
 }
 
 /// A cheaply clonable handle to the simulated machine. All block files opened
@@ -37,20 +51,18 @@ struct DeviceInner {
 /// machine running one data structure composed of many node files.
 #[derive(Debug, Clone)]
 pub struct Device {
-    inner: Rc<DeviceInner>,
+    inner: Arc<DeviceInner>,
 }
 
 impl Device {
     /// Create a device with the given machine parameters.
     pub fn new(config: EmConfig) -> Self {
         Self {
-            inner: Rc::new(DeviceInner {
+            inner: Arc::new(DeviceInner {
                 config,
-                stats: RefCell::new(IoStats::default()),
-                pool: RefCell::new(Pool::new(config.frames())),
-                next_file: RefCell::new(0),
-                live_pages: RefCell::new(Vec::new()),
-                file_names: RefCell::new(Vec::new()),
+                stats: AtomicIoStats::default(),
+                pool: Mutex::new(Pool::new(config.frames())),
+                files: Mutex::new(FileDirectory::default()),
             }),
         }
     }
@@ -74,19 +86,18 @@ impl Device {
     /// used for diagnostics and space breakdowns.
     pub fn open_file<P: Page>(&self, name: &str) -> BlockFile<P> {
         let id = {
-            let mut next = self.inner.next_file.borrow_mut();
-            let id = *next;
-            *next += 1;
+            let mut files = self.inner.files.lock().unwrap();
+            let id = files.names.len() as FileId;
+            files.names.push(name.to_string());
+            files.live_pages.push(0);
             id
         };
-        self.inner.live_pages.borrow_mut().push(0);
-        self.inner.file_names.borrow_mut().push(name.to_string());
         BlockFile::new(self.clone(), id)
     }
 
     /// Current counter values.
     pub fn stats(&self) -> IoStats {
-        *self.inner.stats.borrow()
+        self.inner.stats.snapshot()
     }
 
     /// Take a snapshot to later measure the cost of an operation.
@@ -100,6 +111,8 @@ impl Device {
     }
 
     /// Run `f` and return its result together with the I/Os it performed.
+    /// Under concurrency the delta also includes whatever other threads did in
+    /// the interval; cost measurements belong in single-threaded phases.
     pub fn measure<R>(&self, f: impl FnOnce() -> R) -> (R, IoDelta) {
         let snap = self.snapshot();
         let r = f();
@@ -108,76 +121,81 @@ impl Device {
 
     /// Reset all counters to zero (the buffer-pool contents are kept).
     pub fn reset_stats(&self) {
-        *self.inner.stats.borrow_mut() = IoStats::default();
+        self.inner.stats.reset();
     }
 
     /// Evict every page from the buffer pool, charging write-backs for dirty
     /// pages. Used by experiments that want cold-cache query measurements.
     pub fn drop_cache(&self) {
-        let writes = self.inner.pool.borrow_mut().clear();
-        self.inner.stats.borrow_mut().writes += writes;
+        let writes = self.inner.pool.lock().unwrap().clear();
+        self.inner.stats.writes.fetch_add(writes, Ordering::Relaxed);
     }
 
     /// Write back all dirty pages (counted) without evicting them.
     pub fn flush(&self) {
-        let writes = self.inner.pool.borrow_mut().flush();
-        self.inner.stats.borrow_mut().writes += writes;
+        let writes = self.inner.pool.lock().unwrap().flush();
+        self.inner.stats.writes.fetch_add(writes, Ordering::Relaxed);
     }
 
     /// Total number of live pages across all files — the structure's space in
     /// blocks, the paper's space measure.
     pub fn space_blocks(&self) -> u64 {
-        self.inner.live_pages.borrow().iter().sum()
+        self.inner.files.lock().unwrap().live_pages.iter().sum()
     }
 
     /// Per-file `(name, live pages)` breakdown.
     pub fn space_breakdown(&self) -> Vec<(String, u64)> {
-        let names = self.inner.file_names.borrow();
-        let pages = self.inner.live_pages.borrow();
-        names.iter().cloned().zip(pages.iter().copied()).collect()
+        let files = self.inner.files.lock().unwrap();
+        files
+            .names
+            .iter()
+            .cloned()
+            .zip(files.live_pages.iter().copied())
+            .collect()
     }
 
     /// Number of buffer-pool frames (`M/B`).
     pub fn frames(&self) -> usize {
-        self.inner.pool.borrow().capacity()
+        self.inner.pool.lock().unwrap().capacity()
     }
 
     /// Number of pages currently resident in the pool.
     pub fn resident_pages(&self) -> usize {
-        self.inner.pool.borrow().resident()
+        self.inner.pool.lock().unwrap().resident()
     }
 
     // ----- internal hooks used by BlockFile -----
 
     pub(crate) fn record_access(&self, addr: PageAddr, write: bool) {
-        let outcome = self.inner.pool.borrow_mut().access(addr, write);
-        let mut stats = self.inner.stats.borrow_mut();
-        stats.logical += 1;
+        let outcome = self.inner.pool.lock().unwrap().access(addr, write);
+        let stats = &self.inner.stats;
+        stats.logical.fetch_add(1, Ordering::Relaxed);
         if outcome.miss {
-            stats.reads += 1;
+            stats.reads.fetch_add(1, Ordering::Relaxed);
         }
         if outcome.wrote_back {
-            stats.writes += 1;
+            stats.writes.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     pub(crate) fn record_alloc(&self, file: FileId) {
-        self.inner.stats.borrow_mut().allocs += 1;
-        self.inner.live_pages.borrow_mut()[file as usize] += 1;
+        self.inner.stats.allocs.fetch_add(1, Ordering::Relaxed);
+        self.inner.files.lock().unwrap().live_pages[file as usize] += 1;
     }
 
     pub(crate) fn record_free(&self, addr: PageAddr) {
-        self.inner.pool.borrow_mut().discard(addr);
-        let mut stats = self.inner.stats.borrow_mut();
-        stats.frees += 1;
-        drop(stats);
-        let mut live = self.inner.live_pages.borrow_mut();
-        let slot = &mut live[addr.file as usize];
+        self.inner.pool.lock().unwrap().discard(addr);
+        self.inner.stats.frees.fetch_add(1, Ordering::Relaxed);
+        let mut files = self.inner.files.lock().unwrap();
+        let slot = &mut files.live_pages[addr.file as usize];
         *slot = slot.saturating_sub(1);
     }
 
     pub(crate) fn record_capacity_violation(&self, words: usize) {
-        self.inner.stats.borrow_mut().capacity_violations += 1;
+        self.inner
+            .stats
+            .capacity_violations
+            .fetch_add(1, Ordering::Relaxed);
         debug_assert!(
             false,
             "page of {} words exceeds block capacity of {} words",
@@ -259,5 +277,45 @@ mod tests {
         dev.drop_cache();
         let (_, d) = dev.measure(|| file.with(id, |_| ()));
         assert_eq!(d.reads, 1);
+    }
+
+    #[test]
+    fn device_and_files_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Device>();
+        assert_send_sync::<BlockFile<P>>();
+    }
+
+    #[test]
+    fn concurrent_accesses_never_lose_counter_updates() {
+        // The no-lost-updates contract: with T threads each performing A
+        // logical accesses and the allocation pattern known, the counters must
+        // come out exact — not approximately right.
+        const THREADS: usize = 8;
+        const ACCESSES: u64 = 2_000;
+        let dev = Device::new(EmConfig::new(64, 8 * 64)); // 8 frames: misses guaranteed
+        let file: BlockFile<P> = dev.open_file("shared");
+        let ids: Vec<_> = (0..64).map(|_| file.alloc(P(4))).collect();
+        assert_eq!(dev.stats().allocs, 64);
+        dev.reset_stats();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let file = &file;
+                let ids = &ids;
+                scope.spawn(move || {
+                    for i in 0..ACCESSES {
+                        let id = ids[((i as usize) * 7 + t * 13) % ids.len()];
+                        file.with(id, |_| ());
+                    }
+                });
+            }
+        });
+        let s = dev.stats();
+        assert_eq!(s.logical, THREADS as u64 * ACCESSES);
+        assert_eq!(dev.space_blocks(), 64);
+        assert!(
+            s.reads >= 64,
+            "a tiny pool must miss under a 64-page working set"
+        );
     }
 }

@@ -1,9 +1,8 @@
 //! Typed block files: collections of pages of one node type sharing the
 //! device's buffer pool and counters.
 
-use std::cell::RefCell;
 use std::marker::PhantomData;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::device::{Device, FileId, PageAddr};
 use crate::page::Page;
@@ -25,7 +24,7 @@ impl PageId {
     }
 }
 
-type Slot<P> = Rc<RefCell<Option<P>>>;
+type Slot<P> = Arc<RwLock<Option<P>>>;
 
 /// A file of pages of type `P` on a [`Device`].
 ///
@@ -33,12 +32,21 @@ type Slot<P> = Rc<RefCell<Option<P>>>;
 /// logical page access charged through the device's buffer pool. Accessing a
 /// page therefore costs one read I/O the first time (and after eviction), and is
 /// free while the page stays resident — exactly the EM model.
+///
+/// Thread safety: a `BlockFile<P>` is `Send + Sync` whenever `P` is. The slot
+/// table grows under a `RwLock`, each page sits behind its own `RwLock` (so
+/// `with` on distinct pages — and concurrent `with` on the same page — never
+/// serialise on page contents), and the free list has a `Mutex`. Concurrent
+/// `with_mut` calls to the *same* page are mutually exclusive but their
+/// interleaving is the caller's responsibility, as is the torn-structure
+/// problem of multi-page operations — see `topk_core::ConcurrentTopK` and
+/// DESIGN.md §4 for the structure-level locking that builds on this.
 #[derive(Debug)]
 pub struct BlockFile<P> {
     device: Device,
     file_id: FileId,
-    slots: RefCell<Vec<Slot<P>>>,
-    free_list: RefCell<Vec<u32>>,
+    slots: RwLock<Vec<Slot<P>>>,
+    free_list: Mutex<Vec<u32>>,
     _marker: PhantomData<P>,
 }
 
@@ -47,8 +55,8 @@ impl<P: Page> BlockFile<P> {
         Self {
             device,
             file_id,
-            slots: RefCell::new(Vec::new()),
-            free_list: RefCell::new(Vec::new()),
+            slots: RwLock::new(Vec::new()),
+            free_list: Mutex::new(Vec::new()),
             _marker: PhantomData,
         }
     }
@@ -71,12 +79,11 @@ impl<P: Page> BlockFile<P> {
     }
 
     fn slot(&self, id: PageId) -> Slot<P> {
-        let slots = self.slots.borrow();
-        let slot = slots
+        let slots = self.slots.read().unwrap();
+        slots
             .get(id.0 as usize)
             .unwrap_or_else(|| panic!("page {:?} out of range in file {}", id, self.file_id))
-            .clone();
-        slot
+            .clone()
     }
 
     fn check_capacity(&self, page: &P) {
@@ -89,15 +96,21 @@ impl<P: Page> BlockFile<P> {
     /// Allocate a new page holding `page`, charging one write access.
     pub fn alloc(&self, page: P) -> PageId {
         self.check_capacity(&page);
-        let id = if let Some(recycled) = self.free_list.borrow_mut().pop() {
-            let slots = self.slots.borrow();
-            *slots[recycled as usize].borrow_mut() = Some(page);
-            PageId(recycled)
-        } else {
-            let mut slots = self.slots.borrow_mut();
-            let idx = slots.len() as u32;
-            slots.push(Rc::new(RefCell::new(Some(page))));
-            PageId(idx)
+        // Pop outside the match so the free-list lock is released before any
+        // slot lock is taken (lock order: free_list and slot locks never nest).
+        let recycled = self.free_list.lock().unwrap().pop();
+        let id = match recycled {
+            Some(r) => {
+                let slot = self.slot(PageId(r));
+                *slot.write().unwrap() = Some(page);
+                PageId(r)
+            }
+            None => {
+                let mut slots = self.slots.write().unwrap();
+                let idx = slots.len() as u32;
+                slots.push(Arc::new(RwLock::new(Some(page))));
+                PageId(idx)
+            }
         };
         self.device.record_alloc(self.file_id);
         self.device.record_access(self.addr(id), true);
@@ -107,10 +120,14 @@ impl<P: Page> BlockFile<P> {
     /// Free a page. Its id may later be recycled by `alloc`.
     pub fn free(&self, id: PageId) {
         let slot = self.slot(id);
-        let was = slot.borrow_mut().take();
+        let was = slot.write().unwrap().take();
         assert!(was.is_some(), "double free of page {:?}", id);
-        self.free_list.borrow_mut().push(id.0);
+        // Discard from the pool *before* publishing the id for reuse: once the
+        // id is on the free list a racing `alloc` may recycle it, and a
+        // delayed discard would evict the recycler's freshly written page,
+        // skewing the dirty write-back accounting.
         self.device.record_free(self.addr(id));
+        self.free_list.lock().unwrap().push(id.0);
     }
 
     /// Whether `id` refers to a live page.
@@ -118,10 +135,10 @@ impl<P: Page> BlockFile<P> {
         if id.is_null() {
             return false;
         }
-        let slots = self.slots.borrow();
+        let slots = self.slots.read().unwrap();
         slots
             .get(id.0 as usize)
-            .map(|s| s.borrow().is_some())
+            .map(|s| s.read().unwrap().is_some())
             .unwrap_or(false)
     }
 
@@ -130,7 +147,7 @@ impl<P: Page> BlockFile<P> {
     pub fn with<R>(&self, id: PageId, f: impl FnOnce(&P) -> R) -> R {
         self.device.record_access(self.addr(id), false);
         let slot = self.slot(id);
-        let guard = slot.borrow();
+        let guard = slot.read().unwrap();
         let page = guard
             .as_ref()
             .unwrap_or_else(|| panic!("access to freed page {:?} in file {}", id, self.file_id));
@@ -142,7 +159,7 @@ impl<P: Page> BlockFile<P> {
     pub fn with_mut<R>(&self, id: PageId, f: impl FnOnce(&mut P) -> R) -> R {
         self.device.record_access(self.addr(id), true);
         let slot = self.slot(id);
-        let mut guard = slot.borrow_mut();
+        let mut guard = slot.write().unwrap();
         let page = guard
             .as_mut()
             .unwrap_or_else(|| panic!("access to freed page {:?} in file {}", id, self.file_id));
@@ -171,17 +188,17 @@ impl<P: Page> BlockFile<P> {
 
     /// Number of live pages in this file.
     pub fn live_pages(&self) -> usize {
-        let slots = self.slots.borrow();
-        slots.iter().filter(|s| s.borrow().is_some()).count()
+        let slots = self.slots.read().unwrap();
+        slots.iter().filter(|s| s.read().unwrap().is_some()).count()
     }
 
     /// Ids of all live pages (mainly for debugging and invariant checks).
     pub fn live_ids(&self) -> Vec<PageId> {
-        let slots = self.slots.borrow();
+        let slots = self.slots.read().unwrap();
         slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.borrow().is_some())
+            .filter(|(_, s)| s.read().unwrap().is_some())
             .map(|(i, _)| PageId(i as u32))
             .collect()
     }
@@ -268,5 +285,47 @@ mod tests {
         let b = f.alloc(Node { vals: vec![] });
         f.free(a);
         assert_eq!(f.live_ids(), vec![b]);
+    }
+
+    #[test]
+    fn concurrent_alloc_free_and_access_stay_consistent() {
+        let dev = device();
+        let f: BlockFile<Node> = dev.open_file("nodes");
+        let keep: Vec<PageId> = (0..32).map(|i| f.alloc(Node { vals: vec![i] })).collect();
+        std::thread::scope(|scope| {
+            // Churners allocate and free private pages; readers hammer the
+            // stable ones; a writer mutates one shared page.
+            for _ in 0..2 {
+                let f = &f;
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        let id = f.alloc(Node { vals: vec![i] });
+                        f.with(id, |n| assert_eq!(n.vals, vec![i]));
+                        f.free(id);
+                    }
+                });
+            }
+            for t in 0..4 {
+                let f = &f;
+                let keep = &keep;
+                scope.spawn(move || {
+                    for i in 0..2_000usize {
+                        let id = keep[(i * 5 + t) % keep.len()];
+                        f.with(id, |n| assert_eq!(n.vals.len(), 1));
+                    }
+                });
+            }
+            let f = &f;
+            let shared = keep[0];
+            scope.spawn(move || {
+                for _ in 0..500 {
+                    f.with_mut(shared, |n| n.vals[0] = n.vals[0].wrapping_add(1));
+                }
+            });
+        });
+        assert_eq!(f.live_pages(), 32, "churned pages must all be freed again");
+        let s = dev.stats();
+        assert_eq!(s.allocs - s.frees, 32);
+        assert_eq!(dev.space_blocks(), 32);
     }
 }

@@ -49,17 +49,46 @@ pub use config::EmConfig;
 pub use device::{Device, FileId, PageAddr};
 pub use file::{BlockFile, PageId};
 pub use page::{entries_per_block, entries_words, Page};
-pub use stats::{IoDelta, IoStats, IoSnapshot};
+pub use stats::{IoDelta, IoSnapshot, IoStats};
 
 /// Number of bytes in a machine word of the EM model as used throughout this
 /// reproduction (one word = one `u64`).
 pub const WORD_BYTES: usize = 8;
 
+/// Double-checked lookup in a lock-protected directory map: return the value
+/// for `key`, creating it with `make` under the write lock if absent.
+///
+/// The structure crates keep directories (`base node → page id`) behind
+/// `RwLock<HashMap<…>>`; this is the one place their get-or-create protocol
+/// lives, so racing callers always agree on a single value instead of leaking
+/// whatever `make` allocated. `make` runs while the write lock is held.
+pub fn dir_get_or_insert<K, V, F>(
+    map: &std::sync::RwLock<std::collections::HashMap<K, V>>,
+    key: K,
+    make: F,
+) -> V
+where
+    K: std::hash::Hash + Eq + Copy,
+    V: Copy,
+    F: FnOnce() -> V,
+{
+    if let Some(&v) = map.read().unwrap().get(&key) {
+        return v;
+    }
+    let mut m = map.write().unwrap();
+    if let Some(&v) = m.get(&key) {
+        return v;
+    }
+    let v = make();
+    m.insert(key, v);
+    v
+}
+
 /// `ceil(a / b)` for block/word arithmetic; `b` must be non-zero.
 #[inline]
 pub fn div_ceil(a: usize, b: usize) -> usize {
     debug_assert!(b > 0, "div_ceil by zero");
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 /// `max(1, floor(log_b(x)))` as used by the paper's `lg_b` convention

@@ -5,8 +5,17 @@
 //! the page is resident in the simulated memory of `M/B` frames, and which page
 //! to evict when it is not. This is sufficient — and exactly faithful — for the
 //! EM cost model, where the only observable is the number of block transfers.
+//!
+//! Recency is tracked with a monotone clock: every resident frame carries the
+//! stamp of its last access, and a `BTreeMap` keyed by stamp orders the frames
+//! from least to most recently used. A hit re-stamps its frame (`O(log f)`),
+//! and an eviction pops the smallest stamp (`O(log f)`), replacing the
+//! `O(f)` linear victim scan the pool shipped with. CPU cost is outside the EM
+//! model, but the pool sits on every page access of every structure and is
+//! inside the device lock under concurrency, so its constant factors gate the
+//! whole simulator's throughput.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::device::PageAddr;
 
@@ -21,21 +30,21 @@ pub(crate) struct AccessOutcome {
 
 #[derive(Debug, Clone, Copy)]
 struct Frame {
-    addr: PageAddr,
     dirty: bool,
-    /// Last-use stamp; larger = more recently used.
+    /// Last-use stamp; larger = more recently used. Stamps are unique because
+    /// the clock ticks on every access.
     stamp: u64,
 }
 
-/// A simple exact-LRU pool. CPU cost is irrelevant in the EM model, so the
-/// implementation favours clarity: a `HashMap` from address to frame slot plus a
-/// linear scan for the eviction victim (bounded by the number of frames).
+/// An exact-LRU pool with `O(log f)` accesses: a `HashMap` from address to
+/// frame state plus a `BTreeMap` from (unique) last-use stamp to address that
+/// yields the eviction victim as its smallest entry.
 #[derive(Debug)]
 pub(crate) struct Pool {
     capacity: usize,
     clock: u64,
-    frames: Vec<Frame>,
-    index: HashMap<PageAddr, usize>,
+    frames: HashMap<PageAddr, Frame>,
+    by_stamp: BTreeMap<u64, PageAddr>,
 }
 
 impl Pool {
@@ -43,8 +52,8 @@ impl Pool {
         Self {
             capacity: capacity.max(1),
             clock: 0,
-            frames: Vec::new(),
-            index: HashMap::new(),
+            frames: HashMap::new(),
+            by_stamp: BTreeMap::new(),
         }
     }
 
@@ -65,10 +74,11 @@ impl Pool {
     /// read (miss) and/or a physical write-back happened.
     pub(crate) fn access(&mut self, addr: PageAddr, write: bool) -> AccessOutcome {
         let stamp = self.tick();
-        if let Some(&slot) = self.index.get(&addr) {
-            let f = &mut self.frames[slot];
+        if let Some(f) = self.frames.get_mut(&addr) {
+            self.by_stamp.remove(&f.stamp);
             f.stamp = stamp;
             f.dirty |= write;
+            self.by_stamp.insert(stamp, addr);
             return AccessOutcome {
                 miss: false,
                 wrote_back: false,
@@ -77,31 +87,26 @@ impl Pool {
 
         let mut wrote_back = false;
         if self.frames.len() >= self.capacity {
-            // Evict the least recently used frame.
-            let victim = self
+            // Evict the least recently used frame: the smallest stamp.
+            let (_, victim) = self
+                .by_stamp
+                .pop_first()
+                .expect("a full pool has a least-recent frame");
+            let evicted = self
                 .frames
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, f)| f.stamp)
-                .map(|(i, _)| i)
-                .expect("pool is non-empty");
-            let evicted = self.frames.swap_remove(victim);
-            self.index.remove(&evicted.addr);
-            // `swap_remove` moved the last frame into `victim`; fix its index.
-            if victim < self.frames.len() {
-                let moved = self.frames[victim].addr;
-                self.index.insert(moved, victim);
-            }
+                .remove(&victim)
+                .expect("stamp index and frame table agree");
             wrote_back = evicted.dirty;
         }
 
-        let slot = self.frames.len();
-        self.frames.push(Frame {
+        self.frames.insert(
             addr,
-            dirty: write,
-            stamp,
-        });
-        self.index.insert(addr, slot);
+            Frame {
+                dirty: write,
+                stamp,
+            },
+        );
+        self.by_stamp.insert(stamp, addr);
         AccessOutcome {
             miss: true,
             wrote_back,
@@ -111,12 +116,8 @@ impl Pool {
     /// Drop `addr` from the pool without writing it back (used when a page is
     /// freed; its contents no longer matter).
     pub(crate) fn discard(&mut self, addr: PageAddr) {
-        if let Some(slot) = self.index.remove(&addr) {
-            self.frames.swap_remove(slot);
-            if slot < self.frames.len() {
-                let moved = self.frames[slot].addr;
-                self.index.insert(moved, slot);
-            }
+        if let Some(f) = self.frames.remove(&addr) {
+            self.by_stamp.remove(&f.stamp);
         }
     }
 
@@ -124,7 +125,7 @@ impl Pool {
     /// frames stay resident (clean).
     pub(crate) fn flush(&mut self) -> u64 {
         let mut writes = 0;
-        for f in &mut self.frames {
+        for f in self.frames.values_mut() {
             if f.dirty {
                 f.dirty = false;
                 writes += 1;
@@ -136,9 +137,9 @@ impl Pool {
     /// Evict everything (e.g. when an experiment wants a cold cache). Dirty
     /// frames are written back and counted.
     pub(crate) fn clear(&mut self) -> u64 {
-        let writes = self.frames.iter().filter(|f| f.dirty).count() as u64;
+        let writes = self.frames.values().filter(|f| f.dirty).count() as u64;
         self.frames.clear();
-        self.index.clear();
+        self.by_stamp.clear();
         writes
     }
 }
@@ -167,8 +168,14 @@ mod tests {
         // Touch page 1 so page 2 becomes LRU.
         p.access(addr(0, 1), false);
         p.access(addr(0, 3), false); // evicts page 2
-        assert!(!p.access(addr(0, 1), false).miss, "page 1 should be resident");
-        assert!(p.access(addr(0, 2), false).miss, "page 2 should have been evicted");
+        assert!(
+            !p.access(addr(0, 1), false).miss,
+            "page 1 should be resident"
+        );
+        assert!(
+            p.access(addr(0, 2), false).miss,
+            "page 2 should have been evicted"
+        );
     }
 
     #[test]
@@ -209,5 +216,36 @@ mod tests {
         p.access(addr(0, 2), false);
         assert_eq!(p.clear(), 1);
         assert_eq!(p.resident(), 0);
+    }
+
+    #[test]
+    fn eviction_order_under_interleaved_hits() {
+        // Exact-LRU order must survive an arbitrary interleaving of hits and
+        // misses: replay a trace against a reference recency list.
+        let mut p = Pool::new(3);
+        let mut reference: Vec<PageAddr> = Vec::new(); // most recent last
+        let trace = [1u32, 2, 3, 1, 4, 2, 5, 3, 1, 1, 6, 4, 2, 7, 5, 1, 3, 3, 8];
+        for &page in &trace {
+            let a = addr(0, page);
+            let expect_hit = reference.contains(&a);
+            let expected_victim = if !expect_hit && reference.len() == 3 {
+                Some(reference[0])
+            } else {
+                None
+            };
+            let out = p.access(a, false);
+            assert_eq!(out.miss, !expect_hit, "page {page}");
+            reference.retain(|&r| r != a);
+            reference.push(a);
+            if reference.len() > 3 {
+                let lru = reference.remove(0);
+                assert_eq!(Some(lru), expected_victim);
+            }
+            assert_eq!(p.resident(), reference.len());
+        }
+        // Final state check: exactly the reference pages are resident.
+        for &r in &reference {
+            assert!(!p.access(r, false).miss, "{r:?} must be resident");
+        }
     }
 }

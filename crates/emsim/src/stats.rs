@@ -1,6 +1,45 @@
 //! I/O accounting.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The device-internal, thread-safe form of the counters. Every field is an
+/// independent atomic updated with relaxed ordering: concurrent increments are
+/// never lost (each is a read-modify-write), which is the property the
+/// concurrent tests assert; cross-counter snapshots taken while other threads
+/// are mid-operation may mix adjacent operations, which is inherent to any
+/// monitoring read and harmless for the EM cost accounting.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicIoStats {
+    pub(crate) reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) logical: AtomicU64,
+    pub(crate) allocs: AtomicU64,
+    pub(crate) frees: AtomicU64,
+    pub(crate) capacity_violations: AtomicU64,
+}
+
+impl AtomicIoStats {
+    pub(crate) fn snapshot(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            logical: self.logical.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            capacity_violations: self.capacity_violations.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.logical.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+        self.capacity_violations.store(0, Ordering::Relaxed);
+    }
+}
 
 /// Running I/O counters of a [`Device`](crate::Device).
 ///

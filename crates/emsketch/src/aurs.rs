@@ -54,7 +54,7 @@ pub fn aurs(sets: &[&dyn RankedSet], k: u64, c1: u64) -> Option<u64> {
         // Case k < m: keep only the k sets with the largest maxima; the k-th
         // largest maximum v' is itself a candidate answer.
         let mut sorted = maxima.clone();
-        sorted.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        sorted.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v));
         let v_prime = sorted[(k - 1) as usize].1;
         let active: Vec<usize> = sorted[..k as usize].iter().map(|&(i, _)| i).collect();
         let v = rounds(sets, &active, k, c);
@@ -99,10 +99,10 @@ fn rounds(sets: &[&dyn RankedSet], initial_active: &[usize], k: u64, c: u64) -> 
             break;
         }
         let c_pow_j = c.saturating_pow(j);
-        // ρ = c^j · k / m, at least 1.
-        let rho = ((c_pow_j.saturating_mul(k)) + m - 1) / m;
-        let rho = rho.max(1);
-        let cum_weight = ((c_pow_j.saturating_mul(k)) + m - 1) / m; // ⌈c^j k / m⌉
+        // ⌈c^j · k / m⌉ — the round's cumulative weight; ρ is the same
+        // quantity clamped to at least 1.
+        let cum_weight = (c_pow_j.saturating_mul(k)).div_ceil(m);
+        let rho = cum_weight.max(1);
         let weight = cum_weight.saturating_sub(prev_cum_weight).max(1);
         prev_cum_weight = cum_weight;
 
@@ -117,8 +117,8 @@ fn rounds(sets: &[&dyn RankedSet], initial_active: &[usize], k: u64, c: u64) -> 
             break;
         }
         // The ⌈m / c^j⌉ largest markers become pivots; their sets stay active.
-        let keep = (((m + c_pow_j - 1) / c_pow_j) as usize).max(1);
-        markers.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        let keep = (m.div_ceil(c_pow_j) as usize).max(1);
+        markers.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v));
         let kept = &markers[..keep.min(markers.len())];
         for &(_, v) in kept {
             pivots.push(WeightedPivot { value: v, weight });
@@ -127,7 +127,7 @@ fn rounds(sets: &[&dyn RankedSet], initial_active: &[usize], k: u64, c: u64) -> 
     }
 
     // Weighted selection: the largest pivot whose prefix weight reaches k.
-    pivots.sort_unstable_by(|a, b| b.value.cmp(&a.value));
+    pivots.sort_unstable_by_key(|p| std::cmp::Reverse(p.value));
     let mut acc = 0u64;
     for p in &pivots {
         acc += p.weight;
@@ -194,7 +194,6 @@ impl RankedSet for VecRankedSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -288,22 +287,28 @@ mod tests {
         assert_eq!(aurs(&views, 1, 2), None);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(40))]
-
-        #[test]
-        fn random_instances_stay_within_factor(seed in 0u64..10_000, m in 1usize..10, k in 1u64..200) {
+    /// Formerly a proptest; now 40 seeded random cases with the same shape.
+    #[test]
+    fn random_instances_stay_within_factor() {
+        for case in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(0xA0_05 ^ case);
+            let seed = rng.gen_range(0u64..10_000);
+            let m = rng.gen_range(1usize..10);
+            let k = rng.gen_range(1u64..200);
             // Respect precondition (2): every set at least 2k elements.
             let sets = build_sets(seed, m, 2 * k as usize, 2 * k as usize + 150);
             let total = union_len(&sets);
             if k > total {
-                return Ok(());
+                continue;
             }
             let views: Vec<&dyn RankedSet> = sets.iter().map(|s| s as &dyn RankedSet).collect();
             let v = aurs(&views, k, 2).unwrap();
             let r = union_rank(&sets, v);
-            prop_assert!(r >= k);
-            prop_assert!(r <= ACCEPT_FACTOR * k);
+            assert!(r >= k, "case {case}: rank {r} < k {k}");
+            assert!(
+                r <= ACCEPT_FACTOR * k,
+                "case {case}: rank {r} > {ACCEPT_FACTOR}*{k}"
+            );
         }
     }
 }

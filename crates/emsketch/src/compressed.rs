@@ -47,9 +47,8 @@ impl SketchSetCodec {
     /// Worst-case number of 64-bit words a packed sketch set occupies.
     pub fn max_words(&self) -> usize {
         let max_pivots = crate::Sketch::pivot_count(self.l_cap);
-        let bits =
-            self.f * (self.count_bits + max_pivots * (self.global_bits + self.local_bits));
-        (bits + 63) / 64
+        let bits = self.f * (self.count_bits + max_pivots * (self.global_bits + self.local_bits));
+        bits.div_ceil(64)
     }
 }
 
@@ -259,7 +258,11 @@ mod tests {
         assert_eq!(set.pivots(2)[0].global_rank, 2);
         assert_eq!(set.pivots(2)[0].local_rank, 2);
         assert_eq!(set.pivots(0)[0].global_rank, 5);
-        assert_eq!(set.pivots(0)[0].local_rank, 2, "local rank untouched in other groups");
+        assert_eq!(
+            set.pivots(0)[0].local_rank,
+            2,
+            "local rank untouched in other groups"
+        );
     }
 
     #[test]
@@ -267,8 +270,16 @@ mod tests {
         let (_codec, mut set) = sample_set();
         set.apply_delete_shift(0, 2);
         assert_eq!(set.pivots(0)[0].global_rank, 2);
-        assert_eq!(set.pivots(0)[0].local_rank, 0, "local rank shifts in the deleted group");
-        assert_eq!(set.pivots(2)[0].global_rank, 1, "rank below the deleted one is unchanged");
+        assert_eq!(
+            set.pivots(0)[0].local_rank,
+            0,
+            "local rank shifts in the deleted group"
+        );
+        assert_eq!(
+            set.pivots(2)[0].global_rank,
+            1,
+            "rank below the deleted one is unchanged"
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ struct PackedPage {
 
 impl Page for PackedPage {
     fn words(&self) -> usize {
-        1 + self.words.len() + (self.sizes.len() + 1) / 2
+        1 + self.words.len() + self.sizes.len().div_ceil(2)
     }
 }
 
@@ -139,8 +139,7 @@ impl GroupSelect {
 
     /// Number of scores currently in `group`.
     pub fn group_len(&self, group: usize) -> u64 {
-        self.pages
-            .with(self.sketch_page, |p| p.sizes[group] as u64)
+        self.pages.with(self.sketch_page, |p| p.sizes[group] as u64)
     }
 
     /// Space in blocks.
@@ -209,8 +208,9 @@ impl GroupSelect {
     }
 
     fn load_prefix(&self) -> PrefixSet {
-        self.pages
-            .with(self.prefix_page, |p| PrefixSet::decode(&self.prefix_codec, &p.words))
+        self.pages.with(self.prefix_page, |p| {
+            PrefixSet::decode(&self.prefix_codec, &p.words)
+        })
     }
 
     fn store_prefix(&self, prefix: &PrefixSet) {
@@ -221,7 +221,12 @@ impl GroupSelect {
     /// Global rank of the element of `group` with the given local rank, using
     /// the prefix block when the rank is small (the Lemma 8 fast path) and the
     /// B-trees otherwise.
-    fn global_rank_of_local(&self, prefix: &PrefixSet, group: usize, local_rank: u64) -> Option<u64> {
+    fn global_rank_of_local(
+        &self,
+        prefix: &PrefixSet,
+        group: usize,
+        local_rank: u64,
+    ) -> Option<u64> {
         if local_rank as usize <= self.prefix_cap {
             if let Some(r) = prefix.global_rank(group, local_rank) {
                 return Some(r);
@@ -275,10 +280,14 @@ impl GroupSelect {
         // Rank the new element will take in G and in its group.
         let rnew = self.global.count_ge(score) + 1;
         let (glo, ghi) = Self::group_bounds(group);
-        let local_new = self
-            .groups
-            .count_range(GroupScoreEntry { group: group as u64, score }.key(), ghi.key())
-            + 1;
+        let local_new = self.groups.count_range(
+            GroupScoreEntry {
+                group: group as u64,
+                score,
+            }
+            .key(),
+            ghi.key(),
+        ) + 1;
         let _ = glo;
 
         // B-trees.
@@ -323,25 +332,35 @@ impl GroupSelect {
     /// Amortized `O(log_B(f·l))` I/Os.
     pub fn delete(&self, group: usize, score: u64) -> bool {
         assert!(group < self.config.f, "group {group} out of range");
-        if !self
-            .groups
-            .contains(GroupScoreEntry { group: group as u64, score }.key())
-        {
+        if !self.groups.contains(
+            GroupScoreEntry {
+                group: group as u64,
+                score,
+            }
+            .key(),
+        ) {
             return false;
         }
         let rold = self.global_rank_of(score);
         let (_, ghi) = Self::group_bounds(group);
-        let local_old = self
-            .groups
-            .count_range(GroupScoreEntry { group: group as u64, score }.key(), ghi.key());
+        let local_old = self.groups.count_range(
+            GroupScoreEntry {
+                group: group as u64,
+                score,
+            }
+            .key(),
+            ghi.key(),
+        );
 
         // B-trees.
         self.global.remove(score);
-        self.groups.remove(GroupScoreEntry {
-            group: group as u64,
-            score,
-        }
-        .key());
+        self.groups.remove(
+            GroupScoreEntry {
+                group: group as u64,
+                score,
+            }
+            .key(),
+        );
 
         // Prefix block.
         let mut prefix = self.load_prefix();
@@ -355,7 +374,7 @@ impl GroupSelect {
         let group_size_now = self.groups.count_range(glo2.key(), ghi2.key());
         if (local_old as usize) <= self.prefix_cap
             && prefix.len(group) < self.prefix_cap
-            && group_size_now >= prefix.len(group) as u64 + 1
+            && group_size_now > prefix.len(group) as u64
         {
             let next_rank = prefix.len(group) as u64 + 1;
             if let Some(s) = self.local_select(group, next_rank) {
@@ -427,7 +446,9 @@ impl GroupSelect {
             group: alpha2 as u64,
             score: u64::MAX,
         };
-        self.groups.range_max_aux(lo.key(), hi.key()).map(|e| e.score)
+        self.groups
+            .range_max_aux(lo.key(), hi.key())
+            .map(|e| e.score)
     }
 
     /// Total number of scores in groups `α1..=α2`.
@@ -505,7 +526,12 @@ impl GroupSelect {
     /// Build the structure from explicit group contents (used when a tree node
     /// rebuilds its secondary structures). `contents[i]` holds the scores of
     /// `G_i` in any order.
-    pub fn bulk_build(device: &Device, name: &str, config: GroupSelectConfig, contents: &[Vec<u64>]) -> Self {
+    pub fn bulk_build(
+        device: &Device,
+        name: &str,
+        config: GroupSelectConfig,
+        contents: &[Vec<u64>],
+    ) -> Self {
         assert!(contents.len() <= config.f);
         let s = Self::new(device, name, config);
         // Global B-tree.
@@ -561,10 +587,14 @@ impl GroupSelect {
         let (set, sizes) = self.load_sketch();
         let prefix = self.load_prefix();
         let mut group_sizes = Vec::new();
-        for g in 0..self.config.f {
+        for (g, cached_size) in sizes.iter().enumerate() {
             let scores = self.group_scores_desc(g);
             group_sizes.push(scores.len());
-            assert_eq!(scores.len(), sizes[g] as usize, "cached size of group {g}");
+            assert_eq!(
+                scores.len(),
+                *cached_size as usize,
+                "cached size of group {g}"
+            );
             // Prefix correctness.
             let expect: Vec<u64> = scores
                 .iter()
@@ -663,11 +693,9 @@ mod tests {
         let gs = GroupSelect::new(&dev, "gs", GroupSelectConfig::new(4, 256));
         let mut oracle = Oracle::new(4);
         let mut rng = StdRng::seed_from_u64(42);
-        let mut next_score = 1u64;
-        for step in 0..400 {
+        for (step, next_score) in (1u64..=400).enumerate() {
             let g = rng.gen_range(0..4);
             let s = next_score * 7;
-            next_score += 1;
             gs.insert(g, s);
             oracle.insert(g, s);
             if step % 50 == 0 {
@@ -805,7 +833,11 @@ mod tests {
         let dev = Device::new(EmConfig::new(128, 8 * 128)); // small pool to force misses
         let f = 8;
         let contents: Vec<Vec<u64>> = (0..f)
-            .map(|g| (0..200u64).map(|i| (g as u64) + 1 + i * (f as u64) * 2).collect())
+            .map(|g| {
+                (0..200u64)
+                    .map(|i| (g as u64) + 1 + i * (f as u64) * 2)
+                    .collect()
+            })
             .collect();
         let gs = GroupSelect::bulk_build(&dev, "gs", GroupSelectConfig::new(f, 256), &contents);
         dev.drop_cache();

@@ -32,7 +32,7 @@ impl PrefixCodec {
     /// Worst-case packed size in 64-bit words.
     pub fn max_words(&self) -> usize {
         let bits = self.f * (self.count_bits + self.prefix_cap * self.global_bits);
-        (bits + 63) / 64
+        bits.div_ceil(64)
     }
 }
 

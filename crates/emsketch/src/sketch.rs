@@ -41,7 +41,10 @@ impl Sketch {
     /// Build a sketch from scores sorted in **descending** order (rank `r`
     /// element at index `r - 1`).
     pub fn from_sorted_desc(desc: &[u64]) -> Self {
-        debug_assert!(desc.windows(2).all(|w| w[0] > w[1]), "scores must be distinct and descending");
+        debug_assert!(
+            desc.windows(2).all(|w| w[0] > w[1]),
+            "scores must be distinct and descending"
+        );
         let m = Self::pivot_count(desc.len());
         let mut pivots = Vec::with_capacity(m);
         for j in 1..=m {
@@ -116,7 +119,8 @@ impl Sketch {
 mod tests {
     use super::*;
     use crate::rank_in;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn desc(n: u64) -> Vec<u64> {
         (1..=n).rev().map(|i| i * 10).collect()
@@ -166,22 +170,35 @@ mod tests {
             let true_rank = rank_in(&values, probe);
             let lb = sketch.rank_lower_bound(probe);
             let ub = sketch.rank_upper_bound(probe, values.len());
-            assert!(lb <= true_rank, "lb {lb} > rank {true_rank} (probe {probe})");
-            assert!(ub >= true_rank, "ub {ub} < rank {true_rank} (probe {probe})");
+            assert!(
+                lb <= true_rank,
+                "lb {lb} > rank {true_rank} (probe {probe})"
+            );
+            assert!(
+                ub >= true_rank,
+                "ub {ub} < rank {true_rank} (probe {probe})"
+            );
             if lb > 0 {
                 assert!(ub <= 4 * lb, "bracket wider than factor 4");
             }
         }
     }
 
-    proptest! {
-        #[test]
-        fn lower_bound_is_sound(n in 1usize..600, probe in 0u64..10_000) {
+    /// Formerly a proptest; now seeded random cases with the same shape.
+    #[test]
+    fn lower_bound_is_sound() {
+        for case in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(0x5ce7 ^ case);
+            let n = rng.gen_range(1usize..600);
+            let probe = rng.gen_range(0u64..10_000);
             let values: Vec<u64> = (1..=n as u64).rev().map(|i| i * 7).collect();
             let sketch = Sketch::from_sorted_desc(&values);
             let true_rank = rank_in(&values, probe);
-            prop_assert!(sketch.rank_lower_bound(probe) <= true_rank);
-            prop_assert!(sketch.rank_upper_bound(probe, n) >= true_rank || true_rank == 0);
+            assert!(sketch.rank_lower_bound(probe) <= true_rank, "case {case}");
+            assert!(
+                sketch.rank_upper_bound(probe, n) >= true_rank || true_rank == 0,
+                "case {case}"
+            );
         }
     }
 }

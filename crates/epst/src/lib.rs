@@ -25,7 +25,7 @@ pub use three_sided::{ThreeSidedConfig, ThreeSidedPst};
 /// occur because scores are distinct); returns them sorted by descending
 /// score. Pure CPU helper shared by the query paths and the test oracles.
 pub fn top_k_by_score(mut points: Vec<Point>, k: usize) -> Vec<Point> {
-    points.sort_unstable_by(|a, b| b.score.cmp(&a.score));
+    points.sort_unstable_by_key(|p| std::cmp::Reverse(p.score));
     points.truncate(k);
     points
 }

@@ -25,8 +25,9 @@
 //!   rebuild runs after `n/2` deletions — `O(log_B n)` amortized I/Os per
 //!   update (Lemma 3's token argument).
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use emsim::{BlockFile, Device, Page, PageId};
 use heapsel::{select_top, HeapSource};
@@ -126,14 +127,14 @@ pub struct PilotPst {
     scripts: BlockFile<ScriptNode>,
     reps: BlockFile<RepBlock>,
     /// Root of the whole script tree.
-    script_root: Cell<PageId>,
+    script_root: RwLock<PageId>,
     /// Directory: internal base node → its representative block.
-    rep_of: RefCell<HashMap<NodeId, PageId>>,
+    rep_of: RwLock<HashMap<NodeId, PageId>>,
     /// Directory: base node → the script node that represents its slab
     /// (the root of `T(u)` for internal `u`, the slab leaf for a base leaf).
-    slab_of: RefCell<HashMap<NodeId, PageId>>,
-    len: Cell<u64>,
-    deletes: Cell<u64>,
+    slab_of: RwLock<HashMap<NodeId, PageId>>,
+    len: AtomicU64,
+    deletes: AtomicU64,
 }
 
 impl PilotPst {
@@ -157,11 +158,11 @@ impl PilotPst {
             base,
             scripts,
             reps,
-            script_root: Cell::new(PageId::NULL),
-            rep_of: RefCell::new(HashMap::new()),
-            slab_of: RefCell::new(HashMap::new()),
-            len: Cell::new(0),
-            deletes: Cell::new(0),
+            script_root: RwLock::new(PageId::NULL),
+            rep_of: RwLock::new(HashMap::new()),
+            slab_of: RwLock::new(HashMap::new()),
+            len: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
         };
         s.rebuild_all(&[]);
         s
@@ -169,12 +170,20 @@ impl PilotPst {
 
     /// Number of stored points.
     pub fn len(&self) -> u64 {
-        self.len.get()
+        self.len.load(Ordering::Relaxed)
     }
 
     /// Whether the structure is empty.
     pub fn is_empty(&self) -> bool {
-        self.len.get() == 0
+        self.len() == 0
+    }
+
+    fn script_root(&self) -> PageId {
+        *self.script_root.read().unwrap()
+    }
+
+    fn set_script_root(&self, id: PageId) {
+        *self.script_root.write().unwrap() = id;
     }
 
     /// Space in blocks.
@@ -198,21 +207,21 @@ impl PilotPst {
         for id in self.reps.live_ids() {
             self.reps.free(id);
         }
-        self.rep_of.borrow_mut().clear();
-        self.slab_of.borrow_mut().clear();
+        self.rep_of.write().unwrap().clear();
+        self.slab_of.write().unwrap().clear();
 
         let mut xs: Vec<u64> = points.iter().map(|p| p.x).collect();
         xs.sort_unstable();
         xs.dedup();
         self.base.bulk_load(&xs);
-        self.len.set(points.len() as u64);
-        self.deletes.set(0);
+        self.len.store(points.len() as u64, Ordering::Relaxed);
+        self.deletes.store(0, Ordering::Relaxed);
 
         let root = self.base.root();
         let script_root = self.build_script(root, PageId::NULL);
-        self.script_root.set(script_root);
+        self.set_script_root(script_root);
         let mut sorted: Vec<Point> = points.to_vec();
-        sorted.sort_unstable_by(|a, b| b.score.cmp(&a.score));
+        sorted.sort_unstable_by_key(|p| std::cmp::Reverse(p.score));
         self.assign_pilots(script_root, sorted);
         self.rebuild_rep_blocks_under(root);
     }
@@ -229,16 +238,13 @@ impl PilotPst {
                 children: Vec::new(),
                 pilot: Vec::new(),
             });
-            self.slab_of.borrow_mut().insert(base_node, page);
+            self.slab_of.write().unwrap().insert(base_node, page);
             return page;
         }
         // Balanced binary tree over the child slabs.
-        let leaves: Vec<(u64, NodeId)> = children
-            .iter()
-            .map(|c| (c.max_key, c.id))
-            .collect();
+        let leaves: Vec<(u64, NodeId)> = children.iter().map(|c| (c.max_key, c.id)).collect();
         let root = self.build_binary(base_node, script_parent, &leaves);
-        self.slab_of.borrow_mut().insert(base_node, root);
+        self.slab_of.write().unwrap().insert(base_node, root);
         root
     }
 
@@ -302,8 +308,7 @@ impl PilotPst {
             pts.len().min(self.config.pilot_target())
         };
         let (here, rest) = pts.split_at(keep);
-        self.scripts
-            .with_mut(script, |n| n.pilot = here.to_vec());
+        self.scripts.with_mut(script, |n| n.pilot = here.to_vec());
         if children.is_empty() {
             debug_assert!(rest.is_empty(), "a slab leaf must absorb its points");
             return;
@@ -335,7 +340,12 @@ impl PilotPst {
     /// found by walking down from its root without crossing into other
     /// owners.
     fn secondary_nodes(&self, u: NodeId) -> Vec<PageId> {
-        let root = *self.slab_of.borrow().get(&u).expect("script root exists");
+        let root = *self
+            .slab_of
+            .read()
+            .unwrap()
+            .get(&u)
+            .expect("script root exists");
         let mut out = Vec::new();
         let mut stack = vec![root];
         while let Some(s) = stack.pop() {
@@ -369,7 +379,7 @@ impl PilotPst {
             });
         }
         let page = {
-            let mut map = self.rep_of.borrow_mut();
+            let mut map = self.rep_of.write().unwrap();
             match map.get(&u) {
                 Some(&p) => p,
                 None => {
@@ -397,7 +407,8 @@ impl PilotPst {
     fn rep_block_of(&self, u: NodeId) -> PageId {
         *self
             .rep_of
-            .borrow()
+            .read()
+            .unwrap()
             .get(&u)
             .unwrap_or_else(|| panic!("no representative block for base node {u:?}"))
     }
@@ -438,7 +449,7 @@ impl PilotPst {
         // Descend by representative blocks to the script node that should
         // incorporate the point.
         let mut passed: Vec<(NodeId, PageId)> = Vec::new();
-        let mut cur = self.script_root.get();
+        let mut cur = self.script_root();
         let target = loop {
             let (owner, children, len, rep, below) = self.scripts.with(cur, |n| {
                 (
@@ -479,7 +490,7 @@ impl PilotPst {
             self.refresh_rep_entry(*owner, *script, 1);
         }
         self.push_points_down(target, vec![pt]);
-        self.len.set(self.len.get() + 1);
+        self.len.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Delete a point (exact x and score). Returns `false` if absent.
@@ -487,7 +498,7 @@ impl PilotPst {
         // Locate the holder: the first script node on the x-path whose
         // representative is ≤ the point's score must hold it if it exists.
         let mut passed: Vec<(NodeId, PageId)> = Vec::new();
-        let mut cur = self.script_root.get();
+        let mut cur = self.script_root();
         let holder = loop {
             let (owner, children, pilot) = self
                 .scripts
@@ -524,9 +535,9 @@ impl PilotPst {
         }
         self.base.delete(pt.x);
         self.pull_up_if_needed(holder);
-        self.len.set(self.len.get() - 1);
-        self.deletes.set(self.deletes.get() + 1);
-        if self.deletes.get() > self.len.get() / 2 + 16 {
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        if self.deletes.load(Ordering::Relaxed) > self.len() / 2 + 16 {
             let pts = self.all_points();
             self.rebuild_all(&pts);
         }
@@ -552,7 +563,7 @@ impl PilotPst {
             self.refresh_rep_entry(owner, script, 0);
             return;
         }
-        pilot.sort_unstable_by(|a, b| b.score.cmp(&a.score));
+        pilot.sort_unstable_by_key(|p| std::cmp::Reverse(p.score));
         let moved: Vec<Point> = pilot.split_off(self.config.pilot_target());
         self.scripts.with_mut(script, |n| n.pilot = pilot);
         self.refresh_rep_entry(owner, script, moved.len() as i64);
@@ -586,7 +597,7 @@ impl PilotPst {
         if pool.is_empty() {
             return;
         }
-        pool.sort_unstable_by(|a, b| b.1.score.cmp(&a.1.score));
+        pool.sort_unstable_by_key(|(_, p)| std::cmp::Reverse(p.score));
         let want = self.config.pilot_target().saturating_sub(pilot_len);
         let take = want.min(pool.len());
         let pulled = &pool[..take];
@@ -619,9 +630,9 @@ impl PilotPst {
     fn rebuild_subtree_secondary(&self, base_node: NodeId) {
         // A freshly created base root has no script node yet; the region it
         // covers is the whole old script tree.
-        let slab = self.slab_of.borrow().get(&base_node).copied().or({
-            if self.base.root() == base_node && !self.script_root.get().is_null() {
-                Some(self.script_root.get())
+        let slab = self.slab_of.read().unwrap().get(&base_node).copied().or({
+            if self.base.root() == base_node && !self.script_root().is_null() {
+                Some(self.script_root())
             } else {
                 None
             }
@@ -637,19 +648,19 @@ impl PilotPst {
         }
         // Drop stale directory entries and representative blocks.
         for node in self.base.subtree_nodes_bottom_up(base_node) {
-            self.slab_of.borrow_mut().remove(&node);
-            if let Some(p) = self.rep_of.borrow_mut().remove(&node) {
+            self.slab_of.write().unwrap().remove(&node);
+            if let Some(p) = self.rep_of.write().unwrap().remove(&node) {
                 self.reps.free(p);
             }
         }
         let new_root = self.build_script(base_node, script_parent);
         let mut sorted = pts;
-        sorted.sort_unstable_by(|a, b| b.score.cmp(&a.score));
+        sorted.sort_unstable_by_key(|p| std::cmp::Reverse(p.score));
         self.assign_pilots(new_root, sorted);
         self.rebuild_rep_blocks_under(base_node);
         // Reattach to the script parent (or install as the global root).
         if script_parent.is_null() {
-            self.script_root.set(new_root);
+            self.set_script_root(new_root);
         } else {
             self.scripts.with_mut(script_parent, |n| {
                 for slot in n.children.iter_mut() {
@@ -702,7 +713,7 @@ impl PilotPst {
         let roots = self.hanging_roots(&path1, &path2);
         // Phase 3: heap selection of Θ(lg n + k/B) representatives.
         let points_per_block = self.config.pilot_max.max(1);
-        let lg_n = emsim::lg(self.len.get().max(2) as usize) as usize;
+        let lg_n = emsim::lg(self.len().max(2) as usize) as usize;
         let t = self.config.phi * (lg_n + k / points_per_block + 1);
         let source = PilotHeap { pst: self };
         let selected = select_top(&source, &roots, t);
@@ -738,7 +749,7 @@ impl PilotPst {
     /// Root-to-leaf script path toward coordinate `x`.
     fn script_path(&self, x: u64) -> Vec<PageId> {
         let mut path = Vec::new();
-        let mut cur = self.script_root.get();
+        let mut cur = self.script_root();
         loop {
             path.push(cur);
             let children = self.scripts.with(cur, |n| n.children.clone());
@@ -773,7 +784,11 @@ impl PilotPst {
                 let children = self.scripts.with(node, |n| n.children.clone());
                 let next_pos = children.iter().position(|&(_, c)| c == next).unwrap_or(0);
                 for (i, &(_, c)) in children.iter().enumerate() {
-                    let hanging = if take_right { i > next_pos } else { i < next_pos };
+                    let hanging = if take_right {
+                        i > next_pos
+                    } else {
+                        i < next_pos
+                    };
                     if hanging && !path1.contains(&c) && !path2.contains(&c) {
                         let nonempty = self.scripts.with(c, |n| !n.pilot.is_empty());
                         if nonempty && !out.contains(&c) {
@@ -789,7 +804,7 @@ impl PilotPst {
     /// All stored points (testing / rebuild support).
     pub fn all_points(&self) -> Vec<Point> {
         let mut out = Vec::new();
-        let mut stack = vec![self.script_root.get()];
+        let mut stack = vec![self.script_root()];
         while let Some(s) = stack.pop() {
             let (children, pilot) = self
                 .scripts
@@ -803,8 +818,8 @@ impl PilotPst {
     /// Verify structural invariants (test support): the heap property of pilot
     /// sets along the script tree and the pilot-capacity bounds.
     pub fn check_invariants(&self) {
-        let total = self.check_rec(self.script_root.get(), u64::MAX);
-        assert_eq!(total, self.len.get(), "stored point count disagrees");
+        let total = self.check_rec(self.script_root(), u64::MAX);
+        assert_eq!(total, self.len(), "stored point count disagrees");
     }
 
     fn check_rec(&self, script: PageId, ancestor_min: u64) -> u64 {
@@ -822,11 +837,7 @@ impl PilotPst {
                 p
             );
         }
-        let my_min = pilot
-            .iter()
-            .map(|p| p.score)
-            .min()
-            .unwrap_or(ancestor_min);
+        let my_min = pilot.iter().map(|p| p.score).min().unwrap_or(ancestor_min);
         if pilot.is_empty() && !children.is_empty() {
             // An empty pilot set must mean an empty subtree below.
             for (_, c) in &children {
@@ -954,7 +965,10 @@ mod tests {
             let victim = live.swap_remove(idx);
             assert!(pst.delete(victim), "deleting {victim:?}");
         }
-        assert!(!pst.delete(Point { x: 10_000_000, score: 1 }));
+        assert!(!pst.delete(Point {
+            x: 10_000_000,
+            score: 1
+        }));
         pst.check_invariants();
         assert_eq!(pst.len(), live.len() as u64);
         for _ in 0..20 {

@@ -25,8 +25,9 @@
 //! replacements up when a cache gets thin, and trigger a global rebuild after
 //! `n/2` weak deletions.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use emsim::{BlockFile, Device, Page, PageId};
 use wbbtree::{NodeId, WbbChild, WbbConfig, WbbTree};
@@ -106,9 +107,9 @@ pub struct ThreeSidedPst {
     /// Directory mapping a base node to its cache page. Conceptually this
     /// pointer lives inside the base-tree node itself; it is kept here because
     /// the base tree is key-generic.
-    map: RefCell<HashMap<NodeId, PageId>>,
-    len: Cell<u64>,
-    deletes_since_rebuild: Cell<u64>,
+    map: RwLock<HashMap<NodeId, PageId>>,
+    len: AtomicU64,
+    deletes_since_rebuild: AtomicU64,
 }
 
 impl ThreeSidedPst {
@@ -130,9 +131,9 @@ impl ThreeSidedPst {
             config,
             base,
             pages,
-            map: RefCell::new(HashMap::new()),
-            len: Cell::new(0),
-            deletes_since_rebuild: Cell::new(0),
+            map: RwLock::new(HashMap::new()),
+            len: AtomicU64::new(0),
+            deletes_since_rebuild: AtomicU64::new(0),
         };
         s.ensure_page(s.base.root());
         s
@@ -140,12 +141,12 @@ impl ThreeSidedPst {
 
     /// Number of stored points.
     pub fn len(&self) -> u64 {
-        self.len.get()
+        self.len.load(Ordering::Relaxed)
     }
 
     /// Whether the structure is empty.
     pub fn is_empty(&self) -> bool {
-        self.len.get() == 0
+        self.len() == 0
     }
 
     /// Space in blocks (base tree plus cache pages).
@@ -163,23 +164,19 @@ impl ThreeSidedPst {
     fn page_of(&self, node: NodeId) -> PageId {
         *self
             .map
-            .borrow()
+            .read()
+            .unwrap()
             .get(&node)
             .unwrap_or_else(|| panic!("no cache page for base node {node:?}"))
     }
 
     fn ensure_page(&self, node: NodeId) -> PageId {
-        if let Some(&p) = self.map.borrow().get(&node) {
-            return p;
-        }
-        let p = self.pages.alloc(CachePage::default());
-        self.map.borrow_mut().insert(node, p);
-        p
+        emsim::dir_get_or_insert(&self.map, node, || self.pages.alloc(CachePage::default()))
     }
 
     #[allow(dead_code)] // kept for symmetry with ensure_page; used by future compaction
     fn drop_page(&self, node: NodeId) {
-        if let Some(p) = self.map.borrow_mut().remove(&node) {
+        if let Some(p) = self.map.write().unwrap().remove(&node) {
             self.pages.free(p);
         }
     }
@@ -249,21 +246,21 @@ impl ThreeSidedPst {
     /// coordinates and scores). Cost `O(n/B + #nodes)` I/Os.
     pub fn rebuild_from_points(&self, points: &[Point]) {
         // Free existing cache pages.
-        let old: Vec<PageId> = self.map.borrow().values().copied().collect();
+        let old: Vec<PageId> = self.map.read().unwrap().values().copied().collect();
         for p in old {
             self.pages.free(p);
         }
-        self.map.borrow_mut().clear();
+        self.map.write().unwrap().clear();
 
         let mut xs: Vec<u64> = points.iter().map(|p| p.x).collect();
         xs.sort_unstable();
         xs.dedup();
         self.base.bulk_load(&xs);
-        self.len.set(points.len() as u64);
-        self.deletes_since_rebuild.set(0);
+        self.len.store(points.len() as u64, Ordering::Relaxed);
+        self.deletes_since_rebuild.store(0, Ordering::Relaxed);
 
         let mut sorted: Vec<Point> = points.to_vec();
-        sorted.sort_unstable_by(|a, b| b.score.cmp(&a.score));
+        sorted.sort_unstable_by_key(|p| std::cmp::Reverse(p.score));
         self.build_rec(self.base.root(), sorted);
     }
 
@@ -325,8 +322,7 @@ impl ThreeSidedPst {
             let (below, min_score, cache_len) = self
                 .pages
                 .with(page, |p| (p.below, p.min_score(), p.pts.len()));
-            let insert_here = below == 0
-                || (cache_len > 0 && carry.score > min_score.unwrap_or(0) && cache_len > 0);
+            let insert_here = below == 0 || (cache_len > 0 && carry.score > min_score.unwrap_or(0));
             if insert_here && cache_len < self.config.cache_cap {
                 self.pages.with_mut(page, |p| p.pts.push(carry));
                 break;
@@ -354,7 +350,7 @@ impl ThreeSidedPst {
                 .min(children.len() - 1);
             cur = children[idx].id;
         }
-        self.len.set(self.len.get() + 1);
+        self.len.fetch_add(1, Ordering::Relaxed);
         self.refresh_path_summaries(&path);
     }
 
@@ -367,9 +363,9 @@ impl ThreeSidedPst {
         let holder = loop {
             path.push(cur);
             let page = self.page_of(cur);
-            let found = self
-                .pages
-                .with(page, |p| p.pts.iter().any(|q| q.x == pt.x && q.score == pt.score));
+            let found = self.pages.with(page, |p| {
+                p.pts.iter().any(|q| q.x == pt.x && q.score == pt.score)
+            });
             if found {
                 break Some(cur);
             }
@@ -394,23 +390,21 @@ impl ThreeSidedPst {
         // The point was below every strict ancestor on the path.
         for &n in path.iter().take_while(|&&n| n != holder) {
             let page = self.page_of(n);
-            self.pages.with_mut(page, |p| p.below = p.below.saturating_sub(1));
+            self.pages
+                .with_mut(page, |p| p.below = p.below.saturating_sub(1));
         }
         // Pull replacements up if the holder's cache got thin.
-        let (len_now, below_now) = self
-            .pages
-            .with(holder_page, |p| (p.pts.len(), p.below));
+        let (len_now, below_now) = self.pages.with(holder_page, |p| (p.pts.len(), p.below));
         if !self.base.is_leaf(holder) && below_now > 0 && len_now < self.config.cache_cap / 2 {
             self.refill(holder);
         }
-        self.len.set(self.len.get() - 1);
+        self.len.fetch_sub(1, Ordering::Relaxed);
         self.refresh_path_summaries(&path);
 
         // Periodic global rebuild clears the damage of weak deletions.
-        self.deletes_since_rebuild
-            .set(self.deletes_since_rebuild.get() + 1);
-        if self.deletes_since_rebuild.get() > self.len.get() / 2 + 16 {
-            let mut pts = Vec::with_capacity(self.len.get() as usize);
+        self.deletes_since_rebuild.fetch_add(1, Ordering::Relaxed);
+        if self.deletes_since_rebuild.load(Ordering::Relaxed) > self.len() / 2 + 16 {
+            let mut pts = Vec::with_capacity(self.len() as usize);
             self.points_in_subtree(self.base.root(), &mut pts);
             self.rebuild_from_points(&pts);
         }
@@ -483,10 +477,7 @@ impl ThreeSidedPst {
         for ev in &report.splits {
             let old_page = self.ensure_page(ev.node);
             let sibling_page = self.ensure_page(ev.new_sibling);
-            let boundary = self
-                .base
-                .max_key(ev.node)
-                .expect("split node is non-empty");
+            let boundary = self.base.max_key(ev.node).expect("split node is non-empty");
             // Points with x beyond the boundary move to the new sibling.
             let moved: Vec<Point> = self.pages.with_mut(old_page, |p| {
                 let moved: Vec<Point> = p.pts.iter().copied().filter(|q| q.x > boundary).collect();
@@ -631,7 +622,7 @@ impl ThreeSidedPst {
 
     /// All stored points (testing / rebuild support).
     pub fn all_points(&self) -> Vec<Point> {
-        let mut out = Vec::with_capacity(self.len.get() as usize);
+        let mut out = Vec::with_capacity(self.len() as usize);
         self.points_in_subtree(self.base.root(), &mut out);
         out
     }
@@ -642,7 +633,7 @@ impl ThreeSidedPst {
     /// order invariant between a cache and its subtree, and the summaries.
     pub fn check_invariants(&self) {
         let total = self.check_rec(self.base.root(), u64::MAX);
-        assert_eq!(total, self.len.get(), "stored point count disagrees");
+        assert_eq!(total, self.len(), "stored point count disagrees");
     }
 
     fn check_rec(&self, node: NodeId, ancestor_min: u64) -> u64 {
@@ -744,7 +735,11 @@ mod tests {
             let b = rng.gen_range(a..=4500u64);
             let tau = rng.gen_range(0..12000u64);
             let got = sorted(pst.query(a, b, tau));
-            assert_eq!(got, oracle_query(&pts, a, b, tau), "range [{a},{b}] tau {tau}");
+            assert_eq!(
+                got,
+                oracle_query(&pts, a, b, tau),
+                "range [{a},{b}] tau {tau}"
+            );
         }
     }
 
@@ -764,7 +759,10 @@ mod tests {
             let victim = live.swap_remove(idx);
             assert!(pst.delete(victim));
         }
-        assert!(!pst.delete(Point { x: 999_999, score: 1 }));
+        assert!(!pst.delete(Point {
+            x: 999_999,
+            score: 1
+        }));
         assert_eq!(pst.len(), live.len() as u64);
         pst.check_invariants();
         for _ in 0..25 {

@@ -1,8 +1,9 @@
 //! The paper's §3.3 approximate range k-selection structure (for
 //! `k ≤ l = O(polylg n)`).
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use emsim::{BlockFile, Device, Page, PageId};
 use emsketch::aurs::{aurs, RankedSet};
@@ -61,10 +62,10 @@ pub struct PolylogKSelect {
     config: PolylogConfig,
     base: WbbTree<u64>,
     leaves: BlockFile<LeafPage>,
-    leaf_of: RefCell<HashMap<NodeId, PageId>>,
-    groups_of: RefCell<HashMap<NodeId, GroupSelect>>,
-    next_group_id: Cell<u64>,
-    len: Cell<u64>,
+    leaf_of: RwLock<HashMap<NodeId, PageId>>,
+    groups_of: RwLock<HashMap<NodeId, GroupSelect>>,
+    next_group_id: AtomicU64,
+    len: AtomicU64,
 }
 
 impl PolylogKSelect {
@@ -82,10 +83,10 @@ impl PolylogKSelect {
             config,
             base,
             leaves,
-            leaf_of: RefCell::new(HashMap::new()),
-            groups_of: RefCell::new(HashMap::new()),
-            next_group_id: Cell::new(0),
-            len: Cell::new(0),
+            leaf_of: RwLock::new(HashMap::new()),
+            groups_of: RwLock::new(HashMap::new()),
+            next_group_id: AtomicU64::new(0),
+            len: AtomicU64::new(0),
         };
         s.ensure_leaf_page(s.base.root());
         s
@@ -98,17 +99,17 @@ impl PolylogKSelect {
 
     /// Rebuild everything from `points`.
     pub fn rebuild_from_points(&self, points: &[Point]) {
-        for (_, p) in self.leaf_of.borrow_mut().drain() {
+        for (_, p) in self.leaf_of.write().unwrap().drain() {
             self.leaves.free(p);
         }
-        for (_, gs) in self.groups_of.borrow_mut().drain() {
+        for (_, gs) in self.groups_of.write().unwrap().drain() {
             gs.release();
         }
         let mut xs: Vec<u64> = points.iter().map(|p| p.x).collect();
         xs.sort_unstable();
         xs.dedup();
         self.base.bulk_load(&xs);
-        self.len.set(points.len() as u64);
+        self.len.store(points.len() as u64, Ordering::Relaxed);
         // Distribute the points over the leaves.
         let mut sorted: Vec<Point> = points.to_vec();
         sorted.sort_unstable();
@@ -119,7 +120,7 @@ impl PolylogKSelect {
             let page = self.leaves.alloc(LeafPage {
                 pts: sorted[cursor..cursor + take].to_vec(),
             });
-            self.leaf_of.borrow_mut().insert(leaf, page);
+            self.leaf_of.write().unwrap().insert(leaf, page);
             cursor += take;
         }
         self.rebuild_secondary_under(self.base.root());
@@ -128,12 +129,9 @@ impl PolylogKSelect {
     // ----- plumbing -----
 
     fn ensure_leaf_page(&self, leaf: NodeId) -> PageId {
-        if let Some(&p) = self.leaf_of.borrow().get(&leaf) {
-            return p;
-        }
-        let p = self.leaves.alloc(LeafPage::default());
-        self.leaf_of.borrow_mut().insert(leaf, p);
-        p
+        emsim::dir_get_or_insert(&self.leaf_of, leaf, || {
+            self.leaves.alloc(LeafPage::default())
+        })
     }
 
     fn leaf_points(&self, leaf: NodeId) -> Vec<Point> {
@@ -149,7 +147,7 @@ impl PolylogKSelect {
             scores.truncate(limit);
             scores
         } else {
-            let groups = self.groups_of.borrow();
+            let groups = self.groups_of.read().unwrap();
             let gs = groups.get(&node).expect("internal node has a GroupSelect");
             gs.union_top_scores(limit)
         }
@@ -164,15 +162,14 @@ impl PolylogKSelect {
             .map(|c| self.top_scores_of(c.id, self.config.group_cap))
             .collect();
         let f = self.config.branching * 4; // max_children of the base tree
-        let id = self.next_group_id.get();
-        self.next_group_id.set(id + 1);
+        let id = self.next_group_id.fetch_add(1, Ordering::Relaxed);
         let gs = GroupSelect::bulk_build(
             &self.device,
             &format!("{}.g{}", self.name, id),
             GroupSelectConfig::new(f, self.config.group_cap),
             &contents,
         );
-        if let Some(old) = self.groups_of.borrow_mut().insert(u, gs) {
+        if let Some(old) = self.groups_of.write().unwrap().insert(u, gs) {
             old.release();
         }
     }
@@ -249,14 +246,16 @@ impl RangeKSelect for PolylogKSelect {
         let leaf = *path.last().unwrap();
         let page = self.ensure_leaf_page(leaf);
         self.leaves.with_mut(page, |p| p.pts.push(pt));
-        self.len.set(self.len.get() + 1);
+        self.len.fetch_add(1, Ordering::Relaxed);
         // Propagate the score up the path while it keeps entering the G sets
         // (appendix update algorithm).
         for w in path.windows(2).rev() {
             let (node, child) = (w[0], w[1]);
             let idx = self.child_index(node, child);
-            let groups = self.groups_of.borrow();
-            let Some(gs) = groups.get(&node) else { continue };
+            let groups = self.groups_of.read().unwrap();
+            let Some(gs) = groups.get(&node) else {
+                continue;
+            };
             let size = gs.group_len(idx);
             let enters = if (size as usize) < self.config.group_cap {
                 true
@@ -279,9 +278,9 @@ impl RangeKSelect for PolylogKSelect {
         let path = self.base.descend(pt.x);
         let leaf = *path.last().unwrap();
         let page = self.ensure_leaf_page(leaf);
-        let present = self
-            .leaves
-            .with(page, |p| p.pts.iter().any(|q| q.x == pt.x && q.score == pt.score));
+        let present = self.leaves.with(page, |p| {
+            p.pts.iter().any(|q| q.x == pt.x && q.score == pt.score)
+        });
         if !present {
             return false;
         }
@@ -289,28 +288,34 @@ impl RangeKSelect for PolylogKSelect {
             p.pts.retain(|q| !(q.x == pt.x && q.score == pt.score))
         });
         self.base.delete(pt.x);
-        self.len.set(self.len.get() - 1);
+        self.len.fetch_sub(1, Ordering::Relaxed);
         // Remove the score from every G set on the path that holds it and pull
         // in the replacement (the next-best score of the child's subtree).
         for w in path.windows(2).rev() {
             let (node, child) = (w[0], w[1]);
             let idx = self.child_index(node, child);
-            let refill = {
-                let groups = self.groups_of.borrow();
-                let Some(gs) = groups.get(&node) else { continue };
+            // The guard is released before `top_scores_of`, which re-acquires
+            // the map lock (a held read guard plus a queued writer would
+            // deadlock a re-entrant read).
+            {
+                let groups = self.groups_of.read().unwrap();
+                let Some(gs) = groups.get(&node) else {
+                    continue;
+                };
                 if !gs.group_contains(idx, pt.score) {
                     break;
                 }
                 gs.delete(idx, pt.score);
-                // The child's own structure has already been updated (we walk
-                // bottom-up), so its (group_cap)-th best score is the element
-                // that newly belongs in G_child.
-                self.top_scores_of(child, self.config.group_cap)
-                    .get(self.config.group_cap - 1)
-                    .copied()
-            };
+            }
+            // The child's own structure has already been updated (we walk
+            // bottom-up), so its (group_cap)-th best score is the element
+            // that newly belongs in G_child.
+            let refill = self
+                .top_scores_of(child, self.config.group_cap)
+                .get(self.config.group_cap - 1)
+                .copied();
             if let Some(r) = refill {
-                let groups = self.groups_of.borrow();
+                let groups = self.groups_of.read().unwrap();
                 if let Some(gs) = groups.get(&node) {
                     if !gs.group_contains(idx, r) {
                         gs.insert(idx, r);
@@ -378,24 +383,23 @@ impl RangeKSelect for PolylogKSelect {
                 } => slabs.push((node, child_lo, child_hi)),
             }
         }
-        let groups = self.groups_of.borrow();
+        let groups = self.groups_of.read().unwrap();
         let views: Vec<MultiSlab<'_>> = slabs
             .iter()
-            .filter_map(|&(node, lo, hi)| {
-                groups.get(&node).map(|gs| MultiSlab { gs, lo, hi })
-            })
+            .filter_map(|&(node, lo, hi)| groups.get(&node).map(|gs| MultiSlab { gs, lo, hi }))
             .collect();
         let refs: Vec<&dyn RankedSet> = views.iter().map(|v| v as &dyn RankedSet).collect();
-        let aurs_answer = if refs.is_empty() { None } else { aurs(&refs, k, LEMMA7_FACTOR) };
-        let best = aurs_answer
-            .into_iter()
-            .chain(leaf_candidates.into_iter())
-            .max();
-        best
+        let aurs_answer = if refs.is_empty() {
+            None
+        } else {
+            aurs(&refs, k, LEMMA7_FACTOR)
+        };
+
+        aurs_answer.into_iter().chain(leaf_candidates).max()
     }
 
     fn len(&self) -> u64 {
-        self.len.get()
+        self.len.load(Ordering::Relaxed)
     }
 
     fn rebuild(&self, points: &[Point]) {
@@ -403,7 +407,7 @@ impl RangeKSelect for PolylogKSelect {
     }
 
     fn space_blocks(&self) -> usize {
-        let groups = self.groups_of.borrow();
+        let groups = self.groups_of.read().unwrap();
         self.base.space_blocks()
             + self.leaves.live_pages()
             + groups.values().map(|g| g.space_blocks()).sum::<usize>()

@@ -3,12 +3,13 @@
 //! art the paper improves on. See DESIGN.md §3 for how this stand-in relates
 //! to the original structure (whose internals the paper does not reproduce).
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
+use embtree::BTree;
 use emsim::{BlockFile, Device, Page, PageId};
 use emsketch::{lemma7, Sketch};
-use embtree::BTree;
 use epst::Point;
 use wbbtree::{CanonicalPiece, NodeId, WbbConfig, WbbTree};
 
@@ -72,15 +73,15 @@ pub struct St12KSelect {
     config: St12Config,
     base: WbbTree<u64>,
     leaves: BlockFile<LeafPage>,
-    leaf_of: RefCell<HashMap<NodeId, PageId>>,
+    leaf_of: RwLock<HashMap<NodeId, PageId>>,
     chunks: BlockFile<SketchChunk>,
     /// Per internal node: the chunk pages holding its per-child sketches.
-    sketch_of: RefCell<HashMap<NodeId, Vec<PageId>>>,
+    sketch_of: RwLock<HashMap<NodeId, Vec<PageId>>>,
     /// Per `(node, child)`: a B-tree over **all** scores of the child's
     /// subtree (this is what makes updates cost `O(log_B² n)` and space
     /// `O((n/B)·log_B n)`).
-    scores_of: RefCell<HashMap<(NodeId, NodeId), BTree<u64>>>,
-    len: Cell<u64>,
+    scores_of: RwLock<HashMap<(NodeId, NodeId), BTree<u64>>>,
+    len: AtomicU64,
 }
 
 impl St12KSelect {
@@ -99,11 +100,11 @@ impl St12KSelect {
             config,
             base,
             leaves,
-            leaf_of: RefCell::new(HashMap::new()),
+            leaf_of: RwLock::new(HashMap::new()),
             chunks,
-            sketch_of: RefCell::new(HashMap::new()),
-            scores_of: RefCell::new(HashMap::new()),
-            len: Cell::new(0),
+            sketch_of: RwLock::new(HashMap::new()),
+            scores_of: RwLock::new(HashMap::new()),
+            len: AtomicU64::new(0),
         };
         s.ensure_leaf_page(s.base.root());
         s
@@ -111,22 +112,22 @@ impl St12KSelect {
 
     /// Rebuild everything from `points`.
     pub fn rebuild_from_points(&self, points: &[Point]) {
-        for (_, p) in self.leaf_of.borrow_mut().drain() {
+        for (_, p) in self.leaf_of.write().unwrap().drain() {
             self.leaves.free(p);
         }
-        for (_, pages) in self.sketch_of.borrow_mut().drain() {
+        for (_, pages) in self.sketch_of.write().unwrap().drain() {
             for p in pages {
                 self.chunks.free(p);
             }
         }
-        for (_, t) in self.scores_of.borrow_mut().drain() {
+        for (_, t) in self.scores_of.write().unwrap().drain() {
             t.clear();
         }
         let mut xs: Vec<u64> = points.iter().map(|p| p.x).collect();
         xs.sort_unstable();
         xs.dedup();
         self.base.bulk_load(&xs);
-        self.len.set(points.len() as u64);
+        self.len.store(points.len() as u64, Ordering::Relaxed);
         let mut sorted: Vec<Point> = points.to_vec();
         sorted.sort_unstable();
         let mut cursor = 0usize;
@@ -135,19 +136,16 @@ impl St12KSelect {
             let page = self.leaves.alloc(LeafPage {
                 pts: sorted[cursor..cursor + take].to_vec(),
             });
-            self.leaf_of.borrow_mut().insert(leaf, page);
+            self.leaf_of.write().unwrap().insert(leaf, page);
             cursor += take;
         }
         self.rebuild_secondary_under(self.base.root());
     }
 
     fn ensure_leaf_page(&self, leaf: NodeId) -> PageId {
-        if let Some(&p) = self.leaf_of.borrow().get(&leaf) {
-            return p;
-        }
-        let p = self.leaves.alloc(LeafPage::default());
-        self.leaf_of.borrow_mut().insert(leaf, p);
-        p
+        emsim::dir_get_or_insert(&self.leaf_of, leaf, || {
+            self.leaves.alloc(LeafPage::default())
+        })
     }
 
     fn leaf_points(&self, leaf: NodeId) -> Vec<Point> {
@@ -169,7 +167,8 @@ impl St12KSelect {
     fn load_sketches(&self, node: NodeId) -> Vec<(NodeId, Vec<(u64, u64)>)> {
         let pages = self
             .sketch_of
-            .borrow()
+            .read()
+            .unwrap()
             .get(&node)
             .cloned()
             .unwrap_or_default();
@@ -184,7 +183,8 @@ impl St12KSelect {
     fn store_sketches(&self, node: NodeId, table: Vec<(NodeId, Vec<(u64, u64)>)>) {
         let old = self
             .sketch_of
-            .borrow_mut()
+            .write()
+            .unwrap()
             .remove(&node)
             .unwrap_or_default();
         for p in old {
@@ -203,14 +203,14 @@ impl St12KSelect {
         if !current.children.is_empty() || pages.is_empty() {
             pages.push(self.chunks.alloc(current));
         }
-        self.sketch_of.borrow_mut().insert(node, pages);
+        self.sketch_of.write().unwrap().insert(node, pages);
     }
 
     /// Rebuild the sketches and score B-trees of internal node `u` from its
     /// children's subtrees.
     fn rebuild_node_secondary(&self, u: NodeId) {
         // Drop the score B-trees of children that are no longer ours.
-        self.scores_of.borrow_mut().retain(|(n, _), t| {
+        self.scores_of.write().unwrap().retain(|(n, _), t| {
             if *n == u {
                 t.clear();
                 false
@@ -234,7 +234,7 @@ impl St12KSelect {
                 .enumerate()
                 .map(|(j, &score)| (score, Sketch::target_rank(j + 1, scores.len())))
                 .collect();
-            if let Some(old) = self.scores_of.borrow_mut().insert((u, c.id), tree) {
+            if let Some(old) = self.scores_of.write().unwrap().insert((u, c.id), tree) {
                 old.clear();
             }
             table.push((c.id, pivots));
@@ -279,7 +279,7 @@ impl St12KSelect {
     /// this one ancestor — summed over the `O(log_B n)` ancestors this is the
     /// baseline's `O(log_B² n)` amortized update cost.
     fn sketch_insert(&self, node: NodeId, child: NodeId, score: u64) {
-        let trees = self.scores_of.borrow();
+        let trees = self.scores_of.read().unwrap();
         let Some(tree) = trees.get(&(node, child)) else {
             return;
         };
@@ -306,7 +306,7 @@ impl St12KSelect {
 
     /// Maintain the sketch of `(node, child)` across one score deletion.
     fn sketch_delete(&self, node: NodeId, child: NodeId, score: u64) {
-        let trees = self.scores_of.borrow();
+        let trees = self.scores_of.read().unwrap();
         let Some(tree) = trees.get(&(node, child)) else {
             return;
         };
@@ -367,7 +367,7 @@ impl RangeKSelect for St12KSelect {
         let leaf = *path.last().unwrap();
         let page = self.ensure_leaf_page(leaf);
         self.leaves.with_mut(page, |p| p.pts.push(pt));
-        self.len.set(self.len.get() + 1);
+        self.len.fetch_add(1, Ordering::Relaxed);
         // O(log_B n) work at each ancestor: score B-tree insert + sketch repair.
         for w in path.windows(2).rev() {
             self.sketch_insert(w[0], w[1], pt.score);
@@ -378,9 +378,9 @@ impl RangeKSelect for St12KSelect {
         let path = self.base.descend(pt.x);
         let leaf = *path.last().unwrap();
         let page = self.ensure_leaf_page(leaf);
-        let present = self
-            .leaves
-            .with(page, |p| p.pts.iter().any(|q| q.x == pt.x && q.score == pt.score));
+        let present = self.leaves.with(page, |p| {
+            p.pts.iter().any(|q| q.x == pt.x && q.score == pt.score)
+        });
         if !present {
             return false;
         }
@@ -388,7 +388,7 @@ impl RangeKSelect for St12KSelect {
             p.pts.retain(|q| !(q.x == pt.x && q.score == pt.score))
         });
         self.base.delete(pt.x);
-        self.len.set(self.len.get() - 1);
+        self.len.fetch_sub(1, Ordering::Relaxed);
         for w in path.windows(2).rev() {
             self.sketch_delete(w[0], w[1], pt.score);
         }
@@ -470,7 +470,7 @@ impl RangeKSelect for St12KSelect {
     }
 
     fn len(&self) -> u64 {
-        self.len.get()
+        self.len.load(Ordering::Relaxed)
     }
 
     fn rebuild(&self, points: &[Point]) {
@@ -478,7 +478,7 @@ impl RangeKSelect for St12KSelect {
     }
 
     fn space_blocks(&self) -> usize {
-        let trees = self.scores_of.borrow();
+        let trees = self.scores_of.read().unwrap();
         self.base.space_blocks()
             + self.leaves.live_pages()
             + self.chunks.live_pages()

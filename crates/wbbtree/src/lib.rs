@@ -27,33 +27,43 @@ pub use node::{NodeId, WbbChild, WbbConfig, WbbNode, WbbNodeKind};
 pub use tree::{CanonicalPiece, DeleteReport, InsertReport, SplitEvent, WbbTree};
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use crate::{WbbConfig, WbbTree};
     use emsim::{Device, EmConfig};
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
+    use std::collections::HashSet;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Inserting any permutation of distinct keys keeps the tree balanced
+    /// and searchable, and canonical decompositions cover ranges exactly.
+    /// (Formerly a proptest; now 32 seeded random cases, same coverage.)
+    #[test]
+    fn insert_then_decompose() {
+        for case in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(0xB0B ^ case);
+            let n = rng.gen_range(1usize..400);
+            let mut keys: HashSet<u64> = HashSet::new();
+            while keys.len() < n {
+                keys.insert(rng.gen_range(0u64..10_000));
+            }
+            let mut insertion_order: Vec<u64> = keys.iter().copied().collect();
+            insertion_order.shuffle(&mut rng);
+            let mut sorted: Vec<u64> = insertion_order.clone();
+            sorted.sort_unstable();
 
-        /// Inserting any permutation of distinct keys keeps the tree balanced
-        /// and searchable, and canonical decompositions cover ranges exactly.
-        #[test]
-        fn insert_then_decompose(keys in proptest::collection::hash_set(0u64..10_000, 1..400)) {
             let dev = Device::new(EmConfig::new(64, 64 * 64));
             let tree = WbbTree::new(&dev, "base", WbbConfig::new(4, 8, 1));
-            let mut sorted: Vec<u64> = keys.iter().copied().collect();
-            sorted.sort_unstable();
-            for &k in keys.iter() {
+            for &k in &insertion_order {
                 tree.insert(k);
             }
             tree.check_invariants();
-            prop_assert_eq!(tree.len(), sorted.len() as u64);
+            assert_eq!(tree.len(), sorted.len() as u64, "case {case}");
 
             // Every key is found in exactly one leaf by descent.
             for &k in sorted.iter().take(20) {
                 let path = tree.descend(k);
                 let leaf = *path.last().unwrap();
-                prop_assert!(tree.leaf_keys(leaf).contains(&k));
+                assert!(tree.leaf_keys(leaf).contains(&k), "case {case}, key {k}");
             }
 
             // A canonical decomposition of a range covers exactly the keys in it.
@@ -61,9 +71,12 @@ mod proptests {
                 let lo = sorted[sorted.len() / 4];
                 let hi = sorted[(3 * sorted.len()) / 4];
                 let covered = tree.keys_covered_by_decomposition(lo, hi);
-                let expected: Vec<u64> =
-                    sorted.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
-                prop_assert_eq!(covered, expected);
+                let expected: Vec<u64> = sorted
+                    .iter()
+                    .copied()
+                    .filter(|&k| k >= lo && k <= hi)
+                    .collect();
+                assert_eq!(covered, expected, "case {case}, range [{lo},{hi}]");
             }
         }
     }

@@ -115,7 +115,7 @@ impl<K: Copy> WbbNode<K> {
 
 impl<K> Page for WbbNode<K> {
     fn words(&self) -> usize {
-        let key_words = (std::mem::size_of::<K>() + 7) / 8;
+        let key_words = std::mem::size_of::<K>().div_ceil(8);
         let key_words = key_words.max(1);
         match &self.kind {
             WbbNodeKind::Leaf { keys } => 4 + keys.len() * key_words,
@@ -142,7 +142,9 @@ mod tests {
         let leaf: WbbNode<u64> = WbbNode {
             parent: NodeId::NULL,
             level: 0,
-            kind: WbbNodeKind::Leaf { keys: vec![1, 2, 3] },
+            kind: WbbNodeKind::Leaf {
+                keys: vec![1, 2, 3],
+            },
         };
         assert_eq!(leaf.weight(), 3);
         assert_eq!(leaf.max_key(), Some(3));

@@ -1,7 +1,8 @@
 //! The weight-balanced base tree.
 
-use std::cell::Cell;
 use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use emsim::{BlockFile, Device};
 
@@ -71,8 +72,8 @@ pub enum CanonicalPiece {
 /// A weight-balanced B-tree over keys of type `K`. See the crate docs.
 pub struct WbbTree<K> {
     file: BlockFile<WbbNode<K>>,
-    root: Cell<NodeId>,
-    len: Cell<u64>,
+    root: RwLock<NodeId>,
+    len: AtomicU64,
     config: WbbConfig,
 }
 
@@ -87,25 +88,29 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
         });
         Self {
             file,
-            root: Cell::new(root),
-            len: Cell::new(0),
+            root: RwLock::new(root),
+            len: AtomicU64::new(0),
             config,
         }
     }
 
     /// The root node id.
     pub fn root(&self) -> NodeId {
-        self.root.get()
+        *self.root.read().unwrap()
+    }
+
+    fn set_root(&self, id: NodeId) {
+        *self.root.write().unwrap() = id;
     }
 
     /// Number of keys stored.
     pub fn len(&self) -> u64 {
-        self.len.get()
+        self.len.load(Ordering::Relaxed)
     }
 
     /// Whether the tree holds no keys.
     pub fn is_empty(&self) -> bool {
-        self.len.get() == 0
+        self.len.load(Ordering::Relaxed) == 0
     }
 
     /// The configuration in use.
@@ -115,7 +120,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
 
     /// Height of the tree (number of levels; a lone leaf has height 1).
     pub fn height(&self) -> u32 {
-        self.level(self.root.get()) + 1
+        self.level(self.root()) + 1
     }
 
     /// Number of live node pages.
@@ -177,7 +182,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
     /// Root-to-leaf path to the leaf whose slab covers `key`.
     pub fn descend(&self, key: K) -> Vec<NodeId> {
         let mut path = Vec::new();
-        let mut cur = self.root.get();
+        let mut cur = self.root();
         loop {
             path.push(cur);
             let next = self.file.with(cur, |n| match &n.kind {
@@ -225,7 +230,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
         if !inserted {
             return report;
         }
-        self.len.set(self.len.get() + 1);
+        self.len.fetch_add(1, Ordering::Relaxed);
 
         // Update cached weights and routers along the path, bottom-up.
         for window in path.windows(2).rev() {
@@ -239,7 +244,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
             let parent = self.parent(node);
             if self.needs_split(node) {
                 let event = self.split_node(node);
-                if event.parent == self.root.get() && self.level(event.parent) > self.level(node) {
+                if event.parent == self.root() && self.level(event.parent) > self.level(node) {
                     // The root may have just been created by this split.
                 }
                 if self.parent(event.node) == Some(event.parent)
@@ -255,7 +260,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
             }
         }
         if let Some(new_root) = report.new_root {
-            debug_assert_eq!(self.root.get(), new_root);
+            debug_assert_eq!(self.root(), new_root);
         }
         report
     }
@@ -281,7 +286,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
         if !removed {
             return None;
         }
-        self.len.set(self.len.get() - 1);
+        self.len.fetch_sub(1, Ordering::Relaxed);
         for window in path.windows(2).rev() {
             let (node, child) = (window[0], window[1]);
             self.refresh_child_weight_only(node, child);
@@ -300,9 +305,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
     }
 
     fn refresh_child_entry(&self, node: NodeId, child: NodeId) {
-        let (weight, max_key) = self
-            .file
-            .with(child, |c| (c.weight(), c.max_key()));
+        let (weight, max_key) = self.file.with(child, |c| (c.weight(), c.max_key()));
         self.file.with_mut(node, |n| {
             if let WbbNodeKind::Internal { children } = &mut n.kind {
                 if let Some(slot) = children.iter_mut().find(|c| c.id == child) {
@@ -362,7 +365,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
                     },
                 });
                 self.file.with_mut(node, |n| n.parent = new_root);
-                self.root.set(new_root);
+                self.set_root(new_root);
                 new_root
             }
         };
@@ -446,15 +449,15 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
     /// Drop everything and rebuild from `keys` (sorted, duplicate-free).
     pub fn bulk_load(&self, keys: &[K]) {
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
-        self.free_subtree(self.root.get());
+        self.free_subtree(self.root());
         if keys.is_empty() {
             let root = self.file.alloc(WbbNode {
                 parent: NodeId::NULL,
                 level: 0,
                 kind: WbbNodeKind::Leaf { keys: Vec::new() },
             });
-            self.root.set(root);
-            self.len.set(0);
+            self.set_root(root);
+            self.len.store(0, Ordering::Relaxed);
             return;
         }
         let leaf_fill = self.config.leaf_target.max(1);
@@ -497,8 +500,8 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
             }
             level_nodes = next;
         }
-        self.root.set(level_nodes[0]);
-        self.len.set(keys.len() as u64);
+        self.set_root(level_nodes[0]);
+        self.len.store(keys.len() as u64, Ordering::Relaxed);
     }
 
     fn free_subtree(&self, node: NodeId) {
@@ -515,7 +518,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
     /// All leaves in key order.
     pub fn leaves(&self) -> Vec<NodeId> {
         let mut out = Vec::new();
-        self.collect_leaves(self.root.get(), &mut out);
+        self.collect_leaves(self.root(), &mut out);
         out
     }
 
@@ -575,7 +578,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
         if lo > hi || self.is_empty() {
             return out;
         }
-        self.decompose_rec(self.root.get(), lo, hi, true, true, &mut out);
+        self.decompose_rec(self.root(), lo, hi, true, true, &mut out);
         out
     }
 
@@ -683,7 +686,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
 
     /// Check structural invariants; panics on violation (test support).
     pub fn check_invariants(&self) {
-        let root = self.root.get();
+        let root = self.root();
         assert!(self.parent(root).is_none(), "root must have no parent");
         let total = self.check_rec(root);
         assert_eq!(total, self.len(), "tree weight disagrees with len()");
@@ -728,10 +731,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
                     let w = self.check_rec(c.id);
                     assert_eq!(w, c.weight, "cached child weight is stale");
                     if let Some(mk) = self.file.with(c.id, |n| n.max_key()) {
-                        assert!(
-                            mk <= c.max_key,
-                            "router key smaller than subtree maximum"
-                        );
+                        assert!(mk <= c.max_key, "router key smaller than subtree maximum");
                     }
                     total += w;
                 }
@@ -782,9 +782,9 @@ mod tests {
         let mut saw_new_root = false;
         for i in 0..200u64 {
             let r = t.insert(i);
-            if r.new_root.is_some() {
+            if let Some(new_root) = r.new_root {
                 saw_new_root = true;
-                assert_eq!(r.new_root.unwrap(), t.root());
+                assert_eq!(new_root, t.root());
             }
             for s in &r.splits {
                 assert_eq!(t.level(s.node), s.level);
@@ -837,7 +837,13 @@ mod tests {
         let (_dev, t) = tree();
         let keys: Vec<u64> = (0..2000).map(|i| i * 5).collect();
         t.bulk_load(&keys);
-        for (lo, hi) in [(0, 9995), (12, 8848), (500, 505), (4000, 4000), (9990, 20000)] {
+        for (lo, hi) in [
+            (0, 9995),
+            (12, 8848),
+            (500, 505),
+            (4000, 4000),
+            (9990, 20000),
+        ] {
             let covered = t.keys_covered_by_decomposition(lo, hi);
             let expected: Vec<u64> = keys
                 .iter()

@@ -261,7 +261,10 @@ mod tests {
         let span = pts.iter().map(|p| p.x).max().unwrap() - pts.iter().map(|p| p.x).min().unwrap();
         for q in qs {
             assert!(q.x2 > q.x1);
-            assert!(q.x2 - q.x1 <= span / 5, "range too wide for 10% selectivity");
+            assert!(
+                q.x2 - q.x1 <= span / 5,
+                "range too wide for 10% selectivity"
+            );
             assert_eq!(q.k, 10);
         }
     }

@@ -21,7 +21,7 @@ fn main() {
     let n = 200_000u64;
     let mut hotels = Vec::new();
     for i in 0..n {
-        let price_cents = rng.gen_range(30_00..900_00) as u64 * 1000 + i % 1000;
+        let price_cents = rng.gen_range(3_000..90_000) as u64 * 1000 + i % 1000;
         let rating = rng.gen_range(0..10_000u64) * n + i;
         hotels.push(Point::new(price_cents, rating));
     }
@@ -31,10 +31,13 @@ fn main() {
     println!("indexed {} hotels", index.len());
 
     // The query from the paper: 10 best-rated hotels between $100 and $200.
-    let lo = 100_00 * 1000;
-    let hi = 200_00 * 1000 + 999;
+    let lo = 10_000 * 1000;
+    let hi = 20_000 * 1000 + 999;
     let (best, cost) = device.measure(|| index.query(lo, hi, 10));
-    println!("10 best-rated hotels between $100 and $200 ({} I/Os):", cost.total());
+    println!(
+        "10 best-rated hotels between $100 and $200 ({} I/Os):",
+        cost.total()
+    );
     for p in &best {
         println!(
             "  ${:>7.2}  rating {:.2}/10",
@@ -51,6 +54,9 @@ fn main() {
         index.insert(Point::new(h.x + 1, h.score + i as u64 + 1));
     }
     let best = index.query(lo, hi, 10);
-    println!("after 10k updates the answer still has {} hotels", best.len());
+    println!(
+        "after 10k updates the answer still has {} hotels",
+        best.len()
+    );
     println!("device stats: {}", device.stats());
 }

@@ -18,7 +18,11 @@ fn main() {
         let score = (i * 40503) % (16 * n) * 8 + (i % 8);
         index.insert(Point::new(x, score));
     }
-    println!("inserted {} points, space = {} blocks", index.len(), index.space_blocks());
+    println!(
+        "inserted {} points, space = {} blocks",
+        index.len(),
+        index.space_blocks()
+    );
 
     // Top-10 in a 10% slice of the domain.
     let (top, cost) = device.measure(|| index.query(n, 2 * n, 10));

@@ -1,0 +1,7 @@
+//! The facade crate of the workspace: one `use topk::…` away from the whole
+//! public API. The repository-level integration tests (`tests/`) and the
+//! runnable examples (`examples/`) live in this package; the implementation
+//! is split across the crates under `crates/` (see README.md for the map).
+
+pub use emsim::{Device, EmConfig, IoDelta, IoSnapshot, IoStats};
+pub use topk_core::{ConcurrentTopK, Oracle, Point, SmallKEngine, TopKConfig, TopKIndex};

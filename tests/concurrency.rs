@@ -1,0 +1,176 @@
+//! The concurrency acceptance test: ≥ 4 threads issue queries against one
+//! shared index, interleaved with locked updates, and every answer must match
+//! the oracle exactly — not just "look plausible".
+//!
+//! Exact matching under interleaving works via version stamping: the updater
+//! bumps an atomic version and publishes an oracle snapshot for it *while
+//! still holding the index's write lock*. A reader that takes the read lock
+//! therefore observes a stable version for as long as it holds the guard, and
+//! can compare its answers against the snapshot published for exactly that
+//! version.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use emsim::{Device, EmConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topk_core::{ConcurrentTopK, Oracle, Point, TopKConfig};
+
+fn points(seed: u64, lo: u64, n: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs: Vec<u64> = (lo..lo + n).map(|i| i * 3 + 1).collect();
+    let mut scores: Vec<u64> = (lo..lo + n).map(|i| i * 13 + 7).collect();
+    use rand::seq::SliceRandom;
+    xs.shuffle(&mut rng);
+    scores.shuffle(&mut rng);
+    xs.into_iter()
+        .zip(scores)
+        .map(|(x, score)| Point { x, score })
+        .collect()
+}
+
+#[test]
+fn concurrent_queries_interleaved_with_locked_updates_match_oracle() {
+    const READERS: usize = 4;
+    const QUERIES_PER_READER: usize = 120;
+    const BATCHES: u64 = 24;
+    const BATCH: usize = 40;
+
+    let device = Device::new(EmConfig::new(256, 256 * 256));
+    let index = ConcurrentTopK::new(&device, TopKConfig::for_tests());
+    let initial = points(1, 0, 4_000);
+    index.bulk_build(&initial);
+
+    let version = AtomicU64::new(0);
+    let snapshots: Mutex<HashMap<u64, Oracle>> = Mutex::new(HashMap::new());
+    snapshots
+        .lock()
+        .unwrap()
+        .insert(0, Oracle::from_points(&initial));
+
+    // Points the updater will insert (disjoint coordinates/scores) and delete.
+    let incoming = points(2, 10_000, (BATCHES as usize * BATCH) as u64 / 2);
+    let x_max = 50_000u64;
+
+    std::thread::scope(|scope| {
+        // The updater: locked batches, each publishing an oracle snapshot for
+        // its new version before the write lock is released.
+        {
+            let index = &index;
+            let version = &version;
+            let snapshots = &snapshots;
+            let initial = &initial;
+            let incoming = &incoming;
+            scope.spawn(move || {
+                let mut oracle = Oracle::from_points(initial);
+                let mut insert_cursor = 0usize;
+                let mut delete_cursor = 0usize;
+                for batch in 0..BATCHES {
+                    let guard = index.write();
+                    for i in 0..BATCH {
+                        if (batch as usize + i).is_multiple_of(2) && insert_cursor < incoming.len()
+                        {
+                            let p = incoming[insert_cursor];
+                            insert_cursor += 1;
+                            guard.insert(p);
+                            oracle.insert(p);
+                        } else if delete_cursor < initial.len() {
+                            let p = initial[delete_cursor];
+                            delete_cursor += 1;
+                            assert!(guard.delete(p));
+                            oracle.delete(p);
+                        }
+                    }
+                    let v = version.load(Ordering::Relaxed) + 1;
+                    snapshots.lock().unwrap().insert(v, oracle.clone());
+                    version.store(v, Ordering::Release);
+                    drop(guard);
+                    // A breather so readers actually interleave between batches.
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // The readers: each answer is compared against the snapshot of the
+        // version observed while the read lock was held.
+        for reader in 0..READERS {
+            let index = &index;
+            let version = &version;
+            let snapshots = &snapshots;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + reader as u64);
+                for _ in 0..QUERIES_PER_READER {
+                    let a = rng.gen_range(0..x_max);
+                    let b = rng.gen_range(a..=x_max);
+                    let k = rng.gen_range(1usize..200);
+                    let guard = index.read();
+                    let v = version.load(Ordering::Acquire);
+                    let got = guard.query(a, b, k);
+                    let count = guard.count_in_range(a, b);
+                    drop(guard);
+                    let snapshots = snapshots.lock().unwrap();
+                    let oracle = snapshots.get(&v).expect("snapshot published");
+                    assert_eq!(
+                        got,
+                        oracle.query(a, b, k),
+                        "reader {reader} [{a},{b}] k={k} v={v}"
+                    );
+                    assert_eq!(
+                        count,
+                        oracle.count(a, b) as u64,
+                        "reader {reader} count v={v}"
+                    );
+                }
+            });
+        }
+    });
+
+    // Final state matches the last snapshot, and the device's concurrent
+    // counter updates were not lost: allocation accounting must balance.
+    let final_version = version.load(Ordering::Acquire);
+    assert_eq!(final_version, BATCHES);
+    let snapshots = snapshots.lock().unwrap();
+    let last = snapshots.get(&final_version).unwrap();
+    assert_eq!(index.len(), last.len() as u64);
+    assert_eq!(index.query(0, u64::MAX, 50), last.query(0, u64::MAX, 50));
+    let stats = device.stats();
+    assert_eq!(
+        stats.allocs - stats.frees,
+        device.space_blocks(),
+        "alloc/free counters drifted from live-page accounting under concurrency"
+    );
+    assert!(stats.logical > 0 && stats.reads > 0);
+}
+
+#[test]
+fn read_side_runs_concurrently_and_exactly_matches() {
+    // Pure read concurrency: 8 threads hammer the same frozen index; every
+    // answer must equal the oracle's, and the logical-access counter must not
+    // lose a single increment (each query's accesses are all recorded).
+    const THREADS: usize = 8;
+    let device = Device::new(EmConfig::new(256, 256 * 256));
+    let index = ConcurrentTopK::new(&device, TopKConfig::for_tests());
+    let pts = points(7, 0, 6_000);
+    index.bulk_build(&pts);
+    let oracle = Oracle::from_points(&pts);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let index = &index;
+            let oracle = &oracle;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t as u64);
+                for _ in 0..150 {
+                    let a = rng.gen_range(0u64..20_000);
+                    let b = rng.gen_range(a..=20_000);
+                    let k = rng.gen_range(1usize..500);
+                    assert_eq!(index.query(a, b, k), oracle.query(a, b, k));
+                }
+            });
+        }
+    });
+    let stats = device.stats();
+    assert_eq!(stats.allocs - stats.frees, device.space_blocks());
+}

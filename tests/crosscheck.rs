@@ -1,9 +1,11 @@
-//! Property-based cross-checks: the combined index, the naive baseline and
-//! the in-memory oracle must agree on every query, for arbitrary point sets
-//! and query parameters.
+//! Randomized cross-checks: the combined index, the naive baseline and the
+//! in-memory oracle must agree on every query, for arbitrary point sets and
+//! query parameters. (Formerly proptest-based; now seeded random cases with
+//! the same shape, reproducible by construction.)
 
 use emsim::{Device, EmConfig};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use topk_core::{Oracle, Point, TopKConfig, TopKIndex};
 
 fn distinct_points(raw: Vec<(u64, u64)>) -> Vec<Point> {
@@ -16,14 +18,14 @@ fn distinct_points(raw: Vec<(u64, u64)>) -> Vec<Point> {
     pts
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn index_agrees_with_oracle_and_naive(
-        raw in proptest::collection::vec((0u64..50_000, 0u64..50_000), 1..600),
-        queries in proptest::collection::vec((0u64..4_000_000, 0u64..4_000_000, 1usize..300), 1..12),
-    ) {
+#[test]
+fn index_agrees_with_oracle_and_naive() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xC05C ^ case);
+        let n = rng.gen_range(1usize..600);
+        let raw: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..50_000), rng.gen_range(0u64..50_000)))
+            .collect();
         let pts = distinct_points(raw);
         let device = Device::new(EmConfig::new(128, 128 * 128));
         let index = TopKIndex::new(&device, TopKConfig::for_tests());
@@ -35,19 +37,36 @@ proptest! {
             naive.insert(p);
             oracle.insert(p);
         }
-        for (a, b, k) in queries {
+        let queries = rng.gen_range(1usize..12);
+        for _ in 0..queries {
+            let a = rng.gen_range(0u64..4_000_000);
+            let b = rng.gen_range(0u64..4_000_000);
+            let k = rng.gen_range(1usize..300);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             let expect = oracle.query(lo, hi, k);
-            prop_assert_eq!(index.query(lo, hi, k), expect.clone());
-            prop_assert_eq!(naive.query(lo, hi, k), expect);
+            assert_eq!(
+                index.query(lo, hi, k),
+                expect,
+                "case {case} [{lo},{hi}] k={k}"
+            );
+            assert_eq!(
+                naive.query(lo, hi, k),
+                expect,
+                "case {case} [{lo},{hi}] k={k}"
+            );
         }
     }
+}
 
-    #[test]
-    fn deletions_never_leave_ghosts(
-        raw in proptest::collection::vec((0u64..10_000, 0u64..10_000), 2..200),
-        delete_every in 2usize..5,
-    ) {
+#[test]
+fn deletions_never_leave_ghosts() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xDE1 ^ case);
+        let n = rng.gen_range(2usize..200);
+        let raw: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..10_000), rng.gen_range(0u64..10_000)))
+            .collect();
+        let delete_every = rng.gen_range(2usize..5);
         let pts = distinct_points(raw);
         let device = Device::new(EmConfig::new(128, 128 * 128));
         let index = TopKIndex::new(&device, TopKConfig::for_tests());
@@ -58,12 +77,12 @@ proptest! {
         }
         for (i, &p) in pts.iter().enumerate() {
             if i % delete_every == 0 {
-                prop_assert!(index.delete(p));
+                assert!(index.delete(p), "case {case}");
                 oracle.delete(p);
             }
         }
         let all = index.query(0, u64::MAX, pts.len());
         let expect = oracle.query(0, u64::MAX, pts.len());
-        prop_assert_eq!(all, expect);
+        assert_eq!(all, expect, "case {case}");
     }
 }

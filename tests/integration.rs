@@ -23,7 +23,9 @@ fn check_many_queries(index: &TopKIndex, oracle: &Oracle, seed: u64, rounds: usi
     for _ in 0..rounds {
         let a = rng.gen_range(0..x_max);
         let b = rng.gen_range(a..=x_max);
-        let k = *[1usize, 3, 7, 17, 64, 257, 1024, 5000].choose(&mut rng).unwrap();
+        let k = *[1usize, 3, 7, 17, 64, 257, 1024, 5000]
+            .choose(&mut rng)
+            .unwrap();
         assert_eq!(
             index.query(a, b, k),
             oracle.query(a, b, k),
