@@ -9,10 +9,15 @@
 //!   cost model by charging one I/O per node it touches. Its query cost is
 //!   `O(lg n + k)` node accesses, illustrating why a RAM structure is not
 //!   I/O-efficient.
+//!
+//! Both implement [`topk_core::RankedIndex`] with the same fallible contract
+//! as the paper's structure, so benches, examples and oracle cross-checks are
+//! generic over engines.
 
 use embtree::BTree;
 use emsim::Device;
 use epst::{top_k_by_score, Point};
+use topk_core::{RankedIndex, Result, TopKError};
 
 /// The naive baseline: scan the range, keep the best `k`.
 pub struct NaiveTopK {
@@ -42,30 +47,56 @@ impl NaiveTopK {
         self.tree.space_blocks()
     }
 
-    /// Insert a point (`O(log_B n)` I/Os).
-    pub fn insert(&self, p: Point) {
+    /// The point stored at coordinate `x`, if any (`O(log_B n)` I/Os).
+    pub fn get(&self, x: u64) -> Option<Point> {
+        let hits = self.tree.collect_range(x, x);
+        hits.into_iter().next()
+    }
+
+    /// Insert a point (`O(log_B n)` I/Os). The B-tree is keyed by coordinate
+    /// only, so (unlike the paper's structure) duplicate *scores* are not
+    /// detectable here; duplicate coordinates are rejected.
+    pub fn insert(&self, p: Point) -> Result<()> {
+        if let Some(existing) = self.get(p.x) {
+            return Err(TopKError::DuplicateX {
+                existing,
+                rejected: p,
+            });
+        }
         self.tree.insert(p);
+        Ok(())
     }
 
-    /// Delete a point by coordinate (`O(log_B n)` I/Os).
-    pub fn delete(&self, p: Point) -> bool {
-        self.tree.remove(p.x).is_some()
+    /// Delete the point at coordinate `p.x` if it matches `p` exactly;
+    /// `Ok(false)` if absent or score-mismatched (`O(log_B n)` I/Os).
+    pub fn delete(&self, p: Point) -> Result<bool> {
+        if self.get(p.x) != Some(p) {
+            return Ok(false);
+        }
+        Ok(self.tree.remove(p.x).is_some())
     }
 
-    /// Bulk build from points sorted by coordinate.
-    pub fn bulk_build(&self, points: &[Point]) {
+    /// Bulk build from points (sorted internally by coordinate).
+    pub fn bulk_build(&self, points: &[Point]) -> Result<()> {
         let mut sorted = points.to_vec();
         sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            if pair[0].x == pair[1].x {
+                return Err(TopKError::DuplicateX {
+                    existing: pair[0],
+                    rejected: pair[1],
+                });
+            }
+        }
         self.tree.bulk_load(&sorted);
+        Ok(())
     }
 
     /// Top-k query by scanning the whole range: `O(log_B n + |S∩q|/B)` I/Os.
-    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
-        if x1 > x2 || k == 0 {
-            return Vec::new();
-        }
+    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Result<Vec<Point>> {
+        validate_query(x1, x2, k)?;
         let in_range = self.tree.collect_range(x1, x2);
-        top_k_by_score(in_range, k)
+        Ok(top_k_by_score(in_range, k))
     }
 
     /// Number of points in the range.
@@ -74,13 +105,48 @@ impl NaiveTopK {
     }
 }
 
+impl RankedIndex for NaiveTopK {
+    fn engine_name(&self) -> &'static str {
+        "naive-btree-scan"
+    }
+
+    fn len(&self) -> u64 {
+        NaiveTopK::len(self)
+    }
+
+    fn space_blocks(&self) -> u64 {
+        NaiveTopK::space_blocks(self) as u64
+    }
+
+    fn insert(&self, p: Point) -> Result<()> {
+        NaiveTopK::insert(self, p)
+    }
+
+    fn delete(&self, p: Point) -> Result<bool> {
+        NaiveTopK::delete(self, p)
+    }
+
+    fn bulk_build(&self, points: &[Point]) -> Result<()> {
+        NaiveTopK::bulk_build(self, points)
+    }
+
+    fn query(&self, x1: u64, x2: u64, k: usize) -> Result<Vec<Point>> {
+        NaiveTopK::query(self, x1, x2, k)
+    }
+
+    fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+        NaiveTopK::count_in_range(self, x1, x2)
+    }
+}
+
 /// The internal-memory (pointer-machine) structure of §1.1, priced in the EM
 /// model: a static balanced priority search tree over the coordinates whose
 /// every node visit costs one I/O, queried with heap selection.
 ///
-/// It is rebuilt from scratch on every update batch (`rebuild`), because its
-/// purpose in the experiments is only to show the `O(lg n + k)` I/O behaviour
-/// of a RAM structure, not to be a serious dynamic contender.
+/// It is rebuilt from scratch on every update (its purpose in the
+/// experiments is only to show the `O(lg n + k)` I/O behaviour of a RAM
+/// structure, not to be a serious dynamic contender — the [`RankedIndex`]
+/// update methods exist so harness code can stay generic).
 pub struct RamPst {
     /// Heap-ordered PST: node i covers a coordinate range, stores one point,
     /// and its children hold lower-scoring points.
@@ -132,6 +198,11 @@ impl RamPst {
         self.len() == 0
     }
 
+    /// All stored points, in no particular order.
+    pub fn points(&self) -> Vec<Point> {
+        self.nodes.read().unwrap().iter().map(|n| n.point).collect()
+    }
+
     /// Rebuild from `points`.
     pub fn rebuild(&self, points: &[Point]) {
         let mut sorted = points.to_vec();
@@ -179,12 +250,13 @@ impl RamPst {
     /// Top-k query: best-first search over the priority search tree (the
     /// combination of McCreight's PST and heap selection described in §1.1).
     /// Touches — and therefore costs — `O(lg n + k)` nodes.
-    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
+    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Result<Vec<Point>> {
+        validate_query(x1, x2, k)?;
         self.last_visited
             .store(0, std::sync::atomic::Ordering::Relaxed);
         let nodes = self.nodes.read().unwrap();
-        if k == 0 || nodes.is_empty() || x1 > x2 {
-            return Vec::new();
+        if nodes.is_empty() {
+            return Ok(Vec::new());
         }
         let mut frontier = std::collections::BinaryHeap::new();
         let mut visited = 0u64;
@@ -214,8 +286,105 @@ impl RamPst {
         }
         self.last_visited
             .store(visited, std::sync::atomic::Ordering::Relaxed);
-        out
+        Ok(out)
     }
+}
+
+impl RankedIndex for RamPst {
+    fn engine_name(&self) -> &'static str {
+        "ram-pst"
+    }
+
+    fn len(&self) -> u64 {
+        RamPst::len(self) as u64
+    }
+
+    /// RAM-resident: costs node accesses, not blocks (see
+    /// [`RamPst::last_visited`]).
+    fn space_blocks(&self) -> u64 {
+        0
+    }
+
+    /// `O(n)`: validates, then rebuilds the static structure from scratch.
+    fn insert(&self, p: Point) -> Result<()> {
+        let mut pts = self.points();
+        for &q in &pts {
+            if q.x == p.x {
+                return Err(TopKError::DuplicateX {
+                    existing: q,
+                    rejected: p,
+                });
+            }
+            if q.score == p.score {
+                return Err(TopKError::DuplicateScore {
+                    score: p.score,
+                    rejected: p,
+                });
+            }
+        }
+        pts.push(p);
+        self.rebuild(&pts);
+        Ok(())
+    }
+
+    /// `O(n)`: rebuilds the static structure from scratch.
+    fn delete(&self, p: Point) -> Result<bool> {
+        let mut pts = self.points();
+        let before = pts.len();
+        pts.retain(|&q| q != p);
+        if pts.len() == before {
+            return Ok(false);
+        }
+        self.rebuild(&pts);
+        Ok(true)
+    }
+
+    fn bulk_build(&self, points: &[Point]) -> Result<()> {
+        let mut by_x = points.to_vec();
+        by_x.sort_unstable();
+        for pair in by_x.windows(2) {
+            if pair[0].x == pair[1].x {
+                return Err(TopKError::DuplicateX {
+                    existing: pair[0],
+                    rejected: pair[1],
+                });
+            }
+        }
+        let mut by_score: Vec<u64> = points.iter().map(|p| p.score).collect();
+        by_score.sort_unstable();
+        if let Some(pair) = by_score.windows(2).find(|w| w[0] == w[1]) {
+            return Err(TopKError::DuplicateScore {
+                score: pair[0],
+                rejected: *points.iter().find(|p| p.score == pair[0]).unwrap(),
+            });
+        }
+        self.rebuild(points);
+        Ok(())
+    }
+
+    fn query(&self, x1: u64, x2: u64, k: usize) -> Result<Vec<Point>> {
+        RamPst::query(self, x1, x2, k)
+    }
+
+    fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+        self.nodes
+            .read()
+            .unwrap()
+            .iter()
+            .filter(|n| n.point.x >= x1 && n.point.x <= x2)
+            .count() as u64
+    }
+}
+
+/// Shared query-argument validation, mirroring the core crate's contract.
+fn validate_query(x1: u64, x2: u64, k: usize) -> Result<()> {
+    if x1 > x2 {
+        return Err(TopKError::InvertedRange { x1, x2 });
+    }
+    if k == 0 {
+        return Err(TopKError::ZeroK);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -243,10 +412,10 @@ mod tests {
         let naive = NaiveTopK::new(&dev, "naive");
         let pts = random_points(1, 800);
         for &p in &pts {
-            naive.insert(p);
+            naive.insert(p).unwrap();
         }
         assert_eq!(naive.len(), 800);
-        let got = naive.query(100, 1500, 7);
+        let got = naive.query(100, 1500, 7).unwrap();
         let expect = top_k_by_score(
             pts.iter()
                 .filter(|p| p.x >= 100 && p.x <= 1500)
@@ -255,8 +424,25 @@ mod tests {
             7,
         );
         assert_eq!(got, expect);
-        assert!(naive.delete(pts[0]));
-        assert!(!naive.delete(Point::new(99_999, 1)));
+        assert!(naive.delete(pts[0]).unwrap());
+        assert!(!naive.delete(Point::new(99_999, 1)).unwrap());
+    }
+
+    #[test]
+    fn naive_rejects_duplicate_coordinates_and_misuse() {
+        let dev = Device::new(EmConfig::new(128, 64 * 128));
+        let naive = NaiveTopK::new(&dev, "naive");
+        naive.insert(Point::new(5, 50)).unwrap();
+        let err = naive.insert(Point::new(5, 60)).unwrap_err();
+        assert!(matches!(err, TopKError::DuplicateX { .. }));
+        // Score-mismatched deletes are a miss, not a removal.
+        assert!(!naive.delete(Point::new(5, 60)).unwrap());
+        assert_eq!(naive.len(), 1);
+        assert!(naive.query(9, 3, 1).is_err());
+        assert!(naive.query(3, 9, 0).is_err());
+        assert!(naive
+            .bulk_build(&[Point::new(1, 1), Point::new(1, 2)])
+            .is_err());
     }
 
     #[test]
@@ -267,7 +453,7 @@ mod tests {
         ram.rebuild(&pts);
         assert_eq!(ram.len(), 600);
         for (x1, x2, k) in [(0u64, 2000u64, 5usize), (50, 60, 3), (0, u64::MAX, 20)] {
-            let got = ram.query(x1, x2, k);
+            let got = ram.query(x1, x2, k).unwrap();
             let expect = top_k_by_score(
                 pts.iter()
                     .filter(|p| p.x >= x1 && p.x <= x2)
@@ -276,6 +462,28 @@ mod tests {
                 k,
             );
             assert_eq!(got, expect, "range [{x1},{x2}] k={k}");
+        }
+    }
+
+    #[test]
+    fn baselines_work_as_trait_objects() {
+        let dev = Device::new(EmConfig::new(128, 64 * 128));
+        let engines: Vec<Box<dyn RankedIndex>> = vec![
+            Box::new(NaiveTopK::new(&dev, "naive")),
+            Box::new(RamPst::new(&dev)),
+        ];
+        let pts = random_points(9, 200);
+        for engine in &engines {
+            engine.bulk_build(&pts).unwrap();
+            assert_eq!(engine.len(), 200);
+            let top = engine.query(0, u64::MAX, 5).unwrap();
+            assert_eq!(top.len(), 5);
+            assert!(top[0].score >= top[4].score);
+            assert!(engine.delete(pts[0]).unwrap());
+            engine.insert(pts[0]).unwrap();
+            assert!(engine.insert(pts[0]).is_err());
+            assert_eq!(engine.count_in_range(0, u64::MAX), 200);
+            assert!(!engine.engine_name().is_empty());
         }
     }
 }

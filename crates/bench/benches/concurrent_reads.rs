@@ -1,32 +1,46 @@
-//! Multi-threaded smoke benchmark: read-side scaling of the concurrent index.
+//! Multi-threaded smoke benchmark: read-side scaling of the concurrent index
+//! and the lock-amortization win of batched writers.
 //!
-//! Spawns 1, 2, 4 and 8 query threads against one shared [`ConcurrentTopK`]
-//! (with an update thread taking write locks in the interleaved variant) and
-//! reports wall-clock throughput. Queries take the shared read lock and only
-//! contend on the device's pool mutex, so throughput should grow with the
-//! thread count until that mutex saturates.
+//! Part 1 spawns 1, 2, 4 and 8 query threads against one shared
+//! [`ConcurrentTopK`] and reports wall-clock throughput: queries take the
+//! shared read lock and only contend on the device's pool mutex, so
+//! throughput should grow with the thread count until that mutex saturates.
+//!
+//! Part 2 measures the *mixed* workload: a fixed job of queries plus an
+//! update stream, committed first point-wise (one write-lock acquisition and
+//! one rebuild check per op), then as [`UpdateBatch`]es of 64 and 1024 ops
+//! through [`ConcurrentTopK::apply`] — one acquisition per batch, batch-wide
+//! validation (one `O(n/B)` scan instead of per-op descents), and, for
+//! batches that rewrite a sizable fraction of the set, the paper's global
+//! rebuild in place of per-op maintenance. The whole-workload queries/sec is
+//! the amortization number the API redesign claims — measured here, not
+//! asserted.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use topk_bench::{small_machine, uniform_points};
-use topk_core::{ConcurrentTopK, Point, SmallKEngine, TopKConfig};
+use topk_core::{ConcurrentTopK, Point, SmallKEngine, UpdateBatch, UpdateOp};
 use workload::QueryGen;
 
-fn build(n: usize) -> (ConcurrentTopK, Vec<workload::Query>) {
+/// Build a concurrent index preloaded with the first `n` of `n + extra`
+/// generated points; returns (index, queries, preloaded, fresh) where
+/// `fresh` is the collision-free update stream.
+#[allow(clippy::type_complexity)]
+fn build(n: usize, extra: usize) -> (ConcurrentTopK, Vec<workload::Query>, Vec<Point>, Vec<Point>) {
     let device = emsim::Device::new(small_machine());
-    let index = ConcurrentTopK::new(
-        &device,
-        TopKConfig {
-            l: 64,
-            small_k_engine: SmallKEngine::Polylog,
-            ..TopKConfig::default()
-        },
-    );
-    let pts = uniform_points(17, n);
-    index.bulk_build(&pts);
-    let queries = QueryGen::new(0.05, 10, 23).generate(&pts, 256);
-    (index, queries)
+    let index = ConcurrentTopK::builder()
+        .device(&device)
+        .small_k(SmallKEngine::Polylog)
+        .crossover_l(64)
+        .expected_n(n + extra)
+        .build_concurrent()
+        .expect("bench parameters are valid");
+    let all = uniform_points(17, n + extra);
+    index.bulk_build(&all[..n]).expect("distinct points");
+    let queries = QueryGen::new(0.05, 10, 23).generate(&all[..n], 256);
+    let (preloaded, fresh) = all.split_at(n);
+    (index, queries, preloaded.to_vec(), fresh.to_vec())
 }
 
 fn run_readers(index: &ConcurrentTopK, queries: &[workload::Query], threads: usize) -> f64 {
@@ -38,7 +52,7 @@ fn run_readers(index: &ConcurrentTopK, queries: &[workload::Query], threads: usi
             scope.spawn(move || {
                 for (i, q) in queries.iter().enumerate() {
                     if i % threads == t {
-                        std::hint::black_box(index.query(q.x1, q.x2, q.k));
+                        std::hint::black_box(index.query(q.x1, q.x2, q.k).unwrap());
                         done.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -48,9 +62,51 @@ fn run_readers(index: &ConcurrentTopK, queries: &[workload::Query], threads: usi
     done.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
 }
 
+/// A fixed mixed workload: 4 readers each serve a fixed quota of queries
+/// while one writer commits the same `updates`-op stream (alternating
+/// insert/delete) in batches of `batch_size`. Returns queries/sec over the
+/// time to finish *everything* — the system-goodput number, where the cost
+/// of taking the write lock once per point (4096 contended acquisitions,
+/// each draining in-flight readers) shows up directly.
+fn run_mixed(n: usize, updates: usize, queries_per_reader: usize, batch_size: usize) -> f64 {
+    let (index, queries, preloaded, fresh) = build(n, updates);
+    // Alternate inserting a fresh point and deleting a preloaded one, so the
+    // stream exercises both update paths and the index size stays stable.
+    let ops: Vec<UpdateOp> = (0..updates)
+        .map(|i| {
+            if i % 2 == 0 {
+                UpdateOp::Insert(fresh[i])
+            } else {
+                UpdateOp::Delete(preloaded[i])
+            }
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let index = &index;
+        let ops = &ops;
+        scope.spawn(move || {
+            for chunk in ops.chunks(batch_size) {
+                let batch = UpdateBatch::from_ops(chunk.iter().copied());
+                index.apply(&batch).expect("collision-free update stream");
+            }
+        });
+        for t in 0..4usize {
+            let queries = &queries;
+            scope.spawn(move || {
+                for i in 0..queries_per_reader {
+                    let q = &queries[(t + i * 4) % queries.len()];
+                    std::hint::black_box(index.query(q.x1, q.x2, q.k).unwrap());
+                }
+            });
+        }
+    });
+    (4 * queries_per_reader) as f64 / start.elapsed().as_secs_f64()
+}
+
 fn main() {
     let n = 1 << 15;
-    let (index, queries) = build(n);
+    let (index, queries, _, _) = build(n, 0);
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     println!(
         "read-side scaling, n = {n}, {} queries per run, {cores} core(s) available",
@@ -67,35 +123,28 @@ fn main() {
         println!("{threads:>8} {qps:>16.0}   ({:.2}x)", qps / base);
     }
 
-    // Interleaved variant: one updater takes write locks while 4 readers run.
-    let (index, queries) = build(n);
-    let extra = uniform_points(91, n + 4096);
-    let updates: Vec<Point> = extra[n..].to_vec();
-    let start = Instant::now();
-    let done = AtomicU64::new(0);
-    std::thread::scope(|scope| {
-        let index = &index;
-        let done = &done;
-        scope.spawn(move || {
-            for &p in &updates {
-                index.insert(p);
-            }
-        });
-        for t in 0..4 {
-            let queries = &queries;
-            scope.spawn(move || {
-                for (i, q) in queries.iter().enumerate() {
-                    if i % 4 == t {
-                        std::hint::black_box(index.query(q.x1, q.x2, q.k));
-                        done.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            });
-        }
-    });
+    // Mixed batched-writer scenario: the same fixed workload committed with
+    // different batch sizes. Larger batches amortize the write lock, the
+    // validation descents and — once a batch rewrites ≥ 1/16 of the set —
+    // the structure maintenance itself (one global rebuild instead of
+    // per-op descents), so the whole mixed workload finishes faster
+    // (batch = 1 is the seed's per-point locking, via apply).
+    let hot_n = 8192;
+    let updates = 8192;
+    let queries_per_reader = 4096;
     println!(
-        "\ninterleaved: 4 readers + 1 writer (4096 inserts): {:.0} queries/sec over {:.2}s",
-        done.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64(),
-        start.elapsed().as_secs_f64()
+        "\nmixed goodput: 4 readers × {queries_per_reader} queries + 1 writer × {updates} updates"
     );
+    println!("{:>10} {:>24}", "batch", "queries/sec (workload)");
+    let mut qps_batch1 = 0.0;
+    for batch_size in [1usize, 64, 1024] {
+        let qps = run_mixed(hot_n, updates, queries_per_reader, batch_size);
+        if batch_size == 1 {
+            qps_batch1 = qps;
+        }
+        println!(
+            "{batch_size:>10} {qps:>24.0}   ({:.2}x vs batch=1)",
+            qps / qps_batch1
+        );
+    }
 }

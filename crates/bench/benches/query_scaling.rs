@@ -17,7 +17,7 @@ fn query_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("topk_k10", n), &n, |b, _| {
             b.iter(|| {
                 for q in &queries {
-                    std::hint::black_box(index.query(q.x1, q.x2, q.k));
+                    std::hint::black_box(index.query(q.x1, q.x2, q.k).unwrap());
                 }
             })
         });
@@ -30,7 +30,7 @@ fn query_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("topk_by_k", k), &k, |b, _| {
             b.iter(|| {
                 for q in &queries {
-                    std::hint::black_box(index.query(q.x1, q.x2, q.k));
+                    std::hint::black_box(index.query(q.x1, q.x2, q.k).unwrap());
                 }
             })
         });

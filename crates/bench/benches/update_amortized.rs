@@ -10,9 +10,11 @@ fn update_amortized(c: &mut Criterion) {
     let mut group = c.benchmark_group("update_amortized");
     group.sample_size(10);
     let n = 1usize << 14;
-    let preload = uniform_points(3, n);
-    let extra = uniform_points(1009, n + 2048);
-    let batch: Vec<_> = extra[n..].to_vec();
+    // One distinct point set, split into preload and a collision-free
+    // insert stream (the fallible API rejects duplicate coordinates).
+    let all = uniform_points(3, n + 2048);
+    let preload = all[..n].to_vec();
+    let batch: Vec<_> = all[n..].to_vec();
     for (label, engine) in [
         ("this_paper_polylog", SmallKEngine::Polylog),
         ("baseline_st12", SmallKEngine::St12),
@@ -22,7 +24,7 @@ fn update_amortized(c: &mut Criterion) {
                 || build_index(small_machine(), engine, 64, &preload),
                 |index| {
                     for &p in &batch {
-                        index.insert(p);
+                        index.insert(p).unwrap();
                     }
                     std::hint::black_box(index.len())
                 },

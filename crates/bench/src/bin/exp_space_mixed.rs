@@ -43,12 +43,12 @@ fn main() {
         let before = device.snapshot();
         for op in &trace {
             match op {
-                Op::Insert(p) => index.insert(*p),
+                Op::Insert(p) => index.insert(*p).expect("collision-free trace"),
                 Op::Delete(p) => {
-                    index.delete(*p);
+                    index.delete(*p).expect("consistent index");
                 }
                 Op::Query(q) => {
-                    index.query(q.x1, q.x2, q.k);
+                    index.query(q.x1, q.x2, q.k).expect("well-formed query");
                 }
             }
         }
@@ -69,7 +69,7 @@ fn main() {
     let mut reported_over_k = Vec::new();
     let mut mismatches = 0;
     for q in &queries {
-        let got = index.query(q.x1, q.x2, q.k);
+        let got = index.query(q.x1, q.x2, q.k).expect("well-formed query");
         if got != oracle.query(q.x1, q.x2, q.k) {
             mismatches += 1;
         }

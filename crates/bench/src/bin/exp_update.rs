@@ -11,13 +11,15 @@ fn main() {
     let mut rows = Vec::new();
     for exp in [13u32, 15, 17, 19] {
         let n = 1usize << exp;
-        let preload = uniform_points(2, n);
-        let extra = uniform_points(7_000, n + 2000);
-        let batch = &extra[n..];
+        // One distinct point set split into preload + collision-free inserts
+        // (the fallible API rejects duplicate coordinates).
+        let all = uniform_points(2, n + 2000);
+        let (preload, batch) = all.split_at(n);
         let mut cols = vec![format!("2^{exp}")];
         for engine in [SmallKEngine::Polylog, SmallKEngine::St12] {
-            let index = build_index(em, engine, 256, &preload);
-            let ios = avg_insert_ios(&index, batch);
+            let index = build_index(em, engine, 256, preload);
+            let device = index.device().clone();
+            let ios = avg_insert_ios(&device, &index, batch);
             cols.push(format!("{:.2}", ios));
         }
         let lgb = emsim::log_b(512 / 2, n);
@@ -39,16 +41,16 @@ fn main() {
 
     println!("\n# E4: amortized insert I/Os vs block size (n = 2^16)\n");
     let n = 1usize << 16;
-    let preload = uniform_points(3, n);
-    let extra = uniform_points(9_000, n + 1500);
-    let batch = &extra[n..];
+    let all = uniform_points(3, n + 1500);
+    let (preload, batch) = all.split_at(n);
     let mut rows = Vec::new();
     for block in [128usize, 256, 512, 1024, 2048] {
         let em = EmConfig::new(block, block * 4096);
         let mut cols = vec![block.to_string()];
         for engine in [SmallKEngine::Polylog, SmallKEngine::St12] {
-            let index = build_index(em, engine, 256, &preload);
-            cols.push(format!("{:.2}", avg_insert_ios(&index, batch)));
+            let index = build_index(em, engine, 256, preload);
+            let device = index.device().clone();
+            cols.push(format!("{:.2}", avg_insert_ios(&device, &index, batch)));
         }
         rows.push(cols);
     }

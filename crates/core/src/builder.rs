@@ -1,0 +1,230 @@
+//! Fluent construction of indexes.
+//!
+//! The seed API made every caller perform a two-step dance — build an
+//! [`emsim::Device`], then pair it with a [`TopKConfig`] — and resolved the
+//! automatic engine choice against a hardcoded `n = 2^20`. [`IndexBuilder`]
+//! owns both steps: machine shape (`block_words`, `pool_bytes`), workload
+//! shape (`expected_n`, `small_k`, `crossover_l`), and engine resolution,
+//! with validation at `build()` time instead of panics later.
+
+use emsim::{Device, EmConfig};
+
+use crate::concurrent::ConcurrentTopK;
+use crate::config::{SmallKEngine, TopKConfig};
+use crate::error::{Result, TopKError};
+use crate::index::TopKIndex;
+
+/// Builder for [`TopKIndex`] / [`ConcurrentTopK`], obtained from
+/// [`TopKIndex::builder`] or [`ConcurrentTopK::builder`].
+///
+/// ```
+/// use topk_core::{Point, TopKIndex};
+///
+/// let index = TopKIndex::builder()
+///     .block_words(512)
+///     .pool_bytes(8 << 20)
+///     .expected_n(100_000)
+///     .build()?;
+/// index.insert(Point::new(7, 42))?;
+/// # Ok::<(), topk_core::TopKError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexBuilder {
+    device: Option<Device>,
+    block_words: usize,
+    pool_bytes: usize,
+    config: TopKConfig,
+}
+
+impl Default for IndexBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndexBuilder {
+    /// A builder with the default machine (4 KiB blocks, 16 MiB pool) and
+    /// the default [`TopKConfig`].
+    pub fn new() -> Self {
+        Self {
+            device: None,
+            block_words: 512,
+            pool_bytes: 16 << 20,
+            config: TopKConfig::default(),
+        }
+    }
+
+    /// Block size `B` of the simulated machine, in 8-byte words.
+    pub fn block_words(mut self, words: usize) -> Self {
+        self.block_words = words;
+        self
+    }
+
+    /// Buffer-pool size `M` of the simulated machine, in bytes.
+    pub fn pool_bytes(mut self, bytes: usize) -> Self {
+        self.pool_bytes = bytes;
+        self
+    }
+
+    /// Place the index on an existing device instead of constructing one
+    /// (several structures sharing one machine, as the experiments do).
+    /// Overrides [`IndexBuilder::block_words`] / [`IndexBuilder::pool_bytes`].
+    pub fn device(mut self, device: &Device) -> Self {
+        self.device = Some(device.clone());
+        self
+    }
+
+    /// The anticipated number of stored points; [`SmallKEngine::Auto`] is
+    /// resolved against it (the paper's `lg n ≤ B^(1/6)` regime boundary).
+    pub fn expected_n(mut self, n: usize) -> Self {
+        self.config.expected_n = n;
+        self
+    }
+
+    /// Which small-`k` engine to use (default: [`SmallKEngine::Auto`]).
+    pub fn small_k(mut self, engine: SmallKEngine) -> Self {
+        self.config.small_k_engine = engine;
+        self
+    }
+
+    /// The crossover `l` between the small-`k` and pilot-set query paths.
+    pub fn crossover_l(mut self, l: usize) -> Self {
+        self.config.l = l;
+        self
+    }
+
+    /// Rebuild everything after the live size drifts by this factor
+    /// (default 2, the paper's doubling/halving policy).
+    pub fn rebuild_factor(mut self, factor: u64) -> Self {
+        self.config.rebuild_factor = factor;
+        self
+    }
+
+    /// Validate the parameters and construct the index.
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::InvalidConfig`] naming the offending parameter.
+    pub fn build(self) -> Result<TopKIndex> {
+        let (device, config) = self.resolve()?;
+        Ok(TopKIndex::new(&device, config))
+    }
+
+    /// Like [`IndexBuilder::build`], wrapped for concurrent serving.
+    pub fn build_concurrent(self) -> Result<ConcurrentTopK> {
+        Ok(ConcurrentTopK::from_index(self.build()?))
+    }
+
+    fn resolve(self) -> Result<(Device, TopKConfig)> {
+        if self.config.l == 0 {
+            return Err(TopKError::InvalidConfig {
+                what: "crossover_l must be at least 1",
+            });
+        }
+        if self.config.rebuild_factor < 2 {
+            return Err(TopKError::InvalidConfig {
+                what: "rebuild_factor must be at least 2",
+            });
+        }
+        if self.config.expected_n == 0 {
+            return Err(TopKError::InvalidConfig {
+                what: "expected_n must be at least 1",
+            });
+        }
+        let device = match self.device {
+            Some(device) => device,
+            None => {
+                if self.block_words < EmConfig::MIN_BLOCK_WORDS {
+                    return Err(TopKError::InvalidConfig {
+                        what: "block_words below the model minimum of 8",
+                    });
+                }
+                let mem_words = self.pool_bytes / 8;
+                if mem_words < 2 * self.block_words {
+                    return Err(TopKError::InvalidConfig {
+                        what: "pool_bytes must hold at least two blocks",
+                    });
+                }
+                Device::new(EmConfig::new(self.block_words, mem_words))
+            }
+        };
+        Ok((device, self.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epst::Point;
+
+    #[test]
+    fn builder_constructs_a_working_index() {
+        let index = TopKIndex::builder()
+            .block_words(128)
+            .pool_bytes(1 << 20)
+            .expected_n(1000)
+            .crossover_l(64)
+            .build()
+            .unwrap();
+        assert_eq!(index.device().block_words(), 128);
+        assert_eq!(index.config().expected_n, 1000);
+        for i in 1..=100u64 {
+            index.insert(Point::new(i, i * 7)).unwrap();
+        }
+        assert_eq!(index.query(1, 50, 3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn expected_n_drives_auto_engine_resolution() {
+        // Huge blocks relative to a tiny expected n → lg n ≤ B^(1/6) → ST12.
+        let st12 = TopKIndex::builder()
+            .block_words(1 << 20)
+            .pool_bytes(1 << 26)
+            .expected_n(8)
+            .build()
+            .unwrap();
+        assert!(st12.small_k_engine_name().contains("st12"));
+        // The default expected n on the same machine stays in the paper's
+        // main regime → the §3.3 polylog structure.
+        let polylog = TopKIndex::builder()
+            .block_words(1 << 20)
+            .pool_bytes(1 << 26)
+            .expected_n(1 << 20)
+            .build()
+            .unwrap();
+        assert!(polylog.small_k_engine_name().contains("polylog"));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected_by_name() {
+        for (builder, needle) in [
+            (TopKIndex::builder().crossover_l(0), "crossover_l"),
+            (TopKIndex::builder().rebuild_factor(1), "rebuild_factor"),
+            (TopKIndex::builder().expected_n(0), "expected_n"),
+            (TopKIndex::builder().block_words(2), "block_words"),
+            (
+                TopKIndex::builder().block_words(512).pool_bytes(64),
+                "pool_bytes",
+            ),
+        ] {
+            let err = builder.build().unwrap_err();
+            let TopKError::InvalidConfig { what } = err else {
+                panic!("expected InvalidConfig, got {err:?}");
+            };
+            assert!(what.contains(needle), "{what} vs {needle}");
+        }
+    }
+
+    #[test]
+    fn shared_device_and_concurrent_build() {
+        let device = Device::new(EmConfig::new(256, 256 * 64));
+        let index = ConcurrentTopK::builder()
+            .device(&device)
+            .expected_n(500)
+            .build_concurrent()
+            .unwrap();
+        index.insert(Point::new(1, 2)).unwrap();
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.device().block_words(), 256);
+    }
+}

@@ -9,19 +9,23 @@
 //! state (or chase a just-freed page and panic).
 //!
 //! [`ConcurrentTopK`] supplies that atomicity with one coarse reader–writer
-//! lock, the design this PR deliberately stops at (DESIGN.md §4 records the
-//! finer-grained plan): queries — which never modify structure state — share
-//! the read side and run fully in parallel, while updates take the write side
-//! and are serialised. Read-heavy workloads, the target of the paper's query
-//! bound, therefore scale with the number of threads; see the
-//! `concurrent_reads` bench.
+//! lock (DESIGN.md §4 records the finer-grained plan): queries — which never
+//! modify structure state — share the read side and run fully in parallel,
+//! while updates take the write side and are serialised. Mixed workloads
+//! should therefore batch their writes: [`ConcurrentTopK::apply`] commits an
+//! [`UpdateBatch`] under a *single* write-lock acquisition with a single
+//! deferred rebuild check, where point-wise [`ConcurrentTopK::insert`] pays
+//! the lock churn once per point (measured in the `concurrent_reads` bench).
 
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use emsim::Device;
 use epst::Point;
 
+use crate::batch::{BatchSummary, UpdateBatch};
+use crate::builder::IndexBuilder;
 use crate::config::TopKConfig;
+use crate::error::Result;
 use crate::index::TopKIndex;
 
 /// A [`TopKIndex`] behind a coarse reader–writer lock: concurrent queries,
@@ -34,6 +38,12 @@ pub struct ConcurrentTopK {
 }
 
 impl ConcurrentTopK {
+    /// Start building a concurrent index:
+    /// `ConcurrentTopK::builder().expected_n(n).build_concurrent()?`.
+    pub fn builder() -> IndexBuilder {
+        IndexBuilder::new()
+    }
+
     /// Create an empty concurrent index on `device`.
     pub fn new(device: &Device, config: TopKConfig) -> Self {
         Self::from_index(TopKIndex::new(device, config))
@@ -53,20 +63,30 @@ impl ConcurrentTopK {
     }
 
     /// Acquire the shared read side directly, for callers that want to issue
-    /// several queries against one consistent version of the index.
+    /// several queries — or hold a [`TopKIndex::stream`] iterator — against
+    /// one consistent version of the index.
     pub fn read(&self) -> RwLockReadGuard<'_, TopKIndex> {
         self.inner.read().unwrap()
     }
 
     /// Acquire the exclusive write side directly, for callers that want to
-    /// apply a batch of updates atomically with respect to readers.
+    /// compose several operations atomically with respect to readers. For
+    /// plain batches prefer [`ConcurrentTopK::apply`].
     pub fn write(&self) -> RwLockWriteGuard<'_, TopKIndex> {
         self.inner.write().unwrap()
     }
 
+    /// Apply a whole [`UpdateBatch`] atomically: the batch is validated and
+    /// committed under **one** write-lock acquisition, and the global-rebuild
+    /// policy runs once at commit. Readers observe either the pre-batch or
+    /// the post-batch state, never anything in between.
+    pub fn apply(&self, batch: &UpdateBatch) -> Result<BatchSummary> {
+        self.write().apply(batch)
+    }
+
     /// Report the `k` highest-scoring points with `x ∈ [x1, x2]` (shared
     /// lock; runs concurrently with other queries).
-    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
+    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Result<Vec<Point>> {
         self.read().query(x1, x2, k)
     }
 
@@ -75,19 +95,20 @@ impl ConcurrentTopK {
         self.read().count_in_range(x1, x2)
     }
 
-    /// Insert a point (exclusive lock).
-    pub fn insert(&self, p: Point) {
-        self.write().insert(p);
+    /// Insert a point (exclusive lock). For more than a handful of points at
+    /// a time, [`ConcurrentTopK::apply`] amortizes the lock.
+    pub fn insert(&self, p: Point) -> Result<()> {
+        self.write().insert(p)
     }
 
-    /// Delete a point; returns `false` if absent (exclusive lock).
-    pub fn delete(&self, p: Point) -> bool {
+    /// Delete a point; `Ok(false)` if absent (exclusive lock).
+    pub fn delete(&self, p: Point) -> Result<bool> {
         self.write().delete(p)
     }
 
     /// Replace the contents with `points` (exclusive lock).
-    pub fn bulk_build(&self, points: &[Point]) {
-        self.write().bulk_build(points);
+    pub fn bulk_build(&self, points: &[Point]) -> Result<()> {
+        self.write().bulk_build(points)
     }
 
     /// Number of stored points (shared lock).
@@ -116,7 +137,7 @@ impl ConcurrentTopK {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Oracle;
+    use crate::{Oracle, QueryRequest};
     use emsim::EmConfig;
 
     fn assert_send_sync<T: Send + Sync>() {}
@@ -135,17 +156,43 @@ mod tests {
         let pts: Vec<Point> = (0..500u64)
             .map(|i| Point::new(i * 3 + 1, i * 7 + 2))
             .collect();
-        index.bulk_build(&pts);
+        index.bulk_build(&pts).unwrap();
         assert_eq!(index.len(), 500);
         let oracle = Oracle::from_points(&pts);
-        assert_eq!(index.query(10, 900, 7), oracle.query(10, 900, 7));
+        assert_eq!(index.query(10, 900, 7).unwrap(), oracle.query(10, 900, 7));
         assert_eq!(index.count_in_range(10, 900), oracle.count(10, 900) as u64);
-        assert!(index.delete(pts[0]));
-        assert!(!index.delete(pts[0]));
-        index.insert(pts[0]);
+        assert!(index.delete(pts[0]).unwrap());
+        assert!(!index.delete(pts[0]).unwrap());
+        index.insert(pts[0]).unwrap();
         assert_eq!(index.len(), 500);
         assert!(index.space_blocks() > 0);
+        // Streaming through a read guard pins one version of the index.
+        let guard = index.read();
+        let streamed: Vec<Point> = guard
+            .stream(QueryRequest::range(10, 900).top(7))
+            .unwrap()
+            .collect();
+        assert_eq!(streamed, oracle.query(10, 900, 7));
+        drop(guard);
         let inner = index.into_inner();
         assert_eq!(inner.len(), 500);
+    }
+
+    #[test]
+    fn apply_commits_batches_atomically_under_one_lock() {
+        let device = Device::new(EmConfig::new(256, 256 * 256));
+        let index = ConcurrentTopK::new(&device, TopKConfig::for_tests());
+        let pts: Vec<Point> = (0..200u64)
+            .map(|i| Point::new(i * 3 + 1, i * 7 + 2))
+            .collect();
+        index.bulk_build(&pts).unwrap();
+        let mut batch = UpdateBatch::new();
+        for i in 0..50u64 {
+            batch.push(crate::UpdateOp::Delete(pts[i as usize]));
+            batch.push(crate::UpdateOp::Insert(Point::new(10_000 + i, 20_000 + i)));
+        }
+        let summary = index.apply(&batch).unwrap();
+        assert_eq!((summary.inserted, summary.deleted), (50, 50));
+        assert_eq!(index.len(), 200);
     }
 }

@@ -14,7 +14,8 @@ pub enum SmallKEngine {
     St12,
 }
 
-/// Parameters of a [`TopKIndex`](crate::TopKIndex).
+/// Parameters of a [`TopKIndex`](crate::TopKIndex). Usually assembled via
+/// [`IndexBuilder`](crate::IndexBuilder) rather than by hand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TopKConfig {
     /// The `l = O(polylg n)` parameter: the largest `k` served by the
@@ -27,6 +28,11 @@ pub struct TopKConfig {
     /// Rebuild everything after the live size drifts by this factor from the
     /// size at the last rebuild (the paper's global rebuilding).
     pub rebuild_factor: u64,
+    /// The anticipated number of stored points, used to resolve
+    /// [`SmallKEngine::Auto`] against the paper's `lg n ≤ B^(1/6)` regime
+    /// boundary at construction time. The answer-correctness of the index
+    /// never depends on this value — only which engine serves small `k`.
+    pub expected_n: usize,
 }
 
 impl Default for TopKConfig {
@@ -35,6 +41,7 @@ impl Default for TopKConfig {
             l: 256,
             small_k_engine: SmallKEngine::Auto,
             rebuild_factor: 2,
+            expected_n: 1 << 20,
         }
     }
 }

@@ -1,0 +1,118 @@
+//! The error type of the public API.
+//!
+//! Every mutating or querying operation on [`TopKIndex`](crate::TopKIndex)
+//! and [`ConcurrentTopK`](crate::ConcurrentTopK) returns
+//! [`Result`](crate::Result): misuse that the seed code answered with panics,
+//! `debug_assert!`s or silent empty vectors (duplicate coordinates, duplicate
+//! scores, inverted ranges, `k == 0`, component-membership disagreement) is
+//! reported as a typed [`TopKError`] the caller can match on.
+
+use epst::Point;
+
+/// Everything that can go wrong when building, updating or querying an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopKError {
+    /// An insert would introduce a second point with the same coordinate.
+    /// The paper's model requires all `x` values to be distinct.
+    DuplicateX {
+        /// The offending coordinate, and the point already stored there.
+        existing: Point,
+        /// The point whose insertion was rejected.
+        rejected: Point,
+    },
+    /// An insert would introduce a second point with the same score. The
+    /// paper's model requires all scores to be distinct (ties are broken by
+    /// pre-perturbing the input, not inside the structure).
+    DuplicateScore {
+        /// The score two points would share.
+        score: u64,
+        /// The point whose insertion was rejected.
+        rejected: Point,
+    },
+    /// A query was issued with `x1 > x2`.
+    InvertedRange {
+        /// Lower end of the range as given.
+        x1: u64,
+        /// Upper end of the range as given.
+        x2: u64,
+    },
+    /// A query was issued with `k == 0`.
+    ZeroK,
+    /// A builder parameter was out of range (the message names it).
+    InvalidConfig {
+        /// Which parameter, and what was wrong with it.
+        what: &'static str,
+    },
+    /// The component structures disagree about membership of a point: one of
+    /// them deleted it, another claims it was never stored. This is the
+    /// release-mode promotion of what the seed code only `debug_assert!`ed;
+    /// it indicates a corrupted index and should be treated as fatal.
+    Inconsistent {
+        /// The point the components disagree about.
+        point: Point,
+        /// Which component disagreed.
+        component: &'static str,
+    },
+}
+
+impl std::fmt::Display for TopKError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopKError::DuplicateX { existing, rejected } => write!(
+                f,
+                "duplicate coordinate x = {}: ({}, {}) is already stored, ({}, {}) rejected",
+                rejected.x, existing.x, existing.score, rejected.x, rejected.score
+            ),
+            TopKError::DuplicateScore { score, rejected } => write!(
+                f,
+                "duplicate score {score}: insertion of ({}, {}) rejected",
+                rejected.x, rejected.score
+            ),
+            TopKError::InvertedRange { x1, x2 } => {
+                write!(f, "inverted query range [{x1}, {x2}] (x1 > x2)")
+            }
+            TopKError::ZeroK => write!(f, "query issued with k = 0"),
+            TopKError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            TopKError::Inconsistent { point, component } => write!(
+                f,
+                "component '{component}' disagrees about membership of ({}, {}): index corrupted",
+                point.x, point.score
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopKError {}
+
+/// The `Result` alias used across the public API.
+pub type Result<T> = std::result::Result<T, TopKError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = TopKError::DuplicateX {
+            existing: Point::new(5, 9),
+            rejected: Point::new(5, 11),
+        };
+        assert!(e.to_string().contains("x = 5"));
+        let e = TopKError::DuplicateScore {
+            score: 7,
+            rejected: Point::new(1, 7),
+        };
+        assert!(e.to_string().contains("score 7"));
+        assert!(TopKError::InvertedRange { x1: 9, x2: 3 }
+            .to_string()
+            .contains("[9, 3]"));
+        assert!(TopKError::ZeroK.to_string().contains("k = 0"));
+        let e = TopKError::Inconsistent {
+            point: Point::new(2, 3),
+            component: "pilot",
+        };
+        assert!(e.to_string().contains("pilot"));
+        // The std Error impl is object-safe.
+        let _: Box<dyn std::error::Error> = Box::new(TopKError::ZeroK);
+    }
+}

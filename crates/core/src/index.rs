@@ -1,15 +1,25 @@
 //! The combined Theorem 1 index.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use emsim::Device;
 use epst::{top_k_by_score, PilotPst, Point, ThreeSidedPst};
 use kselect::{PolylogConfig, PolylogKSelect, RangeKSelect, St12Config, St12KSelect};
 
+use crate::batch::{BatchSummary, UpdateBatch};
+use crate::builder::IndexBuilder;
 use crate::config::{SmallKEngine, TopKConfig};
+use crate::error::{Result, TopKError};
+use crate::query::{QueryRequest, TopKResults};
 
 /// The dynamic top-k range reporting index of Theorem 1. See the crate docs
 /// for the guarantees and an example.
+///
+/// Constructed with [`TopKIndex::builder`]; all operations return
+/// [`Result`], rejecting misuse (duplicate coordinates or scores, inverted
+/// ranges, `k == 0`) instead of panicking or silently corrupting state.
 pub struct TopKIndex {
     device: Device,
     config: TopKConfig,
@@ -23,12 +33,25 @@ pub struct TopKIndex {
     /// Live size at the last global rebuild, for the rebuild policy.
     size_at_rebuild: AtomicU64,
     len: AtomicU64,
+    /// The set of live scores, kept RAM-side purely to validate the model's
+    /// distinct-scores precondition on insert (DESIGN.md §5: validation
+    /// metadata lives outside the EM space accounting; coordinates are
+    /// validated structurally through the reporter instead).
+    scores: RwLock<HashSet<u64>>,
 }
 
 impl TopKIndex {
-    /// Create an empty index on `device`.
+    /// Start building an index: `TopKIndex::builder().expected_n(n).build()?`.
+    /// See [`IndexBuilder`] for all the knobs.
+    pub fn builder() -> IndexBuilder {
+        IndexBuilder::new()
+    }
+
+    /// Create an empty index on `device`. [`SmallKEngine::Auto`] is resolved
+    /// against `config.expected_n` (the builder threads it through; the seed
+    /// code hardcoded `1 << 20` here).
     pub fn new(device: &Device, config: TopKConfig) -> Self {
-        let engine = config.resolve_engine(device.block_words(), 1 << 20);
+        let engine = config.resolve_engine(device.block_words(), config.expected_n);
         let small_k: Box<dyn RangeKSelect + Send + Sync> = match engine {
             SmallKEngine::Polylog | SmallKEngine::Auto => Box::new(PolylogKSelect::new(
                 device,
@@ -49,6 +72,7 @@ impl TopKIndex {
             small_k,
             size_at_rebuild: AtomicU64::new(0),
             len: AtomicU64::new(0),
+            scores: RwLock::new(HashSet::new()),
         }
     }
 
@@ -83,40 +107,145 @@ impl TopKIndex {
         self.small_k.name()
     }
 
+    /// The point stored at coordinate `x`, if any (`O(log_B n)` I/Os).
+    pub fn get(&self, x: u64) -> Option<Point> {
+        self.reporter.query(x, x, 0).into_iter().next()
+    }
+
     // ----- updates -----
 
-    /// Insert a point. Coordinates and scores must be distinct across the
-    /// whole set (the paper's standard assumption). `O(log_B n)` amortized
-    /// I/Os.
-    pub fn insert(&self, p: Point) {
+    /// Insert a point. `O(log_B n)` amortized I/Os: the duplicate-coordinate
+    /// check adds one extra reporter probe (`O(log_B n)` itself, so the
+    /// bound is unchanged, though the constant is higher than the seed's
+    /// unvalidated insert — `UpdateBatch` amortizes it away for bulk work).
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::DuplicateX`] / [`TopKError::DuplicateScore`] if the
+    /// model's distinctness preconditions would be violated; the index is
+    /// unchanged in that case.
+    pub fn insert(&self, p: Point) -> Result<()> {
+        if let Some(existing) = self.get(p.x) {
+            return Err(TopKError::DuplicateX {
+                existing,
+                rejected: p,
+            });
+        }
+        if self.score_exists(p.score) {
+            return Err(TopKError::DuplicateScore {
+                score: p.score,
+                rejected: p,
+            });
+        }
+        self.insert_validated(p);
+        self.maybe_rebuild();
+        Ok(())
+    }
+
+    /// Delete a point (exact coordinate and score). Returns `Ok(false)` if it
+    /// was not present. `O(log_B n)` amortized I/Os.
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::Inconsistent`] if the component structures disagree about
+    /// membership — the release-mode promotion of the seed's
+    /// `debug_assert!`s. The index must be considered corrupted afterwards.
+    pub fn delete(&self, p: Point) -> Result<bool> {
+        let deleted = self.delete_validated(p)?;
+        if deleted {
+            self.maybe_rebuild();
+        }
+        Ok(deleted)
+    }
+
+    /// Build the index from scratch out of `points` (`O((n/B)·log_B n)`
+    /// I/Os), replacing the current contents.
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::DuplicateX`] / [`TopKError::DuplicateScore`] if `points`
+    /// repeats a coordinate or a score; the index is unchanged in that case.
+    pub fn bulk_build(&self, points: &[Point]) -> Result<()> {
+        let mut xs: HashMap<u64, Point> = HashMap::with_capacity(points.len());
+        let mut ss: HashSet<u64> = HashSet::with_capacity(points.len());
+        for &p in points {
+            if let Some(&existing) = xs.get(&p.x) {
+                return Err(TopKError::DuplicateX {
+                    existing,
+                    rejected: p,
+                });
+            }
+            xs.insert(p.x, p);
+            if !ss.insert(p.score) {
+                return Err(TopKError::DuplicateScore {
+                    score: p.score,
+                    rejected: p,
+                });
+            }
+        }
+        self.rebuild_unvalidated(points);
+        Ok(())
+    }
+
+    /// Apply a batch of updates: the whole batch is validated up front
+    /// (against the index *and* against earlier operations in the batch), so
+    /// either every operation is applied or none is. The global-rebuild check
+    /// runs once at commit instead of once per operation.
+    ///
+    /// On [`ConcurrentTopK`](crate::ConcurrentTopK), prefer
+    /// [`ConcurrentTopK::apply`](crate::ConcurrentTopK::apply), which wraps
+    /// this in a single write-lock acquisition.
+    pub fn apply(&self, batch: &UpdateBatch) -> Result<BatchSummary> {
+        crate::batch::apply_to(self, batch)
+    }
+
+    // ----- internal update plumbing (shared with the batch path) -----
+
+    /// Whether `score` is live. Validation metadata only — costs no I/Os.
+    pub(crate) fn score_exists(&self, score: u64) -> bool {
+        self.scores.read().unwrap().contains(&score)
+    }
+
+    /// Insert into every component without validating or checking the
+    /// rebuild policy. The caller has already validated distinctness.
+    pub(crate) fn insert_validated(&self, p: Point) {
         self.pilot.insert(p);
         self.reporter.insert(p);
         self.small_k.insert(p);
+        self.scores.write().unwrap().insert(p.score);
         self.len.fetch_add(1, Ordering::Relaxed);
-        self.maybe_rebuild();
     }
 
-    /// Delete a point (exact coordinate and score). Returns `false` if it was
-    /// not present. `O(log_B n)` amortized I/Os.
-    pub fn delete(&self, p: Point) -> bool {
+    /// Delete from every component without checking the rebuild policy.
+    pub(crate) fn delete_validated(&self, p: Point) -> Result<bool> {
         if !self.reporter.delete(p) {
-            return false;
+            return Ok(false);
         }
-        let in_pilot = self.pilot.delete(p);
-        debug_assert!(in_pilot, "components disagree about membership");
-        let in_small = self.small_k.delete(p);
-        debug_assert!(in_small, "components disagree about membership");
+        if !self.pilot.delete(p) {
+            return Err(TopKError::Inconsistent {
+                point: p,
+                component: "pilot",
+            });
+        }
+        if !self.small_k.delete(p) {
+            return Err(TopKError::Inconsistent {
+                point: p,
+                component: "small-k",
+            });
+        }
+        self.scores.write().unwrap().remove(&p.score);
         self.len.fetch_sub(1, Ordering::Relaxed);
-        self.maybe_rebuild();
-        true
+        Ok(true)
     }
 
-    /// Build the index from scratch out of `points` (`O((n/B)·log_B n)` I/Os),
-    /// replacing the current contents.
-    pub fn bulk_build(&self, points: &[Point]) {
+    /// Rebuild every component from `points` without re-validating
+    /// distinctness (used by the global-rebuild path, whose points come out
+    /// of the structure itself, and by `bulk_build` after validation).
+    pub(crate) fn rebuild_unvalidated(&self, points: &[Point]) {
         self.pilot.rebuild_all(points);
         self.reporter.rebuild_from_points(points);
         self.small_k.rebuild(points);
+        *self.scores.write().unwrap() = points.iter().map(|p| p.score).collect();
         self.len.store(points.len() as u64, Ordering::Relaxed);
         self.size_at_rebuild
             .store(points.len() as u64, Ordering::Relaxed);
@@ -125,13 +254,13 @@ impl TopKIndex {
     /// The paper's global rebuilding: once the live size has doubled or halved
     /// relative to the last rebuild, rebuild every component. Amortized over
     /// the `Ω(n)` updates in between this costs `O(log_B n)` per update.
-    fn maybe_rebuild(&self) {
+    pub(crate) fn maybe_rebuild(&self) {
         let n0 = self.size_at_rebuild.load(Ordering::Relaxed).max(64);
         let n = self.len();
         let factor = self.config.rebuild_factor.max(2);
         if n > factor * n0 || (n0 >= 128 && n < n0 / factor) {
             let pts = self.reporter.all_points();
-            self.bulk_build(&pts);
+            self.rebuild_unvalidated(&pts);
         }
     }
 
@@ -141,8 +270,39 @@ impl TopKIndex {
     /// descending score (fewer if the range holds fewer points).
     ///
     /// Cost: `O(log_B n + k/B)` I/Os for `k ≤ l`, `O(lg n + k/B)` I/Os beyond
-    /// (Theorem 1's dispatch).
-    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
+    /// (Theorem 1's dispatch). To consume the answer incrementally — paying
+    /// only for the prefix actually taken — use [`TopKIndex::stream`].
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::InvertedRange`] if `x1 > x2`, [`TopKError::ZeroK`] if
+    /// `k == 0` (the seed code answered both with a silent empty vector).
+    pub fn query(&self, x1: u64, x2: u64, k: usize) -> Result<Vec<Point>> {
+        validate_query(x1, x2, k)?;
+        Ok(self.query_unvalidated(x1, x2, k))
+    }
+
+    /// Stream the answer to `request` lazily, in descending score order: see
+    /// [`TopKResults`]. The §3.3 retry/fallback rounds (and, for large `k`,
+    /// the pilot fetches) run only as the caller demands more points, so
+    /// taking a short prefix of a large `k` never materializes the rest.
+    ///
+    /// The iterator borrows the index; on a
+    /// [`ConcurrentTopK`](crate::ConcurrentTopK), stream through a read
+    /// guard: `let g = idx.read(); for p in g.stream(req)? { … }`.
+    ///
+    /// # Errors
+    ///
+    /// The same validation as [`TopKIndex::query`], performed up front.
+    pub fn stream(&self, request: QueryRequest) -> Result<TopKResults<'_>> {
+        TopKResults::new(self, request)
+    }
+
+    /// The eager query path. `query()` keeps the seed's single-shot plan
+    /// (first §3.3 round targets rank `k`; large `k` fetched in one pilot
+    /// pass), so its I/O profile is unchanged; [`TopKIndex::stream`] trades
+    /// up to one extra doubling pass on full consumption for laziness.
+    pub(crate) fn query_unvalidated(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
         if k == 0 || x1 > x2 || self.is_empty() {
             return Vec::new();
         }
@@ -189,6 +349,48 @@ impl TopKIndex {
         self.reporter.all_points()
     }
 
+    // ----- component access for the streaming query path -----
+
+    pub(crate) fn reporter(&self) -> &ThreeSidedPst {
+        &self.reporter
+    }
+
+    pub(crate) fn pilot(&self) -> &PilotPst {
+        &self.pilot
+    }
+
+    pub(crate) fn small_k(&self) -> &(dyn RangeKSelect + Send + Sync) {
+        self.small_k.as_ref()
+    }
+
+    // ----- deprecated pre-redesign shims -----
+
+    /// Insert a point, panicking on precondition violations.
+    #[deprecated(since = "0.2.0", note = "use the fallible `insert` instead")]
+    pub fn insert_or_panic(&self, p: Point) {
+        self.insert(p).expect("insert failed");
+    }
+
+    /// Delete a point, panicking if the index is inconsistent; returns
+    /// whether it was present.
+    #[deprecated(since = "0.2.0", note = "use the fallible `delete` instead")]
+    pub fn delete_or_panic(&self, p: Point) -> bool {
+        self.delete(p).expect("delete failed")
+    }
+
+    /// Replace the contents with `points`, panicking on duplicates.
+    #[deprecated(since = "0.2.0", note = "use the fallible `bulk_build` instead")]
+    pub fn bulk_build_or_panic(&self, points: &[Point]) {
+        self.bulk_build(points).expect("bulk_build failed");
+    }
+
+    /// Query with the seed crate's tolerance: `k == 0` or an inverted range
+    /// silently yields an empty vector.
+    #[deprecated(since = "0.2.0", note = "use the fallible `query` or `stream` instead")]
+    pub fn query_or_empty(&self, x1: u64, x2: u64, k: usize) -> Vec<Point> {
+        self.query_unvalidated(x1, x2, k)
+    }
+
     /// Run the internal consistency checks of every component (test support).
     pub fn check_invariants(&self) {
         self.pilot.check_invariants();
@@ -196,5 +398,139 @@ impl TopKIndex {
         assert_eq!(self.pilot.len(), self.len());
         assert_eq!(self.reporter.len(), self.len());
         assert_eq!(self.small_k.len(), self.len());
+        assert_eq!(self.scores.read().unwrap().len() as u64, self.len());
+    }
+}
+
+impl std::fmt::Debug for TopKIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopKIndex")
+            .field("len", &self.len())
+            .field("engine", &self.small_k.name())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shared argument validation for the eager and streaming query paths.
+pub(crate) fn validate_query(x1: u64, x2: u64, k: usize) -> Result<()> {
+    if x1 > x2 {
+        return Err(TopKError::InvertedRange { x1, x2 });
+    }
+    if k == 0 {
+        return Err(TopKError::ZeroK);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsim::EmConfig;
+
+    fn device() -> Device {
+        Device::new(EmConfig::new(256, 256 * 256))
+    }
+
+    #[test]
+    fn insert_rejects_duplicates_and_leaves_index_unchanged() {
+        let dev = device();
+        let index = TopKIndex::new(&dev, TopKConfig::for_tests());
+        index.insert(Point::new(10, 100)).unwrap();
+        let err = index.insert(Point::new(10, 200)).unwrap_err();
+        assert_eq!(
+            err,
+            TopKError::DuplicateX {
+                existing: Point::new(10, 100),
+                rejected: Point::new(10, 200),
+            }
+        );
+        let err = index.insert(Point::new(20, 100)).unwrap_err();
+        assert_eq!(
+            err,
+            TopKError::DuplicateScore {
+                score: 100,
+                rejected: Point::new(20, 100),
+            }
+        );
+        assert_eq!(index.len(), 1);
+        index.check_invariants();
+        // Deleting frees both the coordinate and the score for reuse.
+        assert!(index.delete(Point::new(10, 100)).unwrap());
+        index.insert(Point::new(10, 100)).unwrap();
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn bulk_build_rejects_duplicates_atomically() {
+        let dev = device();
+        let index = TopKIndex::new(&dev, TopKConfig::for_tests());
+        index
+            .bulk_build(&[Point::new(1, 10), Point::new(2, 20)])
+            .unwrap();
+        let err = index
+            .bulk_build(&[Point::new(5, 50), Point::new(6, 60), Point::new(5, 70)])
+            .unwrap_err();
+        assert!(matches!(err, TopKError::DuplicateX { .. }));
+        let err = index
+            .bulk_build(&[Point::new(5, 50), Point::new(6, 50)])
+            .unwrap_err();
+        assert!(matches!(err, TopKError::DuplicateScore { .. }));
+        // The failed builds left the previous contents intact.
+        assert_eq!(index.len(), 2);
+        assert_eq!(
+            index.query(0, 100, 10).unwrap(),
+            vec![Point::new(2, 20), Point::new(1, 10)]
+        );
+    }
+
+    #[test]
+    fn query_validation_reports_misuse() {
+        let dev = device();
+        let index = TopKIndex::new(&dev, TopKConfig::for_tests());
+        index.insert(Point::new(10, 7)).unwrap();
+        assert_eq!(
+            index.query(30, 20, 3).unwrap_err(),
+            TopKError::InvertedRange { x1: 30, x2: 20 }
+        );
+        assert_eq!(index.query(0, 100, 0).unwrap_err(), TopKError::ZeroK);
+        // An empty (but not inverted) range is a legitimate empty answer.
+        assert!(index.query(20, 30, 3).unwrap().is_empty());
+        #[allow(deprecated)]
+        {
+            assert!(index.query_or_empty(30, 20, 3).is_empty());
+            assert!(index.query_or_empty(0, 100, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn component_disagreement_is_a_real_error_in_release_builds() {
+        let dev = device();
+        let index = TopKIndex::new(&dev, TopKConfig::for_tests());
+        for i in 1..=50u64 {
+            index.insert(Point::new(i, i * 3)).unwrap();
+        }
+        // Corrupt the index: remove a point from the pilot structure behind
+        // the combined index's back.
+        let victim = Point::new(7, 21);
+        assert!(index.pilot.delete(victim));
+        let err = index.delete(victim).unwrap_err();
+        assert_eq!(
+            err,
+            TopKError::Inconsistent {
+                point: victim,
+                component: "pilot",
+            }
+        );
+    }
+
+    #[test]
+    fn get_finds_points_by_coordinate() {
+        let dev = device();
+        let index = TopKIndex::new(&dev, TopKConfig::for_tests());
+        assert_eq!(index.get(5), None);
+        index.insert(Point::new(5, 50)).unwrap();
+        assert_eq!(index.get(5), Some(Point::new(5, 50)));
+        assert_eq!(index.get(6), None);
     }
 }

@@ -13,6 +13,20 @@
 //!   I/Os once `k = Ω(B·lg n)`,
 //! * linear space (`O(n/B)` blocks).
 //!
+//! The API is builder-first, fallible, batched and streaming:
+//!
+//! * [`IndexBuilder`] (via [`TopKIndex::builder`]) owns device construction
+//!   and engine resolution — no hand-built [`emsim::Device`] required;
+//! * every operation returns [`Result`], turning model-precondition misuse
+//!   (duplicate coordinates or scores, inverted ranges, `k == 0`) and
+//!   component inconsistency into typed [`TopKError`]s instead of panics or
+//!   silent empty answers;
+//! * [`UpdateBatch`]es commit atomically — under [`ConcurrentTopK`] with one
+//!   write-lock acquisition and one deferred rebuild check;
+//! * [`TopKIndex::stream`] returns a lazy [`TopKResults`] iterator that
+//!   fetches in escalating rounds, so consuming a short prefix of a large
+//!   `k` never materializes the whole answer.
+//!
 //! Internally the index combines the three components of the paper exactly as
 //! Theorem 1 prescribes:
 //!
@@ -28,32 +42,58 @@
 //!
 //! [`TopKIndex`] is `Send + Sync`; for serving concurrent traffic, wrap it in
 //! [`ConcurrentTopK`], which lets any number of threads query in parallel
-//! while updates take an exclusive lock (see DESIGN.md §4).
+//! while updates take an exclusive lock (see DESIGN.md §4). The
+//! [`RankedIndex`] trait abstracts over this crate's engines and the
+//! `baselines` comparison structures for generic harness code.
 //!
 //! ```
-//! use emsim::{Device, EmConfig};
-//! use topk_core::{TopKConfig, TopKIndex};
+//! use topk_core::{Point, QueryRequest, TopKIndex, UpdateBatch};
 //!
-//! let device = Device::new(EmConfig::new(512, 1 << 20));
-//! let index = TopKIndex::new(&device, TopKConfig::default());
+//! let index = TopKIndex::builder()
+//!     .block_words(512)          // 4 KiB blocks
+//!     .pool_bytes(8 << 20)       // 8 MiB buffer pool
+//!     .expected_n(1 << 20)
+//!     .build()?;
 //! for i in 0..1000u64 {
-//!     index.insert(topk_core::Point::new(i, (i * 2654435761) % 1_000_003));
+//!     index.insert(Point::new(i, (i * 2654435761) % 1_000_003))?;
 //! }
-//! let top = index.query(100, 900, 5);
+//! let top = index.query(100, 900, 5)?;
 //! assert_eq!(top.len(), 5);
 //! assert!(top[0].score >= top[4].score);
+//!
+//! // Stream lazily: only the consumed prefix is fetched.
+//! let best = index
+//!     .stream(QueryRequest::range(100, 900).top(500))?
+//!     .next();
+//! assert_eq!(best, top.first().copied());
+//!
+//! // Batch updates validate and commit as one unit.
+//! index.apply(&UpdateBatch::new()
+//!     .delete(top[0])
+//!     .insert(Point::new(2_000, 3_000)))?;
+//! # Ok::<(), topk_core::TopKError>(())
 //! ```
 
+mod batch;
+mod builder;
 mod concurrent;
 mod config;
+mod error;
 mod index;
 mod oracle;
+mod query;
+mod ranked;
 
+pub use batch::{BatchSummary, UpdateBatch, UpdateOp};
+pub use builder::IndexBuilder;
 pub use concurrent::ConcurrentTopK;
 pub use config::{SmallKEngine, TopKConfig};
 pub use epst::Point;
+pub use error::{Result, TopKError};
 pub use index::TopKIndex;
 pub use oracle::Oracle;
+pub use query::{QueryRequest, TopKResults};
+pub use ranked::RankedIndex;
 
 #[cfg(test)]
 mod tests {
@@ -83,7 +123,7 @@ mod tests {
             let a = rng.gen_range(0..20_000u64);
             let b = rng.gen_range(a..=20_000u64);
             let k = *[1usize, 2, 5, 10, 50, 200, 2000].choose(rng).unwrap();
-            let got = index.query(a, b, k);
+            let got = index.query(a, b, k).unwrap();
             let expect = oracle.query(a, b, k);
             assert_eq!(got, expect, "range [{a},{b}] k={k}");
         }
@@ -96,7 +136,7 @@ mod tests {
         let mut oracle = Oracle::new();
         let pts = random_points(1, 4000);
         for &p in &pts {
-            index.insert(p);
+            index.insert(p).unwrap();
             oracle.insert(p);
         }
         assert_eq!(index.len(), 4000);
@@ -116,7 +156,7 @@ mod tests {
             if !live.is_empty() && rng.gen_bool(0.35) {
                 let idx = rng.gen_range(0..live.len());
                 let victim = live.swap_remove(idx);
-                assert!(index.delete(victim));
+                assert!(index.delete(victim).unwrap());
                 oracle.delete(victim);
             } else {
                 let p = Point {
@@ -125,18 +165,18 @@ mod tests {
                 };
                 next += 1;
                 live.push(p);
-                index.insert(p);
+                index.insert(p).unwrap();
                 oracle.insert(p);
             }
         }
-        assert!(!index.delete(Point::new(2_000_000, 5)));
+        assert!(!index.delete(Point::new(2_000_000, 5)).unwrap());
         assert_eq!(index.len(), live.len() as u64);
         let mut rng2 = StdRng::seed_from_u64(4);
         for _ in 0..30 {
             let a = rng2.gen_range(0..1_000_003u64);
             let b = rng2.gen_range(a..=1_000_003u64);
             let k = rng2.gen_range(1..=300usize);
-            assert_eq!(index.query(a, b, k), oracle.query(a, b, k));
+            assert_eq!(index.query(a, b, k).unwrap(), oracle.query(a, b, k));
         }
     }
 
@@ -152,7 +192,7 @@ mod tests {
             let index = TopKIndex::new(&dev, cfg);
             let mut oracle = Oracle::new();
             for &p in &pts {
-                index.insert(p);
+                index.insert(p).unwrap();
                 oracle.insert(p);
             }
             let mut rng = StdRng::seed_from_u64(5);
@@ -165,7 +205,7 @@ mod tests {
         let dev = device();
         let index = TopKIndex::new(&dev, TopKConfig::default());
         let pts = random_points(11, 6000);
-        index.bulk_build(&pts);
+        index.bulk_build(&pts).unwrap();
         assert_eq!(index.len(), 6000);
         let oracle = Oracle::from_points(&pts);
         let mut rng = StdRng::seed_from_u64(6);
@@ -185,11 +225,14 @@ mod tests {
     fn query_edge_cases() {
         let dev = device();
         let index = TopKIndex::new(&dev, TopKConfig::default());
-        assert!(index.query(0, 100, 5).is_empty());
-        index.insert(Point::new(10, 7));
-        assert!(index.query(0, 100, 0).is_empty());
-        assert_eq!(index.query(0, 100, 3), vec![Point::new(10, 7)]);
-        assert!(index.query(20, 30, 3).is_empty());
-        assert!(index.query(30, 20, 3).is_empty());
+        assert!(index.query(0, 100, 5).unwrap().is_empty());
+        index.insert(Point::new(10, 7)).unwrap();
+        assert_eq!(index.query(0, 100, 0).unwrap_err(), TopKError::ZeroK);
+        assert_eq!(index.query(0, 100, 3).unwrap(), vec![Point::new(10, 7)]);
+        assert!(index.query(20, 30, 3).unwrap().is_empty());
+        assert_eq!(
+            index.query(30, 20, 3).unwrap_err(),
+            TopKError::InvertedRange { x1: 30, x2: 20 }
+        );
     }
 }

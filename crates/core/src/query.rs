@@ -1,0 +1,365 @@
+//! Query requests and streaming results.
+//!
+//! [`QueryRequest`] names the query parameters once; [`TopKResults`] streams
+//! the answer lazily in descending score order. Laziness is the point: the
+//! seed's `query()` materialized a full `Vec<Point>` even when the caller
+//! consumed three results, and its §3.3 retry/fallback path could end up
+//! reporting the *whole range*. The iterator instead fetches in rounds — an
+//! escalating rank-threshold round for small `k`, a doubling pilot fetch for
+//! large `k` — and runs a round only when the caller actually demands more
+//! points, so a short prefix of a large `k` never pays for the rest.
+
+use epst::{top_k_by_score, Point};
+
+use crate::error::Result;
+use crate::index::{validate_query, TopKIndex};
+
+/// A top-k range query, built with a fluent API:
+/// `QueryRequest::range(x1, x2).top(k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRequest {
+    x1: u64,
+    x2: u64,
+    k: usize,
+}
+
+impl QueryRequest {
+    /// A request for points with `x ∈ [x1, x2]`, initially asking for the
+    /// single best point (`k = 1`); chain [`QueryRequest::top`] to widen it.
+    pub fn range(x1: u64, x2: u64) -> Self {
+        Self { x1, x2, k: 1 }
+    }
+
+    /// Ask for the `k` highest-scoring points.
+    pub fn top(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Lower end of the coordinate range.
+    pub fn x1(&self) -> u64 {
+        self.x1
+    }
+
+    /// Upper end of the coordinate range.
+    pub fn x2(&self) -> u64 {
+        self.x2
+    }
+
+    /// Number of points requested.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// How the next batch of points is fetched.
+enum FetchState {
+    /// Nothing fetched yet; the first demand decides the regime.
+    Start,
+    /// §3.3 reduction rounds: select an approximate rank-`target` score
+    /// threshold, report everything above it, emit the unseen suffix.
+    SmallK { target: u64, attempts: u32 },
+    /// §2 pilot-set rounds with a doubling fetch size.
+    LargeK { next_k: usize },
+    /// Every reportable point has been handed out (or buffered).
+    Done,
+}
+
+/// A lazy stream of query results in strictly descending score order,
+/// produced by [`TopKIndex::stream`].
+///
+/// Every batch of points fetched from the index is a *score-threshold set* —
+/// all live points in range with score at least some `τ` — and such a set is
+/// always a prefix of the global descending-score order. The iterator
+/// therefore emits each batch's unseen suffix and only escalates (doubling
+/// the target rank or the pilot fetch size) when the caller keeps demanding
+/// points, capping at the seed's whole-range fallback after eight rounds.
+///
+/// The iterator borrows the index; under
+/// [`ConcurrentTopK`](crate::ConcurrentTopK), hold a read guard for the
+/// stream's lifetime so updates cannot tear the answer mid-iteration.
+pub struct TopKResults<'a> {
+    index: &'a TopKIndex,
+    x1: u64,
+    x2: u64,
+    k: usize,
+    emitted: usize,
+    buf: std::vec::IntoIter<Point>,
+    state: FetchState,
+}
+
+impl<'a> TopKResults<'a> {
+    pub(crate) fn new(index: &'a TopKIndex, request: QueryRequest) -> Result<Self> {
+        validate_query(request.x1, request.x2, request.k)?;
+        let state = if index.is_empty() {
+            FetchState::Done
+        } else {
+            FetchState::Start
+        };
+        Ok(Self {
+            index,
+            x1: request.x1,
+            x2: request.x2,
+            k: request.k,
+            emitted: 0,
+            buf: Vec::new().into_iter(),
+            state,
+        })
+    }
+
+    /// Number of points handed out so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Load `points` (already in descending score order, truncated to `k`)
+    /// into the buffer, skipping the prefix that was already emitted.
+    fn buffer_suffix(&mut self, mut points: Vec<Point>) {
+        points.drain(..self.emitted.min(points.len()));
+        self.buf = points.into_iter();
+    }
+
+    /// Fetch the next batch. Guarantees progress: afterwards the buffer is
+    /// non-empty or the state is `Done`.
+    fn refill(&mut self) {
+        match self.state {
+            FetchState::Done => {}
+            FetchState::Start => {
+                if self.k >= self.index.config().l {
+                    let step = self.index.config().l.max(1).min(self.k);
+                    self.state = FetchState::LargeK { next_k: step };
+                    self.refill_large();
+                } else {
+                    self.refill_small_first();
+                }
+            }
+            FetchState::SmallK { .. } => self.refill_small_rounds(),
+            FetchState::LargeK { .. } => self.refill_large(),
+        }
+    }
+
+    /// First small-`k` fetch: decide between the whole-range case
+    /// (`total ≤ k`) and the §3.3 reduction rounds.
+    fn refill_small_first(&mut self) {
+        let total = self.index.reporter().count_in_range(self.x1, self.x2);
+        if total == 0 {
+            self.state = FetchState::Done;
+            return;
+        }
+        if total <= self.k as u64 {
+            let pts = self.index.reporter().query(self.x1, self.x2, 0);
+            self.buffer_suffix(top_k_by_score(pts, self.k));
+            self.state = FetchState::Done;
+            return;
+        }
+        self.state = FetchState::SmallK {
+            target: self.k as u64,
+            attempts: 0,
+        };
+        self.refill_small_rounds();
+    }
+
+    /// One or more §3.3 rounds until a round yields unseen points (or the
+    /// whole-range fallback fires). Mirrors the retry loop of the eager
+    /// `query()`, but spread across the caller's demands.
+    fn refill_small_rounds(&mut self) {
+        loop {
+            let FetchState::SmallK { target, attempts } = self.state else {
+                return;
+            };
+            if attempts >= 8 {
+                // The seed's final fallback: report the whole range.
+                let pts = self.index.reporter().query(self.x1, self.x2, 0);
+                self.buffer_suffix(top_k_by_score(pts, self.k));
+                self.state = FetchState::Done;
+                return;
+            }
+            let tau = self
+                .index
+                .small_k()
+                .select(self.x1, self.x2, target)
+                .unwrap_or_default();
+            self.state = FetchState::SmallK {
+                target: target.saturating_mul(2),
+                attempts: attempts + 1,
+            };
+            // Everything with score ≥ tau: a prefix of the global order.
+            let pts = self.index.reporter().query(self.x1, self.x2, tau);
+            let have = pts.len();
+            if tau == 0 || have >= self.k {
+                // Either the whole range or at least k points: final batch.
+                self.buffer_suffix(top_k_by_score(pts, self.k));
+                self.state = FetchState::Done;
+                return;
+            }
+            if have > self.emitted {
+                // An under-delivering round still yields a correct prefix;
+                // emit it and escalate only if the caller wants more.
+                self.buffer_suffix(top_k_by_score(pts, self.k));
+                return;
+            }
+        }
+    }
+
+    /// One §2 pilot fetch of the current size; doubles the size for the next
+    /// demand. Each fetch returns the exact top `next_k`, a prefix of the
+    /// global order, so consuming the full `k` costs at most one extra
+    /// doubling pass over the eager single-shot fetch.
+    fn refill_large(&mut self) {
+        let FetchState::LargeK { next_k } = self.state else {
+            return;
+        };
+        let pts = self.index.pilot().query_top_k(self.x1, self.x2, next_k);
+        let have = pts.len();
+        let exhausted_range = have < next_k;
+        if have >= self.k || exhausted_range {
+            self.state = FetchState::Done;
+        } else {
+            self.state = FetchState::LargeK {
+                next_k: next_k.saturating_mul(2).min(self.k),
+            };
+        }
+        if have > self.emitted {
+            self.buffer_suffix(pts);
+        } else if exhausted_range {
+            self.buf = Vec::new().into_iter();
+        }
+    }
+}
+
+impl Iterator for TopKResults<'_> {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        loop {
+            if self.emitted >= self.k {
+                return None;
+            }
+            if let Some(p) = self.buf.next() {
+                self.emitted += 1;
+                return Some(p);
+            }
+            if matches!(self.state, FetchState::Done) {
+                return None;
+            }
+            self.refill();
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.buf.len(), Some(self.k - self.emitted))
+    }
+}
+
+impl std::iter::FusedIterator for TopKResults<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Oracle, TopKConfig};
+    use emsim::{Device, EmConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build(n: u64) -> (Device, TopKIndex, Oracle) {
+        let device = Device::new(EmConfig::new(256, 256 * 256));
+        let index = TopKIndex::new(&device, TopKConfig::for_tests());
+        let mut pts = Vec::new();
+        for i in 0..n {
+            let x = (i * 7919) % (8 * n.max(1)) + 1;
+            pts.push(Point::new(x, i * 13 + 1));
+        }
+        index.bulk_build(&pts).unwrap();
+        (device, index, Oracle::from_points(&pts))
+    }
+
+    #[test]
+    fn request_builder_carries_parameters() {
+        let req = QueryRequest::range(3, 9).top(17);
+        assert_eq!((req.x1(), req.x2(), req.k()), (3, 9, 17));
+        assert_eq!(QueryRequest::range(3, 9).k(), 1);
+    }
+
+    #[test]
+    fn stream_validates_like_query() {
+        let (_d, index, _o) = build(100);
+        assert!(index.stream(QueryRequest::range(9, 3).top(5)).is_err());
+        assert!(index.stream(QueryRequest::range(3, 9).top(0)).is_err());
+    }
+
+    #[test]
+    fn full_consumption_matches_eager_query_across_regimes() {
+        let (_d, index, oracle) = build(3000);
+        let mut rng = StdRng::seed_from_u64(3);
+        // k below, at, and above the crossover l = 64; narrow and wide ranges.
+        for &k in &[1usize, 5, 63, 64, 65, 200, 1000, 5000] {
+            for _ in 0..6 {
+                let a = rng.gen_range(0..24_000u64);
+                let b = rng.gen_range(a..=24_000u64);
+                let streamed: Vec<Point> = index
+                    .stream(QueryRequest::range(a, b).top(k))
+                    .unwrap()
+                    .collect();
+                assert_eq!(streamed, index.query(a, b, k).unwrap(), "[{a},{b}] k={k}");
+                assert_eq!(streamed, oracle.query(a, b, k), "[{a},{b}] k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_consumption_yields_the_exact_prefix() {
+        let (_d, index, oracle) = build(2000);
+        for &(k, take) in &[(50usize, 3usize), (200, 7), (1500, 10), (1500, 1)] {
+            let got: Vec<Point> = index
+                .stream(QueryRequest::range(0, u64::MAX).top(k))
+                .unwrap()
+                .take(take)
+                .collect();
+            let full = oracle.query(0, u64::MAX, k);
+            assert_eq!(
+                got,
+                full[..take.min(full.len())].to_vec(),
+                "k={k} take={take}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_prefix_of_large_k_costs_fewer_ios_than_materializing() {
+        let (device, index, _o) = build(40_000);
+        let k = 16_384;
+        device.drop_cache();
+        let (_, full) = device.measure(|| index.query(0, u64::MAX, k).unwrap());
+        device.drop_cache();
+        let (_, partial) = device.measure(|| {
+            index
+                .stream(QueryRequest::range(0, u64::MAX).top(k))
+                .unwrap()
+                .take(5)
+                .count()
+        });
+        assert!(
+            partial.reads < full.reads / 2,
+            "streaming 5 of {k} should be far cheaper: {} vs {} reads",
+            partial.reads,
+            full.reads
+        );
+    }
+
+    #[test]
+    fn stream_is_fused_and_respects_k() {
+        let (_d, index, _o) = build(50);
+        let mut s = index
+            .stream(QueryRequest::range(0, u64::MAX).top(3))
+            .unwrap();
+        assert_eq!(s.by_ref().count(), 3);
+        assert_eq!(s.emitted(), 3);
+        assert!(s.next().is_none());
+        assert!(s.next().is_none());
+        // Asking for more than stored yields everything, exactly once.
+        let s = index
+            .stream(QueryRequest::range(0, u64::MAX).top(500))
+            .unwrap();
+        assert_eq!(s.count(), 50);
+    }
+}

@@ -12,7 +12,7 @@
 //!
 //! Data structures built on top of this crate store their nodes as typed *pages*
 //! inside [`BlockFile`]s attached to a shared [`Device`]. Every page access goes
-//! through the device's LRU [buffer pool](pool::Pool) of `M/B` frames: an access
+//! through the device's LRU buffer pool of `M/B` frames: an access
 //! that misses the pool costs one read I/O, and evicting a dirty frame costs one
 //! write I/O. The resulting counters ([`IoStats`]) are exactly the quantity the
 //! paper's theorems bound, so experiments can check the claimed `O(log_B n + k/B)`

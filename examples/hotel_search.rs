@@ -1,39 +1,58 @@
 //! The motivating example from the paper's introduction: "find the 10
 //! best-rated hotels whose prices are between 100 and 200 dollars per night".
 //!
-//! Prices are the coordinates (in cents, so they are distinct), user ratings
-//! are the scores (scaled to distinct integers). Run with
+//! Prices are the coordinates (in cents), user ratings are the scores
+//! (scaled to distinct integers). The generator *does* occasionally produce
+//! two hotels at the same price — which the fallible API reports as a typed
+//! error instead of silently corrupting the index — and the nightly reprice
+//! is committed as one atomic [`UpdateBatch`]. Run with
 //! `cargo run --release --example hotel_search`.
 
-use emsim::{Device, EmConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use topk_core::{Point, TopKConfig, TopKIndex};
+use topk::{Point, QueryRequest, TopKError, TopKIndex, UpdateBatch};
 
-fn main() {
-    let device = Device::new(EmConfig::new(512, 2 * 1024 * 1024));
-    let index = TopKIndex::new(&device, TopKConfig::default());
+fn main() -> Result<(), TopKError> {
+    let n = 200_000u64;
+    let index = TopKIndex::builder()
+        .block_words(512)
+        .pool_bytes(16 << 20)
+        .expected_n(n as usize)
+        .build()?;
+    let device = index.device().clone();
     let mut rng = StdRng::seed_from_u64(2014);
 
-    // 200k hotels with prices between $30 and $900 (in cents + a unique low
-    // digit so prices are distinct) and ratings in [0, 10000] made distinct
-    // the same way.
-    let n = 200_000u64;
+    // 200k hotels with prices between $30 and $900 (in tenths of a cent, so
+    // near-collisions stay rare) and ratings in [0, 10000] made distinct by
+    // mixing in the hotel id. Price collisions are real: the index rejects
+    // them and we count the rejects instead of corrupting the structure.
     let mut hotels = Vec::new();
+    let mut rejected = 0usize;
     for i in 0..n {
         let price_cents = rng.gen_range(3_000..90_000) as u64 * 1000 + i % 1000;
         let rating = rng.gen_range(0..10_000u64) * n + i;
-        hotels.push(Point::new(price_cents, rating));
+        let hotel = Point::new(price_cents, rating);
+        match index.insert(hotel) {
+            Ok(()) => hotels.push(hotel),
+            Err(TopKError::DuplicateX { .. }) => rejected += 1,
+            Err(other) => return Err(other),
+        }
     }
-    for &h in &hotels {
-        index.insert(h);
-    }
-    println!("indexed {} hotels", index.len());
+    println!(
+        "indexed {} hotels ({rejected} duplicate-price listings rejected)",
+        index.len()
+    );
 
-    // The query from the paper: 10 best-rated hotels between $100 and $200.
+    // The query from the paper: 10 best-rated hotels between $100 and $200,
+    // streamed in rating order.
     let lo = 10_000 * 1000;
     let hi = 20_000 * 1000 + 999;
-    let (best, cost) = device.measure(|| index.query(lo, hi, 10));
+    let (best, cost) = device.measure(|| {
+        index
+            .stream(QueryRequest::range(lo, hi).top(10))
+            .map(|results| results.collect::<Vec<Point>>())
+    });
+    let best = best?;
     println!(
         "10 best-rated hotels between $100 and $200 ({} I/Os):",
         cost.total()
@@ -46,17 +65,29 @@ fn main() {
         );
     }
 
-    // Prices change over time: delete and re-insert a slice of the inventory.
+    // Overnight, 5000 hotels reprice into a premium tier: one atomic batch —
+    // validated up front, all-or-nothing, one rebuild check at commit. The
+    // ratings carry over: an in-batch delete frees the score for reuse.
+    let mut reprice = UpdateBatch::new();
     for h in hotels.iter().take(5_000) {
-        index.delete(*h);
+        reprice = reprice
+            .delete(*h)
+            .insert(Point::new(h.x + 1_000_000_000, h.score));
     }
-    for (i, h) in hotels.iter().take(5_000).enumerate() {
-        index.insert(Point::new(h.x + 1, h.score + i as u64 + 1));
-    }
-    let best = index.query(lo, hi, 10);
+    let summary = index.apply(&reprice)?;
     println!(
-        "after 10k updates the answer still has {} hotels",
+        "reprice batch: {} ops → {} deleted, {} inserted, {} missing",
+        reprice.len(),
+        summary.deleted,
+        summary.inserted,
+        summary.missing_deletes
+    );
+
+    let best = index.query(lo, hi, 10)?;
+    println!(
+        "after the batched reprice the answer still has {} hotels",
         best.len()
     );
     println!("device stats: {}", device.stats());
+    Ok(())
 }

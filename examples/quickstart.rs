@@ -1,22 +1,28 @@
-//! Quickstart: build an index, run a few top-k range queries, and look at the
-//! I/O counters of the simulated machine.
+//! Quickstart: build an index with the fluent builder, run top-k range
+//! queries (eager and streaming), and look at the I/O counters of the
+//! simulated machine.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use emsim::{Device, EmConfig};
-use topk_core::{Point, TopKConfig, TopKIndex};
+use topk::{Point, QueryRequest, TopKError, TopKIndex};
 
-fn main() {
-    // A machine with 4 KiB blocks (512 words of 8 bytes) and 16 MiB of memory.
-    let device = Device::new(EmConfig::new(512, 2 * 1024 * 1024));
-    let index = TopKIndex::new(&device, TopKConfig::default());
+fn main() -> Result<(), TopKError> {
+    // A machine with 4 KiB blocks (512 words of 8 bytes) and 16 MiB of
+    // memory; the builder owns device construction and resolves the
+    // small-k engine against the expected input size.
+    let n = 100_000u64;
+    let index = TopKIndex::builder()
+        .block_words(512)
+        .pool_bytes(16 << 20)
+        .expected_n(n as usize)
+        .build()?;
+    let device = index.device().clone();
 
     // Insert 100k points with pseudo-random distinct coordinates and scores.
-    let n = 100_000u64;
     for i in 0..n {
         let x = (i * 2654435761) % (8 * n) + 1;
         let score = (i * 40503) % (16 * n) * 8 + (i % 8);
-        index.insert(Point::new(x, score));
+        index.insert(Point::new(x, score))?;
     }
     println!(
         "inserted {} points, space = {} blocks",
@@ -26,19 +32,36 @@ fn main() {
 
     // Top-10 in a 10% slice of the domain.
     let (top, cost) = device.measure(|| index.query(n, 2 * n, 10));
+    let top = top?;
     println!("top-10 of [{}..{}]:", n, 2 * n);
     for p in &top {
         println!("  x = {:8}  score = {}", p.x, p.score);
     }
     println!("query cost: {} physical I/Os ({})", cost.total(), cost);
 
-    // A much larger k exercises the large-k (pilot-set) structure of §2.
-    let (big, cost) = device.measure(|| index.query(0, u64::MAX, 4096));
+    // A much larger k exercises the large-k (pilot-set) structure of §2 —
+    // and the streaming API only pays for the prefix actually consumed.
+    let (big, cost) = device.measure(|| {
+        index
+            .stream(QueryRequest::range(0, u64::MAX).top(4096))
+            .map(|results| results.collect::<Vec<Point>>())
+    });
     println!(
         "top-4096 over the whole domain: {} results, {} I/Os",
-        big.len(),
+        big?.len(),
         cost.total()
+    );
+    let (prefix, cost) = device.measure(|| {
+        index
+            .stream(QueryRequest::range(0, u64::MAX).top(4096))
+            .map(|results| results.take(3).collect::<Vec<Point>>())
+    });
+    println!(
+        "…but taking only 3 of those 4096 costs {} I/Os ({:?})",
+        cost.total(),
+        prefix?.iter().map(|p| p.score).collect::<Vec<_>>()
     );
 
     println!("lifetime device stats: {}", device.stats());
+    Ok(())
 }

@@ -2,39 +2,51 @@
 //! by timestamp with an "anomaly score"; a dashboard repeatedly asks for the
 //! top-k most anomalous events in recent windows while old events expire.
 //!
-//! This exercises the dynamic side of the structure: every step performs one
-//! insertion, one deletion (expiry) and one query. Run with
+//! This exercises the dynamic side of the structure through the batched API:
+//! every step commits one arrival plus one expiry as a single atomic
+//! [`UpdateBatch`] on a [`ConcurrentTopK`] — the shape a serving system
+//! would use, with readers taking the shared lock. Run with
 //! `cargo run --release --example stream_monitor`.
 
-use emsim::{Device, EmConfig};
 use std::collections::VecDeque;
-use topk_core::{Point, TopKConfig, TopKIndex};
+use topk::{ConcurrentTopK, Point, QueryRequest, TopKError, UpdateBatch};
 
-fn main() {
-    let device = Device::new(EmConfig::new(512, 2 * 1024 * 1024));
-    let index = TopKIndex::new(&device, TopKConfig::default());
-
+fn main() -> Result<(), TopKError> {
     let window = 50_000u64;
     let steps = 150_000u64;
-    let mut live: VecDeque<Point> = VecDeque::new();
+    let index = ConcurrentTopK::builder()
+        .block_words(512)
+        .pool_bytes(16 << 20)
+        .expected_n(window as usize)
+        .build_concurrent()?;
+    let device = index.device();
 
+    let mut live: VecDeque<Point> = VecDeque::new();
     let mut total_query_ios = 0u64;
     let mut queries = 0u64;
     for t in 0..steps {
-        // New measurement at timestamp t with a pseudo-random anomaly score.
+        // New measurement at timestamp t with a pseudo-random anomaly score,
+        // batched together with the expiry of the oldest measurement once
+        // the window is full: one write-lock acquisition per step.
         let score = (t * 48271) % 0x7fff_ffff;
         let p = Point::new(t + 1, score * steps + t);
-        index.insert(p);
+        let mut batch = UpdateBatch::new().insert(p);
         live.push_back(p);
-        // Expire the oldest measurement once the window is full.
         if live.len() as u64 > window {
             let old = live.pop_front().unwrap();
-            index.delete(old);
+            batch = batch.delete(old);
         }
+        index.apply(&batch)?;
         // Every 10k steps the dashboard refreshes: top-20 of the last 10k
-        // timestamps.
+        // timestamps, streamed under one read guard so the answer is one
+        // consistent version of the index.
         if t % 10_000 == 0 && t > 0 {
-            let (top, cost) = device.measure(|| index.query(t - 9_999, t + 1, 20));
+            let (top, cost) = device.measure(|| -> Result<Vec<Point>, TopKError> {
+                let guard = index.read();
+                let results = guard.stream(QueryRequest::range(t - 9_999, t + 1).top(20))?;
+                Ok(results.collect())
+            });
+            let top = top?;
             total_query_ios += cost.total();
             queries += 1;
             println!(
@@ -52,4 +64,5 @@ fn main() {
         total_query_ios as f64 / queries.max(1) as f64,
         index.space_blocks()
     );
+    Ok(())
 }

@@ -2,6 +2,13 @@
 //! public API. The repository-level integration tests (`tests/`) and the
 //! runnable examples (`examples/`) live in this package; the implementation
 //! is split across the crates under `crates/` (see README.md for the map).
+//!
+//! The API is builder-first, fallible, batched and streaming — see
+//! [`TopKIndex::builder`], [`TopKError`], [`UpdateBatch`] and
+//! [`QueryRequest`], and the migration table in README.md.
 
 pub use emsim::{Device, EmConfig, IoDelta, IoSnapshot, IoStats};
-pub use topk_core::{ConcurrentTopK, Oracle, Point, SmallKEngine, TopKConfig, TopKIndex};
+pub use topk_core::{
+    BatchSummary, ConcurrentTopK, IndexBuilder, Oracle, Point, QueryRequest, RankedIndex, Result,
+    SmallKEngine, TopKConfig, TopKError, TopKIndex, TopKResults, UpdateBatch, UpdateOp,
+};

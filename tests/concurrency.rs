@@ -41,7 +41,7 @@ fn concurrent_queries_interleaved_with_locked_updates_match_oracle() {
     let device = Device::new(EmConfig::new(256, 256 * 256));
     let index = ConcurrentTopK::new(&device, TopKConfig::for_tests());
     let initial = points(1, 0, 4_000);
-    index.bulk_build(&initial);
+    index.bulk_build(&initial).unwrap();
 
     let version = AtomicU64::new(0);
     let snapshots: Mutex<HashMap<u64, Oracle>> = Mutex::new(HashMap::new());
@@ -74,12 +74,12 @@ fn concurrent_queries_interleaved_with_locked_updates_match_oracle() {
                         {
                             let p = incoming[insert_cursor];
                             insert_cursor += 1;
-                            guard.insert(p);
+                            guard.insert(p).unwrap();
                             oracle.insert(p);
                         } else if delete_cursor < initial.len() {
                             let p = initial[delete_cursor];
                             delete_cursor += 1;
-                            assert!(guard.delete(p));
+                            assert!(guard.delete(p).unwrap());
                             oracle.delete(p);
                         }
                     }
@@ -107,7 +107,7 @@ fn concurrent_queries_interleaved_with_locked_updates_match_oracle() {
                     let k = rng.gen_range(1usize..200);
                     let guard = index.read();
                     let v = version.load(Ordering::Acquire);
-                    let got = guard.query(a, b, k);
+                    let got = guard.query(a, b, k).unwrap();
                     let count = guard.count_in_range(a, b);
                     drop(guard);
                     let snapshots = snapshots.lock().unwrap();
@@ -134,7 +134,10 @@ fn concurrent_queries_interleaved_with_locked_updates_match_oracle() {
     let snapshots = snapshots.lock().unwrap();
     let last = snapshots.get(&final_version).unwrap();
     assert_eq!(index.len(), last.len() as u64);
-    assert_eq!(index.query(0, u64::MAX, 50), last.query(0, u64::MAX, 50));
+    assert_eq!(
+        index.query(0, u64::MAX, 50).unwrap(),
+        last.query(0, u64::MAX, 50)
+    );
     let stats = device.stats();
     assert_eq!(
         stats.allocs - stats.frees,
@@ -153,7 +156,7 @@ fn read_side_runs_concurrently_and_exactly_matches() {
     let device = Device::new(EmConfig::new(256, 256 * 256));
     let index = ConcurrentTopK::new(&device, TopKConfig::for_tests());
     let pts = points(7, 0, 6_000);
-    index.bulk_build(&pts);
+    index.bulk_build(&pts).unwrap();
     let oracle = Oracle::from_points(&pts);
 
     std::thread::scope(|scope| {
@@ -166,7 +169,7 @@ fn read_side_runs_concurrently_and_exactly_matches() {
                     let a = rng.gen_range(0u64..20_000);
                     let b = rng.gen_range(a..=20_000);
                     let k = rng.gen_range(1usize..500);
-                    assert_eq!(index.query(a, b, k), oracle.query(a, b, k));
+                    assert_eq!(index.query(a, b, k).unwrap(), oracle.query(a, b, k));
                 }
             });
         }

@@ -1,12 +1,14 @@
-//! Randomized cross-checks: the combined index, the naive baseline and the
-//! in-memory oracle must agree on every query, for arbitrary point sets and
-//! query parameters. (Formerly proptest-based; now seeded random cases with
-//! the same shape, reproducible by construction.)
+//! Randomized cross-checks, generic over engines: every [`RankedIndex`]
+//! implementation — the paper's structure (both small-k engines, plus the
+//! concurrent wrapper) and both baselines — must agree with the in-memory
+//! oracle on every query, for arbitrary point sets and query parameters.
+//! (Formerly proptest-based; now seeded random cases with the same shape,
+//! reproducible by construction.)
 
 use emsim::{Device, EmConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use topk_core::{Oracle, Point, TopKConfig, TopKIndex};
+use topk::{ConcurrentTopK, Oracle, Point, RankedIndex, SmallKEngine, TopKConfig, TopKIndex};
 
 fn distinct_points(raw: Vec<(u64, u64)>) -> Vec<Point> {
     // Make coordinates and scores distinct while preserving the rough shape of
@@ -18,9 +20,40 @@ fn distinct_points(raw: Vec<(u64, u64)>) -> Vec<Point> {
     pts
 }
 
+/// Every engine in the workspace, as trait objects on one shared device.
+fn engines(device: &Device) -> Vec<(&'static str, Box<dyn RankedIndex>)> {
+    let polylog = TopKIndex::builder()
+        .device(device)
+        .small_k(SmallKEngine::Polylog)
+        .crossover_l(64)
+        .expected_n(1 << 10)
+        .build()
+        .unwrap();
+    let st12 = TopKIndex::builder()
+        .device(device)
+        .small_k(SmallKEngine::St12)
+        .crossover_l(64)
+        .expected_n(1 << 10)
+        .build()
+        .unwrap();
+    vec![
+        ("topk-polylog", Box::new(polylog)),
+        ("topk-st12", Box::new(st12)),
+        (
+            "concurrent",
+            Box::new(ConcurrentTopK::new(device, TopKConfig::for_tests())),
+        ),
+        (
+            "naive",
+            Box::new(baselines::NaiveTopK::new(device, "naive")),
+        ),
+        ("ram-pst", Box::new(baselines::RamPst::new(device))),
+    ]
+}
+
 #[test]
-fn index_agrees_with_oracle_and_naive() {
-    for case in 0..24u64 {
+fn every_engine_agrees_with_the_oracle() {
+    for case in 0..12u64 {
         let mut rng = StdRng::seed_from_u64(0xC05C ^ case);
         let n = rng.gen_range(1usize..600);
         let raw: Vec<(u64, u64)> = (0..n)
@@ -28,13 +61,12 @@ fn index_agrees_with_oracle_and_naive() {
             .collect();
         let pts = distinct_points(raw);
         let device = Device::new(EmConfig::new(128, 128 * 128));
-        let index = TopKIndex::new(&device, TopKConfig::for_tests());
-        let naive_dev = Device::new(EmConfig::new(128, 128 * 128));
-        let naive = baselines::NaiveTopK::new(&naive_dev, "naive");
+        let engines = engines(&device);
         let mut oracle = Oracle::new();
+        for (_, engine) in &engines {
+            engine.bulk_build(&pts).unwrap();
+        }
         for &p in &pts {
-            index.insert(p);
-            naive.insert(p);
             oracle.insert(p);
         }
         let queries = rng.gen_range(1usize..12);
@@ -44,16 +76,63 @@ fn index_agrees_with_oracle_and_naive() {
             let k = rng.gen_range(1usize..300);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             let expect = oracle.query(lo, hi, k);
+            for (name, engine) in &engines {
+                assert_eq!(
+                    engine.query(lo, hi, k).unwrap(),
+                    expect,
+                    "{name}: case {case} [{lo},{hi}] k={k}"
+                );
+                assert_eq!(
+                    engine.count_in_range(lo, hi),
+                    oracle.count(lo, hi) as u64,
+                    "{name}: case {case} count [{lo},{hi}]"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn point_wise_updates_agree_with_the_oracle() {
+    // The same shape through the update path instead of bulk_build (the RAM
+    // PST takes an O(n) rebuild per update, so this pass uses fewer points).
+    for case in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xA9 ^ case);
+        let n = rng.gen_range(2usize..150);
+        let raw: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..10_000), rng.gen_range(0u64..10_000)))
+            .collect();
+        let pts = distinct_points(raw);
+        let device = Device::new(EmConfig::new(128, 128 * 128));
+        let engines = engines(&device);
+        let mut oracle = Oracle::new();
+        for &p in &pts {
+            for (_, engine) in &engines {
+                engine.insert(p).unwrap();
+            }
+            oracle.insert(p);
+        }
+        // Duplicates are rejected by every engine (scores differ per engine:
+        // the naive baseline only detects coordinate collisions).
+        for (name, engine) in &engines {
+            assert!(engine.insert(pts[0]).is_err(), "{name}: duplicate accepted");
+        }
+        for (i, &p) in pts.iter().enumerate() {
+            if i % 3 == 0 {
+                for (name, engine) in &engines {
+                    assert!(engine.delete(p).unwrap(), "{name}: case {case}");
+                }
+                oracle.delete(p);
+            }
+        }
+        let expect = oracle.query(0, u64::MAX, pts.len());
+        for (name, engine) in &engines {
             assert_eq!(
-                index.query(lo, hi, k),
+                engine.query(0, u64::MAX, pts.len()).unwrap(),
                 expect,
-                "case {case} [{lo},{hi}] k={k}"
+                "{name}: case {case}"
             );
-            assert_eq!(
-                naive.query(lo, hi, k),
-                expect,
-                "case {case} [{lo},{hi}] k={k}"
-            );
+            assert_eq!(engine.len(), oracle.len() as u64, "{name}: case {case}");
         }
     }
 }
@@ -72,16 +151,16 @@ fn deletions_never_leave_ghosts() {
         let index = TopKIndex::new(&device, TopKConfig::for_tests());
         let mut oracle = Oracle::new();
         for &p in &pts {
-            index.insert(p);
+            index.insert(p).unwrap();
             oracle.insert(p);
         }
         for (i, &p) in pts.iter().enumerate() {
             if i % delete_every == 0 {
-                assert!(index.delete(p), "case {case}");
+                assert!(index.delete(p).unwrap(), "case {case}");
                 oracle.delete(p);
             }
         }
-        let all = index.query(0, u64::MAX, pts.len());
+        let all = index.query(0, u64::MAX, pts.len()).unwrap();
         let expect = oracle.query(0, u64::MAX, pts.len());
         assert_eq!(all, expect, "case {case}");
     }

@@ -27,7 +27,7 @@ fn check_many_queries(index: &TopKIndex, oracle: &Oracle, seed: u64, rounds: usi
             .choose(&mut rng)
             .unwrap();
         assert_eq!(
-            index.query(a, b, k),
+            index.query(a, b, k).unwrap(),
             oracle.query(a, b, k),
             "mismatch for range [{a},{b}], k={k}"
         );
@@ -39,7 +39,7 @@ fn large_build_then_queries_across_k_regimes() {
     let device = Device::new(EmConfig::new(512, 512 * 512));
     let index = TopKIndex::new(&device, TopKConfig::default());
     let pts = random_points(42, 20_000);
-    index.bulk_build(&pts);
+    index.bulk_build(&pts).unwrap();
     let oracle = Oracle::from_points(&pts);
     assert_eq!(index.len(), 20_000);
     index.check_invariants();
@@ -60,7 +60,7 @@ fn long_mixed_workload_small_blocks() {
         if !live.is_empty() && rng.gen_bool(0.4) {
             let idx = rng.gen_range(0..live.len());
             let victim = live.swap_remove(idx);
-            assert!(index.delete(victim));
+            assert!(index.delete(victim).unwrap());
             oracle.delete(victim);
         } else {
             let p = Point {
@@ -69,7 +69,7 @@ fn long_mixed_workload_small_blocks() {
             };
             next += 1;
             live.push(p);
-            index.insert(p);
+            index.insert(p).unwrap();
             oracle.insert(p);
         }
         if step % 1500 == 0 {
@@ -90,7 +90,7 @@ fn st12_engine_end_to_end() {
     let index = TopKIndex::new(&device, cfg);
     let pts = random_points(11, 8_000);
     for &p in &pts {
-        index.insert(p);
+        index.insert(p).unwrap();
     }
     let oracle = Oracle::from_points(&pts);
     check_many_queries(&index, &oracle, 3, 30, 24_000);
@@ -101,13 +101,13 @@ fn query_costs_stay_logarithmic_plus_output() {
     let device = Device::new(EmConfig::new(512, 64 * 512));
     let index = TopKIndex::new(&device, TopKConfig::default());
     let pts = random_points(5, 50_000);
-    index.bulk_build(&pts);
+    index.bulk_build(&pts).unwrap();
     // Small-k queries: cost should be a few dozen blocks, far below a range
     // scan of ~10k points (which would be hundreds of blocks at 256/block).
     let mut worst = 0;
     for i in 0..20u64 {
         device.drop_cache();
-        let (res, d) = device.measure(|| index.query(i * 1000, i * 1000 + 30_000, 10));
+        let (res, d) = device.measure(|| index.query(i * 1000, i * 1000 + 30_000, 10).unwrap());
         assert!(!res.is_empty());
         worst = worst.max(d.total());
     }
@@ -118,9 +118,9 @@ fn query_costs_stay_logarithmic_plus_output() {
     // The naive structure must scan the range: build it and compare.
     let naive_dev = Device::new(EmConfig::new(512, 64 * 512));
     let naive = baselines::NaiveTopK::new(&naive_dev, "naive");
-    naive.bulk_build(&pts);
+    naive.bulk_build(&pts).unwrap();
     naive_dev.drop_cache();
-    let (_, naive_cost) = naive_dev.measure(|| naive.query(0, 90_000, 10));
+    let (_, naive_cost) = naive_dev.measure(|| naive.query(0, 90_000, 10).unwrap());
     assert!(
         naive_cost.total() > worst,
         "index ({worst} I/Os) should beat the naive scan ({} I/Os)",
@@ -136,7 +136,7 @@ fn global_rebuild_keeps_answers_correct_as_n_doubles() {
     // Grow from empty to 6000 points (several doublings → several rebuilds).
     let pts = random_points(13, 6_000);
     for (i, &p) in pts.iter().enumerate() {
-        index.insert(p);
+        index.insert(p).unwrap();
         oracle.insert(p);
         if i % 2000 == 1999 {
             check_many_queries(&index, &oracle, i as u64, 10, 18_000);
@@ -144,7 +144,7 @@ fn global_rebuild_keeps_answers_correct_as_n_doubles() {
     }
     // Shrink back below a quarter (another rebuild).
     for &p in pts.iter().take(5_000) {
-        assert!(index.delete(p));
+        assert!(index.delete(p).unwrap());
         oracle.delete(p);
     }
     check_many_queries(&index, &oracle, 99, 20, 18_000);

@@ -29,7 +29,7 @@ fn cold_query_reads_stay_within_log_plus_output_bound() {
     let device = Device::new(em);
     let index = TopKIndex::new(&device, TopKConfig::default());
     let pts = random_points(3, n);
-    index.bulk_build(&pts);
+    index.bulk_build(&pts).unwrap();
 
     // The bound follows Theorem 1's dispatch: `C · (log_B n + k/B + 1)` reads
     // for k below the crossover `l`, and `C' · (lg n + k/B + 1)` beyond it
@@ -57,7 +57,7 @@ fn cold_query_reads_stay_within_log_plus_output_bound() {
             let a = rng.gen_range(0..60_000u64);
             let b = rng.gen_range(a..=120_000u64);
             device.drop_cache();
-            let (res, cost) = device.measure(|| index.query(a, b, k));
+            let (res, cost) = device.measure(|| index.query(a, b, k).unwrap());
             assert!(res.len() <= k);
             assert!(
                 cost.reads <= bound,
