@@ -1,5 +1,6 @@
-//! Multi-threaded smoke benchmark: read-side scaling of the concurrent index
-//! and the lock-amortization win of batched writers.
+//! Multi-threaded smoke benchmark: read-side scaling of the concurrent index,
+//! the lock-amortization win of batched writers, and the multi-writer
+//! goodput win of range sharding.
 //!
 //! Part 1 spawns 1, 2, 4 and 8 query threads against one shared
 //! [`ConcurrentTopK`] and reports wall-clock throughput: queries take the
@@ -15,12 +16,22 @@
 //! rebuild in place of per-op maintenance. The whole-workload queries/sec is
 //! the amortization number the API redesign claims — measured here, not
 //! asserted.
+//!
+//! Part 3 is the sharded multi-writer scenario: a fixed job of batched
+//! updates over disjoint coordinate territories, committed by 1, 2, 4 and 8
+//! writer threads against (a) the coarse-locked [`ConcurrentTopK`], where
+//! every batch serialises on one write lock, and (b) a [`ShardedTopK`] with
+//! one shard per territory, where disjoint-territory batches take disjoint
+//! shard locks and commit in parallel. The updates/sec ratio at ≥ 4 threads
+//! is the write-scaling number the sharding tentpole claims.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use topk_bench::{small_machine, uniform_points};
-use topk_core::{ConcurrentTopK, Point, SmallKEngine, UpdateBatch, UpdateOp};
+use topk_core::{
+    ConcurrentTopK, Point, RankedIndex, ShardedTopK, SmallKEngine, UpdateBatch, UpdateOp,
+};
 use workload::QueryGen;
 
 /// Build a concurrent index preloaded with the first `n` of `n + extra`
@@ -104,6 +115,58 @@ fn run_mixed(n: usize, updates: usize, queries_per_reader: usize, batch_size: us
     (4 * queries_per_reader) as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Part 3 workload: `writers` threads each commit their own territories'
+/// batched update streams (alternating fresh inserts and preload deletes,
+/// batches of 256) against `index`. All territories are always processed —
+/// the thread count only changes how much parallelism is available — so the
+/// job is fixed and updates/sec is comparable across rows. Returns
+/// updates/sec over the time to drain everything.
+fn run_multi_writer(
+    index: &dyn RankedIndex,
+    territory_ops: &[Vec<UpdateOp>],
+    writers: usize,
+) -> f64 {
+    const BATCH: usize = 256;
+    let total_ops: usize = territory_ops.iter().map(Vec::len).sum();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            scope.spawn(move || {
+                for ops in territory_ops.iter().skip(w).step_by(writers) {
+                    for chunk in ops.chunks(BATCH) {
+                        let batch = UpdateBatch::from_ops(chunk.iter().copied());
+                        index.apply(&batch).expect("territory streams are disjoint");
+                    }
+                }
+            });
+        }
+    });
+    total_ops as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Build the part 3 fixture: `territories` disjoint coordinate territories,
+/// half of each preloaded, plus the per-territory alternating
+/// insert/delete op streams over the other half.
+fn multi_writer_fixture(territories: usize, per: usize) -> (Vec<Point>, Vec<Vec<UpdateOp>>) {
+    let (_span, terr) = workload::territories(83, territories, 2 * per);
+    let preload: Vec<Point> = terr.iter().flat_map(|t| t[..per].to_vec()).collect();
+    let ops = terr
+        .iter()
+        .map(|t| {
+            (0..per)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        UpdateOp::Insert(t[per + i])
+                    } else {
+                        UpdateOp::Delete(t[i])
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (preload, ops)
+}
+
 fn main() {
     let n = 1 << 15;
     let (index, queries, _, _) = build(n, 0);
@@ -145,6 +208,54 @@ fn main() {
         println!(
             "{batch_size:>10} {qps:>24.0}   ({:.2}x vs batch=1)",
             qps / qps_batch1
+        );
+    }
+
+    // Sharded multi-writer scenario: the same fixed job of disjoint
+    // territory batches, drained by 1–8 writers, against the coarse lock
+    // and against one-shard-per-territory range sharding. The coarse lock
+    // serialises every batch regardless of thread count; the sharded index
+    // commits disjoint-shard batches in parallel, so its goodput should
+    // rise with writers until the core count or the device's pool mutex
+    // saturates (expect ~1.0x on a 1-core host).
+    const TERRITORIES: usize = 8;
+    const PER_TERRITORY: usize = 4096;
+    let (preload, territory_ops) = multi_writer_fixture(TERRITORIES, PER_TERRITORY);
+    println!(
+        "\nmulti-writer batch goodput: {TERRITORIES} territories × {PER_TERRITORY} updates, \
+         batches of 256"
+    );
+    println!(
+        "{:>8} {:>20} {:>20} {:>10}",
+        "writers", "coarse (upd/s)", "sharded (upd/s)", "ratio"
+    );
+    for writers in [1usize, 2, 4, 8] {
+        let device = emsim::Device::new(small_machine());
+        let coarse = ConcurrentTopK::builder()
+            .device(&device)
+            .small_k(SmallKEngine::Polylog)
+            .crossover_l(64)
+            .expected_n(preload.len() * 2)
+            .build_concurrent()
+            .expect("bench parameters are valid");
+        coarse.bulk_build(&preload).expect("distinct points");
+        let coarse_ups = run_multi_writer(&coarse, &territory_ops, writers);
+
+        let device = emsim::Device::new(small_machine());
+        let sharded = ShardedTopK::builder()
+            .device(&device)
+            .small_k(SmallKEngine::Polylog)
+            .crossover_l(64)
+            .expected_n(preload.len() * 2)
+            .shards(TERRITORIES)
+            .build_sharded()
+            .expect("bench parameters are valid");
+        sharded.bulk_build(&preload).expect("distinct points");
+        let sharded_ups = run_multi_writer(&sharded, &territory_ops, writers);
+
+        println!(
+            "{writers:>8} {coarse_ups:>20.0} {sharded_ups:>20.0} {:>9.2}x",
+            sharded_ups / coarse_ups
         );
     }
 }

@@ -29,6 +29,16 @@ pub enum UpdateOp {
     Delete(Point),
 }
 
+impl UpdateOp {
+    /// The point the operation touches (what
+    /// [`ShardedTopK`](crate::ShardedTopK) routes on).
+    pub fn point(&self) -> Point {
+        match *self {
+            UpdateOp::Insert(p) | UpdateOp::Delete(p) => p,
+        }
+    }
+}
+
 /// A sequence of updates applied atomically, built fluently:
 /// `UpdateBatch::new().insert(p).delete(q)`.
 #[derive(Debug, Clone, Default)]
@@ -94,8 +104,17 @@ pub struct BatchSummary {
     pub missing_deletes: usize,
 }
 
-/// How batch validation looks up the pre-batch state of the index.
-enum LiveView {
+/// A batch (or, on the sharded path, a per-shard sub-batch) whose size times
+/// this factor reaches the post-commit point count commits as one global
+/// rebuild instead of point-wise descents. One knob for both paths: tuning
+/// the crossover cannot silently diverge between
+/// [`TopKIndex::apply`] and [`ShardedTopK::apply`](crate::ShardedTopK::apply).
+pub(crate) const REBUILD_CROSSOVER: u64 = 16;
+
+/// How batch validation looks up the pre-batch state of the index. Shared
+/// with the per-shard validation pass of
+/// [`ShardedTopK::apply`](crate::ShardedTopK::apply).
+pub(crate) enum LiveView {
     /// Probe the index per operation: an `O(log_B n)` descent per insert or
     /// delete. Right for small batches.
     Probe,
@@ -108,7 +127,7 @@ enum LiveView {
 }
 
 impl LiveView {
-    fn for_batch(index: &TopKIndex, ops: usize) -> Self {
+    pub(crate) fn for_batch(index: &TopKIndex, ops: usize) -> Self {
         let block_words = index.device().block_words() as u64;
         let n = index.len();
         let scan_blocks = (n * Point::WORDS as u64) / block_words.max(1) + 1;
@@ -121,7 +140,7 @@ impl LiveView {
         }
     }
 
-    fn get(&self, index: &TopKIndex, x: u64) -> Option<Point> {
+    pub(crate) fn get(&self, index: &TopKIndex, x: u64) -> Option<Point> {
         match self {
             LiveView::Probe => index.get(x),
             LiveView::Scan(live) => live.get(&x).copied(),
@@ -194,7 +213,7 @@ pub(crate) fn apply_to(index: &TopKIndex, batch: &UpdateBatch) -> Result<BatchSu
     // microseconds against ~1µs per point for a rebuild at bench scales.
     if let LiveView::Scan(mut live) = view {
         let n_after = (index.len() + summary.inserted as u64).max(1);
-        if (batch.len() as u64) * 16 >= n_after {
+        if (batch.len() as u64) * REBUILD_CROSSOVER >= n_after {
             for (x, slot) in x_overlay {
                 match slot {
                     Some(p) => live.insert(x, p),

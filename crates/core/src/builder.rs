@@ -13,9 +13,11 @@ use crate::concurrent::ConcurrentTopK;
 use crate::config::{SmallKEngine, TopKConfig};
 use crate::error::{Result, TopKError};
 use crate::index::TopKIndex;
+use crate::sharded::ShardedTopK;
 
-/// Builder for [`TopKIndex`] / [`ConcurrentTopK`], obtained from
-/// [`TopKIndex::builder`] or [`ConcurrentTopK::builder`].
+/// Builder for [`TopKIndex`] / [`ConcurrentTopK`] / [`ShardedTopK`],
+/// obtained from [`TopKIndex::builder`], [`ConcurrentTopK::builder`] or
+/// [`ShardedTopK::builder`].
 ///
 /// ```
 /// use topk_core::{Point, TopKIndex};
@@ -33,6 +35,7 @@ pub struct IndexBuilder {
     device: Option<Device>,
     block_words: usize,
     pool_bytes: usize,
+    shards: Option<usize>,
     config: TopKConfig,
 }
 
@@ -50,6 +53,7 @@ impl IndexBuilder {
             device: None,
             block_words: 512,
             pool_bytes: 16 << 20,
+            shards: None,
             config: TopKConfig::default(),
         }
     }
@@ -100,19 +104,60 @@ impl IndexBuilder {
         self
     }
 
+    /// Number of range shards for [`IndexBuilder::build_sharded`]. Without
+    /// an explicit count, one shard per ~64 Ki expected points is used
+    /// (rounded to a power of two, capped at 16) so small indexes pay no
+    /// routing overhead and large ones scale their writers.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
     /// Validate the parameters and construct the index.
     ///
     /// # Errors
     ///
     /// [`TopKError::InvalidConfig`] naming the offending parameter.
     pub fn build(self) -> Result<TopKIndex> {
+        if self.shards.is_some() {
+            return Err(TopKError::InvalidConfig {
+                what: "shards is set: use build_sharded() (build() is unsharded)",
+            });
+        }
         let (device, config) = self.resolve()?;
         Ok(TopKIndex::new(&device, config))
     }
 
-    /// Like [`IndexBuilder::build`], wrapped for concurrent serving.
+    /// Like [`IndexBuilder::build`], wrapped for concurrent serving behind
+    /// one coarse reader–writer lock.
     pub fn build_concurrent(self) -> Result<ConcurrentTopK> {
         Ok(ConcurrentTopK::from_index(self.build()?))
+    }
+
+    /// Build a range-sharded index for parallel writers: the shard count is
+    /// [`IndexBuilder::shards`] if set, otherwise derived from
+    /// [`IndexBuilder::expected_n`].
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::InvalidConfig`] naming the offending parameter.
+    pub fn build_sharded(mut self) -> Result<ShardedTopK> {
+        let shards = match self.shards.take() {
+            Some(0) => {
+                return Err(TopKError::InvalidConfig {
+                    what: "shards must be at least 1",
+                })
+            }
+            Some(s) if s > 1024 => {
+                return Err(TopKError::InvalidConfig {
+                    what: "shards above 1024 would out-shard any realistic machine",
+                })
+            }
+            Some(s) => s,
+            None => default_shards(self.config.expected_n),
+        };
+        let (device, config) = self.resolve()?;
+        Ok(ShardedTopK::new(&device, config, shards))
     }
 
     fn resolve(self) -> Result<(Device, TopKConfig)> {
@@ -150,6 +195,13 @@ impl IndexBuilder {
         };
         Ok((device, self.config))
     }
+}
+
+/// The default shard count: one shard per ~64 Ki expected points, rounded to
+/// a power of two, capped at 16 (beyond that, the device's shared buffer
+/// pool — not the shard locks — bounds throughput; see DESIGN.md §4).
+fn default_shards(expected_n: usize) -> usize {
+    (expected_n >> 16).next_power_of_two().clamp(1, 16)
 }
 
 #[cfg(test)]
@@ -213,6 +265,44 @@ mod tests {
             };
             assert!(what.contains(needle), "{what} vs {needle}");
         }
+    }
+
+    #[test]
+    fn sharded_build_defaults_scale_with_expected_n() {
+        let small = ShardedTopK::builder()
+            .expected_n(1000)
+            .build_sharded()
+            .unwrap();
+        assert_eq!(small.shard_count(), 1);
+        let large = ShardedTopK::builder()
+            .expected_n(1 << 20)
+            .build_sharded()
+            .unwrap();
+        assert_eq!(large.shard_count(), 16);
+        let explicit = ShardedTopK::builder()
+            .expected_n(1000)
+            .shards(6)
+            .build_sharded()
+            .unwrap();
+        assert_eq!(explicit.shard_count(), 6);
+        explicit.insert(Point::new(1, 2)).unwrap();
+        assert_eq!(explicit.len(), 1);
+    }
+
+    #[test]
+    fn sharded_parameters_are_validated() {
+        for (builder, needle) in [
+            (TopKIndex::builder().shards(0), "shards"),
+            (TopKIndex::builder().shards(4096), "shards"),
+        ] {
+            let TopKError::InvalidConfig { what } = builder.build_sharded().unwrap_err() else {
+                panic!("expected InvalidConfig");
+            };
+            assert!(what.contains(needle), "{what}");
+        }
+        // A builder with shards set must go through build_sharded().
+        let err = TopKIndex::builder().shards(4).build().unwrap_err();
+        assert!(matches!(err, TopKError::InvalidConfig { .. }));
     }
 
     #[test]

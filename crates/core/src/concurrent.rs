@@ -9,13 +9,22 @@
 //! state (or chase a just-freed page and panic).
 //!
 //! [`ConcurrentTopK`] supplies that atomicity with one coarse reader–writer
-//! lock (DESIGN.md §4 records the finer-grained plan): queries — which never
-//! modify structure state — share the read side and run fully in parallel,
-//! while updates take the write side and are serialised. Mixed workloads
-//! should therefore batch their writes: [`ConcurrentTopK::apply`] commits an
-//! [`UpdateBatch`] under a *single* write-lock acquisition with a single
-//! deferred rebuild check, where point-wise [`ConcurrentTopK::insert`] pays
-//! the lock churn once per point (measured in the `concurrent_reads` bench).
+//! lock: queries — which never modify structure state — share the read side
+//! and run fully in parallel, while updates take the write side and are
+//! serialised. Mixed workloads should therefore batch their writes:
+//! [`ConcurrentTopK::apply`] commits an [`UpdateBatch`] under a *single*
+//! write-lock acquisition with a single deferred rebuild check, where
+//! point-wise [`ConcurrentTopK::insert`] pays the lock churn once per point
+//! (measured in the `concurrent_reads` bench).
+//!
+//! The coarse lock is the right wrapper for read-heavy serving with a single
+//! (or occasional) writer: no routing overhead, and [`ConcurrentTopK::read`]
+//! pins a whole-index snapshot for free. Once concurrent **writers** become
+//! the bottleneck, use [`ShardedTopK`](crate::ShardedTopK) instead: it
+//! range-partitions the coordinate space so writers on disjoint shards
+//! commit in parallel, at the price of a routing layer and fan-out queries
+//! (DESIGN.md §4 describes the shipped sharded architecture and the
+//! crossover between the two).
 
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 

@@ -1,7 +1,8 @@
 //! The error type of the public API.
 //!
-//! Every mutating or querying operation on [`TopKIndex`](crate::TopKIndex)
-//! and [`ConcurrentTopK`](crate::ConcurrentTopK) returns
+//! Every mutating or querying operation on [`TopKIndex`](crate::TopKIndex),
+//! [`ConcurrentTopK`](crate::ConcurrentTopK) and
+//! [`ShardedTopK`](crate::ShardedTopK) returns
 //! [`Result`](crate::Result): misuse that the seed code answered with panics,
 //! `debug_assert!`s or silent empty vectors (duplicate coordinates, duplicate
 //! scores, inverted ranges, `k == 0`, component-membership disagreement) is

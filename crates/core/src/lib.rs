@@ -41,10 +41,13 @@
 //!    everything above it, keep the exact top `k`).
 //!
 //! [`TopKIndex`] is `Send + Sync`; for serving concurrent traffic, wrap it in
-//! [`ConcurrentTopK`], which lets any number of threads query in parallel
-//! while updates take an exclusive lock (see DESIGN.md §4). The
-//! [`RankedIndex`] trait abstracts over this crate's engines and the
-//! `baselines` comparison structures for generic harness code.
+//! [`ConcurrentTopK`] (one coarse reader–writer lock: parallel queries,
+//! serialized updates) or, once concurrent *writers* are the bottleneck,
+//! [`ShardedTopK`] (range-sharded: writers on disjoint shards proceed in
+//! parallel, queries fan out and merge lazily — see DESIGN.md §4 for when to
+//! pick which). The [`RankedIndex`] trait abstracts over this crate's
+//! engines and the `baselines` comparison structures for generic harness
+//! code.
 //!
 //! ```
 //! use topk_core::{Point, QueryRequest, TopKIndex, UpdateBatch};
@@ -83,6 +86,7 @@ mod index;
 mod oracle;
 mod query;
 mod ranked;
+mod sharded;
 
 pub use batch::{BatchSummary, UpdateBatch, UpdateOp};
 pub use builder::IndexBuilder;
@@ -94,6 +98,7 @@ pub use index::TopKIndex;
 pub use oracle::Oracle;
 pub use query::{QueryRequest, TopKResults};
 pub use ranked::RankedIndex;
+pub use sharded::{ShardedReadGuard, ShardedResults, ShardedTopK};
 
 #[cfg(test)]
 mod tests {

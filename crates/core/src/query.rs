@@ -8,6 +8,13 @@
 //! escalating rank-threshold round for small `k`, a doubling pilot fetch for
 //! large `k` — and runs a round only when the caller actually demands more
 //! points, so a short prefix of a large `k` never pays for the rest.
+//!
+//! Because every round's points form a prefix of the global descending-score
+//! order, per-shard [`TopKResults`] streams also compose: a
+//! [`ShardedTopK`](crate::ShardedTopK) fan-out merges one stream per
+//! overlapping shard through a binary heap
+//! ([`ShardedResults`](crate::ShardedResults)) and each shard escalates only
+//! as far as the merge consumes it.
 
 use epst::{top_k_by_score, Point};
 

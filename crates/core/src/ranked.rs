@@ -8,11 +8,12 @@ use crate::batch::{BatchSummary, UpdateBatch, UpdateOp};
 use crate::concurrent::ConcurrentTopK;
 use crate::error::Result;
 use crate::index::TopKIndex;
+use crate::sharded::ShardedTopK;
 
 /// A dynamic set of `(x, score)` points answering top-k range queries.
 ///
-/// Implemented by [`TopKIndex`], [`ConcurrentTopK`] and the comparison
-/// structures in the `baselines` crate. All methods take `&self` — every
+/// Implemented by [`TopKIndex`], [`ConcurrentTopK`], [`ShardedTopK`] and the
+/// comparison structures in the `baselines` crate. All methods take `&self` — every
 /// engine in the workspace is internally synchronized — and all mutating or
 /// querying methods are fallible with the same contract as [`TopKIndex`].
 /// The trait is object-safe: experiment harnesses typically iterate over
@@ -148,6 +149,44 @@ impl RankedIndex for ConcurrentTopK {
     }
 }
 
+impl RankedIndex for ShardedTopK {
+    fn engine_name(&self) -> &'static str {
+        "sharded-topk"
+    }
+
+    fn len(&self) -> u64 {
+        ShardedTopK::len(self)
+    }
+
+    fn space_blocks(&self) -> u64 {
+        ShardedTopK::space_blocks(self)
+    }
+
+    fn insert(&self, p: Point) -> Result<()> {
+        ShardedTopK::insert(self, p)
+    }
+
+    fn delete(&self, p: Point) -> Result<bool> {
+        ShardedTopK::delete(self, p)
+    }
+
+    fn bulk_build(&self, points: &[Point]) -> Result<()> {
+        ShardedTopK::bulk_build(self, points)
+    }
+
+    fn query(&self, x1: u64, x2: u64, k: usize) -> Result<Vec<Point>> {
+        ShardedTopK::query(self, x1, x2, k)
+    }
+
+    fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+        ShardedTopK::count_in_range(self, x1, x2)
+    }
+
+    fn apply(&self, batch: &UpdateBatch) -> Result<BatchSummary> {
+        ShardedTopK::apply(self, batch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +199,7 @@ mod tests {
         let engines: Vec<Box<dyn RankedIndex>> = vec![
             Box::new(TopKIndex::new(&device, TopKConfig::for_tests())),
             Box::new(ConcurrentTopK::new(&device, TopKConfig::for_tests())),
+            Box::new(ShardedTopK::new(&device, TopKConfig::for_tests(), 4)),
         ];
         let pts: Vec<Point> = (0..300u64)
             .map(|i| Point::new(i * 3 + 1, i * 7 + 2))

@@ -322,7 +322,13 @@ impl ThreeSidedPst {
             let (below, min_score, cache_len) = self
                 .pages
                 .with(page, |p| (p.below, p.min_score(), p.pts.len()));
-            let insert_here = below == 0 || (cache_len > 0 && carry.score > min_score.unwrap_or(0));
+            // The carry belongs here if it beats the cache minimum, or if
+            // nothing is stored below and the cache still has room. (A full
+            // cache with `below == 0` must NOT capture a carry that scores
+            // under its minimum: swapping would send the evicted — larger —
+            // point below the smaller one and break the heap order.)
+            let insert_here = (below == 0 && cache_len < self.config.cache_cap)
+                || (cache_len > 0 && carry.score > min_score.unwrap_or(0));
             if insert_here && cache_len < self.config.cache_cap {
                 self.pages.with_mut(page, |p| p.pts.push(carry));
                 break;
@@ -436,8 +442,11 @@ impl ThreeSidedPst {
                     .with(cp, |p| (p.pts.len(), p.below, p.max_score().unwrap_or(0)));
                 if clen == 0 && cbelow > 0 && !self.base.is_leaf(c.id) {
                     // The child's own cache is empty but it has points below:
-                    // refill it first so we can pull from it.
+                    // refill it first so we can pull from it — and refresh
+                    // our summary of it, which the recursive refill changed
+                    // whether or not we end up pulling from this child.
                     self.refill(c.id);
+                    self.refresh_summary(node, c.id);
                 }
                 let (clen, cmax) = self
                     .pages
@@ -714,6 +723,34 @@ mod tests {
     fn sorted(mut v: Vec<Point>) -> Vec<Point> {
         v.sort_unstable();
         v
+    }
+
+    #[test]
+    fn descending_scores_at_ascending_x_keep_heap_order() {
+        // Regression: a node with `below == 0` and a full cache used to
+        // capture a carry scoring under its cache minimum, swap-evicting the
+        // larger minimum downwards and breaking the heap-order invariant.
+        // Anti-correlated insertion order (ascending x, descending score)
+        // hits that shape within a few hundred points.
+        let dev = device();
+        let pst = ThreeSidedPst::new(&dev, "pst");
+        let mut pts = Vec::new();
+        for i in 0..1200u64 {
+            let p = Point {
+                x: i * 3 + 1,
+                score: 100_000 - i * 7,
+            };
+            pst.insert(p);
+            pts.push(p);
+            if i % 50 == 0 {
+                pst.check_invariants();
+            }
+        }
+        pst.check_invariants();
+        assert_eq!(
+            sorted(pst.query(10, 2_000, 96_000)),
+            oracle_query(&pts, 10, 2_000, 96_000)
+        );
     }
 
     #[test]

@@ -92,6 +92,33 @@ impl PointGen {
     }
 }
 
+/// Disjoint coordinate territories for multi-writer workloads: territory
+/// `t` owns `x ∈ [t·span, (t+1)·span)`, so writers assigned distinct
+/// territories never collide on coordinates — and, under a range-sharded
+/// index, land on distinct shards. Returns `(span, territories)`; each
+/// territory holds `per` points, coordinates shuffled within the territory,
+/// scores globally distinct across all territories.
+pub fn territories(seed: u64, count: usize, per: usize) -> (u64, Vec<Vec<Point>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Twice the room the points need, so fresh inserts fit inside the span.
+    let span = (per as u64) * 6 + 8;
+    let territories = (0..count as u64)
+        .map(|t| {
+            let mut xs: Vec<u64> = (0..per as u64).map(|i| t * span + i * 3 + 1).collect();
+            let mut scores: Vec<u64> = (0..per as u64)
+                .map(|i| (t + i * count as u64) * 7 + 5)
+                .collect();
+            xs.shuffle(&mut rng);
+            scores.shuffle(&mut rng);
+            xs.into_iter()
+                .zip(scores)
+                .map(|(x, score)| Point { x, score })
+                .collect()
+        })
+        .collect();
+    (span, territories)
+}
+
 /// A top-k range query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Query {
@@ -251,6 +278,25 @@ mod tests {
             assert_eq!(xs.len(), 500, "{dist:?}: coordinates must be distinct");
             assert_eq!(scores.len(), 500, "{dist:?}: scores must be distinct");
         }
+    }
+
+    #[test]
+    fn territories_are_disjoint_and_globally_distinct() {
+        let (span, terr) = territories(9, 4, 300);
+        assert_eq!(terr.len(), 4);
+        let mut xs = HashSet::new();
+        let mut scores = HashSet::new();
+        for (t, points) in terr.iter().enumerate() {
+            assert_eq!(points.len(), 300);
+            for p in points {
+                let lo = t as u64 * span;
+                assert!(p.x >= lo && p.x < lo + span, "territory {t} leaked {p:?}");
+                assert!(xs.insert(p.x), "duplicate coordinate {}", p.x);
+                assert!(scores.insert(p.score), "duplicate score {}", p.score);
+            }
+        }
+        // Reproducible from the seed alone.
+        assert_eq!(territories(9, 4, 300).1, terr);
     }
 
     #[test]

@@ -10,5 +10,6 @@
 pub use emsim::{Device, EmConfig, IoDelta, IoSnapshot, IoStats};
 pub use topk_core::{
     BatchSummary, ConcurrentTopK, IndexBuilder, Oracle, Point, QueryRequest, RankedIndex, Result,
-    SmallKEngine, TopKConfig, TopKError, TopKIndex, TopKResults, UpdateBatch, UpdateOp,
+    ShardedReadGuard, ShardedResults, ShardedTopK, SmallKEngine, TopKConfig, TopKError, TopKIndex,
+    TopKResults, UpdateBatch, UpdateOp,
 };

@@ -1,13 +1,23 @@
-//! The concurrency acceptance test: ≥ 4 threads issue queries against one
+//! The concurrency acceptance tests: ≥ 4 threads issue queries against one
 //! shared index, interleaved with locked updates, and every answer must match
 //! the oracle exactly — not just "look plausible".
 //!
-//! Exact matching under interleaving works via version stamping: the updater
-//! bumps an atomic version and publishes an oracle snapshot for it *while
-//! still holding the index's write lock*. A reader that takes the read lock
-//! therefore observes a stable version for as long as it holds the guard, and
-//! can compare its answers against the snapshot published for exactly that
-//! version.
+//! Exact matching under interleaving works via version stamping. For the
+//! coarse [`ConcurrentTopK`] the updater bumps an atomic version and
+//! publishes an oracle snapshot for it *while still holding the index's
+//! write lock*; a reader that takes the read lock therefore observes a
+//! stable version for as long as it holds the guard, and compares its
+//! answers against the snapshot published for exactly that version.
+//!
+//! For the sharded index the stamp scheme is extended per writer: each
+//! writer's batches touch one disjoint coordinate territory, its post-batch
+//! states are precomputed (the workload is deterministic), and a reader's
+//! answer over that territory must equal exactly one snapshot inside the
+//! window of batch counters it observed around its query — which proves
+//! both batch atomicity (no torn mid-batch view matches any snapshot) and
+//! freshness. Spanning readers additionally pin every stable territory's
+//! point count while a growth writer forces shard rebalances, so a torn
+//! migration (a point observed twice or not at all) fails immediately.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,7 +26,7 @@ use std::sync::Mutex;
 use emsim::{Device, EmConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use topk_core::{ConcurrentTopK, Oracle, Point, TopKConfig};
+use topk_core::{ConcurrentTopK, Oracle, Point, ShardedTopK, TopKConfig, UpdateBatch, UpdateOp};
 
 fn points(seed: u64, lo: u64, n: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -145,6 +155,180 @@ fn concurrent_queries_interleaved_with_locked_updates_match_oracle() {
         "alloc/free counters drifted from live-page accounting under concurrency"
     );
     assert!(stats.logical > 0 && stats.reads > 0);
+}
+
+#[test]
+fn sharded_multi_writer_batches_are_atomic_and_rebalance_is_never_torn() {
+    // Per-writer extension of the version-stamp scheme above: WRITERS
+    // threads each own one disjoint coordinate territory (hence disjoint
+    // shards under the range router) and commit deterministic batches of 16
+    // deletes + 16 inserts, so every committed state of a territory is one
+    // of BATCHES + 1 precomputed oracle snapshots and its point count is
+    // *constant*. Readers assert that each territory answer matches exactly
+    // one snapshot inside the observed commit-counter window (atomicity +
+    // freshness), while a growth writer floods a fifth territory and forces
+    // shard rebalances mid-flight — under which the stable territories'
+    // counts and rankings must not waver (no torn migration).
+    const WRITERS: usize = 4;
+    const BATCHES: usize = 12;
+    const STEP: usize = 16; // deletes and inserts per batch
+    const PRELOAD: usize = 400;
+    const GROWTH_INSERTS: usize = 400;
+
+    let (span, mut terr) = workload::territories(41, WRITERS + 1, 2 * PRELOAD);
+    let growth = terr.pop().unwrap();
+    let device = Device::new(EmConfig::new(256, 256 * 256));
+    let index = ShardedTopK::builder()
+        .device(&device)
+        .shards(WRITERS)
+        .expected_n((WRITERS + 1) * 2 * PRELOAD)
+        .build_sharded()
+        .unwrap();
+    let preload: Vec<Point> = terr
+        .iter()
+        .flat_map(|t| t[..PRELOAD].to_vec())
+        .chain(growth[..PRELOAD].to_vec())
+        .collect();
+    index.bulk_build(&preload).unwrap();
+
+    // Precompute each stable writer's batch sequence and post-state oracles.
+    let batches: Vec<Vec<UpdateBatch>> = (0..WRITERS)
+        .map(|w| {
+            (0..BATCHES)
+                .map(|b| {
+                    let mut batch = UpdateBatch::new();
+                    for i in b * STEP..(b + 1) * STEP {
+                        batch.push(UpdateOp::Delete(terr[w][i]));
+                        batch.push(UpdateOp::Insert(terr[w][PRELOAD + i]));
+                    }
+                    batch
+                })
+                .collect()
+        })
+        .collect();
+    let snapshots: Vec<Vec<Oracle>> = (0..WRITERS)
+        .map(|w| {
+            (0..=BATCHES)
+                .map(|v| {
+                    let pts: Vec<Point> = terr[w][v * STEP..PRELOAD]
+                        .iter()
+                        .chain(&terr[w][PRELOAD..PRELOAD + v * STEP])
+                        .copied()
+                        .collect();
+                    Oracle::from_points(&pts)
+                })
+                .collect()
+        })
+        .collect();
+    let committed: Vec<AtomicU64> = (0..WRITERS).map(|_| AtomicU64::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        let index = &index;
+        let committed = &committed;
+        let batches = &batches;
+        let snapshots = &snapshots;
+        let growth = &growth;
+        // Stable writers: disjoint-territory batches, counter bumped after
+        // each atomic commit.
+        for w in 0..WRITERS {
+            scope.spawn(move || {
+                for batch in &batches[w] {
+                    let summary = index.apply(batch).expect("disjoint batches are valid");
+                    assert_eq!((summary.inserted, summary.deleted), (STEP, STEP));
+                    committed[w].fetch_add(1, Ordering::Release);
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // The growth writer: insert-only flood of the fifth territory plus
+        // explicit repartitions, so rebalance provably runs while readers
+        // and stable writers are mid-flight.
+        scope.spawn(move || {
+            for (i, &p) in growth[PRELOAD..PRELOAD + GROWTH_INSERTS].iter().enumerate() {
+                index.insert(p).expect("growth stream is collision-free");
+                if i % 100 == 99 {
+                    index.rebalance_now();
+                }
+            }
+        });
+        // Stamp readers: per-territory answers must equal exactly one
+        // snapshot inside the observed commit window.
+        for reader in 0..WRITERS {
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(900 + reader as u64);
+                for i in 0..60 {
+                    let w = (reader + i) % WRITERS;
+                    let lo = w as u64 * span;
+                    let hi = lo + span - 1;
+                    let k = rng.gen_range(1usize..64);
+                    let v_lo = committed[w].load(Ordering::Acquire) as usize;
+                    let got = index.query(lo, hi, k).unwrap();
+                    let count = index.count_in_range(lo, hi);
+                    let v_hi = (committed[w].load(Ordering::Acquire) as usize + 1).min(BATCHES);
+                    assert_eq!(
+                        count, PRELOAD as u64,
+                        "reader {reader}: territory {w} count wavered (torn batch or rebalance)"
+                    );
+                    assert!(
+                        (v_lo..=v_hi).any(|v| snapshots[w][v].query(lo, hi, k) == got),
+                        "reader {reader}: territory {w} answer (k={k}) matches no \
+                         committed state in versions {v_lo}..={v_hi}"
+                    );
+                }
+            });
+        }
+        // Spanning reader: cross-territory invariants under rebalance. The
+        // global top-k must stay duplicate-free and sorted even while
+        // points migrate between shards.
+        scope.spawn(move || {
+            for _ in 0..60 {
+                for w in 0..WRITERS {
+                    let lo = w as u64 * span;
+                    assert_eq!(index.count_in_range(lo, lo + span - 1), PRELOAD as u64);
+                }
+                let total = index.count_in_range(0, u64::MAX);
+                assert!(
+                    (WRITERS + 1) as u64 * PRELOAD as u64 <= total
+                        && total <= ((WRITERS + 1) * PRELOAD + GROWTH_INSERTS) as u64,
+                    "global count {total} outside any committed state"
+                );
+                let top = index.query(0, u64::MAX, 200).unwrap();
+                assert!(top.windows(2).all(|p| p[0].score > p[1].score));
+                let mut xs: Vec<u64> = top.iter().map(|p| p.x).collect();
+                xs.sort_unstable();
+                xs.dedup();
+                assert_eq!(
+                    xs.len(),
+                    top.len(),
+                    "duplicate coordinate in fan-out answer"
+                );
+            }
+        });
+    });
+
+    // Quiescent end state: every writer fully committed, the index agrees
+    // with the final snapshots, and the device's allocation accounting
+    // balanced through all the parallel commits and rebalances.
+    for w in 0..WRITERS {
+        assert_eq!(committed[w].load(Ordering::Acquire) as usize, BATCHES);
+        let lo = w as u64 * span;
+        let hi = lo + span - 1;
+        assert_eq!(
+            index.query(lo, hi, 64).unwrap(),
+            snapshots[w][BATCHES].query(lo, hi, 64)
+        );
+    }
+    assert_eq!(
+        index.len(),
+        ((WRITERS + 1) * PRELOAD + GROWTH_INSERTS) as u64
+    );
+    index.check_invariants();
+    let stats = device.stats();
+    assert_eq!(
+        stats.allocs - stats.frees,
+        device.space_blocks(),
+        "alloc/free counters drifted under parallel writers"
+    );
 }
 
 #[test]

@@ -8,7 +8,9 @@
 use emsim::{Device, EmConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use topk::{ConcurrentTopK, Oracle, Point, RankedIndex, SmallKEngine, TopKConfig, TopKIndex};
+use topk::{
+    ConcurrentTopK, Oracle, Point, RankedIndex, ShardedTopK, SmallKEngine, TopKConfig, TopKIndex,
+};
 
 fn distinct_points(raw: Vec<(u64, u64)>) -> Vec<Point> {
     // Make coordinates and scores distinct while preserving the rough shape of
@@ -42,6 +44,10 @@ fn engines(device: &Device) -> Vec<(&'static str, Box<dyn RankedIndex>)> {
         (
             "concurrent",
             Box::new(ConcurrentTopK::new(device, TopKConfig::for_tests())),
+        ),
+        (
+            "sharded",
+            Box::new(ShardedTopK::new(device, TopKConfig::for_tests(), 4)),
         ),
         (
             "naive",

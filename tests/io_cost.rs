@@ -8,7 +8,7 @@
 use emsim::{Device, EmConfig};
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, Rng, SeedableRng};
-use topk_core::{Point, TopKConfig, TopKIndex};
+use topk_core::{Point, ShardedTopK, TopKConfig, TopKIndex};
 
 fn random_points(seed: u64, n: usize) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -66,6 +66,71 @@ fn cold_query_reads_stay_within_log_plus_output_bound() {
                 cost.reads,
                 k as f64 / points_per_block
             );
+        }
+    }
+}
+
+#[test]
+fn sharded_fan_out_reads_stay_within_per_shard_bound() {
+    // The sharded-path regression guard: a fan-out query over a
+    // range-sharded index must cost at most `overlapping_shards ×
+    // C · (log_B(n/S) + k/B + 1)` cold reads — each overlapping shard pays
+    // one shard-sized query bound, nothing more. A routing or merge
+    // regression that touches non-overlapping shards (or re-runs escalation
+    // rounds per merged element) blows the bound immediately; a narrow
+    // range must stay at the one-to-two-shard cost no matter how many
+    // shards exist.
+    let n = 40_000usize;
+    let shards = 8usize;
+    let em = EmConfig::new(512, 512 * 64); // 64-frame pool: cold reads dominate
+    let device = Device::new(em);
+    let index = ShardedTopK::builder()
+        .device(&device)
+        .shards(shards)
+        .expected_n(n)
+        .build_sharded()
+        .unwrap();
+    let pts = random_points(3, n);
+    index.bulk_build(&pts).unwrap();
+
+    let points_per_block = (em.block_words / Point::WORDS) as f64;
+    let shard_n = n / shards;
+    let log_b_shard_n = emsim::log_b(em.block_words, shard_n);
+    let lg_shard_n = emsim::lg(shard_n) as f64;
+    let crossover = TopKConfig::default().l;
+    const C_SMALL: f64 = 60.0;
+    const C_LARGE: f64 = 140.0;
+
+    let mut rng = StdRng::seed_from_u64(29);
+    for &k in &[1usize, 10, 100, 1_000] {
+        let per_shard_bound = if k < crossover {
+            (C_SMALL * (log_b_shard_n + k as f64 / points_per_block + 1.0)).ceil() as u64
+        } else {
+            (C_LARGE * (lg_shard_n + k as f64 / points_per_block + 1.0)).ceil() as u64
+        };
+        for narrow in [false, true] {
+            for _ in 0..4 {
+                let a = rng.gen_range(0..60_000u64);
+                let b = if narrow {
+                    a + rng.gen_range(0..2_000u64) // ≤ ~2 shards
+                } else {
+                    rng.gen_range(a..=120_000u64)
+                };
+                let overlap = index.overlapping_shards(a, b) as u64;
+                assert!((1..=shards as u64).contains(&overlap));
+                let bound = overlap * per_shard_bound;
+                device.drop_cache();
+                let (res, cost) = device.measure(|| index.query(a, b, k).unwrap());
+                assert!(res.len() <= k);
+                assert!(
+                    cost.reads <= bound,
+                    "sharded query([{a},{b}], k={k}) over {overlap} shard(s) took {} \
+                     cold reads, bound {bound} (= {overlap} × {per_shard_bound}; \
+                     log_B(n/S) = {log_b_shard_n:.2}, k/B = {:.2})",
+                    cost.reads,
+                    k as f64 / points_per_block
+                );
+            }
         }
     }
 }
