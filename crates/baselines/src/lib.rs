@@ -100,8 +100,15 @@ impl NaiveTopK {
     }
 
     /// Number of points in the range.
-    pub fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
-        self.tree.count_range(x1, x2)
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::InvertedRange`] if `x1 > x2`, matching `query`.
+    pub fn count_in_range(&self, x1: u64, x2: u64) -> Result<u64> {
+        if x1 > x2 {
+            return Err(TopKError::InvertedRange { x1, x2 });
+        }
+        Ok(self.tree.count_range(x1, x2))
     }
 }
 
@@ -134,7 +141,7 @@ impl RankedIndex for NaiveTopK {
         NaiveTopK::query(self, x1, x2, k)
     }
 
-    fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+    fn count_in_range(&self, x1: u64, x2: u64) -> Result<u64> {
         NaiveTopK::count_in_range(self, x1, x2)
     }
 }
@@ -366,13 +373,17 @@ impl RankedIndex for RamPst {
         RamPst::query(self, x1, x2, k)
     }
 
-    fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
-        self.nodes
+    fn count_in_range(&self, x1: u64, x2: u64) -> Result<u64> {
+        if x1 > x2 {
+            return Err(TopKError::InvertedRange { x1, x2 });
+        }
+        Ok(self
+            .nodes
             .read()
             .unwrap()
             .iter()
             .filter(|n| n.point.x >= x1 && n.point.x <= x2)
-            .count() as u64
+            .count() as u64)
     }
 }
 
@@ -482,7 +493,8 @@ mod tests {
             assert!(engine.delete(pts[0]).unwrap());
             engine.insert(pts[0]).unwrap();
             assert!(engine.insert(pts[0]).is_err());
-            assert_eq!(engine.count_in_range(0, u64::MAX), 200);
+            assert_eq!(engine.count_in_range(0, u64::MAX).unwrap(), 200);
+            assert!(engine.count_in_range(9, 3).is_err());
             assert!(!engine.engine_name().is_empty());
         }
     }

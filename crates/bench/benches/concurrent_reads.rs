@@ -26,11 +26,13 @@
 //! is the write-scaling number the sharding tentpole claims.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use topk_bench::{small_machine, uniform_points};
 use topk_core::{
-    ConcurrentTopK, Point, RankedIndex, ShardedTopK, SmallKEngine, UpdateBatch, UpdateOp,
+    ConcurrentTopK, Point, QueryRequest, RankedIndex, ShardedTopK, SmallKEngine, UpdateBatch,
+    UpdateOp,
 };
 use workload::QueryGen;
 
@@ -167,6 +169,101 @@ fn multi_writer_fixture(territories: usize, per: usize) -> (Vec<Point>, Vec<Vec<
     (preload, ops)
 }
 
+/// How the part 4 slow paginating reader consumes its pages.
+#[derive(Clone, Copy, PartialEq)]
+enum SlowReader {
+    /// No reader at all: the writer-goodput baseline.
+    None,
+    /// The pre-cursor style: hold the read guard for the whole pagination,
+    /// sleeping between pages *with the guard held* — every writer blocks
+    /// until the last page is consumed.
+    GuardHeld,
+    /// The cursor read plane: one read-lock acquisition per page, the
+    /// between-page idle time costs writers nothing.
+    Cursor,
+}
+
+/// Part 4 workload: one writer commits a fixed job of batched updates while
+/// a slow dashboard-style reader paginates `pages × page` results, idling
+/// `pause` between pages. Returns the writer's updates/sec — the goodput
+/// number the cursor redesign claims back from the guard-held stream.
+fn run_slow_reader_goodput(
+    n: usize,
+    updates: usize,
+    batch: usize,
+    pages: usize,
+    page: usize,
+    pause: Duration,
+    style: SlowReader,
+) -> f64 {
+    let (index, _queries, preloaded, fresh) = build(n, updates);
+    let index = Arc::new(index);
+    let ops: Vec<UpdateOp> = (0..updates)
+        .map(|i| {
+            if i % 2 == 0 {
+                UpdateOp::Insert(fresh[i])
+            } else {
+                UpdateOp::Delete(preloaded[i])
+            }
+        })
+        .collect();
+    let k = pages * page;
+    std::thread::scope(|scope| {
+        let writer = {
+            let index = Arc::clone(&index);
+            let ops = &ops;
+            scope.spawn(move || {
+                let start = Instant::now();
+                for chunk in ops.chunks(batch) {
+                    let batch = UpdateBatch::from_ops(chunk.iter().copied());
+                    index.apply(&batch).expect("collision-free update stream");
+                }
+                start.elapsed()
+            })
+        };
+        match style {
+            SlowReader::None => {}
+            SlowReader::GuardHeld => {
+                let index = Arc::clone(&index);
+                scope.spawn(move || {
+                    let guard = index.read();
+                    let mut stream = guard
+                        .stream(QueryRequest::range(0, u64::MAX).top(k))
+                        .expect("valid request");
+                    for _ in 0..pages {
+                        let page: Vec<Point> = stream.by_ref().take(page).collect();
+                        std::hint::black_box(&page);
+                        if page.is_empty() {
+                            break;
+                        }
+                        // The dashboard renders… with the guard still held.
+                        std::thread::sleep(pause);
+                    }
+                });
+            }
+            SlowReader::Cursor => {
+                let index = Arc::clone(&index);
+                scope.spawn(move || {
+                    let mut cursor = index
+                        .cursor(QueryRequest::range(0, u64::MAX).top(k).page_size(page))
+                        .expect("valid request");
+                    for _ in 0..pages {
+                        let page = cursor.next_batch().expect("per-round cursor");
+                        std::hint::black_box(&page);
+                        if page.is_empty() {
+                            break;
+                        }
+                        // Idle with no lock held: writers proceed.
+                        std::thread::sleep(pause);
+                    }
+                });
+            }
+        }
+        let elapsed = writer.join().expect("writer thread");
+        updates as f64 / elapsed.as_secs_f64()
+    })
+}
+
 fn main() {
     let n = 1 << 15;
     let (index, queries, _, _) = build(n, 0);
@@ -257,5 +354,36 @@ fn main() {
             "{writers:>8} {coarse_ups:>20.0} {sharded_ups:>20.0} {:>9.2}x",
             sharded_ups / coarse_ups
         );
+    }
+
+    // Slow-paginating-reader scenario: one writer's fixed batched job racing
+    // a dashboard that consumes 40 pages of 16 results with a 10 ms render
+    // pause between pages. Holding the read guard across the pauses (the
+    // only option before the cursor read plane) blocks the writer for the
+    // dashboard's whole lifetime; the owned cursor re-acquires the lock per
+    // page, so the writer's goodput should sit within ~10% of the no-reader
+    // baseline.
+    let slow_n = 8192;
+    let slow_updates = 8192;
+    let (pages, page, pause) = (40usize, 16usize, Duration::from_millis(10));
+    println!(
+        "\nwriter goodput vs a slow paginating reader: 1 writer × {slow_updates} updates \
+         (batches of 64), reader = {pages} pages × {page} results, {pause:?} idle per page"
+    );
+    println!(
+        "{:>22} {:>16} {:>16}",
+        "reader", "writer upd/s", "vs baseline"
+    );
+    let mut baseline = 0.0;
+    for (label, style) in [
+        ("none (baseline)", SlowReader::None),
+        ("guard-held stream", SlowReader::GuardHeld),
+        ("per-round cursor", SlowReader::Cursor),
+    ] {
+        let ups = run_slow_reader_goodput(slow_n, slow_updates, 64, pages, page, pause, style);
+        if style == SlowReader::None {
+            baseline = ups;
+        }
+        println!("{label:>22} {ups:>16.0} {:>15.2}x", ups / baseline);
     }
 }

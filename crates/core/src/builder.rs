@@ -7,11 +7,14 @@
 //! shape (`expected_n`, `small_k`, `crossover_l`), and engine resolution,
 //! with validation at `build()` time instead of panics later.
 
+use std::sync::Arc;
+
 use emsim::{Device, EmConfig};
 
 use crate::concurrent::ConcurrentTopK;
 use crate::config::{SmallKEngine, TopKConfig};
 use crate::error::{Result, TopKError};
+use crate::facade::TopK;
 use crate::index::TopKIndex;
 use crate::sharded::ShardedTopK;
 
@@ -158,6 +161,39 @@ impl IndexBuilder {
         };
         let (device, config) = self.resolve()?;
         Ok(ShardedTopK::new(&device, config, shards))
+    }
+
+    /// Build a [`TopK`] facade handle, resolving the serving topology from
+    /// the workload shape at runtime: range-sharded when an explicit
+    /// [`IndexBuilder::shards`] count (or the `expected_n`-derived default)
+    /// calls for more than one shard, coarse-locked otherwise. Both choices
+    /// are safe under concurrent readers and writers;
+    /// [`TopK::Single`](crate::TopK::Single) is never chosen automatically —
+    /// wrap a [`TopKIndex`] explicitly for single-threaded embedding.
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::InvalidConfig`] naming the offending parameter.
+    pub fn build_auto(mut self) -> Result<TopK> {
+        let chosen = match self.shards {
+            Some(0) => {
+                return Err(TopKError::InvalidConfig {
+                    what: "shards must be at least 1",
+                })
+            }
+            // > 1024 flows through build_sharded's validation below.
+            Some(explicit) => explicit,
+            None => default_shards(self.config.expected_n),
+        };
+        if chosen > 1 {
+            self.shards = Some(chosen);
+            Ok(TopK::Sharded(Arc::new(self.build_sharded()?)))
+        } else {
+            // One shard — explicit or derived — means the coarse lock, which
+            // serves the same workload without the routing layer.
+            self.shards = None;
+            Ok(TopK::Concurrent(Arc::new(self.build_concurrent()?)))
+        }
     }
 
     fn resolve(self) -> Result<(Device, TopKConfig)> {

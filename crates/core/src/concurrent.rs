@@ -25,8 +25,13 @@
 //! commit in parallel, at the price of a routing layer and fan-out queries
 //! (DESIGN.md §4 describes the shipped sharded architecture and the
 //! crossover between the two).
+//!
+//! Long-lived reads should not pin the read guard: an owned
+//! [`ConcurrentTopK::cursor`] re-acquires the read side once per fetch
+//! round, so a slow paginating reader costs writers nothing (DESIGN.md §6;
+//! the `concurrent_reads` bench measures the difference).
 
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use emsim::Device;
 use epst::Point;
@@ -34,8 +39,11 @@ use epst::Point;
 use crate::batch::{BatchSummary, UpdateBatch};
 use crate::builder::IndexBuilder;
 use crate::config::TopKConfig;
+use crate::cursor::QueryCursor;
 use crate::error::Result;
+use crate::facade::TopK;
 use crate::index::TopKIndex;
+use crate::query::QueryRequest;
 
 /// A [`TopKIndex`] behind a coarse reader–writer lock: concurrent queries,
 /// exclusive updates. Share it across threads as `Arc<ConcurrentTopK>` (or
@@ -73,9 +81,22 @@ impl ConcurrentTopK {
 
     /// Acquire the shared read side directly, for callers that want to issue
     /// several queries — or hold a [`TopKIndex::stream`] iterator — against
-    /// one consistent version of the index.
+    /// one consistent version of the index. Writers block for as long as the
+    /// guard lives; a long-lived or slow reader should use
+    /// [`ConcurrentTopK::cursor`] instead, which re-acquires the read side
+    /// per fetch round.
     pub fn read(&self) -> RwLockReadGuard<'_, TopKIndex> {
         self.inner.read().unwrap()
+    }
+
+    /// Open an owned, snapshot-consistent [`QueryCursor`]: the read lock is
+    /// taken only per fetch round, so a paginating reader that is idle
+    /// between pages costs writers nothing (unlike a held
+    /// [`ConcurrentTopK::read`] guard, which blocks them for the stream's
+    /// whole lifetime). See [`Consistency`](crate::Consistency) for the
+    /// exact semantics when writes interleave between rounds.
+    pub fn cursor(self: Arc<Self>, request: QueryRequest) -> Result<QueryCursor> {
+        QueryCursor::new(TopK::Concurrent(self), request)
     }
 
     /// Acquire the exclusive write side directly, for callers that want to
@@ -100,7 +121,13 @@ impl ConcurrentTopK {
     }
 
     /// Number of points with `x ∈ [x1, x2]` (shared lock).
-    pub fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::InvertedRange`](crate::TopKError::InvertedRange) if
+    /// `x1 > x2`, the same validation as [`ConcurrentTopK::query`] (this
+    /// used to silently answer 0).
+    pub fn count_in_range(&self, x1: u64, x2: u64) -> Result<u64> {
         self.read().count_in_range(x1, x2)
     }
 
@@ -169,7 +196,14 @@ mod tests {
         assert_eq!(index.len(), 500);
         let oracle = Oracle::from_points(&pts);
         assert_eq!(index.query(10, 900, 7).unwrap(), oracle.query(10, 900, 7));
-        assert_eq!(index.count_in_range(10, 900), oracle.count(10, 900) as u64);
+        assert_eq!(
+            index.count_in_range(10, 900).unwrap(),
+            oracle.count(10, 900) as u64
+        );
+        assert_eq!(
+            index.count_in_range(900, 10).unwrap_err(),
+            crate::TopKError::InvertedRange { x1: 900, x2: 10 }
+        );
         assert!(index.delete(pts[0]).unwrap());
         assert!(!index.delete(pts[0]).unwrap());
         index.insert(pts[0]).unwrap();

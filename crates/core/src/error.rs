@@ -44,6 +44,20 @@ pub enum TopKError {
         /// Which parameter, and what was wrong with it.
         what: &'static str,
     },
+    /// A [`Consistency::Strict`](crate::Consistency::Strict) cursor observed
+    /// a version stamp different from the one recorded when its snapshot was
+    /// established: a write committed to (an overlapping shard of) the index
+    /// between two fetch rounds, so the strict contract — every batch comes
+    /// from the same index state — can no longer be honoured. The cursor is
+    /// fused afterwards; re-issue the query (or resume with
+    /// [`Consistency::PerRound`](crate::Consistency::PerRound)) to continue
+    /// against the new state.
+    SnapshotInvalidated {
+        /// The version stamp the cursor pinned at its first round.
+        expected: u64,
+        /// The version stamp observed at the failing round.
+        observed: u64,
+    },
     /// The component structures disagree about membership of a point: one of
     /// them deleted it, another claims it was never stored. This is the
     /// release-mode promotion of what the seed code only `debug_assert!`ed;
@@ -74,6 +88,11 @@ impl std::fmt::Display for TopKError {
             }
             TopKError::ZeroK => write!(f, "query issued with k = 0"),
             TopKError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            TopKError::SnapshotInvalidated { expected, observed } => write!(
+                f,
+                "strict cursor snapshot invalidated: index version moved from \
+                 {expected} to {observed} between fetch rounds"
+            ),
             TopKError::Inconsistent { point, component } => write!(
                 f,
                 "component '{component}' disagrees about membership of ({}, {}): index corrupted",
@@ -108,6 +127,11 @@ mod tests {
             .to_string()
             .contains("[9, 3]"));
         assert!(TopKError::ZeroK.to_string().contains("k = 0"));
+        let e = TopKError::SnapshotInvalidated {
+            expected: 3,
+            observed: 5,
+        };
+        assert!(e.to_string().contains("3") && e.to_string().contains("5"));
         let e = TopKError::Inconsistent {
             point: Point::new(2, 3),
             component: "pilot",

@@ -33,6 +33,10 @@ pub struct TopKIndex {
     /// Live size at the last global rebuild, for the rebuild policy.
     size_at_rebuild: AtomicU64,
     len: AtomicU64,
+    /// Monotone write-version stamp, bumped by every committed mutation
+    /// (insert, delete, rebuild). [`Consistency::Strict`](crate::Consistency)
+    /// cursors compare it across fetch rounds to detect interleaved writes.
+    version: AtomicU64,
     /// The set of live scores, kept RAM-side purely to validate the model's
     /// distinct-scores precondition on insert (DESIGN.md §5: validation
     /// metadata lives outside the EM space accounting; coordinates are
@@ -72,8 +76,18 @@ impl TopKIndex {
             small_k,
             size_at_rebuild: AtomicU64::new(0),
             len: AtomicU64::new(0),
+            version: AtomicU64::new(0),
             scores: RwLock::new(HashSet::new()),
         }
+    }
+
+    /// The monotone write-version stamp: strictly increases with every
+    /// committed mutation (including internal rebuilds, which relocate
+    /// points without changing the answer set). Two equal stamps therefore
+    /// guarantee that no write committed in between; the converse does not
+    /// hold. Strict cursors use it to detect interleaved writers.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
     }
 
     /// The device the index lives on (useful for reading I/O statistics).
@@ -214,6 +228,7 @@ impl TopKIndex {
         self.small_k.insert(p);
         self.scores.write().unwrap().insert(p.score);
         self.len.fetch_add(1, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::Release);
     }
 
     /// Delete from every component without checking the rebuild policy.
@@ -235,6 +250,7 @@ impl TopKIndex {
         }
         self.scores.write().unwrap().remove(&p.score);
         self.len.fetch_sub(1, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::Release);
         Ok(true)
     }
 
@@ -249,6 +265,7 @@ impl TopKIndex {
         self.len.store(points.len() as u64, Ordering::Relaxed);
         self.size_at_rebuild
             .store(points.len() as u64, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::Release);
     }
 
     /// The paper's global rebuilding: once the live size has doubled or halved
@@ -289,13 +306,30 @@ impl TopKIndex {
     ///
     /// The iterator borrows the index; on a
     /// [`ConcurrentTopK`](crate::ConcurrentTopK), stream through a read
-    /// guard: `let g = idx.read(); for p in g.stream(req)? { … }`.
+    /// guard: `let g = idx.read(); for p in g.stream(req)? { … }` — or, for
+    /// long-lived consumers that must not block writers, use the owned
+    /// [`QueryCursor`](crate::QueryCursor) instead.
     ///
     /// # Errors
     ///
-    /// The same validation as [`TopKIndex::query`], performed up front.
+    /// The same validation as [`TopKIndex::query`], performed up front, plus
+    /// [`TopKError::InvalidConfig`] for the cursor-only request extensions
+    /// (multiple ranges, a score floor, a resume position).
     pub fn stream(&self, request: QueryRequest) -> Result<TopKResults<'_>> {
         TopKResults::new(self, request)
+    }
+
+    /// Open an owned [`QueryCursor`](crate::QueryCursor) over this bare
+    /// index (consumes an `Arc` clone: `index.clone().cursor(req)?`). The
+    /// bare index has no logical-atomicity lock, so the cursor is only
+    /// meaningful without concurrent writers — under concurrency, take the
+    /// cursor from [`ConcurrentTopK`](crate::ConcurrentTopK::cursor) or
+    /// [`ShardedTopK`](crate::ShardedTopK::cursor) instead.
+    pub fn cursor(
+        self: std::sync::Arc<Self>,
+        request: QueryRequest,
+    ) -> Result<crate::cursor::QueryCursor> {
+        crate::cursor::QueryCursor::new(crate::facade::TopK::Single(self), request)
     }
 
     /// The eager query path. `query()` keeps the seed's single-shot plan
@@ -340,7 +374,21 @@ impl TopKIndex {
     }
 
     /// Number of points with `x ∈ [x1, x2]` (`O(log_B n)` I/Os).
-    pub fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::InvertedRange`] if `x1 > x2` — the same validation as
+    /// [`TopKIndex::query`] (this used to silently answer 0).
+    pub fn count_in_range(&self, x1: u64, x2: u64) -> Result<u64> {
+        if x1 > x2 {
+            return Err(TopKError::InvertedRange { x1, x2 });
+        }
+        Ok(self.reporter.count_in_range(x1, x2))
+    }
+
+    /// The unvalidated count, for internal callers that have already
+    /// validated (or canonicalized) the range.
+    pub(crate) fn count_unvalidated(&self, x1: u64, x2: u64) -> u64 {
         self.reporter.count_in_range(x1, x2)
     }
 

@@ -25,7 +25,14 @@
 //!   write-lock acquisition and one deferred rebuild check;
 //! * [`TopKIndex::stream`] returns a lazy [`TopKResults`] iterator that
 //!   fetches in escalating rounds, so consuming a short prefix of a large
-//!   `k` never materializes the whole answer.
+//!   `k` never materializes the whole answer;
+//! * the read plane is served by **owned cursors**: [`TopK`] (from
+//!   [`IndexBuilder::build_auto`]) is the topology-agnostic handle, and
+//!   [`TopK::cursor`] opens a [`QueryCursor`] that acquires the read lock
+//!   only per fetch round — long-lived paginating readers cost writers
+//!   nothing, positions serialize into [`ResumeToken`]s, and
+//!   [`Consistency`] picks the exact contract when writes interleave
+//!   between rounds (DESIGN.md §6).
 //!
 //! Internally the index combines the three components of the paper exactly as
 //! Theorem 1 prescribes:
@@ -81,7 +88,9 @@ mod batch;
 mod builder;
 mod concurrent;
 mod config;
+mod cursor;
 mod error;
+mod facade;
 mod index;
 mod oracle;
 mod query;
@@ -92,11 +101,13 @@ pub use batch::{BatchSummary, UpdateBatch, UpdateOp};
 pub use builder::IndexBuilder;
 pub use concurrent::ConcurrentTopK;
 pub use config::{SmallKEngine, TopKConfig};
+pub use cursor::{QueryCursor, ResumeToken};
 pub use epst::Point;
 pub use error::{Result, TopKError};
+pub use facade::TopK;
 pub use index::TopKIndex;
 pub use oracle::Oracle;
-pub use query::{QueryRequest, TopKResults};
+pub use query::{Consistency, QueryRequest, TopKResults};
 pub use ranked::RankedIndex;
 pub use sharded::{ShardedReadGuard, ShardedResults, ShardedTopK};
 

@@ -6,8 +6,10 @@ use epst::Point;
 
 use crate::batch::{BatchSummary, UpdateBatch, UpdateOp};
 use crate::concurrent::ConcurrentTopK;
-use crate::error::Result;
+use crate::cursor::QueryCursor;
+use crate::error::{Result, TopKError};
 use crate::index::TopKIndex;
+use crate::query::QueryRequest;
 use crate::sharded::ShardedTopK;
 
 /// A dynamic set of `(x, score)` points answering top-k range queries.
@@ -47,7 +49,26 @@ pub trait RankedIndex: Send + Sync {
     fn query(&self, x1: u64, x2: u64, k: usize) -> Result<Vec<Point>>;
 
     /// Number of points with `x ∈ [x1, x2]`.
-    fn count_in_range(&self, x1: u64, x2: u64) -> u64;
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::InvertedRange`] if `x1 > x2` — the same validation as
+    /// [`RankedIndex::query`] (this used to silently answer 0, while `query`
+    /// rejected the identical misuse).
+    fn count_in_range(&self, x1: u64, x2: u64) -> Result<u64>;
+
+    /// Open an owned, snapshot-consistent cursor
+    /// ([`QueryCursor`]): supported by engines that can hand out
+    /// lock-per-round snapshots — the [`TopK`](crate::TopK) facade and
+    /// whatever it wraps. Bare engines report
+    /// [`TopKError::InvalidConfig`]; wrap them in [`TopK`](crate::TopK) to
+    /// serve cursors.
+    fn cursor(&self, request: QueryRequest) -> Result<QueryCursor> {
+        let _ = request;
+        Err(TopKError::InvalidConfig {
+            what: "this engine serves owned cursors only through the TopK facade",
+        })
+    }
 
     /// Apply a batch of updates. The default implementation is point-wise
     /// (no atomicity beyond each operation); engines with a cheaper native
@@ -102,7 +123,7 @@ impl RankedIndex for TopKIndex {
         TopKIndex::query(self, x1, x2, k)
     }
 
-    fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+    fn count_in_range(&self, x1: u64, x2: u64) -> Result<u64> {
         TopKIndex::count_in_range(self, x1, x2)
     }
 
@@ -140,7 +161,7 @@ impl RankedIndex for ConcurrentTopK {
         ConcurrentTopK::query(self, x1, x2, k)
     }
 
-    fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+    fn count_in_range(&self, x1: u64, x2: u64) -> Result<u64> {
         ConcurrentTopK::count_in_range(self, x1, x2)
     }
 
@@ -178,7 +199,7 @@ impl RankedIndex for ShardedTopK {
         ShardedTopK::query(self, x1, x2, k)
     }
 
-    fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+    fn count_in_range(&self, x1: u64, x2: u64) -> Result<u64> {
         ShardedTopK::count_in_range(self, x1, x2)
     }
 
@@ -210,7 +231,14 @@ mod tests {
             assert_eq!(engine.len(), 300);
             assert!(!engine.is_empty());
             assert_eq!(engine.query(10, 500, 9).unwrap(), oracle.query(10, 500, 9));
-            assert_eq!(engine.count_in_range(10, 500), oracle.count(10, 500) as u64);
+            assert_eq!(
+                engine.count_in_range(10, 500).unwrap(),
+                oracle.count(10, 500) as u64
+            );
+            assert_eq!(
+                engine.count_in_range(500, 10).unwrap_err(),
+                crate::TopKError::InvertedRange { x1: 500, x2: 10 }
+            );
             let summary = engine
                 .apply(
                     &UpdateBatch::new()

@@ -40,7 +40,7 @@
 
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 use emsim::Device;
 use epst::Point;
@@ -48,7 +48,9 @@ use epst::Point;
 use crate::batch::{BatchSummary, LiveView, UpdateBatch, UpdateOp};
 use crate::builder::IndexBuilder;
 use crate::config::TopKConfig;
+use crate::cursor::QueryCursor;
 use crate::error::{Result, TopKError};
+use crate::facade::TopK;
 use crate::index::{validate_query, TopKIndex};
 use crate::query::{QueryRequest, TopKResults};
 
@@ -147,6 +149,15 @@ pub struct ShardedTopK {
     scores: Mutex<HashSet<u64>>,
     /// Collapses concurrent rebalance attempts into one.
     rebalancing: AtomicBool,
+    /// Global commit stamp: bumped once per committed write (point op,
+    /// batch, bulk build or rebalance) *before* the write's locks are
+    /// released. A [`Consistency::Strict`](crate::Consistency) cursor that
+    /// observes the same stamp across rounds is therefore guaranteed that no
+    /// write committed to its covered shards in between (shard-local stamps
+    /// cannot witness that: a rebalance moves points across shard
+    /// boundaries, so strictness on a sharded index means "no write
+    /// anywhere").
+    commits: AtomicU64,
 }
 
 impl ShardedTopK {
@@ -178,7 +189,17 @@ impl ShardedTopK {
                 .collect(),
             scores: Mutex::new(HashSet::new()),
             rebalancing: AtomicBool::new(false),
+            commits: AtomicU64::new(0),
         }
+    }
+
+    /// Open an owned, snapshot-consistent [`QueryCursor`] over this index:
+    /// the overlapping shards' read locks are taken only per fetch round, so
+    /// a paginating reader that is idle between pages blocks no writer. See
+    /// [`Consistency`](crate::Consistency) for the write-interleaving
+    /// semantics.
+    pub fn cursor(self: Arc<Self>, request: QueryRequest) -> Result<QueryCursor> {
+        QueryCursor::new(TopK::Sharded(self), request)
     }
 
     /// The device the index lives on (a handle held outside every lock, so
@@ -257,11 +278,17 @@ impl ShardedTopK {
             router,
             base: 0,
             guards,
+            // Loaded after every lock is held: commits to the covered shards
+            // are ordered before the stamp, so equal stamps witness an
+            // unmoved snapshot of them.
+            stamp: self.commits.load(Ordering::Acquire),
         }
     }
 
     /// Read locks for the shards overlapping `[x1, x2]` only (`x1 ≤ x2`).
-    fn read_overlap(&self, x1: u64, x2: u64) -> ShardedReadGuard<'_> {
+    /// Used by the fan-out query paths and by the cursor read plane, which
+    /// re-acquires it once per fetch round.
+    pub(crate) fn read_span(&self, x1: u64, x2: u64) -> ShardedReadGuard<'_> {
         let router = self.router.read().unwrap();
         let (lo, hi) = router.overlap(x1, x2);
         let guards = self.shards[lo..=hi]
@@ -272,6 +299,7 @@ impl ShardedTopK {
             router,
             base: lo,
             guards,
+            stamp: self.commits.load(Ordering::Acquire),
         }
     }
 
@@ -286,23 +314,32 @@ impl ShardedTopK {
     /// [`TopKIndex::query`].
     pub fn query(&self, x1: u64, x2: u64, k: usize) -> Result<Vec<Point>> {
         validate_query(x1, x2, k)?;
-        let guard = self.read_overlap(x1, x2);
+        let guard = self.read_span(x1, x2);
         Ok(guard.stream(QueryRequest::range(x1, x2).top(k))?.collect())
     }
 
     /// Number of points with `x ∈ [x1, x2]`, summed over the overlapping
     /// shards under one consistent set of read locks.
-    pub fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::InvertedRange`] if `x1 > x2`, the same validation as
+    /// [`ShardedTopK::query`] (this used to silently answer 0).
+    pub fn count_in_range(&self, x1: u64, x2: u64) -> Result<u64> {
         if x1 > x2 {
-            return 0;
+            return Err(TopKError::InvertedRange { x1, x2 });
         }
-        let guard = self.read_overlap(x1, x2);
-        guard.guards.iter().map(|g| g.count_in_range(x1, x2)).sum()
+        let guard = self.read_span(x1, x2);
+        Ok(guard
+            .guards
+            .iter()
+            .map(|g| g.count_unvalidated(x1, x2))
+            .sum())
     }
 
     /// The point stored at coordinate `x`, if any (one shard's read lock).
     pub fn get(&self, x: u64) -> Option<Point> {
-        let guard = self.read_overlap(x, x);
+        let guard = self.read_span(x, x);
         guard.guards[0].get(x)
     }
 
@@ -349,6 +386,7 @@ impl ShardedTopK {
         guard.insert_validated(p);
         guard.maybe_rebuild();
         shard.count.fetch_add(1, Ordering::Relaxed);
+        self.commits.fetch_add(1, Ordering::Release);
         drop(guard);
         drop(router);
         self.maybe_rebalance();
@@ -365,11 +403,14 @@ impl ShardedTopK {
         let router = self.router.read().unwrap();
         let si = router.shard_of(p.x);
         let shard = &self.shards[si];
-        let deleted = shard.index.write().unwrap().delete(p)?;
+        let guard = shard.index.write().unwrap();
+        let deleted = guard.delete(p)?;
         if deleted {
             shard.count.fetch_sub(1, Ordering::Relaxed);
             self.scores.lock().unwrap().remove(&p.score);
+            self.commits.fetch_add(1, Ordering::Release);
         }
+        drop(guard);
         drop(router);
         if deleted {
             self.maybe_rebalance();
@@ -425,6 +466,7 @@ impl ShardedTopK {
         }
         *self.scores.lock().unwrap() = score_set;
         *router = new_router;
+        self.commits.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -564,6 +606,12 @@ impl ShardedTopK {
             count.fetch_add(ins, Ordering::Relaxed);
             count.fetch_sub(del, Ordering::Relaxed);
         }
+        // A batch of nothing but missing deletes changed no data: bumping
+        // the stamp would spuriously invalidate strict cursors for a no-op
+        // (the point-wise paths only bump on actual mutations).
+        if summary.inserted > 0 || summary.deleted > 0 {
+            self.commits.fetch_add(1, Ordering::Release);
+        }
         drop(guards);
         drop(router);
         self.maybe_rebalance();
@@ -623,6 +671,7 @@ impl ShardedTopK {
             shard.count.store(slice.len() as u64, Ordering::Relaxed);
         }
         *router = new_router;
+        self.commits.fetch_add(1, Ordering::Release);
     }
 
     /// Run every shard's internal consistency checks and verify the routing
@@ -755,9 +804,18 @@ pub struct ShardedReadGuard<'a> {
     /// Shard id of `guards[0]` (0 for a full [`ShardedTopK::read`] guard).
     base: usize,
     guards: Vec<RwLockReadGuard<'a, TopKIndex>>,
+    /// The index's commit stamp, loaded after every lock above was acquired.
+    stamp: u64,
 }
 
 impl ShardedReadGuard<'_> {
+    /// The commit stamp of the pinned view: equal stamps across two guards
+    /// witness that no write committed to the index in between (see the
+    /// `commits` field docs). Strict cursors compare it across fetch rounds.
+    pub fn version(&self) -> u64 {
+        self.stamp
+    }
+
     /// Stream the answer to `request` lazily across shards: one
     /// [`TopKIndex::stream`] per overlapping shard, merged in descending
     /// score order by [`ShardedResults`]. Shards outside the range
@@ -767,13 +825,13 @@ impl ShardedReadGuard<'_> {
     ///
     /// The same validation as [`TopKIndex::query`].
     pub fn stream(&self, request: QueryRequest) -> Result<ShardedResults<'_>> {
-        validate_query(request.x1(), request.x2(), request.k())?;
+        request.validate()?;
         let (lo, hi) = self.router.overlap(request.x1(), request.x2());
         let lo = lo.max(self.base);
         let hi = hi.min(self.base + self.guards.len().saturating_sub(1));
         let mut streams = Vec::with_capacity(hi.saturating_sub(lo) + 1);
         for i in lo..=hi {
-            streams.push(self.guards[i - self.base].stream(request)?);
+            streams.push(self.guards[i - self.base].stream(request.clone())?);
         }
         Ok(ShardedResults::new(streams, request.k()))
     }
@@ -784,24 +842,30 @@ impl ShardedReadGuard<'_> {
     }
 
     /// Number of points with `x ∈ [x1, x2]` in this pinned version.
-    pub fn count_in_range(&self, x1: u64, x2: u64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::InvertedRange`] if `x1 > x2`.
+    pub fn count_in_range(&self, x1: u64, x2: u64) -> Result<u64> {
         if x1 > x2 {
-            return 0;
+            return Err(TopKError::InvertedRange { x1, x2 });
         }
         let (lo, hi) = self.router.overlap(x1, x2);
         let lo = lo.max(self.base);
         let hi = hi.min(self.base + self.guards.len().saturating_sub(1));
-        (lo..=hi)
-            .map(|i| self.guards[i - self.base].count_in_range(x1, x2))
-            .sum()
+        Ok((lo..=hi)
+            .map(|i| self.guards[i - self.base].count_unvalidated(x1, x2))
+            .sum())
     }
 }
 
 /// A merge-heap entry; ordered by score (globally distinct), coordinate as a
-/// deterministic tiebreak for defence in depth.
-struct MergeEntry {
-    point: Point,
-    slot: usize,
+/// deterministic tiebreak for defence in depth. Shared with the cursor read
+/// plane's per-round merge, so the two k-way merges cannot diverge on
+/// ordering.
+pub(crate) struct MergeEntry {
+    pub(crate) point: Point,
+    pub(crate) slot: usize,
 }
 
 impl PartialEq for MergeEntry {
@@ -952,7 +1016,10 @@ mod tests {
                     oracle.query(a, b, k),
                     "shards={shards} [{a},{b}] k={k}"
                 );
-                assert_eq!(index.count_in_range(a, b), oracle.count(a, b) as u64);
+                assert_eq!(
+                    index.count_in_range(a, b).unwrap(),
+                    oracle.count(a, b) as u64
+                );
             }
         }
     }
@@ -976,7 +1043,7 @@ mod tests {
         let prefix: Vec<Point> = s.by_ref().take(7).collect();
         assert_eq!(prefix[..], full[..7]);
         assert_eq!(s.emitted(), 7);
-        assert_eq!(guard.count_in_range(0, u64::MAX), 2000);
+        assert_eq!(guard.count_in_range(0, u64::MAX).unwrap(), 2000);
         assert_eq!(guard.query(0, 500, 5).unwrap(), oracle.query(0, 500, 5));
         drop(guard);
         // A short prefix of a wide query does less work than materializing:
@@ -1110,7 +1177,10 @@ mod tests {
         );
         assert_eq!(index.query(3, 9, 0).unwrap_err(), TopKError::ZeroK);
         assert!(index.query(3, 9, 5).unwrap().is_empty());
-        assert_eq!(index.count_in_range(9, 3), 0);
+        assert_eq!(
+            index.count_in_range(9, 3).unwrap_err(),
+            TopKError::InvertedRange { x1: 9, x2: 3 }
+        );
         assert_eq!(index.overlapping_shards(9, 3), 0);
         assert!(index.overlapping_shards(0, u64::MAX) == 4);
         assert!(index.is_empty());

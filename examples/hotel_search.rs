@@ -10,16 +10,20 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use topk::{Point, QueryRequest, TopKError, TopKIndex, UpdateBatch};
+use topk::{Point, QueryRequest, TopK, TopKError, UpdateBatch};
 
 fn main() -> Result<(), TopKError> {
     let n = 200_000u64;
-    let index = TopKIndex::builder()
+    // build_auto() picks the serving topology from the expected size; the
+    // rest of this example is written against the one TopK surface, so it
+    // runs unchanged whether that resolves to a coarse lock or shards.
+    let index = TopK::builder()
         .block_words(512)
         .pool_bytes(16 << 20)
         .expected_n(n as usize)
-        .build()?;
-    let device = index.device().clone();
+        .build_auto()?;
+    println!("serving topology: {}", index.topology());
+    let device = index.device();
     let mut rng = StdRng::seed_from_u64(2014);
 
     // 200k hotels with prices between $30 and $900 (in tenths of a cent, so
@@ -43,27 +47,36 @@ fn main() -> Result<(), TopKError> {
         index.len()
     );
 
-    // The query from the paper: 10 best-rated hotels between $100 and $200,
-    // streamed in rating order.
+    // The query from the paper: the best-rated hotels between $100 and
+    // $200, paged like a search UI — 10 per page through an owned cursor.
+    // The resume token is what the UI would stash in the "next page" link:
+    // it survives process boundaries, so page 2 can be served by another
+    // worker.
     let lo = 10_000 * 1000;
     let hi = 20_000 * 1000 + 999;
-    let (best, cost) = device.measure(|| {
-        index
-            .stream(QueryRequest::range(lo, hi).top(10))
-            .map(|results| results.collect::<Vec<Point>>())
-    });
-    let best = best?;
+    let mut cursor = index.cursor(QueryRequest::range(lo, hi).top(30).page_size(10))?;
+    let (page, cost) = device.measure(|| cursor.next_batch());
     println!(
         "10 best-rated hotels between $100 and $200 ({} I/Os):",
         cost.total()
     );
-    for p in &best {
+    for p in &page? {
         println!(
             "  ${:>7.2}  rating {:.2}/10",
             (p.x / 1000) as f64 / 100.0,
             (p.score / n) as f64 / 1000.0
         );
     }
+    let next_page_link = cursor.token().to_string();
+    drop(cursor);
+    println!("next-page token: {next_page_link}");
+    let token = next_page_link.parse()?;
+    let page2 = index.cursor(QueryRequest::after(&token))?.next_batch()?;
+    println!(
+        "page 2 (served from the token) starts at ${:.2}, rating {:.2}/10",
+        (page2[0].x / 1000) as f64 / 100.0,
+        (page2[0].score / n) as f64 / 1000.0
+    );
 
     // Overnight, 5000 hotels reprice into a premium tier: one atomic batch —
     // validated up front, all-or-nothing, one rebuild check at commit. The

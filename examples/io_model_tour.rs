@@ -1,20 +1,21 @@
 //! A tour of the external-memory simulator itself: how block size and memory
 //! size change the measured cost of the same workload, and how the index's
 //! components contribute to the space budget. The per-machine indexes are
-//! assembled entirely through the builder — no hand-built device.
+//! assembled entirely through the builder — no hand-built device — and
+//! queried through the topology-agnostic [`TopK`] facade.
 //!
 //! Run with `cargo run --release --example io_model_tour`.
 
-use topk::{Point, TopKError, TopKIndex};
+use topk::{Point, TopK, TopKError};
 
 fn run(block_words: usize, mem_blocks: usize) -> Result<(), TopKError> {
     let n = 50_000u64;
-    let index = TopKIndex::builder()
+    let index = TopK::builder()
         .block_words(block_words)
         .pool_bytes(block_words * mem_blocks * 8)
         .expected_n(n as usize)
-        .build()?;
-    let device = index.device().clone();
+        .build_auto()?;
+    let device = index.device();
     for i in 0..n {
         index.insert(Point::new((i * 7919) % (4 * n) + 1, i * 13 + 1))?;
     }

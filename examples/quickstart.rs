@@ -1,22 +1,25 @@
-//! Quickstart: build an index with the fluent builder, run top-k range
-//! queries (eager and streaming), and look at the I/O counters of the
+//! Quickstart: build a topology-agnostic index with `build_auto()`, run
+//! top-k range queries (eager and paged through an owned cursor), resume a
+//! pagination from a serialized token, and look at the I/O counters of the
 //! simulated machine.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use topk::{Point, QueryRequest, TopKError, TopKIndex};
+use topk::{Point, QueryRequest, ResumeToken, TopK, TopKError};
 
 fn main() -> Result<(), TopKError> {
     // A machine with 4 KiB blocks (512 words of 8 bytes) and 16 MiB of
-    // memory; the builder owns device construction and resolves the
-    // small-k engine against the expected input size.
+    // memory; `build_auto()` owns device construction, resolves the small-k
+    // engine against the expected input size, and picks the serving
+    // topology (coarse-locked vs range-sharded) the same way.
     let n = 100_000u64;
-    let index = TopKIndex::builder()
+    let index = TopK::builder()
         .block_words(512)
         .pool_bytes(16 << 20)
         .expected_n(n as usize)
-        .build()?;
-    let device = index.device().clone();
+        .build_auto()?;
+    let device = index.device();
+    println!("topology picked for n = {n}: {}", index.topology());
 
     // Insert 100k points with pseudo-random distinct coordinates and scores.
     for i in 0..n {
@@ -30,7 +33,7 @@ fn main() -> Result<(), TopKError> {
         index.space_blocks()
     );
 
-    // Top-10 in a 10% slice of the domain.
+    // Top-10 in a 10% slice of the domain — the eager one-shot answer.
     let (top, cost) = device.measure(|| index.query(n, 2 * n, 10));
     let top = top?;
     println!("top-10 of [{}..{}]:", n, 2 * n);
@@ -39,27 +42,30 @@ fn main() -> Result<(), TopKError> {
     }
     println!("query cost: {} physical I/Os ({})", cost.total(), cost);
 
-    // A much larger k exercises the large-k (pilot-set) structure of §2 —
-    // and the streaming API only pays for the prefix actually consumed.
-    let (big, cost) = device.measure(|| {
-        index
-            .stream(QueryRequest::range(0, u64::MAX).top(4096))
-            .map(|results| results.collect::<Vec<Point>>())
-    });
+    // The owned cursor pays only for the prefix actually fetched, holds no
+    // lock between rounds, and its position serializes into a resume token.
+    let mut cursor = index.cursor(QueryRequest::range(0, u64::MAX).top(4096).page_size(3))?;
+    let (first_page, cost) = device.measure(|| cursor.next_batch());
     println!(
-        "top-4096 over the whole domain: {} results, {} I/Os",
-        big?.len(),
-        cost.total()
-    );
-    let (prefix, cost) = device.measure(|| {
-        index
-            .stream(QueryRequest::range(0, u64::MAX).top(4096))
-            .map(|results| results.take(3).collect::<Vec<Point>>())
-    });
-    println!(
-        "…but taking only 3 of those 4096 costs {} I/Os ({:?})",
+        "first page of a top-4096 cursor costs {} I/Os ({:?})",
         cost.total(),
-        prefix?.iter().map(|p| p.score).collect::<Vec<_>>()
+        first_page?.iter().map(|p| p.score).collect::<Vec<_>>()
+    );
+    let token = cursor.token().to_string();
+    drop(cursor); // no lock was held anyway — the token is the whole state
+    println!("resume token: {token}");
+
+    // …in another process: parse the token and keep going.
+    let token: ResumeToken = token.parse()?;
+    let (next_page, cost) = device.measure(|| {
+        index
+            .cursor(QueryRequest::after(&token))
+            .and_then(|mut c| c.next_batch())
+    });
+    println!(
+        "resumed page costs {} I/Os ({:?})",
+        cost.total(),
+        next_page?.iter().map(|p| p.score).collect::<Vec<_>>()
     );
 
     println!("lifetime device stats: {}", device.stats());

@@ -5,11 +5,15 @@
 //!
 //! The API is builder-first, fallible, batched and streaming — see
 //! [`TopKIndex::builder`], [`TopKError`], [`UpdateBatch`] and
-//! [`QueryRequest`], and the migration table in README.md.
+//! [`QueryRequest`], and the migration table in README.md. The read plane is
+//! cursor-first: [`TopK`] (from [`IndexBuilder::build_auto`]) is the
+//! topology-agnostic handle, and [`QueryCursor`] / [`ResumeToken`] serve
+//! long-lived, resumable reads without holding any lock between fetch
+//! rounds (DESIGN.md §6).
 
 pub use emsim::{Device, EmConfig, IoDelta, IoSnapshot, IoStats};
 pub use topk_core::{
-    BatchSummary, ConcurrentTopK, IndexBuilder, Oracle, Point, QueryRequest, RankedIndex, Result,
-    ShardedReadGuard, ShardedResults, ShardedTopK, SmallKEngine, TopKConfig, TopKError, TopKIndex,
-    TopKResults, UpdateBatch, UpdateOp,
+    BatchSummary, ConcurrentTopK, Consistency, IndexBuilder, Oracle, Point, QueryCursor,
+    QueryRequest, RankedIndex, Result, ResumeToken, ShardedReadGuard, ShardedResults, ShardedTopK,
+    SmallKEngine, TopK, TopKConfig, TopKError, TopKIndex, TopKResults, UpdateBatch, UpdateOp,
 };

@@ -118,7 +118,7 @@ fn batched_apply_is_observation_equivalent_to_pointwise() {
                     "pointwise: seed {seed} round {round} [{a},{b}] k={k}"
                 );
                 assert_eq!(
-                    batched.count_in_range(a, b),
+                    batched.count_in_range(a, b).unwrap(),
                     oracle.count(a, b) as u64,
                     "seed {seed} round {round}"
                 );

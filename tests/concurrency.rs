@@ -118,7 +118,7 @@ fn concurrent_queries_interleaved_with_locked_updates_match_oracle() {
                     let guard = index.read();
                     let v = version.load(Ordering::Acquire);
                     let got = guard.query(a, b, k).unwrap();
-                    let count = guard.count_in_range(a, b);
+                    let count = guard.count_in_range(a, b).unwrap();
                     drop(guard);
                     let snapshots = snapshots.lock().unwrap();
                     let oracle = snapshots.get(&v).expect("snapshot published");
@@ -263,7 +263,7 @@ fn sharded_multi_writer_batches_are_atomic_and_rebalance_is_never_torn() {
                     let k = rng.gen_range(1usize..64);
                     let v_lo = committed[w].load(Ordering::Acquire) as usize;
                     let got = index.query(lo, hi, k).unwrap();
-                    let count = index.count_in_range(lo, hi);
+                    let count = index.count_in_range(lo, hi).unwrap();
                     let v_hi = (committed[w].load(Ordering::Acquire) as usize + 1).min(BATCHES);
                     assert_eq!(
                         count, PRELOAD as u64,
@@ -284,9 +284,12 @@ fn sharded_multi_writer_batches_are_atomic_and_rebalance_is_never_torn() {
             for _ in 0..60 {
                 for w in 0..WRITERS {
                     let lo = w as u64 * span;
-                    assert_eq!(index.count_in_range(lo, lo + span - 1), PRELOAD as u64);
+                    assert_eq!(
+                        index.count_in_range(lo, lo + span - 1).unwrap(),
+                        PRELOAD as u64
+                    );
                 }
-                let total = index.count_in_range(0, u64::MAX);
+                let total = index.count_in_range(0, u64::MAX).unwrap();
                 assert!(
                     (WRITERS + 1) as u64 * PRELOAD as u64 <= total
                         && total <= ((WRITERS + 1) * PRELOAD + GROWTH_INSERTS) as u64,

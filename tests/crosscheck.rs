@@ -9,7 +9,8 @@ use emsim::{Device, EmConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use topk::{
-    ConcurrentTopK, Oracle, Point, RankedIndex, ShardedTopK, SmallKEngine, TopKConfig, TopKIndex,
+    ConcurrentTopK, Oracle, Point, QueryRequest, RankedIndex, ShardedTopK, SmallKEngine, TopK,
+    TopKConfig, TopKError, TopKIndex,
 };
 
 fn distinct_points(raw: Vec<(u64, u64)>) -> Vec<Point> {
@@ -54,6 +55,21 @@ fn engines(device: &Device) -> Vec<(&'static str, Box<dyn RankedIndex>)> {
             Box::new(baselines::NaiveTopK::new(device, "naive")),
         ),
         ("ram-pst", Box::new(baselines::RamPst::new(device))),
+        (
+            "facade-single",
+            Box::new(TopK::single(TopKIndex::new(
+                device,
+                TopKConfig::for_tests(),
+            ))),
+        ),
+        (
+            "facade-sharded",
+            Box::new(TopK::sharded(ShardedTopK::new(
+                device,
+                TopKConfig::for_tests(),
+                4,
+            ))),
+        ),
     ]
 }
 
@@ -89,10 +105,56 @@ fn every_engine_agrees_with_the_oracle() {
                     "{name}: case {case} [{lo},{hi}] k={k}"
                 );
                 assert_eq!(
-                    engine.count_in_range(lo, hi),
+                    engine.count_in_range(lo, hi).unwrap(),
                     oracle.count(lo, hi) as u64,
                     "{name}: case {case} count [{lo},{hi}]"
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_engine_rejects_misuse_identically() {
+    // Regression for the count_in_range / k = 0 API inconsistency: every
+    // RankedIndex engine must report the *same* typed error for the same
+    // misuse — an inverted range on query and count_in_range, and k = 0 on
+    // query — whether the index is empty or populated, and whether the
+    // request was assembled eagerly (poisoned setters) or passed directly.
+    let device = Device::new(EmConfig::new(128, 128 * 128));
+    let engines = engines(&device);
+    let pts = distinct_points(vec![(5, 9), (100, 3), (42, 77)]);
+    for populate in [false, true] {
+        for (name, engine) in &engines {
+            if populate {
+                engine.bulk_build(&pts).unwrap();
+            }
+            assert_eq!(
+                engine.query(9, 3, 5).unwrap_err(),
+                TopKError::InvertedRange { x1: 9, x2: 3 },
+                "{name} (populated: {populate}): query inverted range"
+            );
+            assert_eq!(
+                engine.query(3, 9, 0).unwrap_err(),
+                TopKError::ZeroK,
+                "{name} (populated: {populate}): query k = 0"
+            );
+            assert_eq!(
+                engine.count_in_range(9, 3).unwrap_err(),
+                TopKError::InvertedRange { x1: 9, x2: 3 },
+                "{name} (populated: {populate}): count_in_range inverted range"
+            );
+            // The eager setter path reports the identical errors through
+            // cursors (engines without cursor support report InvalidConfig,
+            // never a panic or a silent empty answer).
+            match engine.cursor(QueryRequest::range(9, 3).top(5)) {
+                Err(TopKError::InvertedRange { x1: 9, x2: 3 })
+                | Err(TopKError::InvalidConfig { .. }) => {}
+                other => panic!("{name}: unexpected cursor outcome {other:?}"),
+            }
+            match engine.cursor(QueryRequest::range(3, 9).top(0)) {
+                Err(TopKError::ZeroK) | Err(TopKError::InvalidConfig { .. }) => {}
+                other => panic!("{name}: unexpected cursor outcome {other:?}"),
             }
         }
     }

@@ -1,0 +1,298 @@
+//! Acceptance tests for the owned cursor read plane: resume equivalence
+//! against the `NaiveTopK` oracle across every `TopK` topology (sharded at
+//! 1, 4 and 16 shards) and every `workload::PointGen` distribution, plus the
+//! strict-mode invalidation contract with an interleaved writer.
+//!
+//! The core property under test is the paper's threshold-set guarantee made
+//! operational: a cursor position is fully described by `(emitted count,
+//! low-water mark)`, so dropping a cursor mid-stream and rebuilding it from
+//! its serialized `ResumeToken` — even "in another process", i.e. through
+//! the token's string form — must concatenate to exactly the one-shot
+//! answer on a quiescent index.
+
+use std::sync::Arc;
+
+use baselines::NaiveTopK;
+use emsim::{Device, EmConfig};
+use topk::{
+    ConcurrentTopK, Consistency, Point, QueryRequest, RankedIndex, ResumeToken, ShardedTopK, TopK,
+    TopKError, TopKIndex,
+};
+use workload::{PointDistribution, PointGen};
+
+const N: usize = 1500;
+
+fn device() -> Device {
+    Device::new(EmConfig::new(256, 256 * 256))
+}
+
+/// Every topology the facade serves, on its own device: Single, Concurrent,
+/// and Sharded at 1, 4 and 16 shards.
+fn topologies() -> Vec<(String, Device, TopK)> {
+    let mut out = Vec::new();
+    let dev = device();
+    let index = TopKIndex::builder()
+        .device(&dev)
+        .expected_n(N)
+        .build()
+        .unwrap();
+    out.push(("single".to_string(), dev, TopK::single(index)));
+    let dev = device();
+    let index = ConcurrentTopK::builder()
+        .device(&dev)
+        .expected_n(N)
+        .build_concurrent()
+        .unwrap();
+    out.push(("concurrent".to_string(), dev, TopK::concurrent(index)));
+    for shards in [1usize, 4, 16] {
+        let dev = device();
+        let index = ShardedTopK::builder()
+            .device(&dev)
+            .expected_n(N)
+            .shards(shards)
+            .build_sharded()
+            .unwrap();
+        out.push((format!("sharded-{shards}"), dev, TopK::sharded(index)));
+    }
+    out
+}
+
+/// Consume `pages` batches, cut a token, drop the cursor, resume through the
+/// token's *string* form (the process boundary), and return the
+/// concatenation of everything emitted before and after the resume.
+fn paginate_with_resume(
+    handle: &TopK,
+    request: QueryRequest,
+    pages: usize,
+) -> Result<Vec<Point>, TopKError> {
+    let mut cursor = handle.cursor(request)?;
+    let mut got = Vec::new();
+    for _ in 0..pages {
+        let batch = cursor.next_batch()?;
+        if batch.is_empty() {
+            break;
+        }
+        got.extend(batch);
+    }
+    let wire = cursor.token().to_string();
+    drop(cursor);
+    let token: ResumeToken = wire.parse()?;
+    assert_eq!(token.emitted(), got.len());
+    let resumed = handle.cursor(QueryRequest::after(&token))?;
+    for point in resumed {
+        got.push(point?);
+    }
+    Ok(got)
+}
+
+#[test]
+fn resumed_cursors_concatenate_to_the_one_shot_answer() {
+    let distributions = [
+        PointDistribution::Uniform,
+        PointDistribution::Correlated,
+        PointDistribution::AntiCorrelated,
+        PointDistribution::SortedInsertions,
+        PointDistribution::Clustered,
+    ];
+    for (d, distribution) in distributions.into_iter().enumerate() {
+        let pts = PointGen {
+            distribution,
+            seed: 0xC0FFEE ^ d as u64,
+        }
+        .generate(N);
+        let x_max = pts.iter().map(|p| p.x).max().unwrap();
+        // The NaiveTopK oracle on its own device (the acceptance baseline).
+        let oracle_dev = device();
+        let oracle = NaiveTopK::new(&oracle_dev, "oracle");
+        oracle.bulk_build(&pts).unwrap();
+        for (name, _dev, handle) in topologies() {
+            handle.bulk_build(&pts).unwrap();
+            for (x1, x2, k, page, pages) in [
+                (0u64, x_max, 300usize, 32usize, 3usize),
+                (x_max / 4, x_max / 2, 50, 7, 2),
+                (0, x_max / 3, 2000, 128, 1),
+                (x_max / 2, x_max / 2 + 100, 10, 3, 1),
+            ] {
+                let request = QueryRequest::range(x1, x2).top(k).page_size(page);
+                let got = paginate_with_resume(&handle, request, pages).unwrap();
+                let expect = oracle.query(x1, x2, k).unwrap();
+                assert_eq!(got, expect, "{distribution:?}/{name} [{x1},{x2}] k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_tokens_cut_before_any_batch_or_at_exhaustion_behave() {
+    let pts = PointGen::uniform(11).generate(400);
+    for (name, _dev, handle) in topologies() {
+        handle.bulk_build(&pts).unwrap();
+        // Token cut before the first batch resumes from the top.
+        let cursor = handle
+            .cursor(QueryRequest::range(0, u64::MAX).top(25))
+            .unwrap();
+        let token = cursor.token();
+        drop(cursor);
+        let got: Vec<Point> = handle
+            .cursor(QueryRequest::after(&token))
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(got, handle.query(0, u64::MAX, 25).unwrap(), "{name}");
+        // Token cut at exhaustion resumes to an immediately-done cursor.
+        let mut cursor = handle
+            .cursor(QueryRequest::range(0, u64::MAX).top(25))
+            .unwrap();
+        while !cursor.next_batch().unwrap().is_empty() {}
+        let token = cursor.token();
+        assert_eq!(token.emitted(), 25);
+        let mut resumed = handle.cursor(QueryRequest::after(&token)).unwrap();
+        assert!(resumed.next_batch().unwrap().is_empty(), "{name}");
+        assert!(resumed.is_done());
+    }
+}
+
+#[test]
+fn strict_cursors_fail_over_an_interleaved_writer_and_per_round_continues() {
+    let pts = PointGen::uniform(23).generate(N);
+    let writer_stream: Vec<Point> = (0..64u64)
+        .map(|i| Point::new(20_000_000 + i * 3, 20_000_000 + i * 7))
+        .collect();
+    for (name, _dev, handle) in topologies() {
+        handle.bulk_build(&pts).unwrap();
+        let strict = QueryRequest::range(0, u64::MAX)
+            .top(200)
+            .page_size(20)
+            .consistency(Consistency::Strict);
+
+        // Quiescent: strict pagination (with a token round-trip) succeeds.
+        let got = paginate_with_resume(&handle, strict.clone(), 2).unwrap();
+        assert_eq!(got, handle.query(0, u64::MAX, 200).unwrap(), "{name}");
+
+        // Interleaved writer: the very next strict round must surface
+        // SnapshotInvalidated, and a PerRound cursor resumed from the fused
+        // cursor's token must finish against the new state.
+        let mut cursor = handle.cursor(strict.clone()).unwrap();
+        let first = cursor.next_batch().unwrap();
+        assert_eq!(first.len(), 20);
+        handle.insert(writer_stream[0]).unwrap();
+        let err = cursor.next_batch().unwrap_err();
+        assert!(
+            matches!(err, TopKError::SnapshotInvalidated { .. }),
+            "{name}: {err:?}"
+        );
+        let token = cursor.token();
+        let rest: Vec<Point> = handle
+            .cursor(QueryRequest::after(&token).consistency(Consistency::PerRound))
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(first.len() + rest.len(), 200, "{name}");
+        let mut all = first.clone();
+        all.extend(&rest);
+        assert!(
+            all.windows(2).all(|w| w[0].score > w[1].score),
+            "{name}: concatenation must stay strictly descending"
+        );
+        handle.delete(writer_stream[0]).unwrap();
+    }
+}
+
+#[test]
+fn per_round_cursors_see_writes_below_the_mark_and_skip_above() {
+    // Deterministic interleaving on the concurrent topology: after one page
+    // [100, 99, 98, ...], an insert *above* the low-water mark is skipped
+    // and an insert *below* it is picked up by a later round.
+    let device = device();
+    let index = Arc::new(
+        ConcurrentTopK::builder()
+            .device(&device)
+            .expected_n(256)
+            .build_concurrent()
+            .unwrap(),
+    );
+    let pts: Vec<Point> = (1..=100u64).map(|i| Point::new(i * 10, i * 100)).collect();
+    index.bulk_build(&pts).unwrap();
+    let mut cursor = index
+        .clone()
+        .cursor(QueryRequest::range(0, u64::MAX).top(100).page_size(10))
+        .unwrap();
+    let first = cursor.next_batch().unwrap();
+    assert_eq!(first[0].score, 10_000);
+    assert_eq!(first[9].score, 9_100);
+    // Above the mark: never emitted (the round skips it as "already passed").
+    index.insert(Point::new(5, 50_000)).unwrap();
+    // Below the mark: a later round reports it in its score position.
+    index.insert(Point::new(7, 9_050)).unwrap();
+    let second = cursor.next_batch().unwrap();
+    assert_eq!(second[0], Point::new(7, 9_050));
+    assert_eq!(second[1].score, 9_000);
+    let rest: Vec<Point> = cursor.map(Result::unwrap).collect();
+    assert!(rest.iter().all(|p| p.score < 9_050));
+    assert!(!rest.iter().any(|p| p.score == 50_000));
+}
+
+#[test]
+fn cursors_come_from_arcs_and_the_ranked_index_extension() {
+    // The acceptance shape: an owned cursor straight from an
+    // Arc<ConcurrentTopK> / Arc<ShardedTopK>, no facade in sight.
+    let device = device();
+    let concurrent = Arc::new(ConcurrentTopK::new(&device, topk::TopKConfig::for_tests()));
+    let pts = PointGen::uniform(3).generate(300);
+    concurrent.bulk_build(&pts).unwrap();
+    let got: Vec<Point> = concurrent
+        .clone()
+        .cursor(QueryRequest::range(0, u64::MAX).top(40))
+        .unwrap()
+        .map(Result::unwrap)
+        .collect();
+    assert_eq!(got, concurrent.query(0, u64::MAX, 40).unwrap());
+
+    let sharded = Arc::new(ShardedTopK::new(&device, topk::TopKConfig::for_tests(), 4));
+    sharded.bulk_build(&pts).unwrap();
+    let got: Vec<Point> = sharded
+        .clone()
+        .cursor(QueryRequest::range(0, u64::MAX).top(40))
+        .unwrap()
+        .map(Result::unwrap)
+        .collect();
+    assert_eq!(got, sharded.query(0, u64::MAX, 40).unwrap());
+
+    // Through the trait: TopK serves cursors, bare engines direct callers to
+    // the facade instead of panicking.
+    let facade: Box<dyn RankedIndex> = Box::new(TopK::sharded(ShardedTopK::new(
+        &device,
+        topk::TopKConfig::for_tests(),
+        2,
+    )));
+    facade.bulk_build(&pts).unwrap();
+    let mut cursor = facade
+        .cursor(QueryRequest::range(0, u64::MAX).top(5))
+        .unwrap();
+    assert_eq!(cursor.next_batch().unwrap().len(), 5);
+    let naive: Box<dyn RankedIndex> = Box::new(NaiveTopK::new(&device, "naive-cursorless"));
+    assert!(matches!(
+        naive.cursor(QueryRequest::range(0, 10).top(1)),
+        Err(TopKError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn multi_range_pagination_resumes_across_ranges() {
+    let pts = PointGen::uniform(31).generate(N);
+    let x_max = pts.iter().map(|p| p.x).max().unwrap();
+    let spans = [(0u64, x_max / 5), (x_max / 2, x_max)];
+    for (name, _dev, handle) in topologies() {
+        handle.bulk_build(&pts).unwrap();
+        let mut expect: Vec<Point> = pts
+            .iter()
+            .filter(|p| spans.iter().any(|&(a, b)| p.x >= a && p.x <= b))
+            .copied()
+            .collect();
+        expect.sort_unstable_by_key(|p| std::cmp::Reverse(p.score));
+        expect.truncate(120);
+        let request = QueryRequest::ranges(&spans).top(120).page_size(17);
+        let got = paginate_with_resume(&handle, request, 3).unwrap();
+        assert_eq!(got, expect, "{name}");
+    }
+}
