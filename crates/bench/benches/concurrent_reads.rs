@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use topk_bench::json::JsonRow;
 use topk_bench::{small_machine, uniform_points};
 use topk_core::{
     ConcurrentTopK, Point, QueryRequest, RankedIndex, ShardedTopK, SmallKEngine, UpdateBatch,
@@ -265,6 +266,9 @@ fn run_slow_reader_goodput(
 }
 
 fn main() {
+    // `--save-json` collects every measured number into
+    // BENCH_concurrent_reads.json (README "Benchmark JSON export").
+    let mut rows: Vec<JsonRow> = Vec::new();
     let n = 1 << 15;
     let (index, queries, _, _) = build(n, 0);
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
@@ -281,6 +285,12 @@ fn main() {
             base = qps;
         }
         println!("{threads:>8} {qps:>16.0}   ({:.2}x)", qps / base);
+        rows.push(
+            JsonRow::new("read_scaling", "queries_per_sec", qps)
+                .topology("concurrent")
+                .threads(threads)
+                .param(format!("n={n}")),
+        );
     }
 
     // Mixed batched-writer scenario: the same fixed workload committed with
@@ -305,6 +315,12 @@ fn main() {
         println!(
             "{batch_size:>10} {qps:>24.0}   ({:.2}x vs batch=1)",
             qps / qps_batch1
+        );
+        rows.push(
+            JsonRow::new("mixed_goodput", "queries_per_sec", qps)
+                .topology("concurrent")
+                .threads(5)
+                .param(format!("batch={batch_size}")),
         );
     }
 
@@ -354,6 +370,18 @@ fn main() {
             "{writers:>8} {coarse_ups:>20.0} {sharded_ups:>20.0} {:>9.2}x",
             sharded_ups / coarse_ups
         );
+        rows.push(
+            JsonRow::new("multi_writer", "updates_per_sec", coarse_ups)
+                .topology("concurrent")
+                .threads(writers)
+                .param("batch=256"),
+        );
+        rows.push(
+            JsonRow::new("multi_writer", "updates_per_sec", sharded_ups)
+                .topology(&format!("sharded-{TERRITORIES}"))
+                .threads(writers)
+                .param("batch=256"),
+        );
     }
 
     // Slow-paginating-reader scenario: one writer's fixed batched job racing
@@ -385,5 +413,16 @@ fn main() {
             baseline = ups;
         }
         println!("{label:>22} {ups:>16.0} {:>15.2}x", ups / baseline);
+        rows.push(
+            JsonRow::new("slow_reader_goodput", "updates_per_sec", ups)
+                .topology("concurrent")
+                .threads(2)
+                .param(format!(
+                    "reader={}",
+                    label.split(' ').next().unwrap_or(label)
+                )),
+        );
     }
+
+    topk_bench::json::save_if_requested("concurrent_reads", &rows);
 }

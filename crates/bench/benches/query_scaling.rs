@@ -1,42 +1,71 @@
-//! Criterion bench backing experiments E1/E2: wall-clock latency of top-k
-//! queries as n and k grow (the I/O counts themselves are produced by the
-//! `exp_query_vs_n` / `exp_query_vs_k` binaries).
+//! Wall-clock bench backing experiments E1/E2: latency and throughput of
+//! top-k queries as `n` and `k` grow (the I/O counts themselves are
+//! produced by the `exp_query_vs_n` / `exp_query_vs_k` binaries).
+//!
+//! Timed explicitly (a handful of samples, mean reported) so every number
+//! also lands in `BENCH_query_scaling.json` when `--save-json` is passed —
+//! see README "Benchmark JSON export".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use topk_bench::json::JsonRow;
 use topk_bench::{build_index, small_machine, uniform_points};
-use topk_core::SmallKEngine;
-use workload::QueryGen;
+use topk_core::{RankedIndex, SmallKEngine};
+use workload::{Query, QueryGen};
 
-fn query_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("query_scaling");
-    group.sample_size(10);
+const SAMPLES: usize = 10;
+
+/// Mean queries/sec over `SAMPLES` timed passes of the whole query list
+/// (one warm-up pass first, as the criterion shim does).
+fn queries_per_sec(index: &dyn RankedIndex, queries: &[Query]) -> f64 {
+    let run = || {
+        for q in queries {
+            std::hint::black_box(index.query(q.x1, q.x2, q.k).unwrap());
+        }
+    };
+    run();
+    let start = Instant::now();
+    for _ in 0..SAMPLES {
+        run();
+    }
+    (SAMPLES * queries.len()) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut rows: Vec<JsonRow> = Vec::new();
+
+    println!("query_scaling/topk_k10 — n sweep at k = 10, 10% selectivity");
+    println!("{:>12} {:>16} {:>16}", "n", "queries/sec", "us/query");
     for &n in &[1usize << 13, 1 << 15, 1 << 17] {
         let pts = uniform_points(7, n);
         let index = build_index(small_machine(), SmallKEngine::Polylog, 64, &pts);
         let queries = QueryGen::new(0.1, 10, 3).generate(&pts, 8);
-        group.bench_with_input(BenchmarkId::new("topk_k10", n), &n, |b, _| {
-            b.iter(|| {
-                for q in &queries {
-                    std::hint::black_box(index.query(q.x1, q.x2, q.k).unwrap());
-                }
-            })
-        });
+        let qps = queries_per_sec(&index, &queries);
+        println!("{n:>12} {qps:>16.0} {:>16.1}", 1e6 / qps);
+        rows.push(
+            JsonRow::new("topk_k10", "queries_per_sec", qps)
+                .topology("single")
+                .threads(1)
+                .param(format!("n={n}")),
+        );
     }
+
     // k sweep at fixed n: exercises the small-k → large-k crossover.
+    println!("\nquery_scaling/topk_by_k — k sweep at n = 32768, 25% selectivity");
+    println!("{:>12} {:>16} {:>16}", "k", "queries/sec", "us/query");
     let pts = uniform_points(11, 1 << 15);
     let index = build_index(small_machine(), SmallKEngine::Polylog, 128, &pts);
     for &k in &[1usize, 16, 128, 1024, 4096] {
         let queries = QueryGen::new(0.25, k, 5).generate(&pts, 8);
-        group.bench_with_input(BenchmarkId::new("topk_by_k", k), &k, |b, _| {
-            b.iter(|| {
-                for q in &queries {
-                    std::hint::black_box(index.query(q.x1, q.x2, q.k).unwrap());
-                }
-            })
-        });
+        let qps = queries_per_sec(&index, &queries);
+        println!("{k:>12} {qps:>16.0} {:>16.1}", 1e6 / qps);
+        rows.push(
+            JsonRow::new("topk_by_k", "queries_per_sec", qps)
+                .topology("single")
+                .threads(1)
+                .param(format!("k={k}")),
+        );
     }
-    group.finish();
-}
 
-criterion_group!(benches, query_scaling);
-criterion_main!(benches);
+    topk_bench::json::save_if_requested("query_scaling", &rows);
+}

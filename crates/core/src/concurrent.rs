@@ -170,6 +170,48 @@ impl ConcurrentTopK {
     }
 }
 
+/// Commit-stamped operations for the `topk-testkit` history recorder. Every
+/// stamp is read **while the relevant lock is still held**, so under the
+/// coarse lock each write's stamp is exact and unique, and each query's
+/// window is the single version the read guard pinned.
+#[cfg(feature = "testkit-hooks")]
+impl ConcurrentTopK {
+    /// Insert `p` under one write-lock acquisition and return the exact
+    /// version stamp the commit received.
+    pub fn insert_stamped(&self, p: Point) -> Result<u64> {
+        let guard = self.write();
+        guard.insert(p)?;
+        Ok(guard.version())
+    }
+
+    /// Delete `p` under one write-lock acquisition; `Some(stamp)` if it was
+    /// present.
+    pub fn delete_stamped(&self, p: Point) -> Result<Option<u64>> {
+        let guard = self.write();
+        let deleted = guard.delete(p)?;
+        Ok(deleted.then(|| guard.version()))
+    }
+
+    /// Apply `batch` atomically and return the post-commit version stamp,
+    /// read before the write lock is released.
+    pub fn apply_stamped(&self, batch: &UpdateBatch) -> Result<(BatchSummary, u64)> {
+        let guard = self.write();
+        let summary = guard.apply(batch)?;
+        let stamp = guard.version();
+        Ok((summary, stamp))
+    }
+
+    /// The eager query answer plus the version the read guard pinned: the
+    /// coarse lock excludes writers for the whole query, so the window is a
+    /// single stamp.
+    pub fn query_stamped(&self, x1: u64, x2: u64, k: usize) -> Result<(Vec<Point>, u64, u64)> {
+        let guard = self.read();
+        let v = guard.version();
+        let out = guard.query(x1, x2, k)?;
+        Ok((out, v, v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -191,6 +191,59 @@ impl TopK {
     }
 }
 
+/// Topology-agnostic commit-stamped operations for the `topk-testkit`
+/// history recorder: one dispatch surface over the per-engine hooks. See
+/// the engine impls for the exact stamp semantics of each topology.
+#[cfg(feature = "testkit-hooks")]
+impl TopK {
+    /// The current commit stamp of the underlying topology (the write
+    /// counter strict cursors compare).
+    pub fn commit_stamp(&self) -> u64 {
+        match self {
+            TopK::Single(i) => i.version(),
+            TopK::Concurrent(i) => i.read().version(),
+            TopK::Sharded(i) => i.commit_stamp(),
+        }
+    }
+
+    /// Insert `p`, returning the commit's stamp.
+    pub fn insert_stamped(&self, p: Point) -> Result<u64> {
+        match self {
+            TopK::Single(i) => i.insert_stamped(p),
+            TopK::Concurrent(i) => i.insert_stamped(p),
+            TopK::Sharded(i) => i.insert_stamped(p),
+        }
+    }
+
+    /// Delete `p`; `Some(stamp)` if it was present.
+    pub fn delete_stamped(&self, p: Point) -> Result<Option<u64>> {
+        match self {
+            TopK::Single(i) => i.delete_stamped(p),
+            TopK::Concurrent(i) => i.delete_stamped(p),
+            TopK::Sharded(i) => i.delete_stamped(p),
+        }
+    }
+
+    /// Apply `batch` atomically; the stamp is `None` when the batch mutated
+    /// nothing (all-missing deletes).
+    pub fn apply_stamped(&self, batch: &UpdateBatch) -> Result<(BatchSummary, Option<u64>)> {
+        match self {
+            TopK::Single(i) => i.apply_stamped(batch).map(|(s, v)| (s, Some(v))),
+            TopK::Concurrent(i) => i.apply_stamped(batch).map(|(s, v)| (s, Some(v))),
+            TopK::Sharded(i) => i.apply_stamped(batch),
+        }
+    }
+
+    /// The eager query answer plus the stamp window it was computed under.
+    pub fn query_stamped(&self, x1: u64, x2: u64, k: usize) -> Result<(Vec<Point>, u64, u64)> {
+        match self {
+            TopK::Single(i) => i.query_stamped(x1, x2, k),
+            TopK::Concurrent(i) => i.query_stamped(x1, x2, k),
+            TopK::Sharded(i) => i.query_stamped(x1, x2, k),
+        }
+    }
+}
+
 impl std::fmt::Debug for TopK {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TopK")

@@ -296,7 +296,11 @@ impl TopKIndex {
     /// `k == 0` (the seed code answered both with a silent empty vector).
     pub fn query(&self, x1: u64, x2: u64, k: usize) -> Result<Vec<Point>> {
         validate_query(x1, x2, k)?;
-        Ok(self.query_unvalidated(x1, x2, k))
+        #[allow(unused_mut)]
+        let mut out = self.query_unvalidated(x1, x2, k);
+        #[cfg(feature = "testkit-hooks")]
+        crate::hooks::mutate_answer(&mut out);
+        Ok(out)
     }
 
     /// Stream the answer to `request` lazily, in descending score order: see
@@ -447,6 +451,42 @@ impl TopKIndex {
         assert_eq!(self.reporter.len(), self.len());
         assert_eq!(self.small_k.len(), self.len());
         assert_eq!(self.scores.read().unwrap().len() as u64, self.len());
+    }
+}
+
+/// Commit-stamped operations for the `topk-testkit` history recorder: each
+/// write reports the exact version stamp its commit received, each query the
+/// stamp window it observed. The bare index has no logical-atomicity lock,
+/// so these are only meaningful without concurrent writers (exactly the
+/// contract of the `Single` topology).
+#[cfg(feature = "testkit-hooks")]
+impl TopKIndex {
+    /// Insert `p` and return the version stamp of the commit.
+    pub fn insert_stamped(&self, p: Point) -> Result<u64> {
+        self.insert(p)?;
+        Ok(self.version())
+    }
+
+    /// Delete `p`; `Some(stamp)` if it was present and the commit stamped.
+    pub fn delete_stamped(&self, p: Point) -> Result<Option<u64>> {
+        let deleted = self.delete(p)?;
+        Ok(deleted.then(|| self.version()))
+    }
+
+    /// Apply `batch` and return the post-commit version stamp (the batch
+    /// may bump the stamp several times on this unlocked topology; the
+    /// final stamp is the one history checking needs).
+    pub fn apply_stamped(&self, batch: &UpdateBatch) -> Result<(BatchSummary, u64)> {
+        let summary = self.apply(batch)?;
+        Ok((summary, self.version()))
+    }
+
+    /// The eager query answer plus the (degenerate, single-threaded) stamp
+    /// window it was computed under.
+    pub fn query_stamped(&self, x1: u64, x2: u64, k: usize) -> Result<(Vec<Point>, u64, u64)> {
+        let lo = self.version();
+        let out = self.query(x1, x2, k)?;
+        Ok((out, lo, self.version()))
     }
 }
 

@@ -91,6 +91,8 @@ mod config;
 mod cursor;
 mod error;
 mod facade;
+#[cfg(feature = "testkit-hooks")]
+pub mod hooks;
 mod index;
 mod oracle;
 mod query;

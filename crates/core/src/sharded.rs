@@ -315,7 +315,11 @@ impl ShardedTopK {
     pub fn query(&self, x1: u64, x2: u64, k: usize) -> Result<Vec<Point>> {
         validate_query(x1, x2, k)?;
         let guard = self.read_span(x1, x2);
-        Ok(guard.stream(QueryRequest::range(x1, x2).top(k))?.collect())
+        #[allow(unused_mut)]
+        let mut out: Vec<Point> = guard.stream(QueryRequest::range(x1, x2).top(k))?.collect();
+        #[cfg(feature = "testkit-hooks")]
+        crate::hooks::mutate_answer(&mut out);
+        Ok(out)
     }
 
     /// Number of points with `x ∈ [x1, x2]`, summed over the overlapping
@@ -363,6 +367,13 @@ impl ShardedTopK {
     /// same precedence (coordinate first) as [`TopKIndex::insert`]; the
     /// index is unchanged in that case.
     pub fn insert(&self, p: Point) -> Result<()> {
+        self.insert_inner(p).map(|_| ())
+    }
+
+    /// The insert path, reporting the exact global commit stamp the write
+    /// received (assigned while the shard write lock is held, so stamps
+    /// order commits).
+    fn insert_inner(&self, p: Point) -> Result<u64> {
         let router = self.router.read().unwrap();
         let si = router.shard_of(p.x);
         let shard = &self.shards[si];
@@ -386,11 +397,11 @@ impl ShardedTopK {
         guard.insert_validated(p);
         guard.maybe_rebuild();
         shard.count.fetch_add(1, Ordering::Relaxed);
-        self.commits.fetch_add(1, Ordering::Release);
+        let stamp = self.commits.fetch_add(1, Ordering::Release) + 1;
         drop(guard);
         drop(router);
         self.maybe_rebalance();
-        Ok(())
+        Ok(stamp)
     }
 
     /// Delete a point (exact coordinate and score); `Ok(false)` if absent.
@@ -400,22 +411,30 @@ impl ShardedTopK {
     ///
     /// [`TopKError::Inconsistent`], as on [`TopKIndex::delete`].
     pub fn delete(&self, p: Point) -> Result<bool> {
+        self.delete_inner(p).map(|stamp| stamp.is_some())
+    }
+
+    /// The delete path, reporting the global commit stamp when the point
+    /// was present (no stamp is burned for a miss).
+    fn delete_inner(&self, p: Point) -> Result<Option<u64>> {
         let router = self.router.read().unwrap();
         let si = router.shard_of(p.x);
         let shard = &self.shards[si];
         let guard = shard.index.write().unwrap();
         let deleted = guard.delete(p)?;
-        if deleted {
+        let stamp = if deleted {
             shard.count.fetch_sub(1, Ordering::Relaxed);
             self.scores.lock().unwrap().remove(&p.score);
-            self.commits.fetch_add(1, Ordering::Release);
-        }
+            Some(self.commits.fetch_add(1, Ordering::Release) + 1)
+        } else {
+            None
+        };
         drop(guard);
         drop(router);
         if deleted {
             self.maybe_rebalance();
         }
-        Ok(deleted)
+        Ok(stamp)
     }
 
     /// Replace the contents with `points`: validate global distinctness,
@@ -484,8 +503,15 @@ impl ShardedTopK {
     /// [`TopKError::Inconsistent`] from a sub-commit is fatal, exactly as on
     /// [`TopKIndex::apply`].
     pub fn apply(&self, batch: &UpdateBatch) -> Result<BatchSummary> {
+        self.apply_inner(batch).map(|(summary, _)| summary)
+    }
+
+    /// The batch path, reporting the global commit stamp when the batch
+    /// mutated anything (a batch of nothing but missing deletes commits no
+    /// data and burns no stamp).
+    fn apply_inner(&self, batch: &UpdateBatch) -> Result<(BatchSummary, Option<u64>)> {
         if batch.is_empty() {
-            return Ok(BatchSummary::default());
+            return Ok((BatchSummary::default(), None));
         }
         let router = self.router.read().unwrap();
         let shard_of: Vec<usize> = batch
@@ -609,13 +635,15 @@ impl ShardedTopK {
         // A batch of nothing but missing deletes changed no data: bumping
         // the stamp would spuriously invalidate strict cursors for a no-op
         // (the point-wise paths only bump on actual mutations).
-        if summary.inserted > 0 || summary.deleted > 0 {
-            self.commits.fetch_add(1, Ordering::Release);
-        }
+        let stamp = if summary.inserted > 0 || summary.deleted > 0 {
+            Some(self.commits.fetch_add(1, Ordering::Release) + 1)
+        } else {
+            None
+        };
         drop(guards);
         drop(router);
         self.maybe_rebalance();
-        Ok(summary)
+        Ok((summary, stamp))
     }
 
     // ----- rebalancing -----
@@ -699,6 +727,48 @@ impl ShardedTopK {
             total += index.len();
         }
         assert_eq!(self.scores.lock().unwrap().len() as u64, total);
+    }
+}
+
+/// Commit-stamped operations for the `topk-testkit` history recorder.
+/// Writes report the exact stamp their commit received (assigned under the
+/// shard write locks, so stamps totally order commits); queries report the
+/// `[before, after]` window of the global stamp around their shard-locked
+/// read, inside which a witness version for the answer must exist.
+#[cfg(feature = "testkit-hooks")]
+impl ShardedTopK {
+    /// The current global commit stamp.
+    pub fn commit_stamp(&self) -> u64 {
+        self.commits.load(Ordering::Acquire)
+    }
+
+    /// Insert `p` and return the exact global commit stamp of the write.
+    pub fn insert_stamped(&self, p: Point) -> Result<u64> {
+        self.insert_inner(p)
+    }
+
+    /// Delete `p`; `Some(stamp)` if it was present (a miss burns no stamp).
+    pub fn delete_stamped(&self, p: Point) -> Result<Option<u64>> {
+        self.delete_inner(p)
+    }
+
+    /// Apply `batch` atomically; the stamp is `Some` when the batch mutated
+    /// anything.
+    pub fn apply_stamped(&self, batch: &UpdateBatch) -> Result<(BatchSummary, Option<u64>)> {
+        self.apply_inner(batch)
+    }
+
+    /// The eager fan-out answer plus the global-stamp window around the
+    /// shard-locked read. Writes to shards outside the span may widen the
+    /// window without affecting the answer; writes to covered shards are
+    /// either entirely before the read (stamp within or below the window)
+    /// or entirely after it (stamp above the window's low end), so a
+    /// witness version always exists inside `[lo, hi]`.
+    pub fn query_stamped(&self, x1: u64, x2: u64, k: usize) -> Result<(Vec<Point>, u64, u64)> {
+        let lo = self.commits.load(Ordering::Acquire);
+        let out = self.query(x1, x2, k)?;
+        let hi = self.commits.load(Ordering::Acquire);
+        Ok((out, lo, hi))
     }
 }
 

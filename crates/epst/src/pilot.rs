@@ -587,39 +587,43 @@ impl PilotPst {
         if children.is_empty() || pilot_len >= self.config.pilot_min() {
             return;
         }
-        // Gather the children's pilot points and pull up the highest ones
-        // until the target size is reached (a draining pull-up takes all).
-        let mut pool: Vec<(PageId, Point)> = Vec::new();
-        for (_, c) in &children {
-            let pts = self.scripts.with(*c, |n| n.pilot.clone());
-            pool.extend(pts.into_iter().map(|p| (*c, p)));
-        }
-        if pool.is_empty() {
-            return;
-        }
-        pool.sort_unstable_by_key(|(_, p)| std::cmp::Reverse(p.score));
+        // Pull the subtree's best points up **one at a time**, refilling the
+        // source child before the next selection. A one-shot multi-pull over
+        // the children's *current* pilots is wrong: once it drains a child,
+        // the child's own refill hoists grandchild points that can score
+        // above this node's post-pull minimum — breaking the pilot ordering
+        // that delete's holder search and the representative pruning rely
+        // on (caught by the trace harness; see
+        // traces/pilot_pull_up_ordering.trace).
         let want = self.config.pilot_target().saturating_sub(pilot_len);
-        let take = want.min(pool.len());
-        let pulled = &pool[..take];
-        for (child, p) in pulled {
-            self.scripts.with_mut(*child, |n| {
+        let mut pulled = 0usize;
+        for _ in 0..want {
+            // The best candidate is the max over the direct children's
+            // pilots: each child maintains "empty pilot ⇒ empty subtree",
+            // so the direct maxima cover everything below.
+            let mut best: Option<(PageId, Point)> = None;
+            for (_, c) in &children {
+                let cmax = self
+                    .scripts
+                    .with(*c, |n| n.pilot.iter().copied().max_by_key(|p| p.score));
+                if let Some(p) = cmax {
+                    if best.map(|(_, b)| p.score > b.score).unwrap_or(true) {
+                        best = Some((*c, p));
+                    }
+                }
+            }
+            let Some((child, p)) = best else { break };
+            self.scripts.with_mut(child, |n| {
                 n.pilot.retain(|q| !(q.x == p.x && q.score == p.score))
             });
-        }
-        self.scripts
-            .with_mut(script, |n| n.pilot.extend(pulled.iter().map(|(_, p)| *p)));
-        self.refresh_rep_entry(owner, script, -(take as i64));
-        let mut touched: Vec<PageId> = Vec::new();
-        for (child, _) in pulled {
-            if !touched.contains(child) {
-                touched.push(*child);
-            }
-        }
-        for child in touched {
+            self.scripts.with_mut(script, |n| n.pilot.push(p));
+            pulled += 1;
             let child_owner = self.scripts.with(child, |n| n.owner);
             self.refresh_rep_entry(child_owner, child, 0);
-            // Fix a child that underflowed because of the pull-up.
             self.pull_up_if_needed(child);
+        }
+        if pulled > 0 {
+            self.refresh_rep_entry(owner, script, -(pulled as i64));
         }
     }
 

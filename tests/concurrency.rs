@@ -18,6 +18,14 @@
 //! freshness. Spanning readers additionally pin every stable territory's
 //! point count while a growth writer forces shard rebalances, so a torn
 //! migration (a point observed twice or not at all) fails immediately.
+//!
+//! PR 5 generalized the stamp-window trick into
+//! `topk_testkit::history::check`: the recorder test at the bottom runs
+//! generated multi-writer schedules against the engines' commit-stamped
+//! hooks and validates the *whole recorded history* — every query must
+//! match the `NaiveTopK` spec at some version inside its stamp window —
+//! instead of precomputing per-territory snapshots by hand. Seeds unify
+//! through `topk_testkit::Seed` (`TOPK_SEED=<n>` pins a run).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,6 +35,7 @@ use emsim::{Device, EmConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use topk_core::{ConcurrentTopK, Oracle, Point, ShardedTopK, TopKConfig, UpdateBatch, UpdateOp};
+use topk_testkit::Seed;
 
 fn points(seed: u64, lo: u64, n: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -48,9 +57,10 @@ fn concurrent_queries_interleaved_with_locked_updates_match_oracle() {
     const BATCHES: u64 = 24;
     const BATCH: usize = 40;
 
+    let seed = Seed::from_env(1);
     let device = Device::new(EmConfig::new(256, 256 * 256));
     let index = ConcurrentTopK::new(&device, TopKConfig::for_tests());
-    let initial = points(1, 0, 4_000);
+    let initial = points(seed.value(), 0, 4_000);
     index.bulk_build(&initial).unwrap();
 
     let version = AtomicU64::new(0);
@@ -61,7 +71,11 @@ fn concurrent_queries_interleaved_with_locked_updates_match_oracle() {
         .insert(0, Oracle::from_points(&initial));
 
     // Points the updater will insert (disjoint coordinates/scores) and delete.
-    let incoming = points(2, 10_000, (BATCHES as usize * BATCH) as u64 / 2);
+    let incoming = points(
+        seed.derive(2),
+        10_000,
+        (BATCHES as usize * BATCH) as u64 / 2,
+    );
     let x_max = 50_000u64;
 
     std::thread::scope(|scope| {
@@ -332,6 +346,75 @@ fn sharded_multi_writer_batches_are_atomic_and_rebalance_is_never_torn() {
         device.space_blocks(),
         "alloc/free counters drifted under parallel writers"
     );
+}
+
+#[test]
+fn recorded_histories_admit_witness_orderings_under_rebalance() {
+    // The generalized stamp-window check: generated disjoint-territory
+    // writer schedules race spanning readers against the sharded topology,
+    // with a dedicated thread forcing repartitions mid-flight. Every op is
+    // recorded with its commit stamps (testkit hooks), and the checker
+    // must explain every recorded answer by a committed version inside its
+    // window — rebalances consume stamps but move no points, so the
+    // witness search must see straight through them.
+    use topk_testkit::{check, generate_concurrent, BatchItem, Recorder, Topology, TraceOp};
+
+    const WRITERS: usize = 4;
+    const READERS: usize = 3;
+    let seed = Seed::from_env(0x5EC0);
+    let context = format!("seed={seed}; {}", seed.repro("concurrency"));
+    let plan = generate_concurrent(seed.derive(9), WRITERS, 150, 100, READERS, 80);
+    let (_device, handle) = Topology::Sharded(WRITERS).build(plan.preload.len() * 2);
+    let recorder = Recorder::new(handle, &plan.preload).unwrap();
+
+    std::thread::scope(|scope| {
+        let recorder = &recorder;
+        for ops in &plan.writer_ops {
+            scope.spawn(move || {
+                for op in ops {
+                    match op {
+                        TraceOp::Insert(p) => recorder
+                            .insert(*p)
+                            .expect("territory inserts are collision-free"),
+                        TraceOp::Delete(p) => {
+                            assert!(recorder.delete(*p).expect("delete is infallible"));
+                        }
+                        TraceOp::Batch(items) => {
+                            let batch = UpdateBatch::from_ops(items.iter().map(|i| match i {
+                                BatchItem::Insert(p) => UpdateOp::Insert(*p),
+                                BatchItem::Delete(p) => UpdateOp::Delete(*p),
+                            }));
+                            recorder.apply(&batch).expect("territory batches are valid");
+                        }
+                        other => unreachable!("writer schedules only update: {other}"),
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        for queries in &plan.reader_queries {
+            scope.spawn(move || {
+                for &(x1, x2, k) in queries {
+                    recorder.query(x1, x2, k).expect("reader queries are valid");
+                }
+            });
+        }
+        // The repartition thread: rebalances consume commit stamps while
+        // writers and readers are mid-flight.
+        scope.spawn(move || {
+            if let topk_core::TopK::Sharded(sharded) = recorder.handle() {
+                for _ in 0..8 {
+                    sharded.rebalance_now();
+                    std::thread::yield_now();
+                }
+            }
+        });
+    });
+
+    let history = recorder.into_history();
+    let report = check(&history).unwrap_or_else(|v| panic!("{v}; {context}"));
+    assert_eq!(report.queries, READERS * 80, "{context}");
+    assert!(report.writes > 0, "{context}");
 }
 
 #[test]

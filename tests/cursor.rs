@@ -14,10 +14,13 @@ use std::sync::Arc;
 
 use baselines::NaiveTopK;
 use emsim::{Device, EmConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use topk::{
     ConcurrentTopK, Consistency, Point, QueryRequest, RankedIndex, ResumeToken, ShardedTopK, TopK,
     TopKError, TopKIndex,
 };
+use topk_testkit::Seed;
 use workload::{PointDistribution, PointGen};
 
 const N: usize = 1500;
@@ -275,6 +278,216 @@ fn cursors_come_from_arcs_and_the_ranked_index_extension() {
         naive.cursor(QueryRequest::range(0, 10).top(1)),
         Err(TopKError::InvalidConfig { .. })
     ));
+}
+
+#[test]
+fn per_round_cursors_never_resurrect_deleted_points() {
+    // Delete-under-open-cursor, the PerRound contract: a point emitted and
+    // then deleted must never be yielded again (no stale score twice), a
+    // not-yet-emitted point deleted between rounds must never appear, and
+    // the concatenation must stay strictly descending.
+    for (name, _dev, handle) in topologies() {
+        let pts: Vec<Point> = (1..=100u64).map(|i| Point::new(i * 10, i * 100)).collect();
+        handle.bulk_build(&pts).unwrap();
+        let mut cursor = handle
+            .cursor(QueryRequest::range(0, u64::MAX).top(100).page_size(10))
+            .unwrap();
+        let first = cursor.next_batch().unwrap();
+        assert_eq!(first.len(), 10);
+        let emitted_victim = first[3]; // already yielded: must not reappear
+        let pending_victim = Point::new(50 * 10, 50 * 100); // below the mark
+        assert!(handle.delete(emitted_victim).unwrap(), "{name}");
+        assert!(handle.delete(pending_victim).unwrap(), "{name}");
+        let mut rest = Vec::new();
+        loop {
+            let batch = cursor.next_batch().unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            rest.extend(batch);
+        }
+        assert!(
+            !rest.contains(&emitted_victim) && !rest.contains(&pending_victim),
+            "{name}: a deleted point was yielded after its delete"
+        );
+        let mut all = first.clone();
+        all.extend(&rest);
+        assert!(
+            all.windows(2).all(|w| w[0].score > w[1].score),
+            "{name}: concatenation must stay strictly descending"
+        );
+        // 100 live at the first round, minus the pending victim; the
+        // emitted victim was yielded once (before its delete), never twice.
+        assert_eq!(all.len(), 99, "{name}");
+        assert_eq!(all.iter().filter(|p| **p == emitted_victim).count(), 1);
+        handle.insert(emitted_victim).unwrap();
+        handle.insert(pending_victim).unwrap();
+    }
+}
+
+#[test]
+fn delete_heavy_pagination_matches_the_oracle_exactly() {
+    // Delete-heavy paging: between every pair of rounds a batch of random
+    // live points disappears. Each PerRound page must equal the oracle's
+    // strictly-below-the-mark prefix of the *current* state.
+    let seed = Seed::from_env(0xDE1C);
+    let repro = seed.repro("cursor");
+    for (name, _dev, handle) in topologies() {
+        let mut rng = StdRng::seed_from_u64(seed.derive(0xD0));
+        let pts = PointGen::uniform(seed.derive(0xD1)).generate(600);
+        handle.bulk_build(&pts).unwrap();
+        let oracle_dev = device();
+        let oracle = NaiveTopK::new(&oracle_dev, "oracle");
+        oracle.bulk_build(&pts).unwrap();
+        let mut live = pts.clone();
+        let mut cursor = handle
+            .cursor(QueryRequest::range(0, u64::MAX).top(400).page_size(16))
+            .unwrap();
+        let mut low_water: Option<u64> = None;
+        let mut emitted = 0usize;
+        while emitted < 400 {
+            let batch = cursor.next_batch().unwrap();
+            let total = oracle.count_in_range(0, u64::MAX).unwrap() as usize;
+            let expect: Vec<Point> = oracle
+                .query(0, u64::MAX, total.max(1))
+                .unwrap()
+                .into_iter()
+                .filter(|p| low_water.is_none_or(|mark| p.score < mark))
+                .take(16.min(400 - emitted))
+                .collect();
+            assert_eq!(batch, expect, "{name}: page after deletes; {repro}");
+            if batch.is_empty() {
+                break;
+            }
+            emitted += batch.len();
+            low_water = batch.last().map(|p| p.score);
+            // Delete a handful of random live points before the next round.
+            for _ in 0..8.min(live.len()) {
+                let victim = live.swap_remove(rng.gen_range(0..live.len()));
+                assert!(handle.delete(victim).unwrap(), "{name}; {repro}");
+                assert!(oracle.delete(victim).unwrap(), "{name}; {repro}");
+            }
+        }
+    }
+}
+
+#[test]
+fn strict_cursors_surface_invalidation_on_deletes() {
+    // The Strict half of the delete-under-open-cursor contract: any delete
+    // between rounds — even of a point the cursor already emitted — must
+    // surface SnapshotInvalidated, on every topology.
+    for (name, _dev, handle) in topologies() {
+        let pts = PointGen::uniform(77).generate(400);
+        handle.bulk_build(&pts).unwrap();
+        let mut cursor = handle
+            .cursor(
+                QueryRequest::range(0, u64::MAX)
+                    .top(100)
+                    .page_size(10)
+                    .consistency(Consistency::Strict),
+            )
+            .unwrap();
+        let first = cursor.next_batch().unwrap();
+        assert_eq!(first.len(), 10, "{name}");
+        assert!(handle.delete(first[0]).unwrap(), "{name}");
+        let err = cursor.next_batch().unwrap_err();
+        assert!(
+            matches!(err, TopKError::SnapshotInvalidated { .. }),
+            "{name}: delete must invalidate a strict cursor, got {err:?}"
+        );
+        handle.insert(first[0]).unwrap();
+    }
+}
+
+#[test]
+fn adversarial_resume_tokens_error_and_never_panic() {
+    // Truncated / bit-flipped / field-swapped `topkcur1;…` strings must
+    // return a parse error, never panic — and a mutant that still parses
+    // must behave as a well-formed token: resuming from it yields at most
+    // k strictly-descending results, all below its low-water mark.
+    let (_, _dev, handle) = topologies().remove(0);
+    let pts = PointGen::uniform(5).generate(300);
+    handle.bulk_build(&pts).unwrap();
+    let mut cursor = handle
+        .cursor(QueryRequest::range(0, u64::MAX).top(60).page_size(20))
+        .unwrap();
+    cursor.next_batch().unwrap();
+    let wire = cursor.token().to_string();
+    drop(cursor);
+
+    let mut mutants: Vec<String> = Vec::new();
+    // Every truncation.
+    for cut in 0..wire.len() {
+        mutants.push(wire[..cut].to_string());
+    }
+    // Single-character substitutions ("bit flips" in the printable space).
+    for idx in 0..wire.len() {
+        for sub in ['0', '9', ';', '=', '-', ':', 'x', '\u{0}'] {
+            let mut bytes = wire.clone().into_bytes();
+            bytes[idx] = sub as u8;
+            if let Ok(s) = String::from_utf8(bytes) {
+                mutants.push(s);
+            }
+        }
+    }
+    // Field swaps, drops and duplications.
+    let fields: Vec<&str> = wire.split(';').collect();
+    for i in 1..fields.len() {
+        for j in 1..fields.len() {
+            if i != j {
+                let mut swapped = fields.clone();
+                swapped.swap(i, j);
+                mutants.push(swapped.join(";"));
+            }
+        }
+        let mut dropped = fields.clone();
+        dropped.remove(i);
+        mutants.push(dropped.join(";"));
+        let mut duplicated = fields.clone();
+        duplicated.push(fields[i]);
+        mutants.push(duplicated.join(";"));
+    }
+    // Inconsistent positions a tamperer could hand-build.
+    mutants.push("topkcur1;r=0-100;k=10;f=0;c=p;g=-;e=5;w=-;v=-".into());
+    mutants.push("topkcur1;r=0-100;k=10;f=0;c=p;g=-;e=0;w=9:9;v=-".into());
+
+    let mut parsed_ok = 0usize;
+    for mutant in &mutants {
+        match mutant.parse::<ResumeToken>() {
+            Err(_) => {} // the expected outcome for malformed strings
+            Ok(token) => {
+                parsed_ok += 1;
+                // A parseable mutant is a well-formed token (e.g. swapped
+                // field order): resuming must honour its own contract — at
+                // most its own k results, strictly descending (no point
+                // yielded twice), and nothing at or above its low-water
+                // mark re-emitted.
+                let mark = mutant
+                    .split(';')
+                    .find_map(|f| f.strip_prefix("w="))
+                    .and_then(|v| v.split_once(':'))
+                    .and_then(|(score, _)| score.parse::<u64>().ok());
+                if let Ok(resumed) = handle.cursor(QueryRequest::after(&token)) {
+                    let got: Vec<Point> = resumed.map(Result::unwrap).collect();
+                    assert!(got.len() <= 300, "runaway cursor from {mutant:?}");
+                    assert!(
+                        got.windows(2).all(|w| w[0].score > w[1].score),
+                        "duplicated/unordered results from {mutant:?}"
+                    );
+                    if let Some(mark) = mark {
+                        assert!(
+                            got.iter().all(|p| p.score < mark),
+                            "{mutant:?} re-emitted at/above its low-water mark"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Sanity on the harness itself: the unmutated wire parses, and field
+    // order is genuinely immaterial (so some swaps parse too).
+    assert!(wire.parse::<ResumeToken>().is_ok());
+    assert!(parsed_ok > 0, "no mutant parsed — the swap cases regressed");
 }
 
 #[test]

@@ -1,213 +1,77 @@
-//! Seeded differential stress harness for the sharded index.
+//! Seeded differential stress harness, on the `topk_testkit` subsystem.
 //!
 //! Concurrency and partitioning bugs are exactly the ones a fixed unit test
-//! misses, so this harness replays long mixed insert/delete/query/batch
-//! workloads — generated by `workload::PointGen` under **all five**
-//! `PointDistribution`s — simultaneously against three engines:
+//! misses, so this harness generates long mixed
+//! insert/delete/query/batch/cursor workloads — seeded traces from
+//! `topk_testkit::gen` under **all five** `workload::PointDistribution`s —
+//! and replays them against **every serving topology** (`single`,
+//! `concurrent`, `sharded-{1,4,16}`) under full differential checking
+//! against the `NaiveTopK` scan spec: every query answer, count, batch
+//! summary, cursor page and token round-trip is compared, with periodic
+//! length/ranking/invariant deep checks (this machinery previously lived
+//! inline here; PR 5 moved it into `crates/testkit` so every harness
+//! shares it).
 //!
-//! * `ShardedTopK` with shard counts {1, 4, 16} (the structure under test),
-//! * the unsharded `TopKIndex` (same paper structure, no routing), and
-//! * `baselines::NaiveTopK` (the scan oracle).
-//!
-//! After every operation all three answers must match *exactly*. Every case
-//! is derived from a single seed; set `STRESS_SEED=<n>` to replay a CI
-//! failure locally — each assertion message carries the one-command repro
-//! line.
+//! Every case is derived from a single seed; set `TOPK_SEED=<n>` to replay
+//! a CI failure locally. On divergence the shrinker writes a minimal
+//! `target/repro/*.trace` and the panic message carries both the
+//! seed-level repro line and the one-command trace replay.
 
-use baselines::NaiveTopK;
-use emsim::{Device, EmConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use topk::{RankedIndex, ShardedTopK, TopKIndex, UpdateBatch, UpdateOp};
-use workload::{PointDistribution, PointGen};
+use topk_testkit::{generate, replay_or_shrink, OpMix, Seed, Topology, TraceSpec, DISTRIBUTIONS};
 
-const PRELOAD: usize = 900;
-const EXTRA: usize = 600;
-const OPS: usize = 450;
-
-const DISTRIBUTIONS: [PointDistribution; 5] = [
-    PointDistribution::Uniform,
-    PointDistribution::Correlated,
-    PointDistribution::AntiCorrelated,
-    PointDistribution::SortedInsertions,
-    PointDistribution::Clustered,
-];
-
-/// The seeds a run covers: the fixed default matrix, or a single seed from
-/// the `STRESS_SEED` environment variable (how CI failures are replayed).
-fn seeds() -> Vec<u64> {
-    match std::env::var("STRESS_SEED") {
-        Ok(s) => vec![s
-            .parse()
-            .expect("STRESS_SEED must be an unsigned integer seed")],
-        Err(_) => vec![0xD1F5],
-    }
-}
-
-fn repro(seed: u64) -> String {
-    format!("repro: STRESS_SEED={seed} cargo test --test sharded_stress -- --nocapture")
-}
-
-struct Case {
-    sharded: ShardedTopK,
-    unsharded: TopKIndex,
-    naive: NaiveTopK,
-}
-
-impl Case {
-    fn engines(&self) -> [(&'static str, &dyn RankedIndex); 3] {
-        [
-            ("sharded", &self.sharded),
-            ("unsharded", &self.unsharded),
-            ("naive", &self.naive),
-        ]
-    }
-
-    fn check_query(&self, x1: u64, x2: u64, k: usize, ctx: &str) {
-        let expect = self.naive.query(x1, x2, k).unwrap();
-        let expect_count = self.naive.count_in_range(x1, x2).unwrap();
-        for (name, engine) in [
-            ("sharded", &self.sharded as &dyn RankedIndex),
-            ("unsharded", &self.unsharded),
-        ] {
-            assert_eq!(
-                engine.query(x1, x2, k).unwrap(),
-                expect,
-                "{name} diverged on query([{x1},{x2}], k={k}); {ctx}"
-            );
-            assert_eq!(
-                engine.count_in_range(x1, x2).unwrap(),
-                expect_count,
-                "{name} diverged on count([{x1},{x2}]); {ctx}"
-            );
+#[test]
+fn every_topology_matches_the_spec_across_distributions() {
+    for seed in Seed::matrix(&[0xD1F5]) {
+        for distribution in DISTRIBUTIONS {
+            let spec = TraceSpec {
+                preload: 600,
+                ops: 400,
+                ..TraceSpec::new(distribution, seed.derive(distribution as u64))
+            };
+            let trace = generate(&spec);
+            for topology in Topology::ALL {
+                replay_or_shrink(
+                    &trace,
+                    topology,
+                    &format!("stress-{distribution:?}-{topology}-{seed}"),
+                    &format!(
+                        "dist={distribution:?} topology={topology} seed={seed}; {}",
+                        seed.repro("sharded_stress")
+                    ),
+                );
+            }
         }
     }
-}
-
-fn run_case(distribution: PointDistribution, shards: usize, seed: u64) {
-    let ctx = format!(
-        "dist={distribution:?} shards={shards} seed={seed}; {}",
-        repro(seed)
-    );
-    let gen = PointGen { distribution, seed };
-    let all = gen.generate(PRELOAD + EXTRA);
-    let (preload, fresh) = all.split_at(PRELOAD);
-    let x_max = all.iter().map(|p| p.x).max().unwrap_or(1) + 2;
-
-    let device = Device::new(EmConfig::new(256, 256 * 128));
-    let case = Case {
-        sharded: ShardedTopK::builder()
-            .device(&device)
-            .shards(shards)
-            .expected_n(PRELOAD + EXTRA)
-            .crossover_l(64)
-            .build_sharded()
-            .unwrap_or_else(|e| panic!("builder rejected shards={shards}: {e}; {ctx}")),
-        unsharded: TopKIndex::builder()
-            .device(&device)
-            .expected_n(PRELOAD + EXTRA)
-            .crossover_l(64)
-            .build()
-            .unwrap(),
-        naive: NaiveTopK::new(&device, "stress-oracle"),
-    };
-    for (name, engine) in case.engines() {
-        engine
-            .bulk_build(preload)
-            .unwrap_or_else(|e| panic!("{name} bulk_build failed: {e}; {ctx}"));
-    }
-
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x57E55);
-    let mut live: Vec<_> = preload.to_vec();
-    let mut fresh_cursor = 0usize;
-    for step in 0..OPS {
-        let step_ctx = format!("step {step}; {ctx}");
-        let roll: f64 = rng.gen();
-        if roll < 0.40 {
-            // Query: random range and k, covering both query regimes.
-            let a = rng.gen_range(0..x_max);
-            let b = rng.gen_range(a..=x_max);
-            let ks = [1usize, 2, 7, 31, 63, 64, 65, 200, 1000];
-            let k = ks[rng.gen_range(0..ks.len())];
-            case.check_query(a, b, k, &step_ctx);
-        } else if roll < 0.65 && fresh_cursor < fresh.len() {
-            // Point insert of a fresh, collision-free point.
-            let p = fresh[fresh_cursor];
-            fresh_cursor += 1;
-            live.push(p);
-            for (name, engine) in case.engines() {
-                engine
-                    .insert(p)
-                    .unwrap_or_else(|e| panic!("{name} insert({p:?}) failed: {e}; {step_ctx}"));
-            }
-        } else if roll < 0.85 && !live.is_empty() {
-            // Point delete of a random live point.
-            let victim = live.swap_remove(rng.gen_range(0..live.len()));
-            for (name, engine) in case.engines() {
-                let deleted = engine.delete(victim).unwrap_or_else(|e| {
-                    panic!("{name} delete({victim:?}) failed: {e}; {step_ctx}")
-                });
-                assert!(deleted, "{name} missed live point {victim:?}; {step_ctx}");
-            }
-        } else {
-            // Batch: a mixed run of deletes and fresh inserts applied as one
-            // atomic unit (the naive engine applies it point-wise through
-            // the RankedIndex default — the summaries must still agree).
-            let mut batch = UpdateBatch::new();
-            let dels = rng.gen_range(0..=8.min(live.len()));
-            for _ in 0..dels {
-                let victim = live.swap_remove(rng.gen_range(0..live.len()));
-                batch.push(UpdateOp::Delete(victim));
-            }
-            let inss = rng.gen_range(1..=12.min(fresh.len() - fresh_cursor).max(1));
-            for _ in 0..inss {
-                if fresh_cursor >= fresh.len() {
-                    break;
-                }
-                let p = fresh[fresh_cursor];
-                fresh_cursor += 1;
-                live.push(p);
-                batch.push(UpdateOp::Insert(p));
-            }
-            if batch.is_empty() {
-                continue;
-            }
-            let mut summaries = Vec::new();
-            for (name, engine) in case.engines() {
-                let summary = engine
-                    .apply(&batch)
-                    .unwrap_or_else(|e| panic!("{name} batch failed: {e}; {step_ctx}"));
-                summaries.push((name, summary));
-            }
-            assert!(
-                summaries.windows(2).all(|w| w[0].1 == w[1].1),
-                "batch summaries diverged: {summaries:?}; {step_ctx}"
-            );
-        }
-        if step % 90 == 0 {
-            // Periodic deep check: sizes, the global ranking, invariants.
-            for (name, engine) in case.engines() {
-                assert_eq!(engine.len(), live.len() as u64, "{name} len; {step_ctx}");
-            }
-            case.check_query(0, u64::MAX, live.len().max(1), &step_ctx);
-            case.sharded.check_invariants();
-        }
-    }
-    // Final exhaustive agreement.
-    for (name, engine) in case.engines() {
-        assert_eq!(engine.len(), live.len() as u64, "{name} final len; {ctx}");
-    }
-    case.check_query(0, u64::MAX, live.len().max(1), &ctx);
-    case.check_query(x_max / 4, 3 * x_max / 4, 50, &ctx);
-    case.sharded.check_invariants();
 }
 
 #[test]
-fn sharded_matches_oracle_across_distributions_and_shard_counts() {
-    for seed in seeds() {
+fn delete_heavy_workloads_match_the_spec() {
+    // The regime that exposed the ePST seed bugs (and the pilot pull-up
+    // bug): heavy deletes drain caches and pilot sets, forcing the refill
+    // and pull-up paths while queries and cursors keep checking answers.
+    for seed in Seed::matrix(&[0xDE1E]) {
         for distribution in DISTRIBUTIONS {
-            for shards in [1usize, 4, 16] {
-                run_case(distribution, shards, seed);
+            let spec = TraceSpec {
+                preload: 700,
+                ops: 500,
+                mix: OpMix::delete_heavy(),
+                ..TraceSpec::new(distribution, seed.derive(0x6F ^ distribution as u64))
+            };
+            let trace = generate(&spec);
+            for topology in [
+                Topology::Single,
+                Topology::Sharded(4),
+                Topology::Sharded(16),
+            ] {
+                replay_or_shrink(
+                    &trace,
+                    topology,
+                    &format!("delete-heavy-{distribution:?}-{topology}-{seed}"),
+                    &format!(
+                        "dist={distribution:?} topology={topology} seed={seed}; {}",
+                        seed.repro("sharded_stress")
+                    ),
+                );
             }
         }
     }
