@@ -1,0 +1,98 @@
+//! CI perf-sanity gate: a quick k-sweep on a small index that fails (exit
+//! code 1) if queries/sec drops by more than 4× between adjacent k steps.
+//!
+//! This is a cliff detector, not a benchmark. The incremental-escalation
+//! work (persistent descent frontier + bulk pulls, DESIGN.md §6) makes
+//! query cost near-linear in k: the measured worst adjacent-step drop is
+//! ~2× (at a k doubling, cost at most doubles). A regression that
+//! reintroduces per-round re-descent shows up as a super-linear step —
+//! 4×+ between neighbours — long before it reaches the old cliff's 16×.
+//! The 4× threshold leaves ~2× of headroom for shared-runner noise, and
+//! each step takes the best of three timed repeats so one scheduling
+//! stall cannot fake a cliff.
+//!
+//! The full sweep (bigger n, JSON export) lives in the `query_scaling`
+//! bench; this binary trades coverage for a sub-second runtime so it can
+//! gate every CI push.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use topk_bench::{build_index, small_machine, uniform_points};
+use topk_core::{RankedIndex, SmallKEngine};
+use workload::{Query, QueryGen};
+
+const REPEATS: usize = 3;
+const MIN_WINDOW_MS: u128 = 60;
+const MAX_ADJACENT_DROP: f64 = 4.0;
+
+/// Best-of-`REPEATS` queries/sec, each repeat a ≥ `MIN_WINDOW_MS` timed
+/// loop over the whole query list (warm-up pass first).
+fn queries_per_sec(index: &dyn RankedIndex, queries: &[Query]) -> f64 {
+    let run = || {
+        for q in queries {
+            std::hint::black_box(index.query(q.x1, q.x2, q.k).unwrap());
+        }
+    };
+    run();
+    let mut best = 0f64;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let mut passes = 0usize;
+        while start.elapsed().as_millis() < MIN_WINDOW_MS {
+            run();
+            passes += 1;
+        }
+        let qps = (passes * queries.len()) as f64 / start.elapsed().as_secs_f64();
+        best = best.max(qps);
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    // Same machine and crossover as the query_scaling k sweep, smaller n
+    // for speed. Selectivity 0.25 puts ~4096 points in a typical window,
+    // so the k = 2048 step still does real deep-pull work.
+    let n = 1usize << 14;
+    let pts = uniform_points(11, n);
+    let index = build_index(small_machine(), SmallKEngine::Polylog, 128, &pts);
+
+    println!("perf_sanity — k sweep at n = {n}, 25% selectivity");
+    println!(
+        "{:>8} {:>14} {:>12} {:>10}",
+        "k", "queries/sec", "us/query", "step"
+    );
+    let mut prev: Option<(usize, f64)> = None;
+    let mut worst: Option<(usize, usize, f64)> = None;
+    for k in (0..=11).map(|e| 1usize << e) {
+        let queries = QueryGen::new(0.25, k, 5).generate(&pts, 8);
+        let qps = queries_per_sec(&index, &queries);
+        let step = prev.map(|(_, p)| p / qps);
+        println!(
+            "{k:>8} {qps:>14.0} {:>12.1} {:>10}",
+            1e6 / qps,
+            step.map_or("-".into(), |s| format!("{s:.2}x")),
+        );
+        if let (Some((pk, _)), Some(s)) = (prev, step) {
+            if worst.is_none_or(|(_, _, w)| s > w) {
+                worst = Some((pk, k, s));
+            }
+        }
+        prev = Some((k, qps));
+    }
+
+    match worst {
+        Some((pk, k, s)) if s > MAX_ADJACENT_DROP => {
+            eprintln!(
+                "perf_sanity FAIL: throughput dropped {s:.2}x from k = {pk} to k = {k} \
+                 (gate: {MAX_ADJACENT_DROP}x) — a k-cliff is back in the query hot path"
+            );
+            ExitCode::FAILURE
+        }
+        _ => {
+            let (pk, k, s) = worst.expect("sweep has at least two steps");
+            println!("perf_sanity OK: worst adjacent drop {s:.2}x (k = {pk} -> {k}), gate {MAX_ADJACENT_DROP}x");
+            ExitCode::SUCCESS
+        }
+    }
+}

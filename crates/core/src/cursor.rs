@@ -30,6 +30,23 @@
 //!   [`TopKError::SnapshotInvalidated`] instead of silently continuing
 //!   against a moved snapshot.
 //!
+//! # Incremental rounds
+//!
+//! The cursor does not re-run a top-`cap` query per round. It keeps a
+//! stamp-gated [`FrontierCache`]: one resumable engine drain
+//! ([`ThreeSidedDrain`] / [`PilotDrain`]) per canonical range — per
+//! overlapping `(range, shard)` pair on the sharded topology — plus the
+//! heads of a k-way merge over them. A round re-acquires the topology's
+//! read side, and if the observed version stamp equals the cached one
+//! (no write committed in between, so every saved frontier still describes
+//! the live trees) it resumes the merge exactly where the previous round
+//! stopped: only pages *below* the previous low-water mark are touched,
+//! so paginating `k` points in `r` rounds costs `O(log_B n + k/B)` I/Os
+//! total, not per round. When the stamp moved, [`Consistency::PerRound`]
+//! rebuilds the drains with the low-water score as their ceiling (the next
+//! round is a fresh threshold-set of the *current* state below the mark),
+//! and [`Consistency::Strict`] surfaces the invalidation instead.
+//!
 //! # Resume tokens
 //!
 //! Because the position is just `(request, emitted, low-water mark,
@@ -49,12 +66,13 @@
 use std::collections::BinaryHeap;
 use std::str::FromStr;
 
-use epst::Point;
+use epst::{PilotDrain, Point, ThreeSidedDrain};
 
 use crate::error::{Result, TopKError};
 use crate::facade::TopK;
+use crate::index::TopKIndex;
 use crate::query::{Consistency, QueryRequest, ResumeState};
-use crate::sharded::{MergeEntry, ShardedResults};
+use crate::sharded::MergeEntry;
 
 /// First fetch-round size when [`QueryRequest::page_size`] is not pinned;
 /// later rounds double, mirroring the escalating rounds of the borrowing
@@ -109,10 +127,10 @@ pub struct QueryCursor {
     version: Option<u64>,
     /// Next round size when no page size is pinned.
     next_size: usize,
-    /// Stream cap the last round ended at: rounds start from it instead of
-    /// re-escalating, so a prefix inflated by interleaved higher-score
-    /// inserts is paid for once, not once per round.
-    cap_hint: usize,
+    /// The resumable per-lane drains and merge heads of the previous round,
+    /// valid while the index's version stamp has not moved (module docs,
+    /// *Incremental rounds*).
+    frontier: Option<FrontierCache>,
     done: bool,
     /// Buffer feeding the point-wise `Iterator` impl.
     buf: std::vec::IntoIter<Point>,
@@ -141,7 +159,7 @@ impl QueryCursor {
             low_water,
             version,
             next_size: INITIAL_ROUND,
-            cap_hint: 0,
+            frontier: None,
             done: emitted >= request.k(),
             buf: Vec::new().into_iter(),
         })
@@ -199,47 +217,79 @@ impl QueryCursor {
             .min(self.k - self.emitted)
             .max(1);
         let target = self.target.clone();
-        let ranges = self.ranges.clone();
-        let min_score = self.min_score;
-        let start_cap = self.emitted.saturating_add(need).max(self.cap_hint).max(1);
-        let (points, exhausted, cap_used) = match &target {
+        let (points, exhausted) = match &target {
             TopK::Single(index) => {
-                self.observe_version(index.version())?;
-                drain_round(need, start_cap, self.low_water, min_score, |cap| {
-                    Ok(ranges
-                        .iter()
-                        .map(|&(x1, x2)| RoundStream::eager(index.query_unvalidated(x1, x2, cap)))
-                        .collect())
-                })?
+                let stamp = index.version();
+                self.observe_version(stamp)?;
+                let lanes: Vec<Lane<'_>> = self
+                    .ranges
+                    .iter()
+                    .map(|&(x1, x2)| Lane { x1, x2, index })
+                    .collect();
+                round(
+                    &mut self.frontier,
+                    &lanes,
+                    stamp,
+                    need,
+                    self.k,
+                    self.min_score,
+                    self.low_water,
+                )
             }
             TopK::Concurrent(index) => {
                 let guard = index.read();
-                self.observe_version(guard.version())?;
-                drain_round(need, start_cap, self.low_water, min_score, |cap| {
-                    Ok(ranges
-                        .iter()
-                        .map(|&(x1, x2)| RoundStream::eager(guard.query_unvalidated(x1, x2, cap)))
-                        .collect())
-                })?
+                let stamp = guard.version();
+                self.observe_version(stamp)?;
+                let lanes: Vec<Lane<'_>> = self
+                    .ranges
+                    .iter()
+                    .map(|&(x1, x2)| Lane {
+                        x1,
+                        x2,
+                        index: &guard,
+                    })
+                    .collect();
+                round(
+                    &mut self.frontier,
+                    &lanes,
+                    stamp,
+                    need,
+                    self.k,
+                    self.min_score,
+                    self.low_water,
+                )
             }
             TopK::Sharded(index) => {
-                let span = (ranges[0].0, ranges.last().expect("validated").1);
+                let span = (self.ranges[0].0, self.ranges.last().expect("validated").1);
                 let guard = index.read_span(span.0, span.1);
-                self.observe_version(guard.version())?;
-                drain_round(need, start_cap, self.low_water, min_score, |cap| {
-                    ranges
-                        .iter()
-                        .map(|&(x1, x2)| {
-                            guard
-                                .stream(QueryRequest::range(x1, x2).top(cap))
-                                .map(RoundStream::Fanned)
-                        })
-                        .collect()
-                })?
+                let stamp = guard.version();
+                self.observe_version(stamp)?;
+                // One lane per overlapping (range, shard) pair: each shard
+                // escalates from its own saved frontier, and the merge pulls
+                // a shard only as far as it actually consumes it.
+                let mut lanes = Vec::new();
+                for &(x1, x2) in &self.ranges {
+                    let (lo, hi) = guard.overlap_held(x1, x2);
+                    for id in lo..=hi {
+                        lanes.push(Lane {
+                            x1,
+                            x2,
+                            index: guard.shard(id),
+                        });
+                    }
+                }
+                round(
+                    &mut self.frontier,
+                    &lanes,
+                    stamp,
+                    need,
+                    self.k,
+                    self.min_score,
+                    self.low_water,
+                )
             }
         };
         self.emitted += points.len();
-        self.cap_hint = cap_used;
         if let Some(last) = points.last() {
             self.low_water = Some((last.score, last.x));
         }
@@ -313,122 +363,122 @@ impl Iterator for QueryCursor {
 
 impl std::iter::FusedIterator for QueryCursor {}
 
-/// One per-subrange stream inside a fetch round, over whichever engine the
-/// round's guard exposes.
-enum RoundStream<'g> {
-    /// An eagerly fetched top-`cap` answer from one unsharded index. A
-    /// cursor round consumes (or skips past) essentially its whole cap, so
-    /// the eager single-pass fetch beats the lazily escalating
-    /// [`TopKResults`](crate::TopKResults), whose doubling passes would
-    /// re-read the emitted prefix several times per round.
-    Eager {
-        /// The exact top-`cap` of the subrange, descending.
-        points: std::vec::IntoIter<Point>,
-        /// How many the merge consumed (the cap-detection signal).
-        yielded: usize,
-    },
-    /// A sharded fan-out merge: kept lazy, because the emitted prefix is
-    /// spread across shards and each shard should only be escalated as far
-    /// as the merge actually consumes it.
-    Fanned(ShardedResults<'g>),
+/// One merge lane of a fetch round: a canonical subrange against the index
+/// (or, on the sharded topology, one shard) that answers it. Lanes are
+/// derived fresh from each round's guard; the *drains* over them persist in
+/// the [`FrontierCache`] across rounds.
+struct Lane<'g> {
+    x1: u64,
+    x2: u64,
+    index: &'g TopKIndex,
 }
 
-impl RoundStream<'_> {
-    fn eager(points: Vec<Point>) -> Self {
-        RoundStream::Eager {
-            points: points.into_iter(),
-            yielded: 0,
+/// One lane's resumable drain, over whichever engine serves the cursor's
+/// total ask: the §2 pilot structure when `k` is large enough to amortize
+/// its fixed `lg n` constant, the three-sided reporter otherwise — the same
+/// dispatch as the eager query path.
+enum RangeDrain {
+    Rep(ThreeSidedDrain),
+    Pilot(PilotDrain),
+}
+
+impl RangeDrain {
+    fn open(lane: &Lane<'_>, k: usize, lo: u64, hi: u64) -> Self {
+        if k >= lane.index.config().l {
+            RangeDrain::Pilot(lane.index.pilot().drain_window(lane.x1, lane.x2, lo, hi))
+        } else {
+            RangeDrain::Rep(lane.index.reporter().drain_window(lane.x1, lane.x2, lo, hi))
         }
     }
 
-    fn next(&mut self) -> Option<Point> {
+    /// The drain's next point, if any. The merge consumes lanes one point
+    /// at a time, so a lane is only ever descended as far as the merge
+    /// actually emits from it.
+    fn pull_one(&mut self, index: &TopKIndex, scratch: &mut Vec<Point>) -> Option<Point> {
+        scratch.clear();
         match self {
-            RoundStream::Eager { points, yielded } => {
-                let p = points.next();
-                if p.is_some() {
-                    *yielded += 1;
-                }
-                p
-            }
-            RoundStream::Fanned(s) => s.next(),
-        }
+            RangeDrain::Rep(d) => d.pull(index.reporter(), 1, scratch),
+            RangeDrain::Pilot(d) => d.pull(index.pilot(), 1, scratch),
+        };
+        scratch.pop()
     }
+}
 
-    /// Points handed to the merge so far. A stream that ends having yielded
-    /// exactly its cap may be hiding more behind the emitted prefix; one
-    /// that ends short of it is truly drained (any unconsumed eager points
-    /// sit below the merge's stopping score, so they cannot flip that
-    /// verdict).
-    fn emitted(&self) -> usize {
-        match self {
-            RoundStream::Eager { yielded, .. } => *yielded,
-            RoundStream::Fanned(s) => s.emitted(),
-        }
-    }
+/// The cursor's saved position *inside* the engines: one resumable drain
+/// per lane plus the pending head of each (pulled but not yet emitted),
+/// all valid exactly while the index's version stamp equals `stamp` —
+/// equal stamps witness that no write committed, so the saved frontiers
+/// still describe the live trees. A round that observes the same stamp
+/// resumes here and touches only pages below the previous low-water mark.
+struct FrontierCache {
+    stamp: u64,
+    drains: Vec<RangeDrain>,
+    /// The k-way merge heads, one per non-exhausted lane (`slot` indexes
+    /// `drains`). Persisted so a point pulled at a round boundary is
+    /// emitted by the next round instead of being lost.
+    heads: BinaryHeap<MergeEntry>,
 }
 
 /// One fetch round against one consistent view of the index (the caller
-/// holds whatever guard `make` captures): merge per-subrange streams in
-/// descending score order, skip everything at or above the low-water mark
-/// (the already-emitted prefix plus any concurrently-inserted higher
-/// scorers), and collect up to `need` fresh points at or above `min_score`.
-///
-/// Each stream starts capped at `start_cap` (at least `emitted + need`,
-/// enough to cover the worst case where the whole emitted prefix sits in
-/// one subrange). If the merge drains with some stream cut off *at* its
-/// cap, deeper points may be hiding behind the prefix — the round restarts
-/// with the cap doubled (same guard, still one consistent view). Returns
-/// the fresh points, whether the ranges are exhausted below the mark/floor,
-/// and the cap the round ended at (the caller's hint for the next round).
-fn drain_round<'g, F>(
+/// holds whatever guard the lanes borrow from). Reuses the cached frontier
+/// when `stamp` matches; otherwise rebuilds every lane's drain over the
+/// score window `[min_score, low-water)` — the round is then a fresh
+/// threshold-set of the current state below the mark. Returns up to `need`
+/// points in descending score order plus whether the ranges are exhausted
+/// below the mark/floor.
+fn round(
+    cache: &mut Option<FrontierCache>,
+    lanes: &[Lane<'_>],
+    stamp: u64,
     need: usize,
-    start_cap: usize,
-    low_water: Option<(u64, u64)>,
+    k: usize,
     min_score: u64,
-    mut make: F,
-) -> Result<(Vec<Point>, bool, usize)>
-where
-    F: FnMut(usize) -> Result<Vec<RoundStream<'g>>>,
-{
-    let mut cap = start_cap.max(1);
-    loop {
-        let mut streams = make(cap)?;
-        let mut heap = BinaryHeap::with_capacity(streams.len());
-        for (slot, stream) in streams.iter_mut().enumerate() {
-            if let Some(point) = stream.next() {
-                heap.push(MergeEntry { point, slot });
+    low_water: Option<(u64, u64)>,
+) -> (Vec<Point>, bool) {
+    let mut scratch = Vec::with_capacity(1);
+    let reuse = matches!(cache, Some(c) if c.stamp == stamp && c.drains.len() == lanes.len());
+    if !reuse {
+        // `hi` is exclusive, so the mark's own score is not re-emitted.
+        let hi = low_water.map_or(u64::MAX, |(score, _)| score);
+        let mut drains: Vec<RangeDrain> = lanes
+            .iter()
+            .map(|lane| RangeDrain::open(lane, k, min_score, hi))
+            .collect();
+        let mut heads = BinaryHeap::with_capacity(drains.len());
+        for (slot, (drain, lane)) in drains.iter_mut().zip(lanes).enumerate() {
+            if let Some(point) = drain.pull_one(lane.index, &mut scratch) {
+                heads.push(MergeEntry { point, slot });
             }
         }
-        let mut out = Vec::with_capacity(need);
-        while let Some(MergeEntry { point, slot }) = heap.pop() {
-            if let Some(next) = streams[slot].next() {
-                heap.push(MergeEntry { point: next, slot });
-            }
-            let fresh = match low_water {
-                None => true,
-                Some((score, _)) => point.score < score,
-            };
-            if !fresh {
+        *cache = Some(FrontierCache {
+            stamp,
+            drains,
+            heads,
+        });
+    }
+    let cache = cache.as_mut().expect("frontier cache was just ensured");
+    let mut out = Vec::with_capacity(need);
+    while out.len() < need {
+        let Some(MergeEntry { point, slot }) = cache.heads.pop() else {
+            break;
+        };
+        if let Some(next) = cache.drains[slot].pull_one(lanes[slot].index, &mut scratch) {
+            cache.heads.push(MergeEntry { point: next, slot });
+        }
+        // The drain windows already exclude the emitted prefix; this guard
+        // only matters when the mark's score is `u64::MAX` (which collides
+        // with the drains' "no ceiling" sentinel).
+        if let Some((mark, _)) = low_water {
+            if point.score >= mark {
                 continue;
             }
-            if point.score < min_score {
-                // Everything still unseen (heap heads and behind them) is
-                // lower still: the floor ends the merge.
-                break;
-            }
-            out.push(point);
-            if out.len() == need {
-                return Ok((out, false, cap));
-            }
         }
-        // Streams that ended before their cap are truly drained; one that
-        // delivered exactly `cap` points may be hiding more behind the
-        // emitted prefix, so the round escalates and re-merges.
-        if streams.iter().all(|s| s.emitted() < cap) {
-            return Ok((out, true, cap));
-        }
-        cap = cap.saturating_mul(2);
+        out.push(point);
     }
+    // Heads empty ⟺ every lane's drain is exhausted below the mark/floor:
+    // a non-exhausted lane always has exactly one pending head.
+    let exhausted = cache.heads.is_empty();
+    (out, exhausted)
 }
 
 /// A serializable cursor position: the request plus `(emitted, low-water

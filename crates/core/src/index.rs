@@ -345,8 +345,14 @@ impl TopKIndex {
             return Vec::new();
         }
         if k >= self.config.l {
-            // Large k: the §2 structure answers directly in O(lg n + k/B).
-            return self.pilot.query_top_k(x1, x2, k);
+            // Large k: one bulk pull from a §2 pilot drain, O(lg n + k/B).
+            // The best-first drain replaces `query_top_k`'s fixed-size heap
+            // selection + sibling expansion, whose Θ(φ·lg n) constant made
+            // every k ≥ l query pay the k = Θ(B·lg n) worst case (the
+            // "k-cliff" in BENCH_query_scaling.json).
+            let mut out = Vec::with_capacity(k.min(self.len() as usize));
+            self.pilot.drain(x1, x2).pull(&self.pilot, k, &mut out);
+            return out;
         }
         let total = self.reporter.count_in_range(x1, x2);
         if total == 0 {

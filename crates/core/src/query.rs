@@ -9,14 +9,21 @@
 //! large `k` — and runs a round only when the caller actually demands more
 //! points, so a short prefix of a large `k` never pays for the rest.
 //!
+//! Escalation is *incremental*: the small-`k` rounds carry a low-water mark
+//! and fetch only the band of scores below the previous threshold
+//! ([`epst::ThreeSidedPst::query_band`]), and the large-`k` rounds pull from
+//! a persistent [`PilotDrain`] descent frontier — no round re-descends from
+//! the root or re-materializes the already-emitted prefix, so consuming `k`
+//! points costs `O(log_B n + k/B)` I/Os total regardless of round count.
+//!
 //! Because every round's points form a prefix of the global descending-score
 //! order, per-shard [`TopKResults`] streams also compose: a
 //! [`ShardedTopK`](crate::ShardedTopK) fan-out merges one stream per
 //! overlapping shard through a binary heap
 //! ([`ShardedResults`](crate::ShardedResults)) and each shard escalates only
-//! as far as the merge consumes it.
+//! as far as the merge consumes it — from its own saved frontier.
 
-use epst::{top_k_by_score, Point};
+use epst::{PilotDrain, Point};
 
 use crate::cursor::ResumeToken;
 use crate::error::{Result, TopKError};
@@ -256,15 +263,27 @@ impl QueryRequest {
     }
 }
 
-/// How the next batch of points is fetched.
+/// How the next batch of points is fetched. Both live regimes carry their
+/// escalation state *across* rounds — the §3.3 rounds a low-water mark so a
+/// round fetches only the band of scores below the previous threshold, the
+/// §2 rounds a saved [`PilotDrain`] descent frontier — so the total work for
+/// `k` results is `O(log_B n + k/B)` I/Os no matter how many rounds deliver
+/// them.
 enum FetchState {
     /// Nothing fetched yet; the first demand decides the regime.
     Start,
     /// §3.3 reduction rounds: select an approximate rank-`target` score
-    /// threshold, report everything above it, emit the unseen suffix.
-    SmallK { target: u64, attempts: u32 },
-    /// §2 pilot-set rounds with a doubling fetch size.
-    LargeK { next_k: usize },
+    /// threshold, report the band between it and the previous round's
+    /// threshold (`low_water`, `u64::MAX` before the first round), emit it.
+    SmallK {
+        target: u64,
+        attempts: u32,
+        low_water: u64,
+    },
+    /// §2 pilot rounds: a resumable drain over the pilot structure pulls the
+    /// next `next_n` points from its saved frontier; `next_n` doubles per
+    /// round so full consumption stays within a constant of one bulk fetch.
+    LargeK { drain: PilotDrain, next_n: usize },
     /// Every reportable point has been handed out (or buffered).
     Done,
 }
@@ -292,7 +311,11 @@ pub struct TopKResults<'a> {
     x2: u64,
     k: usize,
     emitted: usize,
-    buf: std::vec::IntoIter<Point>,
+    /// Reusable round buffer: each fetch round clears and refills it in
+    /// place, so steady-state paging allocates nothing once the buffer has
+    /// grown to the round size.
+    buf: Vec<Point>,
+    pos: usize,
     state: FetchState,
 }
 
@@ -316,7 +339,8 @@ impl<'a> TopKResults<'a> {
             x2: request.x2(),
             k: request.k(),
             emitted: 0,
-            buf: Vec::new().into_iter(),
+            buf: Vec::new(),
+            pos: 0,
             state,
         })
     }
@@ -326,11 +350,24 @@ impl<'a> TopKResults<'a> {
         self.emitted
     }
 
-    /// Load `points` (already in descending score order, truncated to `k`)
-    /// into the buffer, skipping the prefix that was already emitted.
-    fn buffer_suffix(&mut self, mut points: Vec<Point>) {
-        points.drain(..self.emitted.min(points.len()));
-        self.buf = points.into_iter();
+    /// Refill the round buffer with the band `tau ≤ score < hi` of the
+    /// range, sorted by descending score. Only pages holding scores below
+    /// the previous round's mark are materialized — the already-emitted
+    /// prefix is never fetched again.
+    fn fetch_band(&mut self, tau: u64, hi: u64) {
+        self.buf.clear();
+        self.pos = 0;
+        self.index
+            .reporter()
+            .query_band_into(self.x1, self.x2, tau, hi, &mut self.buf);
+        self.buf
+            .sort_unstable_by_key(|p| std::cmp::Reverse(p.score));
+    }
+
+    /// Cap the buffered band at what is still owed and stop fetching.
+    fn finish_band(&mut self) {
+        self.buf.truncate(self.k - self.emitted);
+        self.state = FetchState::Done;
     }
 
     /// Fetch the next batch. Guarantees progress: afterwards the buffer is
@@ -340,8 +377,11 @@ impl<'a> TopKResults<'a> {
             FetchState::Done => {}
             FetchState::Start => {
                 if self.k >= self.index.config().l {
-                    let step = self.index.config().l.max(1).min(self.k);
-                    self.state = FetchState::LargeK { next_k: step };
+                    let drain = self.index.pilot().drain(self.x1, self.x2);
+                    self.state = FetchState::LargeK {
+                        drain,
+                        next_n: self.index.config().l.max(1),
+                    };
                     self.refill_large();
                 } else {
                     self.refill_small_first();
@@ -361,31 +401,37 @@ impl<'a> TopKResults<'a> {
             return;
         }
         if total <= self.k as u64 {
-            let pts = self.index.reporter().query(self.x1, self.x2, 0);
-            self.buffer_suffix(top_k_by_score(pts, self.k));
-            self.state = FetchState::Done;
+            self.fetch_band(0, u64::MAX);
+            self.finish_band();
             return;
         }
         self.state = FetchState::SmallK {
             target: self.k as u64,
             attempts: 0,
+            low_water: u64::MAX,
         };
         self.refill_small_rounds();
     }
 
-    /// One or more §3.3 rounds until a round yields unseen points (or the
+    /// One or more §3.3 rounds until a round yields new points (or the
     /// whole-range fallback fires). Mirrors the retry loop of the eager
-    /// `query()`, but spread across the caller's demands.
+    /// `query()`, except that each round fetches only the band of scores
+    /// `[tau, low_water)` below the previous round's threshold: the emitted
+    /// prefix is summarized by the carried mark, never re-materialized.
     fn refill_small_rounds(&mut self) {
         loop {
-            let FetchState::SmallK { target, attempts } = self.state else {
+            let FetchState::SmallK {
+                target,
+                attempts,
+                low_water,
+            } = self.state
+            else {
                 return;
             };
             if attempts >= 8 {
-                // The seed's final fallback: report the whole range.
-                let pts = self.index.reporter().query(self.x1, self.x2, 0);
-                self.buffer_suffix(top_k_by_score(pts, self.k));
-                self.state = FetchState::Done;
+                // The seed's final fallback: the whole remaining band.
+                self.fetch_band(0, low_water);
+                self.finish_band();
                 return;
             }
             let tau = self
@@ -393,50 +439,61 @@ impl<'a> TopKResults<'a> {
                 .small_k()
                 .select(self.x1, self.x2, target)
                 .unwrap_or_default();
+            if tau >= low_water && low_water != u64::MAX {
+                // The approximate rank threshold did not move below the
+                // previous round's; escalate without touching any page.
+                self.state = FetchState::SmallK {
+                    target: target.saturating_mul(2),
+                    attempts: attempts + 1,
+                    low_water,
+                };
+                continue;
+            }
+            self.fetch_band(tau, low_water);
+            if tau == 0 || self.emitted + self.buf.len() >= self.k {
+                // Either the whole range or at least k points cumulatively:
+                // this band is the final batch.
+                self.finish_band();
+                return;
+            }
             self.state = FetchState::SmallK {
                 target: target.saturating_mul(2),
                 attempts: attempts + 1,
+                low_water: tau,
             };
-            // Everything with score ≥ tau: a prefix of the global order.
-            let pts = self.index.reporter().query(self.x1, self.x2, tau);
-            let have = pts.len();
-            if tau == 0 || have >= self.k {
-                // Either the whole range or at least k points: final batch.
-                self.buffer_suffix(top_k_by_score(pts, self.k));
-                self.state = FetchState::Done;
-                return;
-            }
-            if have > self.emitted {
+            if !self.buf.is_empty() {
                 // An under-delivering round still yields a correct prefix;
                 // emit it and escalate only if the caller wants more.
-                self.buffer_suffix(top_k_by_score(pts, self.k));
                 return;
             }
         }
     }
 
-    /// One §2 pilot fetch of the current size; doubles the size for the next
-    /// demand. Each fetch returns the exact top `next_k`, a prefix of the
-    /// global order, so consuming the full `k` costs at most one extra
-    /// doubling pass over the eager single-shot fetch.
+    /// One §2 pilot round: pull the next `next_n` points from the drain's
+    /// saved frontier (doubling `next_n` for the next demand). No round
+    /// re-descends the script tree or re-fetches emitted points, so
+    /// consuming all `k` costs the same I/Os as one bulk extraction.
     fn refill_large(&mut self) {
-        let FetchState::LargeK { next_k } = self.state else {
+        let TopKResults {
+            index,
+            state,
+            buf,
+            pos,
+            emitted,
+            k,
+            ..
+        } = self;
+        let FetchState::LargeK { drain, next_n } = state else {
             return;
         };
-        let pts = self.index.pilot().query_top_k(self.x1, self.x2, next_k);
-        let have = pts.len();
-        let exhausted_range = have < next_k;
-        if have >= self.k || exhausted_range {
-            self.state = FetchState::Done;
+        buf.clear();
+        *pos = 0;
+        let want = (*next_n).min(*k - *emitted);
+        let got = drain.pull(index.pilot(), want, buf);
+        if got < want || *emitted + got >= *k {
+            *state = FetchState::Done;
         } else {
-            self.state = FetchState::LargeK {
-                next_k: next_k.saturating_mul(2).min(self.k),
-            };
-        }
-        if have > self.emitted {
-            self.buffer_suffix(pts);
-        } else if exhausted_range {
-            self.buf = Vec::new().into_iter();
+            *next_n = next_n.saturating_mul(2);
         }
     }
 }
@@ -449,7 +506,9 @@ impl Iterator for TopKResults<'_> {
             if self.emitted >= self.k {
                 return None;
             }
-            if let Some(p) = self.buf.next() {
+            if self.pos < self.buf.len() {
+                let p = self.buf[self.pos];
+                self.pos += 1;
                 self.emitted += 1;
                 return Some(p);
             }
@@ -461,7 +520,7 @@ impl Iterator for TopKResults<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.buf.len(), Some(self.k - self.emitted))
+        (self.buf.len() - self.pos, Some(self.k - self.emitted))
     }
 }
 

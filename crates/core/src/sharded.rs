@@ -911,6 +911,23 @@ impl ShardedReadGuard<'_> {
         Ok(self.stream(QueryRequest::range(x1, x2).top(k))?.collect())
     }
 
+    /// Global ids of the shards overlapping `[x1, x2]`, clamped to the
+    /// shards this guard actually holds. Used by the cursor read plane to
+    /// lay out one merge lane per `(range, shard)` pair.
+    pub(crate) fn overlap_held(&self, x1: u64, x2: u64) -> (usize, usize) {
+        let (lo, hi) = self.router.overlap(x1, x2);
+        (
+            lo.max(self.base),
+            hi.min(self.base + self.guards.len().saturating_sub(1)),
+        )
+    }
+
+    /// The pinned index of global shard `id` (must lie within the span
+    /// returned by [`ShardedReadGuard::overlap_held`]).
+    pub(crate) fn shard(&self, id: usize) -> &TopKIndex {
+        &self.guards[id - self.base]
+    }
+
     /// Number of points with `x ∈ [x1, x2]` in this pinned version.
     ///
     /// # Errors

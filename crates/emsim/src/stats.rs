@@ -3,20 +3,40 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// One counter on its own cache line. The stats block sits on every
+/// simulated I/O of every thread; packed `AtomicU64`s would share lines, so
+/// a reader thread bumping `reads` and a writer thread bumping `writes`
+/// would ping-pong the same line between cores on every page access (false
+/// sharing). 64 bytes covers the destructive-interference granularity of
+/// x86-64 and most aarch64 cores.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct PaddedCounter(AtomicU64);
+
+impl std::ops::Deref for PaddedCounter {
+    type Target = AtomicU64;
+
+    fn deref(&self) -> &AtomicU64 {
+        &self.0
+    }
+}
+
 /// The device-internal, thread-safe form of the counters. Every field is an
 /// independent atomic updated with relaxed ordering: concurrent increments are
 /// never lost (each is a read-modify-write), which is the property the
 /// concurrent tests assert; cross-counter snapshots taken while other threads
 /// are mid-operation may mix adjacent operations, which is inherent to any
-/// monitoring read and harmless for the EM cost accounting.
+/// monitoring read and harmless for the EM cost accounting. Each counter is
+/// padded to its own cache line ([`PaddedCounter`]) so the hottest pair —
+/// `logical` on every access, `reads` on every miss — do not false-share.
 #[derive(Debug, Default)]
 pub(crate) struct AtomicIoStats {
-    pub(crate) reads: AtomicU64,
-    pub(crate) writes: AtomicU64,
-    pub(crate) logical: AtomicU64,
-    pub(crate) allocs: AtomicU64,
-    pub(crate) frees: AtomicU64,
-    pub(crate) capacity_violations: AtomicU64,
+    pub(crate) reads: PaddedCounter,
+    pub(crate) writes: PaddedCounter,
+    pub(crate) logical: PaddedCounter,
+    pub(crate) allocs: PaddedCounter,
+    pub(crate) frees: PaddedCounter,
+    pub(crate) capacity_violations: PaddedCounter,
 }
 
 impl AtomicIoStats {
@@ -151,6 +171,14 @@ impl fmt::Display for IoDelta {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_occupy_disjoint_cache_lines() {
+        assert!(std::mem::align_of::<PaddedCounter>() >= 64);
+        assert!(std::mem::size_of::<PaddedCounter>() >= 64);
+        // Six counters, each on its own line.
+        assert!(std::mem::size_of::<AtomicIoStats>() >= 6 * 64);
+    }
 
     #[test]
     fn delta_subtracts() {

@@ -12,14 +12,21 @@
 //!   *representative blocks*, push-down / pull-up maintenance and
 //!   Frederickson-style heap selection at query time. It answers a top-k query
 //!   in `O(lg n + k/B)` I/Os and is the component used for `k ≥ B·lg n`.
+//!
+//! Both structures also expose a *resumable drain* ([`ThreeSidedDrain`],
+//! [`PilotDrain`]): an owned best-first frontier that emits a range's points
+//! in descending score order across arbitrarily many pulls without ever
+//! re-descending from the root — the substrate of the incremental escalation
+//! rounds in `topk-core`'s streaming and cursor query paths.
 
+mod drain;
 mod pilot;
 mod point;
 mod three_sided;
 
-pub use pilot::{PilotConfig, PilotPst};
+pub use pilot::{PilotConfig, PilotDrain, PilotPst};
 pub use point::Point;
-pub use three_sided::{ThreeSidedConfig, ThreeSidedPst};
+pub use three_sided::{ThreeSidedConfig, ThreeSidedDrain, ThreeSidedPst};
 
 /// Select the `k` points with the highest scores from `points` (ties cannot
 /// occur because scores are distinct); returns them sorted by descending

@@ -33,6 +33,7 @@ use emsim::{BlockFile, Device, Page, PageId};
 use heapsel::{select_top, HeapSource};
 use wbbtree::{NodeId, WbbConfig, WbbTree};
 
+use crate::drain::{Frontier, Step};
 use crate::point::Point;
 use crate::top_k_by_score;
 
@@ -805,6 +806,73 @@ impl PilotPst {
         out
     }
 
+    // ----- resumable drain -----
+
+    /// Open a resumable best-first drain over `x ∈ [x1, x2]`: repeated
+    /// [`PilotDrain::pull`] calls emit the range's points in descending score
+    /// order, resuming from the saved frontier instead of re-running the
+    /// boundary-path / heap-selection machinery per batch. Emitting `m`
+    /// points costs `O(lg n + m/B)` I/Os **in total across all pulls**
+    /// (pilot sets hold `Θ(B)` points and are heap-ordered along the script
+    /// tree, so the search reads one page per `Θ(B)` emitted points plus the
+    /// boundary fringe). Construction costs no I/Os.
+    pub fn drain(&self, x1: u64, x2: u64) -> PilotDrain {
+        self.drain_window(x1, x2, 0, u64::MAX)
+    }
+
+    /// A drain restricted to the score window `lo ≤ score < hi` (with
+    /// `hi == u64::MAX` meaning no ceiling) — the resume form used when a
+    /// saved frontier was invalidated by a write and must be rebuilt below a
+    /// low-water mark.
+    pub fn drain_window(&self, x1: u64, x2: u64, lo: u64, hi: u64) -> PilotDrain {
+        PilotDrain {
+            x1,
+            x2,
+            lo,
+            hi,
+            frontier: Frontier::new(),
+        }
+    }
+
+    /// Read `script`'s page once: its in-window pilot points become one
+    /// sorted run entry, its overlapping children become node entries bounded
+    /// by the representative (every descendant scores strictly below it).
+    fn drain_expand(&self, d: &mut PilotDrain, script: PageId) {
+        self.scripts.with(script, |n| {
+            let survivors = n.pilot.iter().copied().filter(|q| {
+                q.x >= d.x1
+                    && q.x <= d.x2
+                    && q.score >= d.lo
+                    && (d.hi == u64::MAX || q.score < d.hi)
+            });
+            if d.frontier.is_bulk() {
+                d.frontier.extend_bulk(survivors);
+            } else {
+                d.frontier.push_run(survivors.collect());
+            }
+            // An empty pilot set means an empty subtree; a representative at
+            // or below the floor bounds every descendant under it too.
+            let Some(rep) = n.rep() else { return };
+            if n.children.is_empty() || rep <= d.lo {
+                return;
+            }
+            // Script child max-keys can lag behind a freshly inserted
+            // maximum (inserts route overflow to the last child), so clamp
+            // both cuts instead of bailing out past the last key.
+            let il = n
+                .children
+                .partition_point(|&(mk, _)| mk < d.x1)
+                .min(n.children.len() - 1);
+            let ih = n
+                .children
+                .partition_point(|&(mk, _)| mk < d.x2)
+                .min(n.children.len() - 1);
+            for &(_, c) in &n.children[il..=ih] {
+                d.frontier.push_node(rep, c);
+            }
+        });
+    }
+
     /// All stored points (testing / rebuild support).
     pub fn all_points(&self) -> Vec<Point> {
         let mut out = Vec::new();
@@ -858,6 +926,102 @@ impl PilotPst {
             total += self.check_rec(c, my_min);
         }
         total
+    }
+}
+
+/// A resumable best-first drain over a [`PilotPst`] range, created by
+/// [`PilotPst::drain`]. The drain owns its whole descent state (no borrows
+/// into the tree), so it can be suspended between pulls and resumed
+/// arbitrarily later — **as long as the tree has not been mutated** in
+/// between. After any insert, delete, or rebuild the saved frontier is
+/// meaningless and the drain must be discarded; the index layers gate reuse
+/// on a version stamp.
+#[derive(Debug)]
+pub struct PilotDrain {
+    x1: u64,
+    x2: u64,
+    /// Inclusive score floor.
+    lo: u64,
+    /// Exclusive score ceiling (`u64::MAX` = none).
+    hi: u64,
+    frontier: Frontier<PageId>,
+}
+
+/// Pulls at least this size go through the bulk select path instead of the
+/// per-point heap merge (see the `drain` module docs). Small enough that
+/// every `k ≥ l` query qualifies, large enough that a selection pass over
+/// the pool amortizes.
+const BULK_PULL_MIN: usize = 64;
+
+impl PilotDrain {
+    /// Emit up to `n` further points into `out`, in descending score order,
+    /// resuming from the saved frontier. Returns how many were emitted; fewer
+    /// than `n` means the drain is exhausted. `pst` must be the structure the
+    /// drain was created on, unmutated since.
+    pub fn pull(&mut self, pst: &PilotPst, n: usize, out: &mut Vec<Point>) -> usize {
+        if !self.frontier.primed() {
+            self.frontier.set_primed();
+            if self.x1 <= self.x2 && !pst.is_empty() && (self.hi == u64::MAX || self.lo < self.hi) {
+                self.frontier.push_node(u64::MAX, pst.script_root());
+            }
+        }
+        if n >= BULK_PULL_MIN {
+            return self.pull_bulk(pst, n, out);
+        }
+        let mut taken = 0;
+        while taken < n {
+            match self.frontier.step() {
+                None => break,
+                Some(Step::Point(p)) => {
+                    out.push(p);
+                    taken += 1;
+                }
+                Some(Step::Expand(id, _)) => pst.drain_expand(self, id),
+            }
+        }
+        taken
+    }
+
+    /// Bulk extraction: expand pages best-first into one flat pool until the
+    /// `n`-th best pooled score provably beats every pending subtree, then
+    /// quickselect + sort just the winning prefix. The unemitted remainder
+    /// goes back to the frontier unsorted (sorted lazily if ever needed), so
+    /// the drain stays resumable.
+    ///
+    /// The stopping rule is exact even with a stale threshold: nodes pop in
+    /// descending bound order, and a point can only score below its node's
+    /// bound, so when the next bound is `b` *every* point scoring ≥ `b` is
+    /// already in the pool. If the pool's `n`-th best is ≥ `b`, nothing
+    /// unexpanded can displace the current top `n`. The threshold is
+    /// re-selected only after the pool grows by half, keeping selection work
+    /// `O(1)` amortized per pooled point; staleness can only cost a few
+    /// extra page reads, never correctness.
+    fn pull_bulk(&mut self, pst: &PilotPst, n: usize, out: &mut Vec<Point>) -> usize {
+        // The frontier's bulk buffer holds every point not yet provably
+        // outside the top `n`; `compact_bulk` periodically tightens the
+        // routing threshold to the running `n`-th best, after which
+        // expansion sends weaker points straight to the resumption stash.
+        self.frontier.begin_bulk();
+        loop {
+            let threshold = self.frontier.compact_bulk(n);
+            let Some(b) = self.frontier.top_node_bound() else {
+                break;
+            };
+            // Exact stop: nodes pop in descending bound order and a point
+            // scores below its node's bound, so every point ≥ b is already
+            // accounted for; a threshold ≥ b proves the top n are in hand.
+            if threshold.is_some_and(|t| b <= t) {
+                break;
+            }
+            let (id, _) = self.frontier.pop_node().expect("bound was just peeked");
+            pst.drain_expand(self, id);
+        }
+        self.frontier.finish_bulk(n, out)
+    }
+
+    /// Whether the drain has emitted everything in its range and window.
+    pub fn is_exhausted(&self) -> bool {
+        self.frontier.primed() && self.frontier.is_empty()
     }
 }
 
@@ -981,6 +1145,103 @@ mod tests {
             let k = rng.gen_range(1..100usize);
             assert_eq!(pst.query_top_k(a, b, k), oracle_top_k(&live, a, b, k));
         }
+    }
+
+    #[test]
+    fn drain_matches_query_top_k_and_oracle() {
+        let dev = device();
+        let pst = PilotPst::new(&dev, "pilot");
+        let pts = random_points(17, 2000);
+        pst.rebuild_all(&pts);
+        let mut rng = StdRng::seed_from_u64(18);
+        for _ in 0..25 {
+            let a = rng.gen_range(0..10_000u64);
+            let b = rng.gen_range(a..=10_000u64);
+            let k = rng.gen_range(1..400usize);
+            let mut drained = Vec::new();
+            let mut drain = pst.drain(a, b);
+            // Pull in uneven chunks to exercise the saved frontier.
+            while drained.len() < k {
+                let chunk = rng.gen_range(1..64usize).min(k - drained.len());
+                if drain.pull(&pst, chunk, &mut drained) < chunk {
+                    break;
+                }
+            }
+            assert_eq!(drained, pst.query_top_k(a, b, k), "range [{a},{b}] k={k}");
+            assert_eq!(drained, oracle_top_k(&pts, a, b, k));
+        }
+    }
+
+    #[test]
+    fn drain_stays_exact_after_incremental_updates() {
+        let dev = device();
+        let pst = PilotPst::new(&dev, "pilot");
+        let pts = random_points(19, 900);
+        for &p in &pts {
+            pst.insert(p);
+        }
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut live = pts.clone();
+        for _ in 0..300 {
+            let idx = rng.gen_range(0..live.len());
+            let victim = live.swap_remove(idx);
+            assert!(pst.delete(victim));
+        }
+        for _ in 0..15 {
+            let a = rng.gen_range(0..4500u64);
+            let b = rng.gen_range(a..=4500u64);
+            let k = rng.gen_range(1..250usize);
+            let mut drained = Vec::new();
+            pst.drain(a, b).pull(&pst, k, &mut drained);
+            assert_eq!(drained, oracle_top_k(&live, a, b, k));
+        }
+    }
+
+    #[test]
+    fn drain_window_excludes_scores_at_or_above_the_mark() {
+        let dev = device();
+        let pst = PilotPst::new(&dev, "pilot");
+        let pts = random_points(23, 1000);
+        pst.rebuild_all(&pts);
+        let full = oracle_top_k(&pts, 0, u64::MAX, 1000);
+        let mark = full[99].score; // resume below the 100th point
+        let mut rest = Vec::new();
+        pst.drain_window(0, u64::MAX, 0, mark)
+            .pull(&pst, usize::MAX, &mut rest);
+        assert_eq!(rest, full[100..].to_vec());
+    }
+
+    #[test]
+    fn drain_io_is_incremental_not_per_round() {
+        // Pulling k points in many small batches must cost about the same
+        // I/O as one bulk pull — the whole point of the saved frontier.
+        let dev = Device::new(EmConfig::new(256, 8 * 256));
+        let pst = PilotPst::new(&dev, "pilot");
+        let pts = random_points(29, 20_000);
+        pst.rebuild_all(&pts);
+        let k = 4096usize;
+
+        dev.drop_cache();
+        let (_, bulk) = dev.measure(|| {
+            let mut out = Vec::new();
+            pst.drain(0, u64::MAX).pull(&pst, k, &mut out);
+            out
+        });
+        dev.drop_cache();
+        let (_, batched) = dev.measure(|| {
+            let mut out = Vec::new();
+            let mut drain = pst.drain(0, u64::MAX);
+            for _ in 0..k / 64 {
+                drain.pull(&pst, 64, &mut out);
+            }
+            out
+        });
+        assert!(
+            batched.reads <= bulk.reads + 8,
+            "batched pulls re-paid descent I/O: {} batched vs {} bulk reads",
+            batched.reads,
+            bulk.reads
+        );
     }
 
     #[test]

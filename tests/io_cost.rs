@@ -46,8 +46,12 @@ fn cold_query_reads_stay_within_log_plus_output_bound() {
     const C_SMALL: f64 = 60.0;
     const C_LARGE: f64 = 140.0;
 
+    // k = 4096 exercises the pilot drain's bulk pull specifically: its
+    // threshold-gated expansion must stop at the same `O(lg n + k/B)` page
+    // set the per-point merge reads — a stale-threshold regression that
+    // over-expands toward a range scan trips the bound.
     let mut rng = StdRng::seed_from_u64(9);
-    for &k in &[1usize, 10, 100, 1_000, 4_000] {
+    for &k in &[1usize, 10, 100, 1_000, 4_000, 4_096] {
         let bound = if k < crossover {
             (C_SMALL * (log_b_n + k as f64 / points_per_block + 1.0)).ceil() as u64
         } else {
@@ -102,7 +106,7 @@ fn sharded_fan_out_reads_stay_within_per_shard_bound() {
     const C_LARGE: f64 = 140.0;
 
     let mut rng = StdRng::seed_from_u64(29);
-    for &k in &[1usize, 10, 100, 1_000] {
+    for &k in &[1usize, 10, 100, 1_000, 4_096] {
         let per_shard_bound = if k < crossover {
             (C_SMALL * (log_b_shard_n + k as f64 / points_per_block + 1.0)).ceil() as u64
         } else {

@@ -5,7 +5,9 @@
 //! `topk_testkit` trace DSL so it replays forever: the two latent
 //! `ThreeSidedPst` seed bugs PR 3's stress harness caught, and the
 //! `PilotPst::pull_up_if_needed` ordering bug this harness caught when it
-//! was built. Each trace replays against all five topologies
+//! was built, plus a long cursor pagination (k far above the node cache,
+//! tiny pages, writes interleaved) pinning the stamp-gated frontier-carry
+//! read plane. Each trace replays against all five topologies
 //! ([`Topology::ALL`]) under full differential checking; a failure shrinks
 //! to `target/repro/<trace>-<topology>.trace` and panics with the one-line
 //! replay command.
@@ -54,6 +56,7 @@ fn checked_in_traces() -> Vec<(String, Trace)> {
 fn the_expected_regression_traces_are_checked_in() {
     let names: Vec<String> = checked_in_traces().into_iter().map(|(n, _)| n).collect();
     for expected in [
+        "cursor_frontier_carry_churn",
         "epst_full_cache_carry",
         "epst_refill_stale_summary",
         "pilot_pull_up_ordering",
