@@ -1,0 +1,30 @@
+//! Known-bad atomics-ordering snippets. Never compiled — lexed by the
+//! fixture tests to prove the atomics pass fires.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct Stats {
+    reads: AtomicU64,
+    version: AtomicU64,
+    rebalancing: AtomicBool,
+}
+
+// A stat counter must be Relaxed (the PR 6 rule): nothing synchronizes on it.
+fn counter_too_strong(s: &Stats) {
+    s.reads.fetch_add(1, Ordering::Acquire);
+}
+
+// A version stamp read must be Acquire to pair with its Release publisher.
+fn stamp_load_too_weak(s: &Stats) -> u64 {
+    s.version.load(Ordering::Relaxed)
+}
+
+// A version stamp write must be Release.
+fn stamp_store_too_weak(s: &Stats) {
+    s.version.store(7, Ordering::Relaxed);
+}
+
+// Bare SeqCst is always flagged: say what you pair with instead.
+fn seqcst_everywhere(s: &Stats) -> bool {
+    s.rebalancing.swap(true, Ordering::SeqCst)
+}

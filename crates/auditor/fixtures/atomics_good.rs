@@ -1,0 +1,30 @@
+//! Known-good atomics-ordering snippets: Relaxed counters, Acquire/Release
+//! stamp pairs, and an Acquire/Release CAS gate. The atomics pass must stay
+//! quiet on all of them.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct Stats {
+    reads: AtomicU64,
+    version: AtomicU64,
+    rebalancing: AtomicBool,
+}
+
+fn counters_relaxed(s: &Stats) -> u64 {
+    s.reads.fetch_add(1, Ordering::Relaxed);
+    s.reads.load(Ordering::Relaxed)
+}
+
+fn stamp_pairs(s: &Stats) -> u64 {
+    s.version.store(7, Ordering::Release);
+    s.version.fetch_add(1, Ordering::Release);
+    s.version.load(Ordering::Acquire)
+}
+
+fn gate(s: &Stats) -> bool {
+    if s.rebalancing.swap(true, Ordering::Acquire) {
+        return false;
+    }
+    s.rebalancing.store(false, Ordering::Release);
+    true
+}

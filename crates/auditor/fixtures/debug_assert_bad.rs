@@ -1,0 +1,29 @@
+//! Known-bad debug_assert! snippets: the asserted expression mutates, so
+//! release builds behave differently. Never compiled — lexed by the fixture
+//! tests to prove the debug_assert pass fires.
+
+fn mutating_call(v: &mut Vec<u8>) {
+    debug_assert!(v.pop().is_some());
+}
+
+fn assignment(mut x: u8) {
+    debug_assert!({
+        x = 3;
+        x > 1
+    });
+}
+
+fn compound_assignment(mut x: u8) {
+    debug_assert!({
+        x += 1;
+        x > 0
+    });
+}
+
+fn mutating_eq(v: &mut Vec<u8>) {
+    debug_assert_eq!(v.remove(0), 1);
+}
+
+fn atomic_rmw(c: &std::sync::atomic::AtomicU64) {
+    debug_assert!(c.fetch_add(1, std::sync::atomic::Ordering::Relaxed) < 100);
+}

@@ -1,0 +1,23 @@
+//! Known-good debug_assert! snippets: pure reads and comparisons only. The
+//! debug_assert pass must stay quiet on all of them.
+
+fn reads_only(v: &[u8]) {
+    debug_assert!(!v.is_empty());
+    debug_assert_eq!(v.first(), v.iter().next());
+    debug_assert_ne!(v.len(), 0);
+}
+
+fn comparisons(x: u8) {
+    debug_assert!(x <= 3 && x >= 1 || x == 9);
+    debug_assert!(x != 2);
+}
+
+fn match_and_closures(x: u8, v: &[u8]) {
+    debug_assert!(matches!(x, 1 | 2));
+    debug_assert!(v.iter().all(|&b| b >= x));
+}
+
+fn mutation_outside_is_fine(v: &mut Vec<u8>) {
+    let popped = v.pop();
+    debug_assert!(popped.is_some());
+}

@@ -1,0 +1,51 @@
+//! Known-bad lock-discipline snippets. Never compiled — lexed by the
+//! fixture tests to prove the lock_order pass fires.
+
+use std::sync::{Mutex, RwLock};
+
+struct Dev {
+    pool: Mutex<u8>,
+}
+
+struct Shard {
+    index: RwLock<u8>,
+}
+
+struct Reg {
+    scores: Mutex<u8>,
+}
+
+struct BlockFile;
+
+impl BlockFile {
+    fn alloc(&self, _n: u8) {}
+}
+
+// Rule A: the pool mutex (rank 4) is held while a shard lock (rank 2) is
+// acquired — the reverse of the declared order.
+fn out_of_order(dev: &Dev, shard: &Shard) {
+    let pool = dev.pool.lock().unwrap();
+    let _shard = shard.index.write().unwrap();
+    drop(pool);
+}
+
+// Rule A: same-class nesting of the registry, which does not permit it.
+fn nested_registry(a: &Reg, b: &Reg) {
+    let scores = a.scores.lock().unwrap();
+    let _again = b.scores.lock().unwrap();
+    drop(scores);
+}
+
+// Rule B: a device I/O entry point invoked while the pool guard is live.
+fn io_while_held(dev: &Dev, file: &BlockFile) {
+    let pool = dev.pool.lock().unwrap();
+    file.alloc(7);
+    drop(pool);
+}
+
+// Rule B: a rebuild entry point invoked while a page guard is live.
+fn rebuild_while_held(slot: &RwLock<u8>, file: &BlockFile) {
+    let s = slot.write().unwrap();
+    file.rebuild_everything();
+    drop(s);
+}

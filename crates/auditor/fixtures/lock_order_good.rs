@@ -1,0 +1,74 @@
+//! Known-good lock-discipline snippets: declared order, early drops,
+//! temporaries, and sanctioned same-class shard nesting. The lock_order
+//! pass must stay quiet on all of them.
+
+use std::sync::{Mutex, RwLock};
+
+struct Dev {
+    pool: Mutex<u8>,
+}
+
+struct Shard {
+    index: RwLock<u8>,
+}
+
+struct Reg {
+    scores: Mutex<u8>,
+}
+
+struct R {
+    router: RwLock<u8>,
+}
+
+struct BlockFile;
+
+impl BlockFile {
+    fn alloc(&self, _n: u8) {}
+}
+
+// Descending through the table in declared order is fine.
+fn in_order(r: &R, s: &Shard, g: &Reg, d: &Dev) {
+    let router = r.router.read().unwrap();
+    let shard = s.index.write().unwrap();
+    let scores = g.scores.lock().unwrap();
+    drop(scores);
+    drop(shard);
+    drop(router);
+    let pool = d.pool.lock().unwrap();
+    drop(pool);
+}
+
+// drop() releases the guard, so the later lower-rank acquisition is clean.
+fn drop_releases(d: &Dev, s: &Shard) {
+    let pool = d.pool.lock().unwrap();
+    drop(pool);
+    let _shard = s.index.write().unwrap();
+}
+
+// A dereferencing copy is a temporary: the guard dies at the semicolon.
+fn temporary_is_released(d: &Dev, s: &Shard) {
+    let n = *d.pool.lock().unwrap();
+    let _shard = s.index.write().unwrap();
+    let _ = n;
+}
+
+// Same-class shard nesting is sanctioned (ascending shard-id convention).
+fn shard_nesting_ok(a: &Shard, b: &Shard) {
+    let first = a.index.write().unwrap();
+    let _second = b.index.write().unwrap();
+    drop(first);
+}
+
+// I/O with no emsim-internal guard held is fine.
+fn io_unheld(d: &Dev, file: &BlockFile) {
+    let n = *d.pool.lock().unwrap();
+    file.alloc(n);
+}
+
+// A block scope releases its guards at the closing brace.
+fn scoped_release(d: &Dev, s: &Shard) {
+    {
+        let _pool = d.pool.lock().unwrap();
+    }
+    let _shard = s.index.write().unwrap();
+}

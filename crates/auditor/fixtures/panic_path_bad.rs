@@ -1,0 +1,35 @@
+//! Known-bad panic-path snippets. Never compiled — lexed by the fixture
+//! tests (with a serving-crate path) to prove the panic_path pass fires.
+
+fn unwraps(v: Vec<u8>) -> u8 {
+    v.first().copied().unwrap()
+}
+
+fn empty_expect(v: Vec<u8>) -> u8 {
+    v.first().copied().expect("")
+}
+
+fn panics(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+fn unreachable_arm(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+fn todo_left_in() {
+    todo!()
+}
+
+fn indexes(v: &[u8]) -> u8 {
+    v[0]
+}
+
+fn indexes_call_result(v: Vec<Vec<u8>>) -> u8 {
+    v.first().unwrap()[3]
+}

@@ -1,0 +1,47 @@
+//! Known-good panic-path snippets: poison-propagating unwraps, documented
+//! expects, total indexing alternatives, and test-gated code. The
+//! panic_path pass must stay quiet on all of them.
+
+use std::sync::{Mutex, RwLock};
+
+// Poison propagation is sanctioned: lock discipline is P1's job, and a
+// poisoned lock means a panic already happened elsewhere.
+fn poison_unwraps(m: &Mutex<u8>, rw: &RwLock<u8>) -> u8 {
+    let a = *m.lock().unwrap();
+    let b = *rw.read().unwrap();
+    let c = *rw.write().unwrap();
+    a + b + c
+}
+
+fn poison_into_inner(m: Mutex<u8>) -> u8 {
+    m.into_inner().unwrap()
+}
+
+// An expect carrying the invariant that makes it infallible is the
+// sanctioned documented-invariant form.
+fn documented_expect(v: &[u8]) -> u8 {
+    *v.first().expect("validated non-empty at the API boundary")
+}
+
+// Total accessors instead of indexing.
+fn total_access(v: &[u8], i: usize) -> u8 {
+    v.get(i).copied().unwrap_or(0)
+}
+
+// Attribute-style and macro-literal brackets are not indexing.
+#[derive(Clone, Copy)]
+struct Wrapper([u8; 4]);
+
+fn array_type_and_literal() -> [u8; 2] {
+    [1, 2]
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u8];
+        assert_eq!(v.first().copied().unwrap(), v[0]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Malformed, unjustified, or stale pragmas: each of these is itself a deny
+//! finding. Never compiled — lexed by the fixture tests.
+
+fn empty_reason(v: Vec<u8>) -> u8 {
+    v.first().copied().unwrap() // audit: allow(panic_path, reason = "")
+}
+
+fn unknown_pass(v: Vec<u8>) -> u8 {
+    v.first().copied().unwrap() // audit: allow(warp_core, reason = "no such pass")
+}
+
+fn missing_reason(v: Vec<u8>) -> u8 {
+    v.first().copied().unwrap() // audit: allow(panic_path)
+}
+
+fn stale() -> u8 {
+    // audit: allow(panic_path, reason = "suppresses nothing on the next line")
+    7
+}

@@ -1,0 +1,12 @@
+//! Well-formed pragma usage: each suppression names its pass and carries a
+//! non-empty reason. The fixture tests assert these findings are dropped
+//! and the pragmas count as used.
+
+fn trailing(v: Vec<u8>) -> u8 {
+    v.first().copied().unwrap() // audit: allow(panic_path, reason = "fixture: demonstrates a sanctioned trailing suppression")
+}
+
+fn standalone(s: &std::sync::atomic::AtomicU64) -> u64 {
+    // audit: allow(atomics, reason = "fixture: demonstrates a standalone suppression")
+    s.load(std::sync::atomic::Ordering::SeqCst)
+}

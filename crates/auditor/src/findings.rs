@@ -1,0 +1,94 @@
+//! Findings, severities and the pass catalog.
+
+use std::fmt;
+
+/// The named passes. Pragmas refer to passes by their `name()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// P1: lock acquisition order + guards held across device I/O / rebuilds.
+    LockOrder,
+    /// P2: panic paths (unwrap, panic!-family, empty expect, slice indexing)
+    /// in shipped code of the serving crates.
+    PanicPath,
+    /// P3: per-field atomics-ordering consistency + bare SeqCst.
+    Atomics,
+    /// P4: mutating calls inside `debug_assert!` families.
+    DebugAssert,
+    /// Meta: malformed / unused / over-budget pragmas.
+    Pragma,
+}
+
+impl Pass {
+    /// Stable name used on the CLI and in pragmas.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::LockOrder => "lock_order",
+            Pass::PanicPath => "panic_path",
+            Pass::Atomics => "atomics",
+            Pass::DebugAssert => "debug_assert",
+            Pass::Pragma => "pragma",
+        }
+    }
+
+    /// Parse a pass name (as used in pragmas / `--pass`).
+    pub fn from_name(s: &str) -> Option<Pass> {
+        Some(match s {
+            "lock_order" => Pass::LockOrder,
+            "panic_path" => Pass::PanicPath,
+            "atomics" => Pass::Atomics,
+            "debug_assert" => Pass::DebugAssert,
+            "pragma" => Pass::Pragma,
+            _ => return None,
+        })
+    }
+
+    /// Every auditable pass (pragma meta-checks always run).
+    pub const ALL: [Pass; 4] = [
+        Pass::LockOrder,
+        Pass::PanicPath,
+        Pass::Atomics,
+        Pass::DebugAssert,
+    ];
+}
+
+/// Whether a finding gates `--deny` or is report-only unless `--strict`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported; fails the gate only under `--strict`.
+    Advisory,
+    /// Fails `--deny`.
+    Deny,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which pass produced it.
+    pub pass: Pass,
+    /// Gate behavior.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Deny => "deny",
+            Severity::Advisory => "advisory",
+        };
+        write!(
+            f,
+            "{}:{}: [{}/{}] {}",
+            self.file,
+            self.line,
+            self.pass.name(),
+            sev,
+            self.message
+        )
+    }
+}

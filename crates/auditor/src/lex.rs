@@ -1,0 +1,496 @@
+//! A small, dependency-free Rust lexer: just enough to run lint passes.
+//!
+//! The token stream is comment-, string-, lifetime- and raw-string-aware, so
+//! passes never match inside a comment or a string literal, and `'a` is never
+//! confused with a char literal. It is deliberately *not* a parser: passes
+//! work on the flat token stream plus brace depth, which is cheap, robust to
+//! half-written code, and sufficient for the lexical rules we enforce.
+
+/// What a token is. The text of identifiers, lifetimes and string literals is
+/// kept; punctuation carries its single character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// `'name` lifetime (text excludes the quote).
+    Lifetime,
+    /// String literal (text is the raw content between the quotes).
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Token text: identifier name, string content, or the punctuation char.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Byte offset of the token's first character (used for adjacency tests
+    /// like recognising `+=` as one operator).
+    pub pos: usize,
+}
+
+impl Tok {
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Is this the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Comments are skipped (pragmas are parsed separately from
+/// the raw source, line by line).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Nested block comments, counting newlines.
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (tok, ni, nl) = lex_string(&b, i, line);
+                toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let (tok, ni, nl) = lex_raw_or_byte(&b, i, line);
+                toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                let (tok, ni, nl) = lex_quote(&b, i, line);
+                toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                    pos: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                // Digits, `_`, and alphanumeric suffix/hex chars. `.` is left
+                // out so `0..n` lexes as Num Punct Punct Ident.
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[start..i].iter().collect(),
+                    line,
+                    pos: start,
+                });
+            }
+            c => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                    pos: i,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // r"...", r#"..."#, b"...", br"...", br#"..."#
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < n && b[j] == '"' {
+            return true;
+        }
+    }
+    if j < n && b[j] == 'r' {
+        j += 1;
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+        return j < n && b[j] == '"';
+    }
+    false
+}
+
+fn lex_string(b: &[char], start: usize, mut line: u32) -> (Tok, usize, u32) {
+    let n = b.len();
+    let first_line = line;
+    let mut i = start + 1;
+    let mut text = String::new();
+    while i < n {
+        match b[i] {
+            '\\' if i + 1 < n => {
+                text.push(b[i + 1]);
+                i += 2;
+            }
+            '"' => {
+                i += 1;
+                break;
+            }
+            '\n' => {
+                line += 1;
+                text.push('\n');
+                i += 1;
+            }
+            c => {
+                text.push(c);
+                i += 1;
+            }
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text,
+            line: first_line,
+            pos: start,
+        },
+        i,
+        line,
+    )
+}
+
+fn lex_raw_or_byte(b: &[char], start: usize, mut line: u32) -> (Tok, usize, u32) {
+    let n = b.len();
+    let first_line = line;
+    let mut i = start;
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if i < n && b[i] == '"' {
+        // b"..." — plain byte string with escapes.
+        let (mut tok, ni, nl) = lex_string(b, i, line);
+        tok.pos = start;
+        return (tok, ni, nl);
+    }
+    // r or br with hashes.
+    i += 1; // skip 'r'
+    let mut hashes = 0;
+    while i < n && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // skip opening quote
+    let mut text = String::new();
+    while i < n {
+        if b[i] == '"' {
+            // Check for closing `"` + hashes.
+            let mut k = 0;
+            while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                i += 1 + hashes;
+                break;
+            }
+        }
+        if b[i] == '\n' {
+            line += 1;
+        }
+        text.push(b[i]);
+        i += 1;
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text,
+            line: first_line,
+            pos: start,
+        },
+        i,
+        line,
+    )
+}
+
+fn lex_quote(b: &[char], start: usize, line: u32) -> (Tok, usize, u32) {
+    let n = b.len();
+    let mut i = start + 1;
+    // Escape => char literal.
+    if i < n && b[i] == '\\' {
+        i += 2; // skip escape head; then scan to closing quote
+        while i < n && b[i] != '\'' {
+            i += 1;
+        }
+        return (
+            Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+                pos: start,
+            },
+            (i + 1).min(n),
+            line,
+        );
+    }
+    // `'a'` (char) vs `'a` / `'static` (lifetime): a lifetime's ident run is
+    // not followed by a closing quote.
+    if i < n && is_ident_start(b[i]) {
+        let ident_start = i;
+        while i < n && is_ident_continue(b[i]) {
+            i += 1;
+        }
+        if i < n && b[i] == '\'' && i - ident_start == 1 {
+            return (
+                Tok {
+                    kind: TokKind::Char,
+                    text: b[ident_start].to_string(),
+                    line,
+                    pos: start,
+                },
+                i + 1,
+                line,
+            );
+        }
+        return (
+            Tok {
+                kind: TokKind::Lifetime,
+                text: b[ident_start..i].iter().collect(),
+                line,
+                pos: start,
+            },
+            i,
+            line,
+        );
+    }
+    // Some other char literal like '\u{..}' already handled; ' ' (space):
+    if i + 1 < n && b[i + 1] == '\'' {
+        return (
+            Tok {
+                kind: TokKind::Char,
+                text: b[i].to_string(),
+                line,
+                pos: start,
+            },
+            i + 2,
+            line,
+        );
+    }
+    // Lone quote (shouldn't happen in valid Rust); emit as punct.
+    (
+        Tok {
+            kind: TokKind::Punct,
+            text: "'".to_string(),
+            line,
+            pos: start,
+        },
+        i,
+        line,
+    )
+}
+
+/// Line ranges (inclusive) of items gated behind `#[cfg(test)]`-style
+/// attributes or `#[test]`/`#[bench]`, including their bodies. Passes that
+/// only apply to shipped code skip findings inside these ranges.
+pub fn test_gated_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let (attr_end, gating) = scan_attr(toks, i + 1);
+            if gating {
+                // Skip over any further attributes to the item, then to the
+                // end of its body (matching `}`) or its terminating `;`.
+                let mut j = attr_end + 1;
+                while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+                    let (e, _) = scan_attr(toks, j + 1);
+                    j = e + 1;
+                }
+                let start_line = toks[i].line;
+                let mut depth = 0i32;
+                let mut end_line = start_line;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = t.line;
+                            break;
+                        }
+                    } else if t.is_punct(';') && depth == 0 {
+                        end_line = t.line;
+                        break;
+                    }
+                    end_line = t.line;
+                    j += 1;
+                }
+                ranges.push((start_line, end_line));
+                i = j + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Scan an attribute starting at its `[` token; returns (index of closing
+/// `]`, whether the attribute gates test-only code).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut j = open;
+    let mut gating = false;
+    let mut saw_cfg_or_bare = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            if t.text == "cfg" {
+                saw_cfg_or_bare = true;
+            }
+            // `#[test]` / `#[bench]` directly after `[`.
+            if (t.text == "test" || t.text == "bench") && j == open + 1 {
+                gating = true;
+            }
+            // A bare `test` ident inside cfg(...) — but `not(test)` means the
+            // code is *shipped*, so require it not be preceded by `not (`.
+            if t.text == "test" && saw_cfg_or_bare && j > open + 1 {
+                let negated = j >= 2
+                    && toks[j - 1].is_punct('(')
+                    && toks[j - 2].kind == TokKind::Ident
+                    && toks[j - 2].text == "not";
+                if !negated {
+                    gating = true;
+                }
+            }
+        }
+        j += 1;
+    }
+    (j, gating)
+}
+
+/// Whether `line` falls inside any of `ranges`.
+pub fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(s, e)| line >= s && line <= e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_comments_lifetimes() {
+        let src = r###"
+// comment with unwrap() inside
+fn f<'a>(x: &'a str) -> char {
+    let _s = "quoted // not a comment \" with escape";
+    let _r = r#"raw "string" body"#;
+    /* block /* nested */ still comment */
+    'q'
+}
+"###;
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("comment")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("not a comment")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("raw \"string\" body")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "q"));
+        assert!(!toks.iter().any(|t| t.is_ident("nested")));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let toks = lex(src);
+        let r = test_gated_ranges(&toks);
+        assert_eq!(r.len(), 1);
+        assert!(in_ranges(&r, 3) && in_ranges(&r, 5));
+        assert!(!in_ranges(&r, 1) && !in_ranges(&r, 6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_shipped_code() {
+        let src = "#[cfg(not(test))]\nfn shipped() {}\n";
+        let toks = lex(src);
+        assert!(test_gated_ranges(&toks).is_empty());
+    }
+
+    #[test]
+    fn cfg_feature_testkit_hooks_is_not_test_gated() {
+        let src = "#[cfg(feature = \"testkit-hooks\")]\nfn hooks() {}\n";
+        let toks = lex(src);
+        assert!(test_gated_ranges(&toks).is_empty());
+    }
+}

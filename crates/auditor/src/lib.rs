@@ -1,0 +1,164 @@
+//! `topk-auditor`: workspace-native static analysis for the topk codebase.
+//!
+//! The workspace is offline (path-only shims, no syn/clippy-plugin route), so
+//! the auditor ships its own small Rust lexer (comments/strings/lifetimes
+//! aware, brace tracking) and runs named lexical passes over every workspace
+//! `.rs` file:
+//!
+//! - [`lock_order`](passes::lock_order) (P1): acquisition-order table +
+//!   guards held across device I/O / rebuild entry points.
+//! - [`panic_path`](passes::panic_path) (P2): unwrap/panic!-family/empty
+//!   expect/direct indexing in shipped code of the serving crates.
+//! - [`atomics`](passes::atomics) (P3): per-field ordering consistency,
+//!   bare SeqCst.
+//! - [`debug_assert`](passes::debug_assert) (P4): mutations that vanish in
+//!   release builds.
+//!
+//! Findings are suppressible only via an inline
+//! `// audit: allow(<pass>, reason = "…")` pragma with a mandatory, non-empty
+//! reason; unused and malformed pragmas are themselves deny findings, and the
+//! workspace-wide pragma count is budgeted (≤ [`PRAGMA_BUDGET`]). See
+//! DESIGN.md §8 for the pass catalog and the normative lock-order table.
+
+pub mod findings;
+pub mod lex;
+pub mod pragma;
+pub mod passes {
+    pub mod atomics;
+    pub mod debug_assert;
+    pub mod lock_order;
+    pub mod panic_path;
+}
+
+use std::path::{Path, PathBuf};
+
+pub use findings::{Finding, Pass, Severity};
+
+/// Maximum number of pragmas allowed across the audited tree: suppressions
+/// are an escape hatch, not a lifestyle. Exceeding it is a deny finding.
+pub const PRAGMA_BUDGET: usize = 15;
+
+/// Which passes to run (all by default) and whether advisories gate.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Passes to run.
+    pub passes: Vec<Pass>,
+    /// Promote advisory findings to deny.
+    pub strict: bool,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            passes: Pass::ALL.to_vec(),
+            strict: false,
+        }
+    }
+}
+
+/// Result of auditing one file.
+#[derive(Debug)]
+pub struct FileAudit {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Surviving findings (pragmas already applied).
+    pub findings: Vec<Finding>,
+    /// Number of well-formed pragmas present in the file.
+    pub pragma_count: usize,
+}
+
+/// Audit one file's source. `rel_path` uses `/` separators relative to the
+/// workspace root — pass scoping (which crates P2 covers) keys off it.
+pub fn audit_source(rel_path: &str, src: &str, cfg: &AuditConfig) -> FileAudit {
+    let toks = lex::lex(src);
+    let test_ranges = lex::test_gated_ranges(&toks);
+    let mut raw = Vec::new();
+    for pass in &cfg.passes {
+        match pass {
+            Pass::LockOrder => passes::lock_order::run(rel_path, &toks, &mut raw),
+            Pass::PanicPath => passes::panic_path::run(rel_path, &toks, &test_ranges, &mut raw),
+            Pass::Atomics => passes::atomics::run(rel_path, &toks, &mut raw),
+            Pass::DebugAssert => passes::debug_assert::run(rel_path, &toks, &mut raw),
+            Pass::Pragma => {}
+        }
+    }
+    if cfg.strict {
+        for f in &mut raw {
+            f.severity = Severity::Deny;
+        }
+    }
+    let mut meta = Vec::new();
+    let pragmas = pragma::parse_pragmas(rel_path, src, &mut meta);
+    let pragma_count = pragmas.len();
+    let mut findings = pragma::apply_pragmas(rel_path, &pragmas, raw);
+    findings.append(&mut meta);
+    findings.sort_by_key(|f| f.line);
+    FileAudit {
+        file: rel_path.to_string(),
+        findings,
+        pragma_count,
+    }
+}
+
+/// Collect every auditable `.rs` file under `root`, skipping build output,
+/// VCS internals, and the auditor's own lint fixtures (which are known-bad on
+/// purpose).
+pub fn collect_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(root, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" || name == ".github" {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Audit the tree rooted at `root`. Returns per-file results plus the
+/// workspace-level pragma-budget finding, if any.
+pub fn audit_tree(root: &Path, cfg: &AuditConfig) -> (Vec<FileAudit>, Vec<Finding>) {
+    let mut audits = Vec::new();
+    let mut extra = Vec::new();
+    let mut total_pragmas = 0usize;
+    for path in collect_files(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let audit = audit_source(&rel, &src, cfg);
+        total_pragmas += audit.pragma_count;
+        audits.push(audit);
+    }
+    if total_pragmas > PRAGMA_BUDGET {
+        extra.push(Finding {
+            file: ".".into(),
+            line: 0,
+            pass: Pass::Pragma,
+            severity: Severity::Deny,
+            message: format!(
+                "pragma budget exceeded: {total_pragmas} pragmas in the tree, budget is \
+                 {PRAGMA_BUDGET} — fix findings instead of suppressing them"
+            ),
+        });
+    }
+    (audits, extra)
+}

@@ -1,0 +1,106 @@
+//! `topk-audit` — the workspace static-analysis gate.
+//!
+//! ```text
+//! topk-audit [--deny] [--strict] [--pass <name>]... [--list-passes] [PATH...]
+//! ```
+//!
+//! With no PATH, audits the current directory tree. `--deny` exits non-zero
+//! when any deny-severity finding survives (the CI mode); `--strict`
+//! additionally promotes advisories to deny. `--pass` restricts to named
+//! passes (repeatable). See DESIGN.md §8 for the pass catalog and pragma
+//! syntax.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use topk_auditor::{audit_tree, AuditConfig, Pass, Severity};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut strict = false;
+    let mut passes: Vec<Pass> = Vec::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--strict" => strict = true,
+            "--pass" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--pass requires a pass name");
+                    return ExitCode::from(2);
+                };
+                match Pass::from_name(&name) {
+                    Some(p) => passes.push(p),
+                    None => {
+                        eprintln!("unknown pass '{name}'; try --list-passes");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--list-passes" => {
+                for p in Pass::ALL {
+                    println!("{}", p.name());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "topk-audit [--deny] [--strict] [--pass <name>]... [--list-passes] [PATH...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag '{other}'");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    if paths.is_empty() {
+        paths.push(PathBuf::from("."));
+    }
+    let cfg = AuditConfig {
+        passes: if passes.is_empty() {
+            Pass::ALL.to_vec()
+        } else {
+            passes
+        },
+        strict,
+    };
+
+    let mut n_deny = 0usize;
+    let mut n_advisory = 0usize;
+    let mut n_files = 0usize;
+    let mut n_pragmas = 0usize;
+    for root in &paths {
+        let (audits, extra) = audit_tree(root, &cfg);
+        for audit in &audits {
+            n_files += 1;
+            n_pragmas += audit.pragma_count;
+            for f in &audit.findings {
+                match f.severity {
+                    Severity::Deny => n_deny += 1,
+                    Severity::Advisory => n_advisory += 1,
+                }
+                println!("{f}");
+            }
+        }
+        for f in &extra {
+            n_deny += 1;
+            println!("{f}");
+        }
+    }
+    println!(
+        "topk-audit: {} finding(s) ({} deny, {} advisory) across {} file(s); {} pragma(s) in force",
+        n_deny + n_advisory,
+        n_deny,
+        n_advisory,
+        n_files,
+        n_pragmas
+    );
+    if deny && (n_deny > 0 || (strict && n_advisory > 0)) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,192 @@
+//! P3 — per-field atomics-ordering consistency.
+//!
+//! The repo's memory-ordering conventions (PR 1/PR 6, DESIGN.md §4/§8):
+//!
+//! - **Stat counters** are monotone tallies folded on read; they carry no
+//!   happens-before edges and must be `Relaxed` on every operation (the PR 6
+//!   rule that also put them behind `#[repr(align(64))]` padding).
+//! - **Version / commit stamps** publish structure state: loads must be
+//!   `Acquire`, stores and RMWs must be `Release` (or `AcqRel`), so a stamp
+//!   read always observes the writes it stamps.
+//! - **Gate flags** (try-lock style, e.g. `rebalancing`) acquire with
+//!   `Acquire`/`AcqRel` swaps and release with `Release` stores.
+//! - **Bare `SeqCst` is always flagged**: every ordering here is pairwise;
+//!   if a site genuinely needs total order it must say why in a pragma.
+//!
+//! Fields are classified by name; unknown fields only get the SeqCst rule.
+
+use crate::findings::{Finding, Pass, Severity};
+use crate::lex::{Tok, TokKind};
+
+const COUNTER_FIELDS: &[&str] = &[
+    "reads",
+    "writes",
+    "logical",
+    "allocs",
+    "frees",
+    "capacity_violations",
+    "len",
+    "count",
+    "deletes",
+    "deletes_since_rebuild",
+    "accesses",
+    "last_visited",
+    "size_at_rebuild",
+    "next_group_id",
+    "hits",
+    "misses",
+    "done",
+];
+
+const STAMP_FIELDS: &[&str] = &["version", "commits", "stamp", "epoch"];
+
+const GATE_FIELDS: &[&str] = &["rebalancing", "ORDERING_BUG"];
+
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Run the pass over one file's token stream.
+pub fn run(file: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        // `Ordering :: <X>` with X an atomic ordering.
+        if !(toks[i].is_ident("Ordering")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokKind::Ident && ORDERINGS.contains(&t.text.as_str())))
+        {
+            continue;
+        }
+        let ordering = toks[i + 3].text.as_str();
+        let line = toks[i + 3].line;
+        let Some((field, op)) = enclosing_atomic_op(toks, i) else {
+            // Ordering mentioned outside a recognizable atomic op (use
+            // statement, match arm, …) — only the SeqCst rule applies.
+            if ordering == "SeqCst" {
+                push(
+                    findings,
+                    file,
+                    line,
+                    "bare SeqCst — the codebase's orderings are pairwise; justify total order \
+                     with a pragma"
+                        .to_string(),
+                );
+            }
+            continue;
+        };
+        if ordering == "SeqCst" {
+            push(
+                findings,
+                file,
+                line,
+                format!(
+                    "`{field}.{op}` uses SeqCst — the codebase's orderings are pairwise \
+                 (counters Relaxed, stamps Acquire/Release); justify total order with a pragma"
+                ),
+            );
+            continue;
+        }
+        if COUNTER_FIELDS.contains(&field.as_str()) {
+            if ordering != "Relaxed" {
+                push(findings, file, line, format!(
+                    "stat counter `{field}` must use Relaxed on every op (PR 6 rule), got {ordering} on {op}"
+                ));
+            }
+        } else if STAMP_FIELDS.contains(&field.as_str()) {
+            let ok = match op.as_str() {
+                "load" => ordering == "Acquire",
+                "store" => ordering == "Release",
+                _ => ordering == "Release" || ordering == "AcqRel" || ordering == "Acquire",
+            };
+            if !ok {
+                push(
+                    findings,
+                    file,
+                    line,
+                    format!(
+                        "version/commit stamp `{field}` must pair Acquire loads with Release \
+                     stores/RMWs, got {ordering} on {op}"
+                    ),
+                );
+            }
+        } else if GATE_FIELDS.contains(&field.as_str()) {
+            let ok = match op.as_str() {
+                "load" => ordering == "Acquire",
+                "store" => ordering == "Release",
+                "swap" => ordering == "Acquire" || ordering == "AcqRel",
+                _ => ordering == "AcqRel" || ordering == "Acquire" || ordering == "Release",
+            };
+            if !ok {
+                push(
+                    findings,
+                    file,
+                    line,
+                    format!(
+                        "gate flag `{field}` must acquire with Acquire/AcqRel and release with \
+                     Release stores, got {ordering} on {op}"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn push(findings: &mut Vec<Finding>, file: &str, line: u32, message: String) {
+    findings.push(Finding {
+        file: file.to_string(),
+        line,
+        pass: Pass::Atomics,
+        severity: Severity::Deny,
+        message,
+    });
+}
+
+/// Walking backwards from the `Ordering` token, find the atomic method call
+/// this ordering argument belongs to: `<field>.<op>( …, Ordering::X, … )`.
+/// Returns `(field, op)`.
+fn enclosing_atomic_op(toks: &[Tok], ord_idx: usize) -> Option<(String, String)> {
+    let mut depth = 0i32;
+    let lo = ord_idx.saturating_sub(48);
+    let mut j = ord_idx;
+    while j > lo {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(')') {
+            depth += 1;
+        } else if t.is_punct('(') {
+            depth -= 1;
+            if depth < 0 {
+                // Opening paren of the enclosing call.
+                let op = toks.get(j.checked_sub(1)?)?;
+                if op.kind != TokKind::Ident || !ATOMIC_OPS.contains(&op.text.as_str()) {
+                    return None;
+                }
+                let dot = toks.get(j.checked_sub(2)?)?;
+                if !dot.is_punct('.') {
+                    return None;
+                }
+                let field = toks.get(j.checked_sub(3)?)?;
+                if field.kind != TokKind::Ident {
+                    return None;
+                }
+                return Some((field.text.clone(), op.text.clone()));
+            }
+        }
+    }
+    None
+}

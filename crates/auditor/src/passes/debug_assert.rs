@@ -1,0 +1,168 @@
+//! P4 — side effects inside `debug_assert!` / `debug_assert_eq!` /
+//! `debug_assert_ne!`.
+//!
+//! Everything inside these macros vanishes in release builds, so a mutating
+//! call or an assignment inside one silently changes release behavior. The
+//! pass flags method calls with well-known mutating names and any
+//! (compound) assignment operator inside the macro arguments. The mutating
+//! list is conservative: ambiguous names that are overwhelmingly read-only in
+//! assertion position (`get`, `next`, `iter`, …) are left out.
+
+use crate::findings::{Finding, Pass, Severity};
+use crate::lex::{Tok, TokKind};
+
+const MACROS: &[&str] = &["debug_assert", "debug_assert_eq", "debug_assert_ne"];
+
+const MUTATING_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "push_str",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "insert",
+    "remove",
+    "remove_entry",
+    "clear",
+    "drain",
+    "retain",
+    "truncate",
+    "set_len",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "dedup",
+    "extend",
+    "append",
+    "split_off",
+    "take",
+    "replace",
+    "get_or_insert",
+    "get_or_insert_with",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_update",
+    "swap",
+    "store",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Run the pass over one file's token stream.
+pub fn run(file: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let end = matching_close(toks, i + 2);
+            scan_body(file, toks, i + 3, end, findings);
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Index of the `)` matching the `(` at `open` (or the end of the stream).
+fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+fn scan_body(file: &str, toks: &[Tok], lo: usize, hi: usize, findings: &mut Vec<Finding>) {
+    for j in lo..hi.min(toks.len()) {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident
+            && MUTATING_METHODS.contains(&t.text.as_str())
+            && j >= 1
+            && toks[j - 1].is_punct('.')
+            && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                pass: Pass::DebugAssert,
+                severity: Severity::Deny,
+                message: format!(
+                    "mutating call `.{}(…)` inside a debug_assert! — the mutation vanishes in \
+                     release builds; hoist it out of the assertion",
+                    t.text
+                ),
+            });
+        }
+        if is_assignment(toks, j) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                pass: Pass::DebugAssert,
+                severity: Severity::Deny,
+                message: "assignment inside a debug_assert! — the write vanishes in release \
+                          builds; hoist it out of the assertion"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Is the token at `j` a bare or compound assignment `=` (not `==`, `!=`,
+/// `<=`, `>=`, `=>`, `..=`, or a closure default)?
+fn is_assignment(toks: &[Tok], j: usize) -> bool {
+    let t = &toks[j];
+    if !t.is_punct('=') {
+        return false;
+    }
+    let adj_prev = |k: usize| {
+        k.checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .filter(|p| p.kind == TokKind::Punct && p.pos + 1 == t.pos)
+            .map(|p| p.text.as_bytes()[0] as char)
+    };
+    let adj_next = toks
+        .get(j + 1)
+        .filter(|n| n.kind == TokKind::Punct && n.pos == t.pos + 1)
+        .map(|n| n.text.as_bytes()[0] as char);
+    // `==` / `=>` — comparisons and match arms.
+    if matches!(adj_next, Some('=') | Some('>')) {
+        return false;
+    }
+    match adj_prev(j) {
+        // Second char of `==`, `!=`, `<=`, `>=`, `..=`.
+        Some('=') | Some('!') | Some('.') => false,
+        // `<=` vs `<<=`: the latter is a compound assignment.
+        Some('<') | Some('>') => {
+            let prev_prev = toks.get(j.wrapping_sub(2));
+            prev_prev.is_some_and(|p| {
+                p.kind == TokKind::Punct
+                    && p.pos + 2 == t.pos
+                    && (p.is_punct('<') || p.is_punct('>'))
+            })
+        }
+        // Compound assignments `+=`, `-=`, `*=`, `/=`, `%=`, `&=`, `|=`, `^=`.
+        Some('+') | Some('-') | Some('*') | Some('/') | Some('%') | Some('&') | Some('|')
+        | Some('^') => true,
+        // Plain `=`.
+        _ => true,
+    }
+}

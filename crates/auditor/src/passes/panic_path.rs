@@ -1,0 +1,165 @@
+//! P2 — panic paths in shipped code of the serving-facing crates.
+//!
+//! Scope: non-test, non-bench code under `crates/{core,emsim,epst,embtree,
+//! wbbtree}/src`. Flags:
+//!
+//! - `.unwrap()` — except directly on a lock acquisition
+//!   (`.read()/.write()/.lock()/.into_inner()`): propagating a poisoned-lock
+//!   panic is the sanctioned response to *another* thread's panic (P1 owns
+//!   lock discipline; a poison unwrap is not a new panic path).
+//! - `.expect("")` with an empty reason — `expect` with a non-empty message
+//!   is the sanctioned "documented invariant" form, the inline analogue of a
+//!   pragma.
+//! - `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+//! - Direct slice indexing `x[i]` / `x[a..b]`. On the serving boundary
+//!   (`topk-core`, `emsim`) this denies; in the structure crates (`epst`,
+//!   `embtree`, `wbbtree`), whose index arithmetic is invariant-bounded and
+//!   below the error boundary, it is an advisory (promoted by `--strict`).
+
+use crate::findings::{Finding, Pass, Severity};
+use crate::lex::{in_ranges, Tok, TokKind};
+
+/// Crates whose shipped code is in scope.
+const SERVING_PREFIXES: &[&str] = &[
+    "crates/core/src",
+    "crates/emsim/src",
+    "crates/epst/src",
+    "crates/embtree/src",
+    "crates/wbbtree/src",
+];
+
+/// Where direct indexing denies (the serving boundary: a panic here unwinds
+/// through, or poisons locks under, the public read/write paths).
+const INDEXING_DENY_PREFIXES: &[&str] = &["crates/core/src", "crates/emsim/src"];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Chain heads whose `.unwrap()` propagates a poisoned-lock panic.
+const POISON_SOURCES: &[&str] = &["read", "write", "lock", "into_inner"];
+
+/// Keywords that can directly precede a `[` without forming an index
+/// expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "while", "match", "return", "mut", "ref", "else", "move", "as", "box",
+    "break", "const", "static", "dyn", "impl", "for", "where", "pub", "use", "fn", "type",
+];
+
+/// Whether this file is audited by P2 at all.
+pub fn in_scope(file: &str) -> bool {
+    SERVING_PREFIXES.iter().any(|p| file.starts_with(p))
+}
+
+fn indexing_severity(file: &str) -> Severity {
+    if INDEXING_DENY_PREFIXES.iter().any(|p| file.starts_with(p)) {
+        Severity::Deny
+    } else {
+        Severity::Advisory
+    }
+}
+
+/// Run the pass. `test_ranges` are the `#[cfg(test)]`-gated line ranges.
+pub fn run(file: &str, toks: &[Tok], test_ranges: &[(u32, u32)], findings: &mut Vec<Finding>) {
+    if !in_scope(file) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if in_ranges(test_ranges, t.line) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident if t.text == "unwrap" => {
+                let is_call = i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(')'));
+                if !is_call {
+                    continue;
+                }
+                // `.read().unwrap()` etc: poison propagation, exempt.
+                let poison = i >= 4
+                    && toks[i - 2].is_punct(')')
+                    && toks[i - 3].is_punct('(')
+                    && toks[i - 4].kind == TokKind::Ident
+                    && POISON_SOURCES.contains(&toks[i - 4].text.as_str());
+                if poison {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    pass: Pass::PanicPath,
+                    severity: Severity::Deny,
+                    message: "unwrap() in serving code — return a typed TopKError or use \
+                              expect(\"<the invariant that makes this infallible>\")"
+                        .into(),
+                });
+            }
+            TokKind::Ident if t.text == "expect" => {
+                let is_call = i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if !is_call {
+                    continue;
+                }
+                // Flag only a literal empty reason; a non-empty literal (or a
+                // computed message) documents the invariant.
+                if toks
+                    .get(i + 2)
+                    .is_some_and(|a| a.kind == TokKind::Str && a.text.trim().is_empty())
+                {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: t.line,
+                        pass: Pass::PanicPath,
+                        severity: Severity::Deny,
+                        message: "expect(\"\") with an empty reason — state the invariant that \
+                                  makes this infallible"
+                            .into(),
+                    });
+                }
+            }
+            TokKind::Ident
+                if PANIC_MACROS.contains(&t.text.as_str())
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    pass: Pass::PanicPath,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "{}! in serving code — return a typed TopKError, restructure, or \
+                         pragma with the reason the branch is impossible",
+                        t.text
+                    ),
+                });
+            }
+            TokKind::Punct if t.is_punct('[') && i >= 1 => {
+                let prev = &toks[i - 1];
+                let indexes = match prev.kind {
+                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                    _ => false,
+                };
+                if indexes {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: t.line,
+                        pass: Pass::PanicPath,
+                        severity: indexing_severity(file),
+                        message: format!(
+                            "direct slice indexing of `{}` — use .get()/.get_mut() with a typed \
+                             error, or an expect() carrying the bound invariant",
+                            if prev.kind == TokKind::Ident {
+                                prev.text.as_str()
+                            } else {
+                                "<expr>"
+                            }
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The suppression pragma: `// audit: allow(<pass>, reason = "...")`.
+//!
+//! A pragma with code before it on the same line suppresses matching findings
+//! on that line; a pragma alone on its line suppresses matching findings on
+//! the next line that carries code. The reason is mandatory and must be
+//! non-empty — an allow without a reason is itself a deny finding, as is a
+//! pragma that suppresses nothing (stale pragmas don't accumulate).
+
+use crate::findings::{Finding, Pass, Severity};
+
+/// One parsed pragma occurrence.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: u32,
+    /// The line whose findings it suppresses.
+    pub target_line: u32,
+    /// Pass it applies to (None if the name did not parse).
+    pub pass: Option<Pass>,
+    /// The declared reason (None if missing, Some("") if empty).
+    pub reason: Option<String>,
+    /// Raw text, for diagnostics.
+    pub raw: String,
+}
+
+/// Scan `src` for pragmas. `findings` for malformed ones are appended.
+pub fn parse_pragmas(file: &str, src: &str, findings: &mut Vec<Finding>) -> Vec<Pragma> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut pragmas = Vec::new();
+    for (idx, raw_line) in lines.iter().enumerate() {
+        let line_no = idx as u32 + 1;
+        let Some(comment_at) = find_pragma_comment(raw_line) else {
+            continue;
+        };
+        let before = raw_line[..comment_at].trim();
+        let text = &raw_line[comment_at..];
+        let parsed = parse_one(text);
+        let target_line = if before.is_empty() {
+            // Standalone pragma: applies to the next line that carries code.
+            let mut t = idx + 1;
+            while t < lines.len() {
+                let l = lines[t].trim();
+                if !l.is_empty() && !l.starts_with("//") {
+                    break;
+                }
+                t += 1;
+            }
+            t as u32 + 1
+        } else {
+            line_no
+        };
+        match parsed {
+            Ok((pass, reason)) => {
+                if reason.trim().is_empty() {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_no,
+                        pass: Pass::Pragma,
+                        severity: Severity::Deny,
+                        message: "pragma has an empty reason; every allow must say why".into(),
+                    });
+                }
+                pragmas.push(Pragma {
+                    line: line_no,
+                    target_line,
+                    pass: Pass::from_name(&pass),
+                    reason: Some(reason.clone()),
+                    raw: text.trim().to_string(),
+                });
+                if Pass::from_name(&pass).is_none() {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_no,
+                        pass: Pass::Pragma,
+                        severity: Severity::Deny,
+                        message: format!("pragma names unknown pass '{pass}'"),
+                    });
+                }
+            }
+            Err(why) => {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: line_no,
+                    pass: Pass::Pragma,
+                    severity: Severity::Deny,
+                    message: format!("malformed pragma ({why}); expected // audit: allow(<pass>, reason = \"...\")"),
+                });
+                pragmas.push(Pragma {
+                    line: line_no,
+                    target_line,
+                    pass: None,
+                    reason: None,
+                    raw: text.trim().to_string(),
+                });
+            }
+        }
+    }
+    pragmas
+}
+
+/// Find the byte offset of a `// audit:` comment on this line, ignoring
+/// occurrences inside string literals (a line-local heuristic: the audit
+/// marker must appear after a `//` that is not inside quotes). Only a plain
+/// line comment whose body *starts* with `audit:` counts — doc comments and
+/// prose that merely mention the syntax are not pragmas.
+fn find_pragma_comment(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let rest = &line[i + 2..];
+                // `///` and `//!` are doc comments, never pragmas.
+                if rest.starts_with('/') || rest.starts_with('!') {
+                    return None;
+                }
+                return rest.trim_start().starts_with("audit:").then_some(i);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse `// audit: allow(pass, reason = "...")` from the comment text.
+fn parse_one(text: &str) -> Result<(String, String), &'static str> {
+    let after = text
+        .split_once("audit:")
+        .ok_or("missing audit: marker")?
+        .1
+        .trim();
+    let body = after.strip_prefix("allow(").ok_or("missing allow(")?;
+    let close = body.rfind(')').ok_or("missing closing paren")?;
+    let inner = &body[..close];
+    let (pass, rest) = match inner.split_once(',') {
+        Some((p, r)) => (p.trim().to_string(), r.trim()),
+        None => return Err("missing reason clause"),
+    };
+    let reason_rhs = rest
+        .strip_prefix("reason")
+        .map(|r| r.trim_start())
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or("missing reason = \"...\"")?
+        .trim();
+    let unquoted = reason_rhs
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or("reason must be a quoted string")?;
+    Ok((pass, unquoted.to_string()))
+}
+
+/// Apply pragmas to findings: matching findings are dropped, pragmas that
+/// matched nothing become deny findings themselves. Returns the surviving
+/// findings.
+pub fn apply_pragmas(file: &str, pragmas: &[Pragma], findings: Vec<Finding>) -> Vec<Finding> {
+    let mut used = vec![false; pragmas.len()];
+    let mut out = Vec::new();
+    for f in findings {
+        // Pragma meta-findings are never suppressible.
+        let mut suppressed = false;
+        if f.pass != Pass::Pragma {
+            for (i, p) in pragmas.iter().enumerate() {
+                if p.pass == Some(f.pass) && p.target_line == f.line {
+                    used[i] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            out.push(f);
+        }
+    }
+    for (i, p) in pragmas.iter().enumerate() {
+        // Malformed pragmas already produced a finding; only well-formed but
+        // useless ones are flagged here.
+        if !used[i] && p.pass.is_some() && p.reason.as_deref().is_some_and(|r| !r.trim().is_empty())
+        {
+            out.push(Finding {
+                file: file.to_string(),
+                line: p.line,
+                pass: Pass::Pragma,
+                severity: Severity::Deny,
+                message: format!(
+                    "pragma suppresses nothing (no {} finding on line {}); remove it",
+                    p.pass.map(|x| x.name()).unwrap_or("?"),
+                    p.target_line
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(file: &str, line: u32, pass: Pass) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            pass,
+            severity: Severity::Deny,
+            message: "x".into(),
+        }
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_same_line() {
+        let src = "let x = v.pop().unwrap(); // audit: allow(panic_path, reason = \"seeded\")\n";
+        let mut meta = Vec::new();
+        let pragmas = parse_pragmas("t.rs", src, &mut meta);
+        assert!(meta.is_empty());
+        assert_eq!(pragmas.len(), 1);
+        let out = apply_pragmas("t.rs", &pragmas, vec![f("t.rs", 1, Pass::PanicPath)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn standalone_pragma_targets_next_code_line() {
+        let src = "// audit: allow(atomics, reason = \"handoff\")\n// more commentary\nx.store(1, Ordering::SeqCst);\n";
+        let mut meta = Vec::new();
+        let pragmas = parse_pragmas("t.rs", src, &mut meta);
+        assert_eq!(pragmas[0].target_line, 3);
+        let out = apply_pragmas("t.rs", &pragmas, vec![f("t.rs", 3, Pass::Atomics)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_reason_is_a_deny_finding() {
+        let src = "// audit: allow(panic_path, reason = \"\")\nx.unwrap();\n";
+        let mut meta = Vec::new();
+        parse_pragmas("t.rs", src, &mut meta);
+        assert_eq!(meta.len(), 1);
+        assert!(meta[0].message.contains("empty reason"));
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let src = "// audit: allow(panic_path)\n";
+        let mut meta = Vec::new();
+        parse_pragmas("t.rs", src, &mut meta);
+        assert_eq!(meta.len(), 1);
+        assert!(meta[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn unused_pragma_is_flagged() {
+        let src = "// audit: allow(atomics, reason = \"left behind\")\nlet y = 1;\n";
+        let mut meta = Vec::new();
+        let pragmas = parse_pragmas("t.rs", src, &mut meta);
+        let out = apply_pragmas("t.rs", &pragmas, Vec::new());
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn unknown_pass_is_flagged() {
+        let src = "// audit: allow(warp_core, reason = \"nope\")\n";
+        let mut meta = Vec::new();
+        parse_pragmas("t.rs", src, &mut meta);
+        assert!(meta.iter().any(|m| m.message.contains("unknown pass")));
+    }
+}

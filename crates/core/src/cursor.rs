@@ -260,7 +260,10 @@ impl QueryCursor {
                 )
             }
             TopK::Sharded(index) => {
-                let span = (self.ranges[0].0, self.ranges.last().expect("validated").1);
+                let span = (
+                    self.ranges.first().expect("validated: ranges non-empty").0,
+                    self.ranges.last().expect("validated: ranges non-empty").1,
+                );
                 let guard = index.read_span(span.0, span.1);
                 let stamp = guard.version();
                 self.observe_version(stamp)?;
@@ -462,7 +465,12 @@ fn round(
         let Some(MergeEntry { point, slot }) = cache.heads.pop() else {
             break;
         };
-        if let Some(next) = cache.drains[slot].pull_one(lanes[slot].index, &mut scratch) {
+        if let Some(next) = cache
+            .drains
+            .get_mut(slot)
+            .zip(lanes.get(slot))
+            .and_then(|(drain, lane)| drain.pull_one(lane.index, &mut scratch))
+        {
             cache.heads.push(MergeEntry { point: next, slot });
         }
         // The drain windows already exclude the emitted prefix; this guard

@@ -506,8 +506,7 @@ impl Iterator for TopKResults<'_> {
             if self.emitted >= self.k {
                 return None;
             }
-            if self.pos < self.buf.len() {
-                let p = self.buf[self.pos];
+            if let Some(&p) = self.buf.get(self.pos) {
                 self.pos += 1;
                 self.emitted += 1;
                 return Some(p);

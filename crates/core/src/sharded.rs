@@ -85,7 +85,12 @@ impl Router {
         let n = points.len();
         Self {
             splits: (1..shards)
-                .map(|i| points[(i * n / shards).min(n - 1)].x)
+                .map(|i| {
+                    points
+                        .get((i * n / shards).min(n - 1))
+                        .expect("index clamped to n-1 of a non-empty slice")
+                        .x
+                })
                 .collect(),
         }
     }
@@ -291,7 +296,10 @@ impl ShardedTopK {
     pub(crate) fn read_span(&self, x1: u64, x2: u64) -> ShardedReadGuard<'_> {
         let router = self.router.read().unwrap();
         let (lo, hi) = router.overlap(x1, x2);
-        let guards = self.shards[lo..=hi]
+        let guards = self
+            .shards
+            .get(lo..=hi)
+            .expect("router overlap yields in-range shard ids")
             .iter()
             .map(|s| s.index.read().unwrap())
             .collect();
@@ -344,7 +352,7 @@ impl ShardedTopK {
     /// The point stored at coordinate `x`, if any (one shard's read lock).
     pub fn get(&self, x: u64) -> Option<Point> {
         let guard = self.read_span(x, x);
-        guard.guards[0].get(x)
+        guard.guards.first().and_then(|g| g.get(x))
     }
 
     // ----- updates -----
@@ -376,7 +384,10 @@ impl ShardedTopK {
     fn insert_inner(&self, p: Point) -> Result<u64> {
         let router = self.router.read().unwrap();
         let si = router.shard_of(p.x);
-        let shard = &self.shards[si];
+        let shard = self
+            .shards
+            .get(si)
+            .expect("router routes to an existing shard");
         let guard = shard.index.write().unwrap();
         if let Some(existing) = guard.get(p.x) {
             return Err(TopKError::DuplicateX {
@@ -419,7 +430,10 @@ impl ShardedTopK {
     fn delete_inner(&self, p: Point) -> Result<Option<u64>> {
         let router = self.router.read().unwrap();
         let si = router.shard_of(p.x);
-        let shard = &self.shards[si];
+        let shard = self
+            .shards
+            .get(si)
+            .expect("router routes to an existing shard");
         let guard = shard.index.write().unwrap();
         let deleted = guard.delete(p)?;
         let stamp = if deleted {
@@ -449,11 +463,11 @@ impl ShardedTopK {
     pub fn bulk_build(&self, points: &[Point]) -> Result<()> {
         let mut sorted = points.to_vec();
         sorted.sort_unstable_by_key(|p| p.x);
-        for pair in sorted.windows(2) {
-            if pair[0].x == pair[1].x {
+        for (a, b) in sorted.iter().zip(sorted.iter().skip(1)) {
+            if a.x == b.x {
                 return Err(TopKError::DuplicateX {
-                    existing: pair[0],
-                    rejected: pair[1],
+                    existing: *a,
+                    rejected: *b,
                 });
             }
         }
@@ -525,11 +539,26 @@ impl ShardedTopK {
         // Ascending acquisition keeps the global lock order acyclic.
         let guards: Vec<_> = affected
             .iter()
-            .map(|&i| self.shards[i].index.write().unwrap())
+            .map(|&i| {
+                self.shards
+                    .get(i)
+                    .expect("affected ids come from the router")
+                    .index
+                    .write()
+                    .unwrap()
+            })
             .collect();
         let mut per_shard_ops = vec![0usize; affected.len()];
-        for &si in &shard_of {
-            per_shard_ops[affected.binary_search(&si).unwrap()] += 1;
+        for (op, &si) in batch.ops().iter().zip(&shard_of) {
+            let j = affected
+                .binary_search(&si)
+                .map_err(|_| TopKError::Inconsistent {
+                    point: op.point(),
+                    component: "shard router",
+                })?;
+            *per_shard_ops
+                .get_mut(j)
+                .expect("binary_search hit is in range") += 1;
         }
         let views: Vec<LiveView> = guards
             .iter()
@@ -547,11 +576,19 @@ impl ShardedTopK {
         let mut resolved: Vec<Vec<UpdateOp>> = vec![Vec::new(); affected.len()];
         let mut summary = BatchSummary::default();
         for (op, &si) in batch.ops().iter().zip(&shard_of) {
-            let j = affected.binary_search(&si).unwrap();
+            let j = affected
+                .binary_search(&si)
+                .map_err(|_| TopKError::Inconsistent {
+                    point: op.point(),
+                    component: "shard router",
+                })?;
             let live_at = |x_overlay: &HashMap<u64, Option<Point>>, x: u64| match x_overlay.get(&x)
             {
                 Some(&slot) => slot,
-                None => views[j].get(&guards[j], x),
+                None => views
+                    .get(j)
+                    .zip(guards.get(j))
+                    .and_then(|(view, guard)| view.get(guard, x)),
             };
             match *op {
                 UpdateOp::Insert(p) => {
@@ -572,14 +609,20 @@ impl ShardedTopK {
                     }
                     x_overlay.insert(p.x, Some(p));
                     score_overlay.insert(p.score, true);
-                    resolved[j].push(*op);
+                    resolved
+                        .get_mut(j)
+                        .expect("binary_search hit is in range")
+                        .push(*op);
                     summary.inserted += 1;
                 }
                 UpdateOp::Delete(p) => {
                     if live_at(&x_overlay, p.x) == Some(p) {
                         x_overlay.insert(p.x, None);
                         score_overlay.insert(p.score, false);
-                        resolved[j].push(*op);
+                        resolved
+                            .get_mut(j)
+                            .expect("binary_search hit is in range")
+                            .push(*op);
                         summary.deleted += 1;
                     } else {
                         summary.missing_deletes += 1;
@@ -607,7 +650,9 @@ impl ShardedTopK {
         let first_error: Mutex<Option<TopKError>> = Mutex::new(None);
         if affected.len() == 1 {
             let view = views.into_iter().next().expect("one affected shard");
-            commit_shard(&guards[0], &resolved[0], view, &first_error);
+            let guard = guards.first().expect("one affected shard");
+            let ops = resolved.first().expect("one affected shard");
+            commit_shard(guard, ops, view, &first_error);
         } else {
             std::thread::scope(|scope| {
                 for ((guard, ops), view) in guards.iter().zip(&resolved).zip(views) {
@@ -620,15 +665,19 @@ impl ShardedTopK {
         if let Some(e) = first_error.into_inner().unwrap() {
             return Err(e);
         }
-        for (j, &si) in affected.iter().enumerate() {
+        for (&si, ops) in affected.iter().zip(&resolved) {
             let (mut ins, mut del) = (0u64, 0u64);
-            for op in &resolved[j] {
+            for op in ops {
                 match op {
                     UpdateOp::Insert(_) => ins += 1,
                     UpdateOp::Delete(_) => del += 1,
                 }
             }
-            let count = &self.shards[si].count;
+            let count = &self
+                .shards
+                .get(si)
+                .expect("affected ids come from the router")
+                .count;
             count.fetch_add(ins, Ordering::Relaxed);
             count.fetch_sub(del, Ordering::Relaxed);
         }
@@ -851,17 +900,14 @@ fn commit_shard(
 /// Split `sorted` (ascending by coordinate) into per-shard slices according
 /// to `router`'s split points.
 fn partition_sorted<'a>(sorted: &'a [Point], router: &Router) -> Vec<&'a [Point]> {
-    let shards = router.splits.len() + 1;
-    let mut slices = Vec::with_capacity(shards);
-    let mut start = 0usize;
-    for i in 0..shards {
-        let end = match router.splits.get(i) {
-            Some(&split) => start + sorted[start..].partition_point(|p| p.x < split),
-            None => sorted.len(),
-        };
-        slices.push(&sorted[start..end]);
-        start = end;
+    let mut slices = Vec::with_capacity(router.splits.len() + 1);
+    let mut rest = sorted;
+    for &split in &router.splits {
+        let (head, tail) = rest.split_at(rest.partition_point(|p| p.x < split));
+        slices.push(head);
+        rest = tail;
     }
+    slices.push(rest);
     slices
 }
 
@@ -901,7 +947,11 @@ impl ShardedReadGuard<'_> {
         let hi = hi.min(self.base + self.guards.len().saturating_sub(1));
         let mut streams = Vec::with_capacity(hi.saturating_sub(lo) + 1);
         for i in lo..=hi {
-            streams.push(self.guards[i - self.base].stream(request.clone())?);
+            let guard = self
+                .guards
+                .get(i - self.base)
+                .expect("span clamped to the held guards");
+            streams.push(guard.stream(request.clone())?);
         }
         Ok(ShardedResults::new(streams, request.k()))
     }
@@ -925,7 +975,9 @@ impl ShardedReadGuard<'_> {
     /// The pinned index of global shard `id` (must lie within the span
     /// returned by [`ShardedReadGuard::overlap_held`]).
     pub(crate) fn shard(&self, id: usize) -> &TopKIndex {
-        &self.guards[id - self.base]
+        self.guards
+            .get(id - self.base)
+            .expect("caller stays within the overlap_held span")
     }
 
     /// Number of points with `x ∈ [x1, x2]` in this pinned version.
@@ -941,7 +993,12 @@ impl ShardedReadGuard<'_> {
         let lo = lo.max(self.base);
         let hi = hi.min(self.base + self.guards.len().saturating_sub(1));
         Ok((lo..=hi)
-            .map(|i| self.guards[i - self.base].count_unvalidated(x1, x2))
+            .map(|i| {
+                self.guards
+                    .get(i - self.base)
+                    .expect("span clamped to the held guards")
+                    .count_unvalidated(x1, x2)
+            })
             .sum())
     }
 }
@@ -1018,7 +1075,7 @@ impl Iterator for ShardedResults<'_> {
             return None;
         }
         let entry = self.heap.pop()?;
-        if let Some(point) = self.streams[entry.slot].next() {
+        if let Some(point) = self.streams.get_mut(entry.slot).and_then(|s| s.next()) {
             self.heap.push(MergeEntry {
                 point,
                 slot: entry.slot,

@@ -180,14 +180,21 @@ impl Device {
 
     pub(crate) fn record_alloc(&self, file: FileId) {
         self.inner.stats.allocs.fetch_add(1, Ordering::Relaxed);
-        self.inner.files.lock().unwrap().live_pages[file as usize] += 1;
+        let mut files = self.inner.files.lock().unwrap();
+        *files
+            .live_pages
+            .get_mut(file as usize)
+            .expect("FileId minted by this device") += 1;
     }
 
     pub(crate) fn record_free(&self, addr: PageAddr) {
         self.inner.pool.lock().unwrap().discard(addr);
         self.inner.stats.frees.fetch_add(1, Ordering::Relaxed);
         let mut files = self.inner.files.lock().unwrap();
-        let slot = &mut files.live_pages[addr.file as usize];
+        let slot = files
+            .live_pages
+            .get_mut(addr.file as usize)
+            .expect("FileId minted by this device");
         *slot = slot.saturating_sub(1);
     }
 

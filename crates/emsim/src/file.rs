@@ -82,6 +82,7 @@ impl<P: Page> BlockFile<P> {
         let slots = self.slots.read().unwrap();
         slots
             .get(id.0 as usize)
+            // audit: allow(panic_path, reason = "out-of-range PageId means a caller bug or corruption; fail fast with the id")
             .unwrap_or_else(|| panic!("page {:?} out of range in file {}", id, self.file_id))
             .clone()
     }
@@ -150,6 +151,7 @@ impl<P: Page> BlockFile<P> {
         let guard = slot.read().unwrap();
         let page = guard
             .as_ref()
+            // audit: allow(panic_path, reason = "use-after-free of a page is a caller bug; fail fast with the id")
             .unwrap_or_else(|| panic!("access to freed page {:?} in file {}", id, self.file_id));
         f(page)
     }
@@ -162,6 +164,7 @@ impl<P: Page> BlockFile<P> {
         let mut guard = slot.write().unwrap();
         let page = guard
             .as_mut()
+            // audit: allow(panic_path, reason = "use-after-free of a page is a caller bug; fail fast with the id")
             .unwrap_or_else(|| panic!("access to freed page {:?} in file {}", id, self.file_id));
         let r = f(page);
         let words = page.words();

@@ -411,6 +411,7 @@ impl PilotPst {
             .read()
             .unwrap()
             .get(&u)
+            // audit: allow(panic_path, reason = "fail-fast on a corrupted rep_of map; the node id in the message is the diagnostic")
             .unwrap_or_else(|| panic!("no representative block for base node {u:?}"))
     }
 
@@ -443,7 +444,7 @@ impl PilotPst {
             // Rebuild the secondary structures of the subtree of the highest
             // split's parent, exactly as the paper rebuilds the subtree of the
             // parent of the highest unbalanced node.
-            let top = report.splits.last().unwrap();
+            let top = report.splits.last().expect("checked non-empty above");
             self.rebuild_subtree_secondary(top.parent);
         }
 

@@ -168,6 +168,7 @@ impl ThreeSidedPst {
             .read()
             .unwrap()
             .get(&node)
+            // audit: allow(panic_path, reason = "fail-fast on a corrupted node-page map; the node id in the message is the diagnostic")
             .unwrap_or_else(|| panic!("no cache page for base node {node:?}"))
     }
 
@@ -777,6 +778,7 @@ impl ThreeSidedPst {
                 assert_eq!(s.max_score, cmax, "stale summary max");
                 assert_eq!(s.min_score, cmin, "stale summary min");
             } else {
+                // audit: allow(panic_path, reason = "check_rec is the consistency checker; panicking on corruption is its contract")
                 panic!("missing summary for child {:?}", c.id);
             }
             // The recursive call returns the child's full subtree point count

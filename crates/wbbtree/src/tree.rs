@@ -217,6 +217,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
                     true
                 }
             }
+            // audit: allow(panic_path, reason = "descend always terminates at a leaf; an internal node here means a corrupted tree")
             WbbNodeKind::Internal { .. } => unreachable!("descend ends at a leaf"),
         });
 
@@ -281,7 +282,8 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
                     false
                 }
             }
-            WbbNodeKind::Internal { .. } => unreachable!(),
+            // audit: allow(panic_path, reason = "descend always terminates at a leaf; an internal node here means a corrupted tree")
+            WbbNodeKind::Internal { .. } => unreachable!("descend ends at a leaf"),
         });
         if !removed {
             return None;
@@ -297,7 +299,7 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
     /// Whether `key` is stored.
     pub fn contains(&self, key: K) -> bool {
         let path = self.descend(key);
-        let leaf = *path.last().unwrap();
+        let leaf = *path.last().expect("path is never empty");
         self.file.with(leaf, |n| match &n.kind {
             WbbNodeKind::Leaf { keys } => keys.binary_search(&key).is_ok(),
             WbbNodeKind::Internal { .. } => false,
@@ -480,7 +482,12 @@ impl<K: Ord + Copy + Debug> WbbTree<K> {
                 let children: Vec<WbbChild<K>> = chunk
                     .iter()
                     .map(|&id| {
-                        let (w, mk) = self.file.with(id, |n| (n.weight(), n.max_key().unwrap()));
+                        let (w, mk) = self.file.with(id, |n| {
+                            (
+                                n.weight(),
+                                n.max_key().expect("bulk-load nodes are non-empty"),
+                            )
+                        });
                         WbbChild {
                             max_key: mk,
                             id,

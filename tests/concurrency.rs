@@ -107,7 +107,7 @@ fn concurrent_queries_interleaved_with_locked_updates_match_oracle() {
                             oracle.delete(p);
                         }
                     }
-                    let v = version.load(Ordering::Relaxed) + 1;
+                    let v = version.load(Ordering::Acquire) + 1;
                     snapshots.lock().unwrap().insert(v, oracle.clone());
                     version.store(v, Ordering::Release);
                     drop(guard);
