@@ -21,7 +21,7 @@ impl BlockFile {
     fn alloc(&self, _n: u8) {}
 }
 
-// Rule A: the pool mutex (rank 4) is held while a shard lock (rank 2) is
+// Rule A: the pool mutex (rank 6) is held while a shard lock (rank 2) is
 // acquired — the reverse of the declared order.
 fn out_of_order(dev: &Dev, shard: &Shard) {
     let pool = dev.pool.lock().unwrap();
@@ -48,4 +48,23 @@ fn rebuild_while_held(slot: &RwLock<u8>, file: &BlockFile) {
     let s = slot.write().unwrap();
     file.rebuild_everything();
     drop(s);
+}
+
+struct PoolShardCell {
+    pool_shard: Mutex<u8>,
+}
+
+// Rule A: a pool-shard mutex (rank 5) is held while the registry (rank 3)
+// is acquired — emsim-internal locks sit below every structure lock.
+fn pool_shard_out_of_order(cell: &PoolShardCell, g: &Reg) {
+    let pool_shard = cell.pool_shard.lock().unwrap();
+    let _scores = g.scores.lock().unwrap();
+    drop(pool_shard);
+}
+
+// Rule B: a device I/O entry point invoked while a pool-shard guard is live.
+fn pool_shard_io_while_held(cell: &PoolShardCell, file: &BlockFile) {
+    let pool_shard = cell.pool_shard.lock().unwrap();
+    file.alloc(3);
+    drop(pool_shard);
 }

@@ -72,3 +72,27 @@ fn scoped_release(d: &Dev, s: &Shard) {
     }
     let _shard = s.index.write().unwrap();
 }
+
+struct PoolShardCell {
+    pool_shard: Mutex<u8>,
+}
+
+struct RouterStripe {
+    router_stripe: RwLock<u8>,
+}
+
+// A pool-shard guard under the structure locks follows the declared order.
+fn pool_shard_in_order(s: &Shard, cell: &PoolShardCell) {
+    let shard = s.index.write().unwrap();
+    let pool_shard = cell.pool_shard.lock().unwrap();
+    drop(pool_shard);
+    drop(shard);
+}
+
+// The router publish cell is rewritten stripe-by-stripe (temporaries) while
+// the shard write locks are held — routercell ranks below shard.
+fn router_publish_in_order(s: &Shard, stripe: &RouterStripe) {
+    let shard = s.index.write().unwrap();
+    *stripe.router_stripe.write().unwrap() = 7;
+    drop(shard);
+}

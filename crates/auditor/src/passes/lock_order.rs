@@ -3,16 +3,18 @@
 //! Two rules, both driven by the normative acquisition-order table (also
 //! reproduced in DESIGN.md §8 — this table is the source of truth):
 //!
-//! | rank | class    | receiver fields        | held across device I/O? |
-//! |------|----------|------------------------|-------------------------|
-//! | 1    | router   | `router`               | allowed (rebalance)     |
-//! | 2    | shard    | `index`, `inner`       | allowed (write path)    |
-//! | 3    | registry | `scores`               | allowed (batch commit)  |
-//! | 4    | pool     | `pool`                 | forbidden               |
-//! | 5    | dir      | `files`                | forbidden               |
-//! | 6    | slab     | `slots`                | forbidden               |
-//! | 7    | page     | `slot`, `s`            | forbidden               |
-//! | 8    | freelist | `free_list`            | forbidden               |
+//! | rank | class      | receiver fields        | held across device I/O? |
+//! |------|------------|------------------------|-------------------------|
+//! | 1    | router     | `router`               | allowed (rebalance)     |
+//! | 2    | shard      | `index`, `inner`       | allowed (write path)    |
+//! | 3    | registry   | `scores`               | allowed (batch commit)  |
+//! | 4    | routercell | `router_stripe`        | allowed (publish)       |
+//! | 5    | poolshard  | `pool_shard`           | forbidden               |
+//! | 6    | pool       | `pool`                 | forbidden               |
+//! | 7    | dir        | `files`                | forbidden               |
+//! | 8    | slab       | `slots`                | forbidden               |
+//! | 9    | page       | `slot`, `s`            | forbidden               |
+//! | 10   | freelist   | `free_list`            | forbidden               |
 //!
 //! **Rule A (ordering):** while a guard of rank `r` is live, acquiring a lock
 //! of rank `< r` is flagged; so is re-acquiring a class that does not permit
@@ -74,37 +76,61 @@ const TABLE: &[LockClass] = &[
         same_ok: false,
         io_forbidden: false,
     },
+    // The sharded router's copy-on-write publish cell: one padded RwLock per
+    // stripe. Snapshot loads hold a stripe for an `Arc` clone only; the
+    // publish path rewrites the stripes in iteration order while holding
+    // every shard write lock, hence the rank below shard/registry. Nested
+    // stripe acquisition never happens (one stripe at a time), so same-class
+    // nesting stays forbidden.
+    LockClass {
+        name: "routercell",
+        rank: 4,
+        receivers: &["router_stripe"],
+        same_ok: false,
+        io_forbidden: false,
+    },
+    // One shard of the emsim buffer pool (a CLOCK ring behind a mutex).
+    // Address-hashed: every logical access locks exactly one shard, and no
+    // code path may hold two (same_ok stays false) or re-enter the device
+    // while one is held.
+    LockClass {
+        name: "poolshard",
+        rank: 5,
+        receivers: &["pool_shard"],
+        same_ok: false,
+        io_forbidden: true,
+    },
     LockClass {
         name: "pool",
-        rank: 4,
+        rank: 6,
         receivers: &["pool"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "dir",
-        rank: 5,
+        rank: 7,
         receivers: &["files"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "slab",
-        rank: 6,
+        rank: 8,
         receivers: &["slots"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "page",
-        rank: 7,
+        rank: 9,
         receivers: &["slot", "s"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "freelist",
-        rank: 8,
+        rank: 10,
         receivers: &["free_list"],
         same_ok: false,
         io_forbidden: true,

@@ -31,10 +31,19 @@ fn of_pass(findings: &[Finding], pass: Pass) -> Vec<&Finding> {
 fn lock_order_fires_on_bad_fixture() {
     let findings = audit("crates/core/src/fixture.rs", LOCK_BAD);
     let hits = of_pass(&findings, Pass::LockOrder);
-    // Rule A twice (out-of-order + same-class) and Rule B twice (I/O +
-    // rebuild entry while a forbidden-class guard is live).
-    assert_eq!(hits.len(), 4, "findings: {findings:?}");
+    // Rule A three times (out-of-order, same-class, pool-shard inversion)
+    // and Rule B three times (I/O + rebuild entry while a forbidden-class
+    // guard is live, I/O under a pool-shard guard).
+    assert_eq!(hits.len(), 6, "findings: {findings:?}");
     assert!(hits.iter().any(|f| f.message.contains("acquires `shard`")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("acquires `registry`")
+            && f.message.contains("`poolshard` guard")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("`poolshard` guard `pool_shard`")
+            && f.message.contains("`alloc()`")));
     assert!(hits.iter().any(|f| f.message.contains("same-class")));
     assert!(hits.iter().any(|f| f.message.contains("`alloc()`")));
     assert!(hits

@@ -25,7 +25,6 @@
 //! shard locks and commit in parallel. The updates/sec ratio at ≥ 4 threads
 //! is the write-scaling number the sharding tentpole claims.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,10 +37,11 @@ use topk_core::{
 use workload::QueryGen;
 
 /// Build a concurrent index preloaded with the first `n` of `n + extra`
-/// generated points; returns (index, queries, preloaded, fresh) where
-/// `fresh` is the collision-free update stream.
-#[allow(clippy::type_complexity)]
-fn build(n: usize, extra: usize) -> (ConcurrentTopK, Vec<workload::Query>, Vec<Point>, Vec<Point>) {
+/// generated points; returns (index, preloaded, fresh) where `fresh` is the
+/// collision-free update stream. Query sets are generated per reader thread
+/// by the harnesses below — a shared set would measure stride overlap and
+/// harness serialization, not the index.
+fn build(n: usize, extra: usize) -> (ConcurrentTopK, Vec<Point>, Vec<Point>) {
     let device = emsim::Device::new(small_machine());
     let index = ConcurrentTopK::builder()
         .device(&device)
@@ -52,28 +52,27 @@ fn build(n: usize, extra: usize) -> (ConcurrentTopK, Vec<workload::Query>, Vec<P
         .expect("bench parameters are valid");
     let all = uniform_points(17, n + extra);
     index.bulk_build(&all[..n]).expect("distinct points");
-    let queries = QueryGen::new(0.05, 10, 23).generate(&all[..n], 256);
     let (preloaded, fresh) = all.split_at(n);
-    (index, queries, preloaded.to_vec(), fresh.to_vec())
+    (index, preloaded.to_vec(), fresh.to_vec())
 }
 
-fn run_readers(index: &ConcurrentTopK, queries: &[workload::Query], threads: usize) -> f64 {
-    let done = AtomicU64::new(0);
-    let start = Instant::now();
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let done = &done;
-            scope.spawn(move || {
-                for (i, q) in queries.iter().enumerate() {
-                    if i % threads == t {
-                        std::hint::black_box(index.query(q.x1, q.x2, q.k).unwrap());
-                        done.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            });
-        }
-    });
-    done.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+/// The query set reader thread `t` owns: same distribution for every
+/// thread, a distinct seed per thread so threads neither share the backing
+/// allocation nor walk the same coordinate sequence in lockstep.
+fn reader_queries(points: &[Point], t: usize) -> Vec<workload::Query> {
+    QueryGen::new(0.05, 10, 23 + 1000 * t as u64).generate(points, 256)
+}
+
+/// Read-side scaling measurement, fixed-window style: every thread owns its
+/// seeded query set, a barrier aligns the start (thread spawn cost stays
+/// outside the window), and each thread loops its queries until the window
+/// elapses — the job grows with the thread count instead of splitting a
+/// fixed 256-query job into ever-smaller slivers (the previous harness — at
+/// 8 threads it timed 32 queries per thread, mostly measuring spawn
+/// overhead). Shared with the `perf_sanity` CI gate via
+/// [`topk_bench::read_qps`].
+fn run_readers(index: &ConcurrentTopK, points: &[Point], threads: usize) -> f64 {
+    topk_bench::read_qps(index, points, threads, Duration::from_millis(300))
 }
 
 /// A fixed mixed workload: 4 readers each serve a fixed quota of queries
@@ -83,7 +82,7 @@ fn run_readers(index: &ConcurrentTopK, queries: &[workload::Query], threads: usi
 /// of taking the write lock once per point (4096 contended acquisitions,
 /// each draining in-flight readers) shows up directly.
 fn run_mixed(n: usize, updates: usize, queries_per_reader: usize, batch_size: usize) -> f64 {
-    let (index, queries, preloaded, fresh) = build(n, updates);
+    let (index, preloaded, fresh) = build(n, updates);
     // Alternate inserting a fresh point and deleting a preloaded one, so the
     // stream exercises both update paths and the index size stays stable.
     let ops: Vec<UpdateOp> = (0..updates)
@@ -106,10 +105,10 @@ fn run_mixed(n: usize, updates: usize, queries_per_reader: usize, batch_size: us
             }
         });
         for t in 0..4usize {
-            let queries = &queries;
+            let queries = reader_queries(&preloaded, t);
             scope.spawn(move || {
                 for i in 0..queries_per_reader {
-                    let q = &queries[(t + i * 4) % queries.len()];
+                    let q = &queries[i % queries.len()];
                     std::hint::black_box(index.query(q.x1, q.x2, q.k).unwrap());
                 }
             });
@@ -197,7 +196,7 @@ fn run_slow_reader_goodput(
     pause: Duration,
     style: SlowReader,
 ) -> f64 {
-    let (index, _queries, preloaded, fresh) = build(n, updates);
+    let (index, preloaded, fresh) = build(n, updates);
     let index = Arc::new(index);
     let ops: Vec<UpdateOp> = (0..updates)
         .map(|i| {
@@ -270,17 +269,17 @@ fn main() {
     // BENCH_concurrent_reads.json (README "Benchmark JSON export").
     let mut rows: Vec<JsonRow> = Vec::new();
     let n = 1 << 15;
-    let (index, queries, _, _) = build(n, 0);
+    let (index, preloaded, _) = build(n, 0);
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     println!(
-        "read-side scaling, n = {n}, {} queries per run, {cores} core(s) available",
-        queries.len()
+        "read-side scaling, n = {n}, 256 owned queries per thread looped for a \
+         300 ms window, {cores} core(s) available"
     );
     println!("(speedup is capped by the core count: expect ~1.0x on a 1-core host)\n");
     println!("{:>8} {:>16}", "threads", "queries/sec");
     let mut base = 0.0;
     for threads in [1usize, 2, 4, 8] {
-        let qps = run_readers(&index, &queries, threads);
+        let qps = run_readers(&index, &preloaded, threads);
         if threads == 1 {
             base = qps;
         }

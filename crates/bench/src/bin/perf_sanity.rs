@@ -11,20 +11,78 @@
 //! each step takes the best of three timed repeats so one scheduling
 //! stall cannot fake a cliff.
 //!
+//! A second gate guards the read plane: with the sharded buffer pool and
+//! the striped read locks, 4 reader threads must clear at least 2× the
+//! single-thread queries/sec (the pre-PR-8 global pool mutex pinned the
+//! curve flat at ~1×). The gate needs real parallelism to mean anything,
+//! so it only runs when the host has ≥ 4 cores; on smaller runners it is
+//! skipped with a note (and a `$GITHUB_STEP_SUMMARY` line when CI).
+//!
 //! The full sweep (bigger n, JSON export) lives in the `query_scaling`
 //! bench; this binary trades coverage for a sub-second runtime so it can
 //! gate every CI push.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use topk_bench::{build_index, small_machine, uniform_points};
-use topk_core::{RankedIndex, SmallKEngine};
+use topk_bench::{build_index, read_qps, small_machine, uniform_points};
+use topk_core::{ConcurrentTopK, RankedIndex, SmallKEngine};
 use workload::{Query, QueryGen};
 
 const REPEATS: usize = 3;
 const MIN_WINDOW_MS: u128 = 60;
 const MAX_ADJACENT_DROP: f64 = 4.0;
+/// Minimum 4-thread / 1-thread queries/sec ratio (gate only on ≥ 4 cores;
+/// an unserialized read plane has headroom to near-linear there, so 2×
+/// leaves room for shared-runner noise without readmitting a global pool
+/// mutex, whose signature is a ~1× curve).
+const MIN_READ_SCALING: f64 = 2.0;
+/// Per-measurement window of the read-scaling gate.
+const SCALING_WINDOW: Duration = Duration::from_millis(250);
+
+/// The read-scaling gate: best-of-two fixed-window measurements at 1 and 4
+/// reader threads (see [`topk_bench::read_qps`] for the harness
+/// discipline). Returns the achieved ratio, or `None` when the host cannot
+/// express 4-way parallelism and the gate was skipped.
+fn read_scaling_ratio(pts: &[epst::Point]) -> Option<f64> {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if cores < 4 {
+        let note = format!(
+            "perf_sanity: read-scaling gate skipped — {cores} core(s) < 4, \
+             a wall-clock speedup gate cannot mean anything here"
+        );
+        println!("{note}");
+        if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&path) {
+                let _ = writeln!(f, "{note}");
+            }
+        }
+        return None;
+    }
+    let device = emsim::Device::new(small_machine());
+    let index = ConcurrentTopK::builder()
+        .device(&device)
+        .small_k(SmallKEngine::Polylog)
+        .crossover_l(64)
+        .expected_n(pts.len())
+        .build_concurrent()
+        .expect("gate index parameters are valid");
+    index.bulk_build(pts).expect("distinct points");
+    let best = |threads: usize| {
+        (0..2)
+            .map(|_| read_qps(&index, pts, threads, SCALING_WINDOW))
+            .fold(0f64, f64::max)
+    };
+    let one = best(1);
+    let four = best(4);
+    println!(
+        "read scaling: 1 thread {one:.0} q/s, 4 threads {four:.0} q/s \
+         ({:.2}x, gate {MIN_READ_SCALING}x)",
+        four / one
+    );
+    Some(four / one)
+}
 
 /// Best-of-`REPEATS` queries/sec, each repeat a ≥ `MIN_WINDOW_MS` timed
 /// loop over the whole query list (warm-up pass first).
@@ -81,18 +139,27 @@ fn main() -> ExitCode {
         prev = Some((k, qps));
     }
 
-    match worst {
-        Some((pk, k, s)) if s > MAX_ADJACENT_DROP => {
+    let (pk, k, s) = worst.expect("sweep has at least two steps");
+    if s > MAX_ADJACENT_DROP {
+        eprintln!(
+            "perf_sanity FAIL: throughput dropped {s:.2}x from k = {pk} to k = {k} \
+             (gate: {MAX_ADJACENT_DROP}x) — a k-cliff is back in the query hot path"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf_sanity OK: worst adjacent drop {s:.2}x (k = {pk} -> {k}), gate {MAX_ADJACENT_DROP}x"
+    );
+
+    match read_scaling_ratio(&pts) {
+        Some(ratio) if ratio < MIN_READ_SCALING => {
             eprintln!(
-                "perf_sanity FAIL: throughput dropped {s:.2}x from k = {pk} to k = {k} \
-                 (gate: {MAX_ADJACENT_DROP}x) — a k-cliff is back in the query hot path"
+                "perf_sanity FAIL: 4-thread read scaling {ratio:.2}x is below the \
+                 {MIN_READ_SCALING}x gate — the read plane has re-serialized \
+                 (pool mutex, stats line, or read-lock word)"
             );
             ExitCode::FAILURE
         }
-        _ => {
-            let (pk, k, s) = worst.expect("sweep has at least two steps");
-            println!("perf_sanity OK: worst adjacent drop {s:.2}x (k = {pk} -> {k}), gate {MAX_ADJACENT_DROP}x");
-            ExitCode::SUCCESS
-        }
+        _ => ExitCode::SUCCESS,
     }
 }

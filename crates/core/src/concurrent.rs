@@ -8,30 +8,43 @@
 //! structures, and a query walking the tree mid-update could observe a torn
 //! state (or chase a just-freed page and panic).
 //!
-//! [`ConcurrentTopK`] supplies that atomicity with one coarse reader–writer
-//! lock: queries — which never modify structure state — share the read side
-//! and run fully in parallel, while updates take the write side and are
-//! serialised. Mixed workloads should therefore batch their writes:
-//! [`ConcurrentTopK::apply`] commits an [`UpdateBatch`] under a *single*
-//! write-lock acquisition with a single deferred rebuild check, where
-//! point-wise [`ConcurrentTopK::insert`] pays the lock churn once per point
-//! (measured in the `concurrent_reads` bench).
+//! [`ConcurrentTopK`] supplies that atomicity with a **striped** (BRAVO-style)
+//! reader–writer lock: the index lives in an `Arc<TopKIndex>`, and logical
+//! exclusion is provided by a bank of cache-line-padded `RwLock<()>` stripes.
+//! A query — which never modifies structure state — takes the read side of
+//! *its own thread's* stripe only, so concurrent readers touch disjoint cache
+//! lines and scale with cores instead of all CAS-ing one lock word (the flat
+//! `read_scaling` curve of PR 7). An update takes the write side of **every**
+//! stripe in ascending order, which still excludes all readers. Mixed
+//! workloads should batch their writes: [`ConcurrentTopK::apply`] commits an
+//! [`UpdateBatch`] under a *single* all-stripe acquisition with one deferred
+//! rebuild check, where point-wise [`ConcurrentTopK::insert`] pays the lock
+//! churn once per point (measured in the `concurrent_reads` bench).
 //!
-//! The coarse lock is the right wrapper for read-heavy serving with a single
+//! Snapshot identity comes from the version-stamp machinery (PR 4/5): every
+//! commit bumps [`TopKIndex::version`] with `Release` ordering while all
+//! stripes are write-held, so a [`ReadPin`] observes one stamp for its whole
+//! lifetime — the pinned version that `query()` and cursor `PerRound` rounds
+//! read without ever contending with other readers.
+//!
+//! The striped lock is the right wrapper for read-heavy serving with a single
 //! (or occasional) writer: no routing overhead, and [`ConcurrentTopK::read`]
-//! pins a whole-index snapshot for free. Once concurrent **writers** become
-//! the bottleneck, use [`ShardedTopK`](crate::ShardedTopK) instead: it
-//! range-partitions the coordinate space so writers on disjoint shards
-//! commit in parallel, at the price of a routing layer and fan-out queries
-//! (DESIGN.md §4 describes the shipped sharded architecture and the
-//! crossover between the two).
+//! pins a whole-index snapshot for the price of one uncontended CAS. Once
+//! concurrent **writers** become the bottleneck, use
+//! [`ShardedTopK`](crate::ShardedTopK) instead: it range-partitions the
+//! coordinate space so writers on disjoint shards commit in parallel, at the
+//! price of a routing layer and fan-out queries (DESIGN.md §4 describes the
+//! shipped sharded architecture and the crossover between the two).
 //!
 //! Long-lived reads should not pin the read guard: an owned
 //! [`ConcurrentTopK::cursor`] re-acquires the read side once per fetch
 //! round, so a slow paginating reader costs writers nothing (DESIGN.md §6;
 //! the `concurrent_reads` bench measures the difference).
 
+use std::ops::Deref;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::stripe::{thread_stripe, STRIPES};
 
 use emsim::Device;
 use epst::Point;
@@ -45,13 +58,59 @@ use crate::facade::TopK;
 use crate::index::TopKIndex;
 use crate::query::QueryRequest;
 
-/// A [`TopKIndex`] behind a coarse reader–writer lock: concurrent queries,
-/// exclusive updates. Share it across threads as `Arc<ConcurrentTopK>` (or
-/// with scoped threads, as `&ConcurrentTopK`).
+/// One read stripe on its own cache line (readers on different stripes never
+/// share a line). The field is named `inner` so acquisitions audit under the
+/// `shard` lock class of DESIGN.md §8 — same-class nesting is sanctioned
+/// there under the ascending-order convention the writer follows.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct ReadStripe {
+    inner: RwLock<()>,
+}
+
+/// A pinned read-side view of a [`ConcurrentTopK`]: derefs to the
+/// [`TopKIndex`] and excludes writers for as long as it lives. Obtained from
+/// [`ConcurrentTopK::read`]; holds the calling thread's stripe only.
+pub struct ReadPin<'a> {
+    index: &'a TopKIndex,
+    _stripe: RwLockReadGuard<'a, ()>,
+}
+
+impl Deref for ReadPin<'_> {
+    type Target = TopKIndex;
+
+    fn deref(&self) -> &TopKIndex {
+        self.index
+    }
+}
+
+/// An exclusive write-side view of a [`ConcurrentTopK`]: derefs to the
+/// [`TopKIndex`] and excludes every reader and other writer for as long as it
+/// lives (all stripes are write-held). Obtained from
+/// [`ConcurrentTopK::write`]. `TopKIndex`'s mutating operations take `&self`
+/// (interior mutability), so `Deref` is sufficient to update through the pin.
+pub struct WritePin<'a> {
+    index: &'a TopKIndex,
+    _stripes: Vec<RwLockWriteGuard<'a, ()>>,
+}
+
+impl Deref for WritePin<'_> {
+    type Target = TopKIndex;
+
+    fn deref(&self) -> &TopKIndex {
+        self.index
+    }
+}
+
+/// A [`TopKIndex`] behind a striped reader–writer lock: concurrent queries on
+/// per-thread stripes, exclusive updates across all stripes. Share it across
+/// threads as `Arc<ConcurrentTopK>` (or with scoped threads, as
+/// `&ConcurrentTopK`).
 pub struct ConcurrentTopK {
     /// Kept outside the lock so monitoring reads never block on updates.
     device: Device,
-    inner: RwLock<TopKIndex>,
+    index: Arc<TopKIndex>,
+    stripes: Box<[ReadStripe]>,
 }
 
 impl ConcurrentTopK {
@@ -70,23 +129,37 @@ impl ConcurrentTopK {
     pub fn from_index(index: TopKIndex) -> Self {
         Self {
             device: index.device().clone(),
-            inner: RwLock::new(index),
+            index: Arc::new(index),
+            stripes: (0..STRIPES).map(|_| ReadStripe::default()).collect(),
         }
     }
 
     /// Tear the wrapper down, returning the inner index.
     pub fn into_inner(self) -> TopKIndex {
-        self.inner.into_inner().unwrap()
+        let Self { index, stripes, .. } = self;
+        drop(stripes);
+        Arc::try_unwrap(index)
+            .map_err(|_| ())
+            .expect("into_inner consumed the only handle; no pin can outlive the wrapper")
     }
 
     /// Acquire the shared read side directly, for callers that want to issue
     /// several queries — or hold a [`TopKIndex::stream`] iterator — against
-    /// one consistent version of the index. Writers block for as long as the
-    /// guard lives; a long-lived or slow reader should use
-    /// [`ConcurrentTopK::cursor`] instead, which re-acquires the read side
-    /// per fetch round.
-    pub fn read(&self) -> RwLockReadGuard<'_, TopKIndex> {
-        self.inner.read().unwrap()
+    /// one consistent version of the index. Only the calling thread's stripe
+    /// is read-locked, so concurrent readers never touch the same lock word.
+    /// Writers block for as long as the pin lives; a long-lived or slow
+    /// reader should use [`ConcurrentTopK::cursor`] instead, which
+    /// re-acquires the read side per fetch round.
+    pub fn read(&self) -> ReadPin<'_> {
+        let inner = &self
+            .stripes
+            .get(thread_stripe(self.stripes.len()))
+            .expect("thread_stripe is reduced modulo the stripe count")
+            .inner;
+        ReadPin {
+            index: &self.index,
+            _stripe: inner.read().unwrap(),
+        }
     }
 
     /// Open an owned, snapshot-consistent [`QueryCursor`]: the read lock is
@@ -102,8 +175,20 @@ impl ConcurrentTopK {
     /// Acquire the exclusive write side directly, for callers that want to
     /// compose several operations atomically with respect to readers. For
     /// plain batches prefer [`ConcurrentTopK::apply`].
-    pub fn write(&self) -> RwLockWriteGuard<'_, TopKIndex> {
-        self.inner.write().unwrap()
+    ///
+    /// Every stripe is write-locked in ascending order: racing writers
+    /// acquire in the same order (no deadlock) and every reader stripe is
+    /// excluded before the pin is handed out.
+    pub fn write(&self) -> WritePin<'_> {
+        let guards: Vec<_> = self
+            .stripes
+            .iter()
+            .map(|s| s.inner.write().unwrap())
+            .collect();
+        WritePin {
+            index: &self.index,
+            _stripes: guards,
+        }
     }
 
     /// Apply a whole [`UpdateBatch`] atomically: the batch is validated and
@@ -201,9 +286,9 @@ impl ConcurrentTopK {
         Ok((summary, stamp))
     }
 
-    /// The eager query answer plus the version the read guard pinned: the
-    /// coarse lock excludes writers for the whole query, so the window is a
-    /// single stamp.
+    /// The eager query answer plus the version the read pin pinned: the
+    /// striped lock excludes writers for the whole query (a writer needs
+    /// every stripe), so the window is a single stamp.
     pub fn query_stamped(&self, x1: u64, x2: u64, k: usize) -> Result<(Vec<Point>, u64, u64)> {
         let guard = self.read();
         let v = guard.version();

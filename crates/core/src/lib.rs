@@ -98,10 +98,11 @@ mod oracle;
 mod query;
 mod ranked;
 mod sharded;
+mod stripe;
 
 pub use batch::{BatchSummary, UpdateBatch, UpdateOp};
 pub use builder::IndexBuilder;
-pub use concurrent::ConcurrentTopK;
+pub use concurrent::{ConcurrentTopK, ReadPin, WritePin};
 pub use config::{SmallKEngine, TopKConfig};
 pub use cursor::{QueryCursor, ResumeToken};
 pub use epst::Point;

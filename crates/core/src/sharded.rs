@@ -26,12 +26,22 @@
 //!   the reader path, and the repartition itself holds the router plus all
 //!   shard write locks so no reader ever observes a torn migration.
 //!
-//! Lock order is global and acyclic — router, then shards in ascending id
-//! order, then the score registry — so the fan-out, the parallel commit and
-//! the rebalance cannot deadlock. The global distinct-scores precondition
-//! (which no single shard can check alone) is enforced against a RAM-side
-//! score registry, the same validation-metadata device [`TopKIndex`] uses
-//! per-index (DESIGN.md §5).
+//! Routing is read **lock-free**: the split points live in a copy-on-write
+//! [`Router`] snapshot (an `Arc` behind a striped cell, [`RouterCell`]), so
+//! neither queries nor point updates ever serialise on a router lock. An
+//! operation loads the snapshot, acquires its shard locks, then validates
+//! that the router `epoch` is unchanged — a repartition publishes a new
+//! snapshot and bumps the epoch while holding **every** shard write lock, so
+//! an operation that holds any shard lock and sees its snapshot's epoch knows
+//! the routing cannot have moved under it (and retries on the rare miss).
+//!
+//! Lock order is global and acyclic — shards in ascending id order, then the
+//! score registry, then the router cell's stripes (written only by the
+//! repartition paths) — so the fan-out, the parallel commit and the rebalance
+//! cannot deadlock. The global distinct-scores precondition (which no single
+//! shard can check alone) is enforced against a RAM-side score registry, the
+//! same validation-metadata device [`TopKIndex`] uses per-index (DESIGN.md
+//! §5).
 //!
 //! When to pick which wrapper: [`ConcurrentTopK`](crate::ConcurrentTopK) for
 //! read-heavy serving with a single writer (no routing overhead, whole-index
@@ -53,34 +63,43 @@ use crate::error::{Result, TopKError};
 use crate::facade::TopK;
 use crate::index::{validate_query, TopKIndex};
 use crate::query::{QueryRequest, TopKResults};
+use crate::stripe::{thread_stripe, STRIPES};
 
 /// Rebalance only once the index holds this many points per shard on
 /// average; below it, imbalance is noise and repartitioning would thrash.
 const REBALANCE_MIN_PER_SHARD: u64 = 64;
 
 /// The range router: `splits[i]` is the smallest coordinate routed to shard
-/// `i + 1` (shard `i` covers `[splits[i-1], splits[i])`). Kept behind the
-/// outermost lock so split points cannot move under an in-flight operation.
+/// `i + 1` (shard `i` covers `[splits[i-1], splits[i])`). Immutable once
+/// published — a repartition builds a fresh `Router` with a bumped `epoch`
+/// and swaps it into the [`RouterCell`] while holding every shard write
+/// lock, so in-flight operations validate their snapshot instead of locking.
+#[derive(Debug)]
 struct Router {
     splits: Vec<u64>,
+    /// Which repartition published this snapshot. An operation that holds a
+    /// shard lock and observes [`ShardedTopK::epoch`] equal to this value
+    /// knows its routing is current (the module docs give the argument).
+    epoch: u64,
 }
 
 impl Router {
     /// Even splits over the whole `u64` domain (the empty-index default; the
     /// first bulk build or rebalance replaces them with data quantiles).
-    fn even(shards: usize) -> Self {
+    fn even(shards: usize, epoch: u64) -> Self {
         let step = u64::MAX / shards as u64;
         Self {
             splits: (1..shards as u64).map(|i| i * step).collect(),
+            epoch,
         }
     }
 
     /// Equal-count quantile splits over `points`, which must be sorted by
     /// coordinate. Duplicate splits (fewer points than shards) leave some
     /// shards empty, which routing handles fine.
-    fn from_sorted(points: &[Point], shards: usize) -> Self {
+    fn from_sorted(points: &[Point], shards: usize, epoch: u64) -> Self {
         if points.is_empty() {
-            return Self::even(shards);
+            return Self::even(shards, epoch);
         }
         let n = points.len();
         Self {
@@ -92,6 +111,7 @@ impl Router {
                         .x
                 })
                 .collect(),
+            epoch,
         }
     }
 
@@ -102,6 +122,58 @@ impl Router {
     /// Inclusive shard-id range overlapping `[x1, x2]` (requires `x1 ≤ x2`).
     fn overlap(&self, x1: u64, x2: u64) -> (usize, usize) {
         (self.shard_of(x1), self.shard_of(x2))
+    }
+}
+
+/// One stripe of the router cell: a cache-line-padded slot holding the
+/// current snapshot. Padding keeps a snapshot load (a read lock plus an
+/// `Arc` clone) on the loading thread's own line.
+#[derive(Debug)]
+#[repr(align(64))]
+struct RouterStripe {
+    router_stripe: RwLock<Arc<Router>>,
+}
+
+/// The copy-on-write cell the current [`Router`] snapshot is published
+/// through. Striped like [`ConcurrentTopK`](crate::ConcurrentTopK)'s read
+/// lock: a snapshot load touches only the calling thread's stripe, while a
+/// publish (repartition only — rare) rewrites every stripe in order. Loads
+/// are instantaneous (clone an `Arc` under a read lock held for two
+/// instructions), so the cell never becomes the serialisation point the old
+/// `RwLock<Router>` was.
+struct RouterCell {
+    stripes: Box<[RouterStripe]>,
+}
+
+impl RouterCell {
+    fn new(router: Router) -> Self {
+        let router = Arc::new(router);
+        Self {
+            stripes: (0..STRIPES)
+                .map(|_| RouterStripe {
+                    router_stripe: RwLock::new(Arc::clone(&router)),
+                })
+                .collect(),
+        }
+    }
+
+    /// The current routing snapshot (own-stripe read lock, `Arc` clone).
+    fn snapshot(&self) -> Arc<Router> {
+        let stripe = self
+            .stripes
+            .get(thread_stripe(self.stripes.len()))
+            .expect("thread_stripe is reduced modulo the stripe count");
+        let guard = stripe.router_stripe.read().unwrap();
+        Arc::clone(&guard)
+    }
+
+    /// Publish a new snapshot to every stripe. Callers must hold every shard
+    /// write lock (repartition paths only) so no reader can have validated a
+    /// now-stale snapshot against a shard it still holds.
+    fn publish(&self, router: &Arc<Router>) {
+        for stripe in self.stripes.iter() {
+            *stripe.router_stripe.write().unwrap() = Arc::clone(router);
+        }
     }
 }
 
@@ -144,7 +216,11 @@ pub struct ShardedTopK {
     /// Kept outside every lock so monitoring reads never block on updates.
     device: Device,
     config: TopKConfig,
-    router: RwLock<Router>,
+    router: RouterCell,
+    /// Epoch of the currently published routing snapshot; bumped (with the
+    /// publish) under every shard write lock. Operations validate their
+    /// snapshot against it after acquiring shard locks — see module docs.
+    epoch: AtomicU64,
     shards: Box<[Shard]>,
     /// The global distinct-scores registry (validation metadata, DESIGN.md
     /// §5): per-shard indexes can only check their own scores, so the model's
@@ -185,7 +261,8 @@ impl ShardedTopK {
         Self {
             device: device.clone(),
             config,
-            router: RwLock::new(Router::even(shards)),
+            router: RouterCell::new(Router::even(shards, 0)),
+            epoch: AtomicU64::new(0),
             shards: (0..shards)
                 .map(|_| Shard {
                     index: RwLock::new(TopKIndex::new(device, shard_config)),
@@ -238,7 +315,7 @@ impl ShardedTopK {
         if x1 > x2 {
             return 0;
         }
-        let router = self.router.read().unwrap();
+        let router = self.router.snapshot();
         let (lo, hi) = router.overlap(x1, x2);
         hi - lo + 1
     }
@@ -267,47 +344,65 @@ impl ShardedTopK {
 
     // ----- queries -----
 
-    /// Acquire the read side of *every* shard (plus the router), pinning one
-    /// consistent version of the whole index — for callers that want several
-    /// queries, or a held [`ShardedReadGuard::stream`] iterator, against an
-    /// unmoving state. Targeted one-shot queries should prefer
-    /// [`ShardedTopK::query`], which locks only the overlapping shards.
+    /// Acquire the read side of *every* shard, pinning one consistent
+    /// version of the whole index — for callers that want several queries,
+    /// or a held [`ShardedReadGuard::stream`] iterator, against an unmoving
+    /// state. Targeted one-shot queries should prefer
+    /// [`ShardedTopK::query`], which locks only the overlapping shards. No
+    /// router lock is taken: the guard carries the routing snapshot,
+    /// epoch-validated after the shard locks are held.
     pub fn read(&self) -> ShardedReadGuard<'_> {
-        let router = self.router.read().unwrap();
-        let guards = self
-            .shards
-            .iter()
-            .map(|s| s.index.read().unwrap())
-            .collect();
-        ShardedReadGuard {
-            router,
-            base: 0,
-            guards,
-            // Loaded after every lock is held: commits to the covered shards
-            // are ordered before the stamp, so equal stamps witness an
-            // unmoved snapshot of them.
-            stamp: self.commits.load(Ordering::Acquire),
+        loop {
+            let router = self.router.snapshot();
+            let guards: Vec<_> = self
+                .shards
+                .iter()
+                .map(|s| s.index.read().unwrap())
+                .collect();
+            // With every shard read-held, a repartition cannot commit; an
+            // unchanged epoch therefore proves the snapshot is current.
+            if self.epoch.load(Ordering::Acquire) != router.epoch {
+                continue;
+            }
+            return ShardedReadGuard {
+                router,
+                base: 0,
+                guards,
+                // Loaded after every lock is held: commits to the covered
+                // shards are ordered before the stamp, so equal stamps
+                // witness an unmoved snapshot of them.
+                stamp: self.commits.load(Ordering::Acquire),
+            };
         }
     }
 
     /// Read locks for the shards overlapping `[x1, x2]` only (`x1 ≤ x2`).
     /// Used by the fan-out query paths and by the cursor read plane, which
-    /// re-acquires it once per fetch round.
+    /// re-acquires it once per fetch round. Lock-free routing: snapshot,
+    /// acquire, validate the epoch, retry on the (rare) repartition race.
     pub(crate) fn read_span(&self, x1: u64, x2: u64) -> ShardedReadGuard<'_> {
-        let router = self.router.read().unwrap();
-        let (lo, hi) = router.overlap(x1, x2);
-        let guards = self
-            .shards
-            .get(lo..=hi)
-            .expect("router overlap yields in-range shard ids")
-            .iter()
-            .map(|s| s.index.read().unwrap())
-            .collect();
-        ShardedReadGuard {
-            router,
-            base: lo,
-            guards,
-            stamp: self.commits.load(Ordering::Acquire),
+        loop {
+            let router = self.router.snapshot();
+            let (lo, hi) = router.overlap(x1, x2);
+            let guards: Vec<_> = self
+                .shards
+                .get(lo..=hi)
+                .expect("router overlap yields in-range shard ids")
+                .iter()
+                .map(|s| s.index.read().unwrap())
+                .collect();
+            // A repartition publishes under *all* shard write locks; holding
+            // any covered shard read lock with an unchanged epoch proves the
+            // span still matches the live routing.
+            if self.epoch.load(Ordering::Acquire) != router.epoch {
+                continue;
+            }
+            return ShardedReadGuard {
+                router,
+                base: lo,
+                guards,
+                stamp: self.commits.load(Ordering::Acquire),
+            };
         }
     }
 
@@ -363,11 +458,13 @@ impl ShardedTopK {
     /// parallel.
     ///
     /// The validation, the commit and the occupancy-counter bump all happen
-    /// under the router's read lock, so a concurrent
-    /// [`ShardedTopK::bulk_build`] or rebalance (which take the router write
-    /// lock) serialises cleanly before or after the whole insert — it can
-    /// neither erase an in-flight score registration nor recount a shard
-    /// between the commit and its counter update.
+    /// under the owning shard's write lock, and a concurrent
+    /// [`ShardedTopK::bulk_build`] or rebalance (which take *every* shard's
+    /// write lock to publish) serialises cleanly before or after the whole
+    /// insert — it can neither erase an in-flight score registration nor
+    /// recount a shard between the commit and its counter update. The insert
+    /// validates its routing snapshot's epoch after taking the shard lock
+    /// and retries if a repartition slipped in between.
     ///
     /// # Errors
     ///
@@ -382,37 +479,41 @@ impl ShardedTopK {
     /// received (assigned while the shard write lock is held, so stamps
     /// order commits).
     fn insert_inner(&self, p: Point) -> Result<u64> {
-        let router = self.router.read().unwrap();
-        let si = router.shard_of(p.x);
-        let shard = self
-            .shards
-            .get(si)
-            .expect("router routes to an existing shard");
-        let guard = shard.index.write().unwrap();
-        if let Some(existing) = guard.get(p.x) {
-            return Err(TopKError::DuplicateX {
-                existing,
-                rejected: p,
-            });
-        }
-        {
-            let mut scores = self.scores.lock().unwrap();
-            if scores.contains(&p.score) {
-                return Err(TopKError::DuplicateScore {
-                    score: p.score,
+        loop {
+            let router = self.router.snapshot();
+            let si = router.shard_of(p.x);
+            let shard = self
+                .shards
+                .get(si)
+                .expect("router routes to an existing shard");
+            let guard = shard.index.write().unwrap();
+            if self.epoch.load(Ordering::Acquire) != router.epoch {
+                continue; // routing moved under us: drop the guard, re-route
+            }
+            if let Some(existing) = guard.get(p.x) {
+                return Err(TopKError::DuplicateX {
+                    existing,
                     rejected: p,
                 });
             }
-            scores.insert(p.score);
+            {
+                let mut scores = self.scores.lock().unwrap();
+                if scores.contains(&p.score) {
+                    return Err(TopKError::DuplicateScore {
+                        score: p.score,
+                        rejected: p,
+                    });
+                }
+                scores.insert(p.score);
+            }
+            guard.insert_validated(p);
+            guard.maybe_rebuild();
+            shard.count.fetch_add(1, Ordering::Relaxed);
+            let stamp = self.commits.fetch_add(1, Ordering::Release) + 1;
+            drop(guard);
+            self.maybe_rebalance();
+            return Ok(stamp);
         }
-        guard.insert_validated(p);
-        guard.maybe_rebuild();
-        shard.count.fetch_add(1, Ordering::Relaxed);
-        let stamp = self.commits.fetch_add(1, Ordering::Release) + 1;
-        drop(guard);
-        drop(router);
-        self.maybe_rebalance();
-        Ok(stamp)
     }
 
     /// Delete a point (exact coordinate and score); `Ok(false)` if absent.
@@ -428,27 +529,31 @@ impl ShardedTopK {
     /// The delete path, reporting the global commit stamp when the point
     /// was present (no stamp is burned for a miss).
     fn delete_inner(&self, p: Point) -> Result<Option<u64>> {
-        let router = self.router.read().unwrap();
-        let si = router.shard_of(p.x);
-        let shard = self
-            .shards
-            .get(si)
-            .expect("router routes to an existing shard");
-        let guard = shard.index.write().unwrap();
-        let deleted = guard.delete(p)?;
-        let stamp = if deleted {
-            shard.count.fetch_sub(1, Ordering::Relaxed);
-            self.scores.lock().unwrap().remove(&p.score);
-            Some(self.commits.fetch_add(1, Ordering::Release) + 1)
-        } else {
-            None
-        };
-        drop(guard);
-        drop(router);
-        if deleted {
-            self.maybe_rebalance();
+        loop {
+            let router = self.router.snapshot();
+            let si = router.shard_of(p.x);
+            let shard = self
+                .shards
+                .get(si)
+                .expect("router routes to an existing shard");
+            let guard = shard.index.write().unwrap();
+            if self.epoch.load(Ordering::Acquire) != router.epoch {
+                continue; // routing moved under us: drop the guard, re-route
+            }
+            let deleted = guard.delete(p)?;
+            let stamp = if deleted {
+                shard.count.fetch_sub(1, Ordering::Relaxed);
+                self.scores.lock().unwrap().remove(&p.score);
+                Some(self.commits.fetch_add(1, Ordering::Release) + 1)
+            } else {
+                None
+            };
+            drop(guard);
+            if deleted {
+                self.maybe_rebalance();
+            }
+            return Ok(stamp);
         }
-        Ok(stamp)
     }
 
     /// Replace the contents with `points`: validate global distinctness,
@@ -480,13 +585,15 @@ impl ShardedTopK {
                 });
             }
         }
-        let mut router = self.router.write().unwrap();
+        // Every shard write lock, ascending: excludes all readers, writers
+        // and any concurrent repartition for the whole replace-and-publish.
         let guards: Vec<_> = self
             .shards
             .iter()
             .map(|s| s.index.write().unwrap())
             .collect();
-        let new_router = Router::from_sorted(&sorted, self.shards.len());
+        let next_epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let new_router = Arc::new(Router::from_sorted(&sorted, self.shards.len(), next_epoch));
         let slices = partition_sorted(&sorted, &new_router);
         std::thread::scope(|scope| {
             for (guard, slice) in guards.iter().zip(&slices) {
@@ -498,7 +605,10 @@ impl ShardedTopK {
             shard.count.store(slice.len() as u64, Ordering::Relaxed);
         }
         *self.scores.lock().unwrap() = score_set;
-        *router = new_router;
+        // Publish before the epoch bump: a snapshot loaded in between
+        // carries the *new* epoch and validates once the bump lands.
+        self.router.publish(&new_router);
+        self.epoch.store(next_epoch, Ordering::Release);
         self.commits.fetch_add(1, Ordering::Release);
         Ok(())
     }
@@ -527,27 +637,35 @@ impl ShardedTopK {
         if batch.is_empty() {
             return Ok((BatchSummary::default(), None));
         }
-        let router = self.router.read().unwrap();
-        let shard_of: Vec<usize> = batch
-            .ops()
-            .iter()
-            .map(|op| router.shard_of(op.point().x))
-            .collect();
-        let mut affected: Vec<usize> = shard_of.clone();
-        affected.sort_unstable();
-        affected.dedup();
-        // Ascending acquisition keeps the global lock order acyclic.
-        let guards: Vec<_> = affected
-            .iter()
-            .map(|&i| {
-                self.shards
-                    .get(i)
-                    .expect("affected ids come from the router")
-                    .index
-                    .write()
-                    .unwrap()
-            })
-            .collect();
+        let (shard_of, affected, guards) = loop {
+            let router = self.router.snapshot();
+            let shard_of: Vec<usize> = batch
+                .ops()
+                .iter()
+                .map(|op| router.shard_of(op.point().x))
+                .collect();
+            let mut affected: Vec<usize> = shard_of.clone();
+            affected.sort_unstable();
+            affected.dedup();
+            // Ascending acquisition keeps the global lock order acyclic.
+            let guards: Vec<_> = affected
+                .iter()
+                .map(|&i| {
+                    self.shards
+                        .get(i)
+                        .expect("affected ids come from the router")
+                        .index
+                        .write()
+                        .unwrap()
+                })
+                .collect();
+            // Routing validated under the shard write locks, as on the
+            // point-wise paths: retry if a repartition moved the splits
+            // between the snapshot and the lock acquisition.
+            if self.epoch.load(Ordering::Acquire) == router.epoch {
+                break (shard_of, affected, guards);
+            }
+        };
         let mut per_shard_ops = vec![0usize; affected.len()];
         for (op, &si) in batch.ops().iter().zip(&shard_of) {
             let j = affected
@@ -690,7 +808,6 @@ impl ShardedTopK {
             None
         };
         drop(guards);
-        drop(router);
         self.maybe_rebalance();
         Ok((summary, stamp))
     }
@@ -724,11 +841,11 @@ impl ShardedTopK {
 
     /// Repartition immediately: recompute equal-count splits from the live
     /// contents and migrate points to their new shards, rebuilding every
-    /// shard in parallel. Holds the router write lock plus every shard's
-    /// write lock for the duration, so concurrent readers observe the old or
-    /// the new partitioning — never a point twice or not at all.
+    /// shard in parallel. Holds every shard's write lock for the duration
+    /// (the new router snapshot and its epoch are published before any lock
+    /// is released), so concurrent readers observe the old or the new
+    /// partitioning — never a point twice or not at all.
     pub fn rebalance_now(&self) {
-        let mut router = self.router.write().unwrap();
         let guards: Vec<_> = self
             .shards
             .iter()
@@ -736,7 +853,8 @@ impl ShardedTopK {
             .collect();
         let mut all: Vec<Point> = guards.iter().flat_map(|g| g.all_points()).collect();
         all.sort_unstable_by_key(|p| p.x);
-        let new_router = Router::from_sorted(&all, self.shards.len());
+        let next_epoch = self.epoch.load(Ordering::Acquire) + 1;
+        let new_router = Arc::new(Router::from_sorted(&all, self.shards.len(), next_epoch));
         let slices = partition_sorted(&all, &new_router);
         std::thread::scope(|scope| {
             for (guard, slice) in guards.iter().zip(&slices) {
@@ -747,17 +865,17 @@ impl ShardedTopK {
         for (shard, slice) in self.shards.iter().zip(&slices) {
             shard.count.store(slice.len() as u64, Ordering::Relaxed);
         }
-        *router = new_router;
+        self.router.publish(&new_router);
+        self.epoch.store(next_epoch, Ordering::Release);
         self.commits.fetch_add(1, Ordering::Release);
     }
 
     /// Run every shard's internal consistency checks and verify the routing
     /// and occupancy bookkeeping (test support).
     pub fn check_invariants(&self) {
-        let router = self.router.read().unwrap();
+        let pinned = self.read();
         let mut total = 0u64;
-        for (i, shard) in self.shards.iter().enumerate() {
-            let index = shard.index.read().unwrap();
+        for (i, (index, shard)) in pinned.guards.iter().zip(self.shards.iter()).enumerate() {
             index.check_invariants();
             assert_eq!(
                 index.len(),
@@ -766,7 +884,7 @@ impl ShardedTopK {
             );
             for p in index.all_points() {
                 assert_eq!(
-                    router.shard_of(p.x),
+                    pinned.router.shard_of(p.x),
                     i,
                     "point ({}, {}) misrouted",
                     p.x,
@@ -911,12 +1029,15 @@ fn partition_sorted<'a>(sorted: &'a [Point], router: &Router) -> Vec<&'a [Point]
     slices
 }
 
-/// The read side of every shard plus the router, pinning one consistent
-/// version of a [`ShardedTopK`] — the sharded analogue of
+/// The read side of every held shard plus an epoch-validated routing
+/// snapshot, pinning one consistent version of a [`ShardedTopK`] — the
+/// sharded analogue of
 /// [`ConcurrentTopK::read`](crate::ConcurrentTopK::read). Obtained from
-/// [`ShardedTopK::read`]; writers to any shard block until it is dropped.
+/// [`ShardedTopK::read`]; writers to a held shard block until it is dropped.
 pub struct ShardedReadGuard<'a> {
-    router: RwLockReadGuard<'a, Router>,
+    /// The routing snapshot the guard's shard locks were validated against
+    /// (no router lock is held — the snapshot is immutable).
+    router: Arc<Router>,
     /// Shard id of `guards[0]` (0 for a full [`ShardedTopK::read`] guard).
     base: usize,
     guards: Vec<RwLockReadGuard<'a, TopKIndex>>,
@@ -1124,11 +1245,11 @@ mod tests {
 
     #[test]
     fn routing_covers_the_domain_and_splits_sort() {
-        let router = Router::even(4);
+        let router = Router::even(4, 0);
         assert_eq!(router.shard_of(0), 0);
         assert_eq!(router.shard_of(u64::MAX), 3);
         let pts: Vec<Point> = (0..100).map(|i| Point::new(i * 10, i + 1)).collect();
-        let router = Router::from_sorted(&pts, 4);
+        let router = Router::from_sorted(&pts, 4, 1);
         assert!(router.splits.windows(2).all(|w| w[0] <= w[1]));
         let slices = partition_sorted(&pts, &router);
         assert_eq!(slices.iter().map(|s| s.len()).sum::<usize>(), 100);
@@ -1309,6 +1430,50 @@ mod tests {
             let b = rng.gen_range(a..=110_000u64);
             assert_eq!(index.query(a, b, 25).unwrap(), oracle.query(a, b, 25));
         }
+    }
+
+    #[test]
+    fn reads_and_writes_stay_exact_across_concurrent_repartitions() {
+        // Hammers the epoch-validated routing: a thread republishes the
+        // router in a loop while readers fan out and a writer inserts into
+        // a fresh coordinate region, so snapshots repeatedly go stale
+        // between load and lock acquisition and the retry path must route
+        // every operation to the current partitioning.
+        let dev = device();
+        let index = ShardedTopK::new(&dev, TopKConfig::for_tests(), 4);
+        let pts = points(29, 2000);
+        index.bulk_build(&pts).unwrap();
+        let oracle = Oracle::from_points(&pts);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..40 {
+                    index.rebalance_now();
+                }
+            });
+            s.spawn(|| {
+                for i in 0..400u64 {
+                    index
+                        .insert(Point::new(10_000_000 + i, 10_000_000 + i))
+                        .unwrap();
+                }
+            });
+            for t in 0..3u64 {
+                let index = &index;
+                let oracle = &oracle;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(31 + t);
+                    for _ in 0..200 {
+                        // Stay below the writer's region so the oracle
+                        // answer is stable regardless of interleaving.
+                        let a = rng.gen_range(0..6_000u64);
+                        let b = rng.gen_range(a..=6_000u64);
+                        assert_eq!(index.query(a, b, 20).unwrap(), oracle.query(a, b, 20));
+                    }
+                });
+            }
+        });
+        assert_eq!(index.len(), 2400);
+        index.check_invariants();
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Per-thread stripe assignment for striped (BRAVO-style) read locks.
+//!
+//! A classic `RwLock` makes every reader CAS the *same* lock word, so a
+//! read-only workload still bounces one cache line between all cores — the
+//! flat `read_scaling` curve this PR removes. A striped lock gives each
+//! reader thread its own cache-line-padded lock to take the read side of;
+//! writers take **all** stripes (ascending) and therefore still exclude every
+//! reader. Readers never share a line, writers pay `O(stripes)` uncontended
+//! acquisitions.
+//!
+//! The stripe choice must be stable per thread (re-acquisition must be cheap
+//! and contention-free) but need not be balanced across *which* stripe: two
+//! threads sharing a stripe only costs them reader–reader line sharing, never
+//! correctness. Round-robin assignment on first use guarantees up to
+//! [`STRIPES`] concurrent threads get distinct stripes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of read stripes. A power of two (assignment masks), sized to the
+/// core counts this workspace benchmarks on; beyond it, extra threads share.
+pub(crate) const STRIPES: usize = 16;
+
+/// The calling thread's stripe in `0..len`. `len` must be a power of two no
+/// larger than [`STRIPES`].
+pub(crate) fn thread_stripe(len: usize) -> usize {
+    static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+    }
+    debug_assert!(len.is_power_of_two() && len <= STRIPES);
+    STRIPE.with(|s| *s) & (len - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_is_stable_per_thread_and_in_range() {
+        let a = thread_stripe(STRIPES);
+        let b = thread_stripe(STRIPES);
+        assert_eq!(a, b, "a thread keeps its stripe");
+        assert!(a < STRIPES);
+        assert!(thread_stripe(4) < 4);
+        assert_eq!(thread_stripe(1), 0);
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| thread_stripe(STRIPES)))
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap() < STRIPES);
+        }
+    }
+}

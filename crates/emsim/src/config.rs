@@ -1,7 +1,25 @@
 //! Configuration of the simulated external-memory machine.
 
+/// Replacement policy of the device's buffer pool.
+///
+/// The EM cost model only says "`M/B` frames of re-use"; *which* page a full
+/// pool evicts is an implementation choice. The default sharded CLOCK pool
+/// scales with reader threads (a hit only sets a per-frame reference bit
+/// inside one address-hashed shard), while the exact global LRU keeps the
+/// textbook eviction order that the I/O-cost bound tests replay against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolPolicy {
+    /// Address-hashed shards, each an independent CLOCK (second-chance)
+    /// approximate LRU behind its own mutex. The concurrency default.
+    #[default]
+    ShardedClock,
+    /// One global pool with exact LRU eviction behind a single mutex.
+    /// Deterministic and oracle-checkable; use for I/O-cost bound tests.
+    ExactLru,
+}
+
 /// Parameters of the EM machine: block size `B` and memory size `M`, both in
-/// words.
+/// words, plus the buffer-pool [`PoolPolicy`].
 ///
 /// The paper requires `M = Ω(B)`; [`EmConfig::new`] enforces `M ≥ 2B` (the
 /// minimum of the Aggarwal–Vitter model) and a block of at least 8 words so that
@@ -12,6 +30,8 @@ pub struct EmConfig {
     pub block_words: usize,
     /// Memory size `M` in words.
     pub mem_words: usize,
+    /// Buffer-pool replacement policy.
+    pub pool_policy: PoolPolicy,
 }
 
 impl EmConfig {
@@ -26,7 +46,21 @@ impl EmConfig {
         Self {
             block_words,
             mem_words,
+            pool_policy: PoolPolicy::default(),
         }
+    }
+
+    /// This configuration with the exact-LRU buffer pool (the deterministic
+    /// test mode whose eviction order the I/O-cost bound suites replay).
+    pub fn exact_lru(mut self) -> Self {
+        self.pool_policy = PoolPolicy::ExactLru;
+        self
+    }
+
+    /// This configuration with an explicit buffer-pool policy.
+    pub fn pool_policy(mut self, policy: PoolPolicy) -> Self {
+        self.pool_policy = policy;
+        self
     }
 
     /// A small configuration convenient for unit tests: `B = 64` words,
@@ -81,5 +115,20 @@ mod tests {
         let c = EmConfig::default();
         assert_eq!(c.block_words, 512);
         assert!(c.frames() > 1000);
+        assert_eq!(c.pool_policy, PoolPolicy::ShardedClock);
+    }
+
+    #[test]
+    fn exact_lru_flips_only_the_policy() {
+        let c = EmConfig::small();
+        let e = c.exact_lru();
+        assert_eq!(e.pool_policy, PoolPolicy::ExactLru);
+        assert_eq!(e.block_words, c.block_words);
+        assert_eq!(e.mem_words, c.mem_words);
+        assert_eq!(
+            e.pool_policy(PoolPolicy::ShardedClock),
+            EmConfig::small(),
+            "round-trips back to the default policy"
+        );
     }
 }

@@ -1,21 +1,24 @@
 //! The shared simulated machine: configuration, buffer pool and counters.
 //!
 //! Thread safety: a [`Device`] is a cheap clone of an `Arc`-shared inner
-//! state. The I/O counters are atomics (increments are never lost), the buffer
-//! pool sits behind a `Mutex` (every access is a short critical section), and
-//! the file directory behind its own `Mutex`. A `Device` — and every
+//! state. The I/O counters are per-thread striped atomics folded on read
+//! (increments are never lost), the buffer pool is either a set of
+//! address-hashed CLOCK shards (the default — a hit touches only its shard's
+//! mutex) or one exact-LRU pool behind a single mutex (the deterministic test
+//! mode, [`PoolPolicy::ExactLru`](crate::PoolPolicy)), and the file directory
+//! sits behind a `RwLock` whose per-file live-page counts are atomics, so the
+//! alloc/free hot path only takes the read side. A `Device` — and every
 //! [`BlockFile`] opened from it — is therefore `Send + Sync` and may be hit
-//! from many threads at once; see DESIGN.md §4 for the locking design and the
-//! finer-grained plan.
+//! from many threads at once; see DESIGN.md §4/§8 for the locking design.
 
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
-use crate::config::EmConfig;
+use crate::config::{EmConfig, PoolPolicy};
 use crate::file::BlockFile;
 use crate::page::Page;
-use crate::pool::Pool;
-use crate::stats::{AtomicIoStats, IoDelta, IoSnapshot, IoStats};
+use crate::pool::{AccessOutcome, Pool, ShardedPool};
+use crate::stats::{AtomicIoStats, IoDelta, IoSnapshot, IoStats, PaddedCounter};
 
 /// Identifier of a [`BlockFile`] on a device.
 pub type FileId = u32;
@@ -30,20 +33,82 @@ pub struct PageAddr {
 }
 
 /// Per-file bookkeeping: diagnostics name and live page count (the space
-/// measure). Kept behind one mutex so that a name and its counter can never
-/// drift apart.
+/// measure). The vectors only grow under [`Device::open_file`]'s write lock;
+/// the counters themselves are atomics, so `record_alloc`/`record_free` bump
+/// them under the *read* lock and never contend with each other or with
+/// `space_blocks()` readers.
 #[derive(Debug, Default)]
 struct FileDirectory {
     names: Vec<String>,
-    live_pages: Vec<u64>,
+    live_pages: Vec<PaddedCounter>,
+}
+
+/// The device's buffer pool in one of its two policies.
+#[derive(Debug)]
+enum PoolKind {
+    /// Address-hashed CLOCK shards; locking lives inside [`ShardedPool`].
+    Sharded(ShardedPool),
+    /// One exact-LRU pool behind a global mutex (deterministic test mode).
+    Exact(Mutex<Pool>),
+}
+
+impl PoolKind {
+    fn access(&self, addr: PageAddr, write: bool) -> AccessOutcome {
+        match self {
+            PoolKind::Sharded(sharded) => sharded.access(addr, write),
+            PoolKind::Exact(pool) => pool.lock().unwrap().access(addr, write),
+        }
+    }
+
+    fn discard(&self, addr: PageAddr) {
+        match self {
+            PoolKind::Sharded(sharded) => sharded.discard(addr),
+            PoolKind::Exact(pool) => pool.lock().unwrap().discard(addr),
+        }
+    }
+
+    fn flush(&self) -> u64 {
+        match self {
+            PoolKind::Sharded(sharded) => sharded.flush(),
+            PoolKind::Exact(pool) => pool.lock().unwrap().flush(),
+        }
+    }
+
+    fn clear(&self) -> u64 {
+        match self {
+            PoolKind::Sharded(sharded) => sharded.clear(),
+            PoolKind::Exact(pool) => pool.lock().unwrap().clear(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            PoolKind::Sharded(sharded) => sharded.capacity(),
+            PoolKind::Exact(pool) => pool.lock().unwrap().capacity(),
+        }
+    }
+
+    fn resident(&self) -> usize {
+        match self {
+            PoolKind::Sharded(sharded) => sharded.resident(),
+            PoolKind::Exact(pool) => pool.lock().unwrap().resident(),
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        match self {
+            PoolKind::Sharded(sharded) => sharded.shard_count(),
+            PoolKind::Exact(_) => 1,
+        }
+    }
 }
 
 #[derive(Debug)]
 struct DeviceInner {
     config: EmConfig,
     stats: AtomicIoStats,
-    pool: Mutex<Pool>,
-    files: Mutex<FileDirectory>,
+    pool: PoolKind,
+    files: RwLock<FileDirectory>,
 }
 
 /// A cheaply clonable handle to the simulated machine. All block files opened
@@ -57,12 +122,16 @@ pub struct Device {
 impl Device {
     /// Create a device with the given machine parameters.
     pub fn new(config: EmConfig) -> Self {
+        let pool = match config.pool_policy {
+            PoolPolicy::ShardedClock => PoolKind::Sharded(ShardedPool::new(config.frames())),
+            PoolPolicy::ExactLru => PoolKind::Exact(Mutex::new(Pool::new(config.frames()))),
+        };
         Self {
             inner: Arc::new(DeviceInner {
                 config,
                 stats: AtomicIoStats::default(),
-                pool: Mutex::new(Pool::new(config.frames())),
-                files: Mutex::new(FileDirectory::default()),
+                pool,
+                files: RwLock::new(FileDirectory::default()),
             }),
         }
     }
@@ -86,10 +155,10 @@ impl Device {
     /// used for diagnostics and space breakdowns.
     pub fn open_file<P: Page>(&self, name: &str) -> BlockFile<P> {
         let id = {
-            let mut files = self.inner.files.lock().unwrap();
+            let mut files = self.inner.files.write().unwrap();
             let id = files.names.len() as FileId;
             files.names.push(name.to_string());
-            files.live_pages.push(0);
+            files.live_pages.push(PaddedCounter::default());
             id
         };
         BlockFile::new(self.clone(), id)
@@ -126,83 +195,97 @@ impl Device {
 
     /// Evict every page from the buffer pool, charging write-backs for dirty
     /// pages. Used by experiments that want cold-cache query measurements.
+    /// With the sharded pool, shards are cleared one at a time; concurrent
+    /// accesses may repopulate earlier shards while later ones drain.
     pub fn drop_cache(&self) {
-        let writes = self.inner.pool.lock().unwrap().clear();
-        self.inner.stats.writes.fetch_add(writes, Ordering::Relaxed);
+        let writes = self.inner.pool.clear();
+        self.inner.stats.add_writes(writes);
     }
 
     /// Write back all dirty pages (counted) without evicting them.
     pub fn flush(&self) {
-        let writes = self.inner.pool.lock().unwrap().flush();
-        self.inner.stats.writes.fetch_add(writes, Ordering::Relaxed);
+        let writes = self.inner.pool.flush();
+        self.inner.stats.add_writes(writes);
     }
 
     /// Total number of live pages across all files — the structure's space in
     /// blocks, the paper's space measure.
     pub fn space_blocks(&self) -> u64 {
-        self.inner.files.lock().unwrap().live_pages.iter().sum()
+        let files = self.inner.files.read().unwrap();
+        files
+            .live_pages
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Per-file `(name, live pages)` breakdown.
     pub fn space_breakdown(&self) -> Vec<(String, u64)> {
-        let files = self.inner.files.lock().unwrap();
+        let files = self.inner.files.read().unwrap();
         files
             .names
             .iter()
             .cloned()
-            .zip(files.live_pages.iter().copied())
+            .zip(files.live_pages.iter().map(|c| c.load(Ordering::Relaxed)))
             .collect()
     }
 
     /// Number of buffer-pool frames (`M/B`).
     pub fn frames(&self) -> usize {
-        self.inner.pool.lock().unwrap().capacity()
+        self.inner.pool.capacity()
     }
 
     /// Number of pages currently resident in the pool.
     pub fn resident_pages(&self) -> usize {
-        self.inner.pool.lock().unwrap().resident()
+        self.inner.pool.resident()
+    }
+
+    /// Number of buffer-pool shards (1 in the exact-LRU test mode).
+    pub fn pool_shards(&self) -> usize {
+        self.inner.pool.shard_count()
     }
 
     // ----- internal hooks used by BlockFile -----
 
     pub(crate) fn record_access(&self, addr: PageAddr, write: bool) {
-        let outcome = self.inner.pool.lock().unwrap().access(addr, write);
-        let stats = &self.inner.stats;
-        stats.logical.fetch_add(1, Ordering::Relaxed);
-        if outcome.miss {
-            stats.reads.fetch_add(1, Ordering::Relaxed);
-        }
-        if outcome.wrote_back {
-            stats.writes.fetch_add(1, Ordering::Relaxed);
-        }
+        let outcome = self.inner.pool.access(addr, write);
+        self.inner
+            .stats
+            .record_access(outcome.miss, outcome.wrote_back);
     }
 
     pub(crate) fn record_alloc(&self, file: FileId) {
-        self.inner.stats.allocs.fetch_add(1, Ordering::Relaxed);
-        let mut files = self.inner.files.lock().unwrap();
-        *files
+        self.inner.stats.add_alloc();
+        let files = self.inner.files.read().unwrap();
+        files
             .live_pages
-            .get_mut(file as usize)
-            .expect("FileId minted by this device") += 1;
+            .get(file as usize)
+            .expect("FileId minted by this device")
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_free(&self, addr: PageAddr) {
-        self.inner.pool.lock().unwrap().discard(addr);
-        self.inner.stats.frees.fetch_add(1, Ordering::Relaxed);
-        let mut files = self.inner.files.lock().unwrap();
-        let slot = files
+        self.inner.pool.discard(addr);
+        self.inner.stats.add_free();
+        let files = self.inner.files.read().unwrap();
+        let live = files
             .live_pages
-            .get_mut(addr.file as usize)
+            .get(addr.file as usize)
             .expect("FileId minted by this device");
-        *slot = slot.saturating_sub(1);
+        // Saturating decrement: a count that would underflow indicates a
+        // caller bug (free without alloc) and pins at zero, matching the old
+        // mutex-guarded behaviour.
+        let mut cur = live.load(Ordering::Relaxed);
+        while cur > 0 {
+            match live.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     pub(crate) fn record_capacity_violation(&self, words: usize) {
-        self.inner
-            .stats
-            .capacity_violations
-            .fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.add_capacity_violation();
         debug_assert!(
             false,
             "page of {} words exceeds block capacity of {} words",

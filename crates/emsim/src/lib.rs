@@ -12,9 +12,12 @@
 //!
 //! Data structures built on top of this crate store their nodes as typed *pages*
 //! inside [`BlockFile`]s attached to a shared [`Device`]. Every page access goes
-//! through the device's LRU buffer pool of `M/B` frames: an access
+//! through the device's buffer pool of `M/B` frames: an access
 //! that misses the pool costs one read I/O, and evicting a dirty frame costs one
-//! write I/O. The resulting counters ([`IoStats`]) are exactly the quantity the
+//! write I/O. The pool's replacement policy is a [`PoolPolicy`]: address-hashed
+//! CLOCK shards by default (so concurrent readers don't serialise on one pool
+//! mutex), or a deterministic exact LRU for I/O-cost bound tests. The resulting
+//! counters ([`IoStats`]) are exactly the quantity the
 //! paper's theorems bound, so experiments can check the claimed `O(log_B n + k/B)`
 //! query and `O(log_B n)` amortized update costs directly.
 //!
@@ -45,7 +48,7 @@ mod page;
 mod pool;
 mod stats;
 
-pub use config::EmConfig;
+pub use config::{EmConfig, PoolPolicy};
 pub use device::{Device, FileId, PageAddr};
 pub use file::{BlockFile, PageId};
 pub use page::{entries_per_block, entries_words, Page};

@@ -1,21 +1,31 @@
-//! LRU buffer pool over page addresses.
+//! Buffer pools over page addresses.
 //!
-//! The pool does not hold page *contents* (those stay in their typed
+//! A pool does not hold page *contents* (those stay in their typed
 //! [`BlockFile`](crate::BlockFile)); it only decides, for every access, whether
 //! the page is resident in the simulated memory of `M/B` frames, and which page
 //! to evict when it is not. This is sufficient — and exactly faithful — for the
 //! EM cost model, where the only observable is the number of block transfers.
 //!
-//! Recency is tracked with a monotone clock: every resident frame carries the
-//! stamp of its last access, and a `BTreeMap` keyed by stamp orders the frames
-//! from least to most recently used. A hit re-stamps its frame (`O(log f)`),
-//! and an eviction pops the smallest stamp (`O(log f)`), replacing the
-//! `O(f)` linear victim scan the pool shipped with. CPU cost is outside the EM
-//! model, but the pool sits on every page access of every structure and is
-//! inside the device lock under concurrency, so its constant factors gate the
-//! whole simulator's throughput.
+//! Two implementations share the [`AccessOutcome`] contract
+//! (see [`PoolPolicy`](crate::PoolPolicy)):
+//!
+//! * [`Pool`] — the exact global LRU. Recency is tracked with a monotone
+//!   clock: every resident frame carries the stamp of its last access, and a
+//!   `BTreeMap` keyed by stamp orders the frames from least to most recently
+//!   used. A hit re-stamps its frame (`O(log f)`), an eviction pops the
+//!   smallest stamp. Deterministic and oracle-checkable, but every hit
+//!   *mutates* the shared stamp index, so under one mutex it serialises all
+//!   reader threads — the flat `read_scaling` curve of PR 7.
+//! * [`ShardedPool`] — address-hashed [`ClockPool`] shards, each behind its
+//!   own cache-line-padded mutex. A hit only sets that frame's reference bit
+//!   inside its own shard: no global ordering structure exists, so reader
+//!   threads touching different shards never contend, and CLOCK's
+//!   second-chance sweep approximates LRU well enough for the cost model's
+//!   `M/B` frames of re-use (the regression suite bounds its miss rate
+//!   against exact LRU across the workload distributions).
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
 
 use crate::device::PageAddr;
 
@@ -144,6 +154,263 @@ impl Pool {
     }
 }
 
+/// One frame of a [`ClockPool`].
+#[derive(Debug, Clone, Copy)]
+struct ClockFrame {
+    addr: PageAddr,
+    dirty: bool,
+    /// Second-chance bit: set on every hit (and on insertion), cleared by the
+    /// sweeping hand. The *only* thing a hit mutates.
+    referenced: bool,
+}
+
+/// A CLOCK (second-chance) approximate-LRU pool.
+///
+/// Frames live in a fixed ring; a hand sweeps the ring on eviction, clearing
+/// reference bits until it finds an unreferenced victim. A hit sets one bit in
+/// place — no ordering structure is rebalanced — which is what lets
+/// [`ShardedPool`] keep its per-shard critical sections to a hash-map probe.
+#[derive(Debug)]
+pub(crate) struct ClockPool {
+    capacity: usize,
+    map: HashMap<PageAddr, usize>,
+    ring: Vec<Option<ClockFrame>>,
+    /// Empty ring slots. Initialised in reverse so `pop()` hands out slot 0
+    /// first and the hand (starting at 0) examines the oldest insertion first.
+    free: Vec<usize>,
+    hand: usize,
+}
+
+impl ClockPool {
+    pub(crate) fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            map: HashMap::new(),
+            ring: (0..capacity).map(|_| None).collect(),
+            free: (0..capacity).rev().collect(),
+            hand: 0,
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Touch `addr`, marking it dirty if `write`.
+    pub(crate) fn access(&mut self, addr: PageAddr, write: bool) -> AccessOutcome {
+        if let Some(&i) = self.map.get(&addr) {
+            let f = self
+                .ring
+                .get_mut(i)
+                .and_then(|s| s.as_mut())
+                .expect("map and ring agree on occupied slots");
+            f.referenced = true;
+            f.dirty |= write;
+            return AccessOutcome {
+                miss: false,
+                wrote_back: false,
+            };
+        }
+
+        let (slot, wrote_back) = match self.free.pop() {
+            Some(s) => (s, false),
+            None => self.evict(),
+        };
+        *self
+            .ring
+            .get_mut(slot)
+            .expect("slot indices are bounded by the ring length") = Some(ClockFrame {
+            addr,
+            dirty: write,
+            referenced: true,
+        });
+        self.map.insert(addr, slot);
+        AccessOutcome {
+            miss: true,
+            wrote_back,
+        }
+    }
+
+    /// Run the hand until an unreferenced victim is found; evict it and return
+    /// its slot and whether the eviction wrote back a dirty frame. Only called
+    /// on a full ring, so the sweep terminates within two revolutions.
+    fn evict(&mut self) -> (usize, bool) {
+        loop {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.capacity;
+            let slot = self
+                .ring
+                .get_mut(i)
+                .expect("the hand stays within the ring");
+            let f = slot
+                .as_mut()
+                .expect("a full ring has no empty slots to sweep");
+            if f.referenced {
+                f.referenced = false;
+                continue;
+            }
+            let evicted = slot.take().expect("victim slot was just observed occupied");
+            self.map.remove(&evicted.addr);
+            return (i, evicted.dirty);
+        }
+    }
+
+    /// Drop `addr` without writing it back (the page was freed).
+    pub(crate) fn discard(&mut self, addr: PageAddr) {
+        if let Some(i) = self.map.remove(&addr) {
+            if let Some(s) = self.ring.get_mut(i) {
+                *s = None;
+            }
+            self.free.push(i);
+        }
+    }
+
+    /// Write back every dirty frame, returning how many writes that took.
+    pub(crate) fn flush(&mut self) -> u64 {
+        let mut writes = 0;
+        for f in self.ring.iter_mut().filter_map(|s| s.as_mut()) {
+            if f.dirty {
+                f.dirty = false;
+                writes += 1;
+            }
+        }
+        writes
+    }
+
+    /// Evict everything; dirty frames are written back and counted.
+    pub(crate) fn clear(&mut self) -> u64 {
+        let writes = self
+            .ring
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .filter(|f| f.dirty)
+            .count() as u64;
+        self.map.clear();
+        for s in self.ring.iter_mut() {
+            *s = None;
+        }
+        self.free = (0..self.capacity).rev().collect();
+        self.hand = 0;
+        writes
+    }
+}
+
+/// Target minimum frames per shard: below this, splitting the pool further
+/// would distort the cost model more than it buys in parallelism.
+const POOL_SHARD_MIN_FRAMES: usize = 16;
+
+/// Upper bound on the shard count; 16 uncontended mutexes already cover the
+/// core counts this simulator is benchmarked on.
+const POOL_SHARD_MAX: usize = 16;
+
+/// Shard count for a pool of `frames` frames: the largest power of two `≤ 16`
+/// that keeps at least [`POOL_SHARD_MIN_FRAMES`] frames per shard (so tiny
+/// test pools collapse to one shard and stay oracle-checkable).
+pub(crate) fn pool_shard_count(frames: usize) -> usize {
+    let want = (frames / POOL_SHARD_MIN_FRAMES).clamp(1, POOL_SHARD_MAX);
+    let mut n = 1;
+    while n * 2 <= want {
+        n *= 2;
+    }
+    n
+}
+
+/// One pool shard on its own cache line. The field is named `pool_shard` so
+/// every acquisition audits under the `poolshard` lock class (DESIGN.md §8).
+#[derive(Debug)]
+#[repr(align(64))]
+struct PoolShardCell {
+    pool_shard: Mutex<ClockPool>,
+}
+
+/// An address-hashed collection of [`ClockPool`] shards. Each page address
+/// maps to exactly one shard (by a Fibonacci hash of its file and page id), so
+/// residency questions stay exact; only the *eviction order* is approximate,
+/// per shard, relative to a global LRU.
+#[derive(Debug)]
+pub(crate) struct ShardedPool {
+    shards: Box<[PoolShardCell]>,
+}
+
+impl ShardedPool {
+    /// Build a sharded pool with `frames` total frames, spread evenly (the
+    /// first `frames % shards` shards take the remainder).
+    pub(crate) fn new(frames: usize) -> Self {
+        let frames = frames.max(1);
+        let n = pool_shard_count(frames);
+        let shards = (0..n)
+            .map(|i| {
+                let capacity = frames / n + usize::from(i < frames % n);
+                PoolShardCell {
+                    pool_shard: Mutex::new(ClockPool::new(capacity)),
+                }
+            })
+            .collect();
+        Self { shards }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, addr: PageAddr) -> &Mutex<ClockPool> {
+        let h = (((addr.file as u64) << 32) | addr.page as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // The shard count is a power of two, so masking the top bits is a
+        // uniform choice.
+        let i = (h >> 48) as usize & (self.shards.len() - 1);
+        &self
+            .shards
+            .get(i)
+            .expect("shard index is masked to the shard count")
+            .pool_shard
+    }
+
+    pub(crate) fn access(&self, addr: PageAddr, write: bool) -> AccessOutcome {
+        let pool_shard = self.shard(addr);
+        pool_shard.lock().unwrap().access(addr, write)
+    }
+
+    pub(crate) fn discard(&self, addr: PageAddr) {
+        let pool_shard = self.shard(addr);
+        pool_shard.lock().unwrap().discard(addr)
+    }
+
+    /// Write back dirty frames shard by shard (each shard's lock is released
+    /// before the next is taken; monitoring reads may interleave).
+    pub(crate) fn flush(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.pool_shard.lock().unwrap().flush())
+            .sum()
+    }
+
+    pub(crate) fn clear(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.pool_shard.lock().unwrap().clear())
+            .sum()
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.pool_shard.lock().unwrap().capacity())
+            .sum()
+    }
+
+    pub(crate) fn resident(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.pool_shard.lock().unwrap().resident())
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +514,151 @@ mod tests {
         for &r in &reference {
             assert!(!p.access(r, false).miss, "{r:?} must be resident");
         }
+    }
+
+    /// A rotation-invariant reference model of CLOCK: a deque ordered by the
+    /// hand's visiting order (front = examined next). Hits set the reference
+    /// bit in place; the sweep rotates referenced frames to the back with the
+    /// bit cleared; the victim's replacement is pushed at the back — exactly
+    /// the ring-with-moving-hand discipline, written independently.
+    #[derive(Default)]
+    struct ClockOracle {
+        capacity: usize,
+        frames: std::collections::VecDeque<(PageAddr, bool, bool)>, // (addr, dirty, referenced)
+    }
+
+    impl ClockOracle {
+        fn new(capacity: usize) -> Self {
+            Self {
+                capacity,
+                frames: Default::default(),
+            }
+        }
+
+        fn access(&mut self, a: PageAddr, write: bool) -> AccessOutcome {
+            if let Some(f) = self.frames.iter_mut().find(|f| f.0 == a) {
+                f.1 |= write;
+                f.2 = true;
+                return AccessOutcome {
+                    miss: false,
+                    wrote_back: false,
+                };
+            }
+            let mut wrote_back = false;
+            if self.frames.len() == self.capacity {
+                loop {
+                    let (va, vd, vr) = self.frames.pop_front().expect("full");
+                    if vr {
+                        self.frames.push_back((va, vd, false));
+                    } else {
+                        wrote_back = vd;
+                        break;
+                    }
+                }
+            }
+            self.frames.push_back((a, write, true));
+            AccessOutcome {
+                miss: true,
+                wrote_back,
+            }
+        }
+    }
+
+    #[test]
+    fn clock_matches_second_chance_oracle_on_random_trace() {
+        let mut p = ClockPool::new(8);
+        let mut oracle = ClockOracle::new(8);
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for step in 0..4000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let page = ((x >> 33) % 24) as u32; // 24-page working set over 8 frames
+            let write = (x >> 17) & 3 == 0;
+            let a = addr(0, page);
+            let got = p.access(a, write);
+            let want = oracle.access(a, write);
+            assert_eq!(got, want, "divergence at step {step} (page {page})");
+            assert_eq!(p.resident(), oracle.frames.len());
+        }
+    }
+
+    #[test]
+    fn clock_discard_frees_a_slot_and_flush_cleans() {
+        let mut p = ClockPool::new(2);
+        p.access(addr(0, 1), true);
+        p.access(addr(0, 2), true);
+        p.discard(addr(0, 1));
+        assert_eq!(p.resident(), 1);
+        // The freed slot is reused without evicting page 2.
+        assert!(p.access(addr(0, 3), false).miss);
+        assert!(!p.access(addr(0, 2), false).miss, "page 2 stayed resident");
+        assert_eq!(p.flush(), 1, "only page 2 is dirty (1 was discarded)");
+        assert_eq!(p.flush(), 0);
+        assert_eq!(p.clear(), 0, "clear after flush writes nothing");
+        assert_eq!(p.resident(), 0);
+    }
+
+    #[test]
+    fn clock_scan_misses_like_lru() {
+        // A cyclic scan wider than the pool defeats CLOCK exactly as it
+        // defeats LRU: every access is a miss.
+        let mut p = ClockPool::new(4);
+        let mut misses = 0;
+        for _ in 0..3 {
+            for page in 0..16 {
+                if p.access(addr(0, page), false).miss {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses, 48);
+    }
+
+    #[test]
+    fn sharded_pool_splits_frames_exactly_and_keeps_residency() {
+        let p = ShardedPool::new(256);
+        assert_eq!(p.shard_count(), 16);
+        assert_eq!(p.capacity(), 256, "remainders are distributed, not lost");
+        let p = ShardedPool::new(37); // 2 shards of 19 and 18
+        assert_eq!(p.shard_count(), 2);
+        assert_eq!(p.capacity(), 37);
+        // Residency is exact: a page accessed once is resident regardless of
+        // traffic hashed to other shards.
+        assert!(p.access(addr(1, 7), false).miss);
+        for page in 100..110 {
+            p.access(addr(2, page), false);
+        }
+        assert_eq!(p.resident(), 11);
+        let before = p.resident();
+        assert!(!p.access(addr(1, 7), false).miss, "hit after warm access");
+        assert_eq!(p.resident(), before);
+        p.discard(addr(1, 7));
+        assert!(p.access(addr(1, 7), false).miss, "discard evicted it");
+    }
+
+    #[test]
+    fn sharded_pool_collapses_small_pools_to_one_shard() {
+        assert_eq!(pool_shard_count(2), 1);
+        assert_eq!(pool_shard_count(16), 1);
+        assert_eq!(pool_shard_count(31), 1);
+        assert_eq!(pool_shard_count(32), 2);
+        assert_eq!(pool_shard_count(64), 4);
+        assert_eq!(pool_shard_count(16 * 16), 16);
+        assert_eq!(pool_shard_count(1 << 20), 16, "capped at 16");
+        let p = ShardedPool::new(8);
+        assert_eq!(p.shard_count(), 1);
+        assert_eq!(p.capacity(), 8);
+    }
+
+    #[test]
+    fn sharded_pool_clear_counts_dirty_frames() {
+        let p = ShardedPool::new(64);
+        for page in 0..10 {
+            p.access(addr(0, page), page % 2 == 0);
+        }
+        assert_eq!(p.clear(), 5);
+        assert_eq!(p.resident(), 0);
+        assert_eq!(p.capacity(), 64);
     }
 }

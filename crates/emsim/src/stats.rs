@@ -1,14 +1,12 @@
 //! I/O accounting.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// One counter on its own cache line. The stats block sits on every
-/// simulated I/O of every thread; packed `AtomicU64`s would share lines, so
-/// a reader thread bumping `reads` and a writer thread bumping `writes`
-/// would ping-pong the same line between cores on every page access (false
-/// sharing). 64 bytes covers the destructive-interference granularity of
-/// x86-64 and most aarch64 cores.
+/// One counter on its own cache line. Packed `AtomicU64`s would share lines,
+/// so two threads bumping logically unrelated counters would ping-pong the
+/// same line between cores (false sharing). 64 bytes covers the
+/// destructive-interference granularity of x86-64 and most aarch64 cores.
 #[derive(Debug, Default)]
 #[repr(align(64))]
 pub(crate) struct PaddedCounter(AtomicU64);
@@ -21,43 +19,125 @@ impl std::ops::Deref for PaddedCounter {
     }
 }
 
-/// The device-internal, thread-safe form of the counters. Every field is an
-/// independent atomic updated with relaxed ordering: concurrent increments are
-/// never lost (each is a read-modify-write), which is the property the
-/// concurrent tests assert; cross-counter snapshots taken while other threads
-/// are mid-operation may mix adjacent operations, which is inherent to any
-/// monitoring read and harmless for the EM cost accounting. Each counter is
-/// padded to its own cache line ([`PaddedCounter`]) so the hottest pair —
-/// `logical` on every access, `reads` on every miss — do not false-share.
+/// Number of counter stripes. A power of two so the thread-stripe assignment
+/// can mask; 16 stripes keep collisions rare at the core counts the simulator
+/// is benchmarked on, while a fold over them stays trivially cheap.
+const STAT_STRIPES: usize = 16;
+
+/// One stripe's worth of counters. All six live on the *same* cache line on
+/// purpose: a stripe is written by (essentially) one thread, and an access
+/// that misses bumps `logical`, `reads` and possibly `writes` back to back —
+/// keeping them on one private line turns that into one line acquisition
+/// instead of three. Padding to 64 bytes keeps adjacent stripes (written by
+/// *different* threads) off each other's lines.
 #[derive(Debug, Default)]
+#[repr(align(64))]
+struct StatStripe {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    logical: AtomicU64,
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    capacity_violations: AtomicU64,
+}
+
+/// Round-robin stripe assignment: each thread picks a stripe once, the first
+/// time it touches any device's stats, and keeps it for life. Round-robin
+/// (rather than hashing the thread id) guarantees that up to `STAT_STRIPES`
+/// concurrent threads never share a stripe.
+fn stripe_index() -> usize {
+    static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STAT_STRIPES;
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// The device-internal, thread-safe form of the counters, striped per thread.
+///
+/// Increments are `Relaxed` read-modify-writes on the calling thread's own
+/// cache-line-padded [`StatStripe`], so they are never lost (the exactness
+/// property the concurrent tests assert) and — unlike the PR 6 layout of one
+/// shared padded atomic per counter — hot counters are not a single line that
+/// every reader thread's RMW must bounce through. [`AtomicIoStats::snapshot`]
+/// folds the stripes; snapshots taken while other threads are mid-operation
+/// may mix adjacent operations, which is inherent to any monitoring read and
+/// harmless for the EM cost accounting.
+#[derive(Debug)]
 pub(crate) struct AtomicIoStats {
-    pub(crate) reads: PaddedCounter,
-    pub(crate) writes: PaddedCounter,
-    pub(crate) logical: PaddedCounter,
-    pub(crate) allocs: PaddedCounter,
-    pub(crate) frees: PaddedCounter,
-    pub(crate) capacity_violations: PaddedCounter,
+    stripes: [StatStripe; STAT_STRIPES],
+}
+
+impl Default for AtomicIoStats {
+    fn default() -> Self {
+        Self {
+            stripes: std::array::from_fn(|_| StatStripe::default()),
+        }
+    }
 }
 
 impl AtomicIoStats {
-    pub(crate) fn snapshot(&self) -> IoStats {
-        IoStats {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            logical: self.logical.load(Ordering::Relaxed),
-            allocs: self.allocs.load(Ordering::Relaxed),
-            frees: self.frees.load(Ordering::Relaxed),
-            capacity_violations: self.capacity_violations.load(Ordering::Relaxed),
+    fn stripe(&self) -> &StatStripe {
+        self.stripes
+            .get(stripe_index())
+            .expect("stripe_index is reduced modulo the stripe count")
+    }
+
+    /// Account one logical access and its physical consequences.
+    pub(crate) fn record_access(&self, miss: bool, wrote_back: bool) {
+        let stripe = self.stripe();
+        stripe.logical.fetch_add(1, Ordering::Relaxed);
+        if miss {
+            stripe.reads.fetch_add(1, Ordering::Relaxed);
+        }
+        if wrote_back {
+            stripe.writes.fetch_add(1, Ordering::Relaxed);
         }
     }
 
+    /// Account `n` physical writes (flushes, cache drops).
+    pub(crate) fn add_writes(&self, n: u64) {
+        if n > 0 {
+            self.stripe().writes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn add_alloc(&self) {
+        self.stripe().allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_free(&self) {
+        self.stripe().frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_capacity_violation(&self) {
+        self.stripe()
+            .capacity_violations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> IoStats {
+        let mut out = IoStats::default();
+        for stripe in &self.stripes {
+            out.reads += stripe.reads.load(Ordering::Relaxed);
+            out.writes += stripe.writes.load(Ordering::Relaxed);
+            out.logical += stripe.logical.load(Ordering::Relaxed);
+            out.allocs += stripe.allocs.load(Ordering::Relaxed);
+            out.frees += stripe.frees.load(Ordering::Relaxed);
+            out.capacity_violations += stripe.capacity_violations.load(Ordering::Relaxed);
+        }
+        out
+    }
+
     pub(crate) fn reset(&self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
-        self.logical.store(0, Ordering::Relaxed);
-        self.allocs.store(0, Ordering::Relaxed);
-        self.frees.store(0, Ordering::Relaxed);
-        self.capacity_violations.store(0, Ordering::Relaxed);
+        for stripe in &self.stripes {
+            stripe.reads.store(0, Ordering::Relaxed);
+            stripe.writes.store(0, Ordering::Relaxed);
+            stripe.logical.store(0, Ordering::Relaxed);
+            stripe.allocs.store(0, Ordering::Relaxed);
+            stripe.frees.store(0, Ordering::Relaxed);
+            stripe.capacity_violations.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -176,8 +256,35 @@ mod tests {
     fn counters_occupy_disjoint_cache_lines() {
         assert!(std::mem::align_of::<PaddedCounter>() >= 64);
         assert!(std::mem::size_of::<PaddedCounter>() >= 64);
-        // Six counters, each on its own line.
-        assert!(std::mem::size_of::<AtomicIoStats>() >= 6 * 64);
+        // Each stripe is written by one thread and sits on its own line.
+        assert!(std::mem::align_of::<StatStripe>() >= 64);
+        assert!(std::mem::size_of::<StatStripe>() >= 64);
+        assert!(std::mem::size_of::<AtomicIoStats>() >= STAT_STRIPES * 64);
+    }
+
+    #[test]
+    fn striped_increments_fold_exactly() {
+        let stats = AtomicIoStats::default();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let stats = &stats;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        stats.record_access(i % 4 == 0, i % 16 == 0);
+                        if i % 10 == 0 {
+                            stats.add_alloc();
+                        }
+                    }
+                });
+            }
+        });
+        let s = stats.snapshot();
+        assert_eq!(s.logical, 8_000);
+        assert_eq!(s.reads, 8 * 250);
+        assert_eq!(s.writes, 8 * 63); // i % 16 == 0 for 63 of 0..1000
+        assert_eq!(s.allocs, 8 * 100);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoStats::default());
     }
 
     #[test]

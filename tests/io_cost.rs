@@ -25,7 +25,11 @@ fn random_points(seed: u64, n: usize) -> Vec<Point> {
 #[test]
 fn cold_query_reads_stay_within_log_plus_output_bound() {
     let n = 40_000usize;
-    let em = EmConfig::new(512, 512 * 64); // 64-frame pool: cold reads dominate
+    // 64-frame pool, exact LRU: cold reads dominate and the replacement
+    // policy is the deterministic one the bound constants were tuned against
+    // (the default sharded CLOCK approximates it; see tests/pool_shards.rs
+    // for the cross-policy miss-rate bound).
+    let em = EmConfig::new(512, 512 * 64).exact_lru();
     let device = Device::new(em);
     let index = TopKIndex::new(&device, TopKConfig::default());
     let pts = random_points(3, n);
@@ -86,7 +90,11 @@ fn sharded_fan_out_reads_stay_within_per_shard_bound() {
     // shards exist.
     let n = 40_000usize;
     let shards = 8usize;
-    let em = EmConfig::new(512, 512 * 64); // 64-frame pool: cold reads dominate
+    // 64-frame pool, exact LRU: cold reads dominate and the replacement
+    // policy is the deterministic one the bound constants were tuned against
+    // (the default sharded CLOCK approximates it; see tests/pool_shards.rs
+    // for the cross-policy miss-rate bound).
+    let em = EmConfig::new(512, 512 * 64).exact_lru();
     let device = Device::new(em);
     let index = ShardedTopK::builder()
         .device(&device)
