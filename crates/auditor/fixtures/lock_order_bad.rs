@@ -21,7 +21,7 @@ impl BlockFile {
     fn alloc(&self, _n: u8) {}
 }
 
-// Rule A: the pool mutex (rank 6) is held while a shard lock (rank 2) is
+// Rule A: the pool mutex (rank 7) is held while a shard lock (rank 3) is
 // acquired — the reverse of the declared order.
 fn out_of_order(dev: &Dev, shard: &Shard) {
     let pool = dev.pool.lock().unwrap();
@@ -54,7 +54,7 @@ struct PoolShardCell {
     pool_shard: Mutex<u8>,
 }
 
-// Rule A: a pool-shard mutex (rank 5) is held while the registry (rank 3)
+// Rule A: a pool-shard mutex (rank 6) is held while the registry (rank 4)
 // is acquired — emsim-internal locks sit below every structure lock.
 fn pool_shard_out_of_order(cell: &PoolShardCell, g: &Reg) {
     let pool_shard = cell.pool_shard.lock().unwrap();
@@ -67,4 +67,29 @@ fn pool_shard_io_while_held(cell: &PoolShardCell, file: &BlockFile) {
     let pool_shard = cell.pool_shard.lock().unwrap();
     file.alloc(3);
     drop(pool_shard);
+}
+
+struct ConnReg {
+    conns: Mutex<u8>,
+}
+
+struct WriteSlot {
+    queue: Mutex<u8>,
+}
+
+// Rule A: the serving-plane connection registry (rank 1) sits above every
+// index-structure lock — acquiring it while a shard guard is live means the
+// index reached back up into the serving plane.
+fn connreg_out_of_order(s: &Shard, reg: &ConnReg) {
+    let shard = s.index.write().unwrap();
+    let _conns = reg.conns.lock().unwrap();
+    drop(shard);
+}
+
+// Rule A: same-class nesting of the serving-plane mutexes (connection
+// registry, then a write-completion slot) is not sanctioned.
+fn connreg_nested(reg: &ConnReg, slot: &WriteSlot) {
+    let conns = reg.conns.lock().unwrap();
+    let _slot = slot.queue.lock().unwrap();
+    drop(conns);
 }

@@ -96,3 +96,26 @@ fn router_publish_in_order(s: &Shard, stripe: &RouterStripe) {
     *stripe.router_stripe.write().unwrap() = 7;
     drop(shard);
 }
+
+struct ConnReg {
+    conns: Mutex<u8>,
+}
+
+struct WriteSlot {
+    queue: Mutex<u8>,
+}
+
+// The connection registry outranks everything: a handler may hold it and
+// then descend into the index locks in declared order.
+fn connreg_in_order(reg: &ConnReg, s: &Shard) {
+    let conns = reg.conns.lock().unwrap();
+    let _shard = s.index.write().unwrap();
+    drop(conns);
+}
+
+// A completion-slot handoff is a temporary — the guard dies at the
+// semicolon, so the later shard acquisition is clean.
+fn completion_slot_temporary(slot: &WriteSlot, s: &Shard) {
+    *slot.queue.lock().unwrap() = 1;
+    let _shard = s.index.write().unwrap();
+}

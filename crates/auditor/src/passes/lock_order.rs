@@ -5,16 +5,17 @@
 //!
 //! | rank | class      | receiver fields        | held across device I/O? |
 //! |------|------------|------------------------|-------------------------|
-//! | 1    | router     | `router`               | allowed (rebalance)     |
-//! | 2    | shard      | `index`, `inner`       | allowed (write path)    |
-//! | 3    | registry   | `scores`               | allowed (batch commit)  |
-//! | 4    | routercell | `router_stripe`        | allowed (publish)       |
-//! | 5    | poolshard  | `pool_shard`           | forbidden               |
-//! | 6    | pool       | `pool`                 | forbidden               |
-//! | 7    | dir        | `files`                | forbidden               |
-//! | 8    | slab       | `slots`                | forbidden               |
-//! | 9    | page       | `slot`, `s`            | forbidden               |
-//! | 10   | freelist   | `free_list`            | forbidden               |
+//! | 1    | connreg    | `conns`, `queue`       | allowed (accept/drain)  |
+//! | 2    | router     | `router`               | allowed (rebalance)     |
+//! | 3    | shard      | `index`, `inner`       | allowed (write path)    |
+//! | 4    | registry   | `scores`               | allowed (batch commit)  |
+//! | 5    | routercell | `router_stripe`        | allowed (publish)       |
+//! | 6    | poolshard  | `pool_shard`           | forbidden               |
+//! | 7    | pool       | `pool`                 | forbidden               |
+//! | 8    | dir        | `files`                | forbidden               |
+//! | 9    | slab       | `slots`                | forbidden               |
+//! | 10   | page       | `slot`, `s`            | forbidden               |
+//! | 11   | freelist   | `free_list`            | forbidden               |
 //!
 //! **Rule A (ordering):** while a guard of rank `r` is live, acquiring a lock
 //! of rank `< r` is flagged; so is re-acquiring a class that does not permit
@@ -55,23 +56,37 @@ struct LockClass {
 
 /// The normative table. Keep in sync with DESIGN.md §8.
 const TABLE: &[LockClass] = &[
+    // Serving-plane mutexes in `crates/server`: the connection registry
+    // (`conns`) and the per-write completion slot (`queue`). They sit above
+    // every index-structure lock — a connection handler or the committer may
+    // take them and then call into the facade (which acquires router/shard/…),
+    // but no index code path may ever reach back up into the serving plane.
+    // Nested acquisition across the two receivers never happens (the registry
+    // is swept only with no slot held), so same-class nesting stays forbidden.
+    LockClass {
+        name: "connreg",
+        rank: 1,
+        receivers: &["conns", "queue"],
+        same_ok: false,
+        io_forbidden: false,
+    },
     LockClass {
         name: "router",
-        rank: 1,
+        rank: 2,
         receivers: &["router"],
         same_ok: false,
         io_forbidden: false,
     },
     LockClass {
         name: "shard",
-        rank: 2,
+        rank: 3,
         receivers: &["index", "inner"],
         same_ok: true,
         io_forbidden: false,
     },
     LockClass {
         name: "registry",
-        rank: 3,
+        rank: 4,
         receivers: &["scores"],
         same_ok: false,
         io_forbidden: false,
@@ -84,7 +99,7 @@ const TABLE: &[LockClass] = &[
     // nesting stays forbidden.
     LockClass {
         name: "routercell",
-        rank: 4,
+        rank: 5,
         receivers: &["router_stripe"],
         same_ok: false,
         io_forbidden: false,
@@ -95,42 +110,42 @@ const TABLE: &[LockClass] = &[
     // while one is held.
     LockClass {
         name: "poolshard",
-        rank: 5,
+        rank: 6,
         receivers: &["pool_shard"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "pool",
-        rank: 6,
+        rank: 7,
         receivers: &["pool"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "dir",
-        rank: 7,
+        rank: 8,
         receivers: &["files"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "slab",
-        rank: 8,
+        rank: 9,
         receivers: &["slots"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "page",
-        rank: 9,
+        rank: 10,
         receivers: &["slot", "s"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "freelist",
-        rank: 10,
+        rank: 11,
         receivers: &["free_list"],
         same_ok: false,
         io_forbidden: true,

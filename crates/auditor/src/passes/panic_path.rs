@@ -1,7 +1,7 @@
 //! P2 — panic paths in shipped code of the serving-facing crates.
 //!
 //! Scope: non-test, non-bench code under `crates/{core,emsim,epst,embtree,
-//! wbbtree}/src`. Flags:
+//! wbbtree,server}/src`. Flags:
 //!
 //! - `.unwrap()` — except directly on a lock acquisition
 //!   (`.read()/.write()/.lock()/.into_inner()`): propagating a poisoned-lock
@@ -26,11 +26,14 @@ const SERVING_PREFIXES: &[&str] = &[
     "crates/epst/src",
     "crates/embtree/src",
     "crates/wbbtree/src",
+    "crates/server/src",
 ];
 
 /// Where direct indexing denies (the serving boundary: a panic here unwinds
-/// through, or poisons locks under, the public read/write paths).
-const INDEXING_DENY_PREFIXES: &[&str] = &["crates/core/src", "crates/emsim/src"];
+/// through, or poisons locks under, the public read/write paths — and in the
+/// wire decoder, is reachable from untrusted bytes).
+const INDEXING_DENY_PREFIXES: &[&str] =
+    &["crates/core/src", "crates/emsim/src", "crates/server/src"];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 

@@ -31,11 +31,18 @@ fn of_pass(findings: &[Finding], pass: Pass) -> Vec<&Finding> {
 fn lock_order_fires_on_bad_fixture() {
     let findings = audit("crates/core/src/fixture.rs", LOCK_BAD);
     let hits = of_pass(&findings, Pass::LockOrder);
-    // Rule A three times (out-of-order, same-class, pool-shard inversion)
-    // and Rule B three times (I/O + rebuild entry while a forbidden-class
-    // guard is live, I/O under a pool-shard guard).
-    assert_eq!(hits.len(), 6, "findings: {findings:?}");
+    // Rule A five times (out-of-order, same-class registry, pool-shard
+    // inversion, connreg inversion, connreg same-class) and Rule B three
+    // times (I/O + rebuild entry while a forbidden-class guard is live, I/O
+    // under a pool-shard guard).
+    assert_eq!(hits.len(), 8, "findings: {findings:?}");
     assert!(hits.iter().any(|f| f.message.contains("acquires `shard`")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("acquires `connreg`") && f.message.contains("`shard` guard")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("same-class acquisition of `connreg`")));
     assert!(hits
         .iter()
         .any(|f| f.message.contains("acquires `registry`")

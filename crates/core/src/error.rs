@@ -70,6 +70,52 @@ pub enum TopKError {
     },
 }
 
+impl TopKError {
+    /// The stable numeric code of this variant — the wire-protocol error
+    /// contract (`topkwire v1`, DESIGN.md §9). Codes are **append-only**:
+    /// a published code is never renumbered or reused, new variants take the
+    /// next free code, and the server-side transport codes live in a
+    /// disjoint namespace (`>= 100`, `topk_server::wire::status`), so a
+    /// client built against an older enum can still classify every index
+    /// error it receives.
+    pub fn code(&self) -> u16 {
+        match self {
+            TopKError::DuplicateX { .. } => 1,
+            TopKError::DuplicateScore { .. } => 2,
+            TopKError::InvertedRange { .. } => 3,
+            TopKError::ZeroK => 4,
+            TopKError::InvalidConfig { .. } => 5,
+            TopKError::SnapshotInvalidated { .. } => 6,
+            TopKError::Inconsistent { .. } => 7,
+        }
+    }
+
+    /// Decode a wire code back to the variant's stable name, or `None` for
+    /// codes this build does not know (a newer peer — treat as an opaque
+    /// index error rather than a decode failure, which is what keeps the
+    /// contract `#[non_exhaustive]`-safe in both directions).
+    pub fn code_name(code: u16) -> Option<&'static str> {
+        match code {
+            1 => Some("DuplicateX"),
+            2 => Some("DuplicateScore"),
+            3 => Some("InvertedRange"),
+            4 => Some("ZeroK"),
+            5 => Some("InvalidConfig"),
+            6 => Some("SnapshotInvalidated"),
+            7 => Some("Inconsistent"),
+            _ => None,
+        }
+    }
+
+    /// Whether an operation failing with this error may be retried verbatim
+    /// with a chance of success (today: only a strict-snapshot invalidation,
+    /// which a re-issued query resolves against the new state). Transport
+    /// codes have their own retryability table in `topk_server::wire`.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, TopKError::SnapshotInvalidated { .. })
+    }
+}
+
 impl std::fmt::Display for TopKError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -139,5 +185,72 @@ mod tests {
         assert!(e.to_string().contains("pilot"));
         // The std Error impl is object-safe.
         let _: Box<dyn std::error::Error> = Box::new(TopKError::ZeroK);
+    }
+
+    #[test]
+    fn wire_codes_are_stable_distinct_and_round_trip() {
+        // One representative value per variant. Adding a variant without
+        // extending this list fails the exhaustiveness check below.
+        let all = [
+            TopKError::DuplicateX {
+                existing: Point::new(5, 9),
+                rejected: Point::new(5, 11),
+            },
+            TopKError::DuplicateScore {
+                score: 7,
+                rejected: Point::new(1, 7),
+            },
+            TopKError::InvertedRange { x1: 9, x2: 3 },
+            TopKError::ZeroK,
+            TopKError::InvalidConfig { what: "shards" },
+            TopKError::SnapshotInvalidated {
+                expected: 3,
+                observed: 5,
+            },
+            TopKError::Inconsistent {
+                point: Point::new(2, 3),
+                component: "pilot",
+            },
+        ];
+        // The published contract: these exact pairs, frozen. Renumbering any
+        // of them is a wire-protocol break and must fail here.
+        let published: &[(u16, &str)] = &[
+            (1, "DuplicateX"),
+            (2, "DuplicateScore"),
+            (3, "InvertedRange"),
+            (4, "ZeroK"),
+            (5, "InvalidConfig"),
+            (6, "SnapshotInvalidated"),
+            (7, "Inconsistent"),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in &all {
+            let code = e.code();
+            assert!(seen.insert(code), "duplicate wire code {code} for {e:?}");
+            let name = TopKError::code_name(code).expect("every live variant decodes");
+            assert!(
+                published.contains(&(code, name)),
+                "({code}, {name}) is not in the published table"
+            );
+            // The decoded name matches the Debug variant name.
+            assert!(
+                format!("{e:?}").starts_with(name),
+                "code_name({code}) = {name} does not match {e:?}"
+            );
+        }
+        assert_eq!(seen.len(), published.len(), "a variant is missing a code");
+        // Unknown codes decode to None, never panic: a newer peer's codes
+        // pass through as opaque errors.
+        assert_eq!(TopKError::code_name(0), None);
+        assert_eq!(TopKError::code_name(99), None);
+        assert_eq!(TopKError::code_name(100), None); // transport namespace
+        assert_eq!(TopKError::code_name(u16::MAX), None);
+        // Retryability: only the snapshot invalidation.
+        assert!(TopKError::SnapshotInvalidated {
+            expected: 1,
+            observed: 2
+        }
+        .is_retryable());
+        assert!(!TopKError::ZeroK.is_retryable());
     }
 }

@@ -1,0 +1,258 @@
+//! A small blocking client for `topkwire v1`.
+//!
+//! One request, one response, in order — the protocol allows pipelining
+//! (the server answers in request order) but this client keeps the simple
+//! lockstep shape the loadgen and the differential e2e suite want: every
+//! call's latency is one full round trip.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use topk_core::{Point, UpdateOp};
+
+use crate::wire::{
+    read_frame, status, write_frame, FrameError, Request, Response, StatsSnapshot, WireError,
+    MAX_FRAME_HARD,
+};
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (or a frame was truncated / oversized).
+    Io(io::Error),
+    /// The server's bytes did not decode as a `topkwire v1` response.
+    Wire(WireError),
+    /// The server answered with a non-OK status.
+    Status {
+        /// [`topk_core::TopKError::code`] (1..=99) or a
+        /// [`status`] transport code.
+        code: u16,
+        /// The server's diagnostic message.
+        message: String,
+    },
+    /// The response decoded but was not the kind this request expects.
+    UnexpectedResponse,
+}
+
+impl ClientError {
+    /// Whether retrying the same call may succeed
+    /// (admission/backpressure/snapshot statuses).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Status { code, .. } if status::is_retryable(*code))
+    }
+
+    /// The status code, when the failure was a server status.
+    pub fn status_code(&self) -> Option<u16> {
+        match self {
+            ClientError::Status { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O: {e}"),
+            ClientError::Wire(e) => write!(f, "client decode: {e}"),
+            ClientError::Status { code, message } => {
+                write!(f, "server status {code}: {message}")
+            }
+            ClientError::UnexpectedResponse => write!(f, "response kind does not match request"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::TooLarge { len, max } => ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response frame length {len} exceeds {max}"),
+            )),
+        }
+    }
+}
+
+/// One page of a server-side pagination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CursorPage {
+    /// The page, descending by score.
+    pub points: Vec<Point>,
+    /// Token to continue from — on this connection or any other.
+    pub token: String,
+    /// Whether the pagination is exhausted.
+    pub done: bool,
+}
+
+/// The result of one batch request ([`topk_core::BatchSummary`] over the
+/// wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Points inserted.
+    pub inserted: u64,
+    /// Points deleted.
+    pub deleted: u64,
+    /// Deletes that matched nothing.
+    pub missing_deletes: u64,
+}
+
+/// A blocking `topkwire v1` connection.
+pub struct TopkClient {
+    stream: TcpStream,
+}
+
+impl TopkClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<TopkClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TopkClient { stream })
+    }
+
+    /// Set (or clear) the read timeout on the underlying socket.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// One lockstep round trip.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream, MAX_FRAME_HARD)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            ))
+        })?;
+        let response = Response::decode(&payload).map_err(ClientError::Wire)?;
+        if let Response::Error { code, message } = response {
+            return Err(ClientError::Status { code, message });
+        }
+        Ok(response)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Eager top-`k` over `x ∈ [x1, x2]`, descending by score.
+    pub fn query(&mut self, x1: u64, x2: u64, k: u32) -> Result<Vec<Point>, ClientError> {
+        match self.call(&Request::Query { x1, x2, k })? {
+            Response::Points(points) => Ok(points),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Number of points with `x ∈ [x1, x2]`.
+    pub fn count(&mut self, x1: u64, x2: u64) -> Result<u64, ClientError> {
+        match self.call(&Request::Count { x1, x2 })? {
+            Response::Count(n) => Ok(n),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Insert one point. `Ok(())` means the write **committed** (the server
+    /// answers after the committer's batch applies, not at enqueue).
+    pub fn insert(&mut self, point: Point) -> Result<(), ClientError> {
+        match self.call(&Request::Insert { point })? {
+            Response::Inserted => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Delete one point (exact match); `Ok(found)` tells whether it was
+    /// present.
+    pub fn delete(&mut self, point: Point) -> Result<bool, ClientError> {
+        match self.call(&Request::Delete { point })? {
+            Response::Deleted(found) => Ok(found),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Apply a client-assembled atomic batch.
+    pub fn batch(&mut self, ops: Vec<UpdateOp>) -> Result<BatchResult, ClientError> {
+        match self.call(&Request::Batch { ops })? {
+            Response::Batch {
+                inserted,
+                deleted,
+                missing_deletes,
+            } => Ok(BatchResult {
+                inserted,
+                deleted,
+                missing_deletes,
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Open a pagination: first page plus the token to continue.
+    pub fn cursor_open(
+        &mut self,
+        x1: u64,
+        x2: u64,
+        k: u32,
+        page: u32,
+        strict: bool,
+    ) -> Result<CursorPage, ClientError> {
+        match self.call(&Request::CursorOpen {
+            x1,
+            x2,
+            k,
+            page,
+            strict,
+        })? {
+            Response::Page {
+                points,
+                token,
+                done,
+            } => Ok(CursorPage {
+                points,
+                token,
+                done,
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Fetch the next page from a token — minted by this connection or any
+    /// other (the server is stateless across pages).
+    pub fn cursor_next(&mut self, token: &str) -> Result<CursorPage, ClientError> {
+        match self.call(&Request::CursorNext {
+            token: token.to_string(),
+        })? {
+            Response::Page {
+                points,
+                token,
+                done,
+            } => Ok(CursorPage {
+                points,
+                token,
+                done,
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Snapshot of the server's serving counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The index as a service.
+//!
+//! Everything below `crates/server` turns the in-process [`topk_core::TopK`]
+//! facade into a network service speaking **`topkwire v1`** — a
+//! length-prefixed binary protocol (DESIGN.md §9) with hand-rolled
+//! little-endian field encoding and zero external dependencies:
+//!
+//! * [`wire`] — framing, the request/response codec, stable status codes.
+//!   The decoder is total: adversarial bytes produce typed errors, never
+//!   panics (held to by `tests/adversarial.rs` and the auditor's
+//!   `panic_path` deny set, which covers this crate).
+//! * [`queue`] — the bounded write queue and the committer thread that
+//!   drains it into coalesced [`topk_core::UpdateBatch`] commits; the
+//!   queue bound is the backpressure signal
+//!   ([`wire::status::OVERLOADED`]).
+//! * [`server`] — the thread-per-connection runtime with admission control
+//!   (connection cap, frame-size cap, in-flight cap) and drain-on-shutdown.
+//! * [`client`] — a small blocking client, used by the `topk-loadgen` bin
+//!   and the differential e2e suite.
+//!
+//! Pagination crosses the wire as [`topk_core::ResumeToken`] strings: the
+//! server holds no cursor state, so a token minted on one connection
+//! resumes on any other connection or process serving the same index.
+//!
+//! ```no_run
+//! use topk_server::{Server, ServerConfig, TopkClient};
+//!
+//! let server = Server::start(ServerConfig::default())?;
+//! let mut client = TopkClient::connect(server.local_addr())?;
+//! client.insert(topk_core::Point::new(7, 42))?;
+//! let top = client.query(0, 100, 1)?;
+//! assert_eq!(top, vec![topk_core::Point::new(7, 42)]);
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use client::{BatchResult, ClientError, CursorPage, TopkClient};
+pub use server::{Server, ServerConfig};
+pub use wire::{Request, Response, StatsSnapshot, WireError};

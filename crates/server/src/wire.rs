@@ -1,0 +1,1039 @@
+//! `topkwire v1` — the length-prefixed binary protocol.
+//!
+//! Framing: every message on the socket is one **frame**,
+//!
+//! ```text
+//! [len: u32 LE][payload: len bytes]
+//! ```
+//!
+//! and every payload starts with a 1-byte opcode (requests) or a 2-byte
+//! status plus a 1-byte tag (responses). Field encoding is hand-rolled
+//! little-endian — fixed-width integers, `u32`-length-prefixed UTF-8
+//! strings, `u32`-count-prefixed point lists — in the same no-new-deps
+//! spirit as the testkit's `.trace` codec. The full layout table lives in
+//! DESIGN.md §9; this module is its executable form.
+//!
+//! The decoder is **total**: any byte string either decodes or returns a
+//! typed [`WireError`] — it never panics, never reads past the payload, and
+//! rejects trailing garbage. The adversarial suite in
+//! `crates/server/tests/adversarial.rs` and the auditor's `panic_path` deny
+//! set (which covers this crate) hold it to that.
+//!
+//! Pagination is carried by [`topk_core::ResumeToken`] strings verbatim:
+//! the server keeps **no** cursor state, so a token minted by one
+//! connection resumes on any other connection — or process — holding the
+//! same index.
+
+use std::io::{self, Read, Write};
+
+use topk_core::{Point, TopKError, UpdateOp};
+
+/// Hard upper bound on a frame payload, independent of the server's
+/// configured (smaller) limit: a length prefix above this is a protocol
+/// violation, not a big request.
+pub const MAX_FRAME_HARD: u32 = 16 << 20;
+
+/// Decode-side cap on string fields (resume tokens, error messages).
+pub const MAX_STRING: usize = 64 << 10;
+
+/// Decode-side cap on the op count of one batch request.
+pub const MAX_BATCH_OPS: usize = 1 << 20;
+
+/// Stable status codes of the wire protocol. `0` is success; `1..=99` are
+/// reserved for [`TopKError::code`] (the index's own error contract);
+/// `100..` are transport / admission codes minted by the serving layer.
+pub mod status {
+    /// The request succeeded.
+    pub const OK: u16 = 0;
+    /// The payload did not decode (truncated, trailing bytes, bad UTF-8…).
+    pub const MALFORMED_FRAME: u16 = 100;
+    /// The opcode byte is not one this server knows.
+    pub const UNKNOWN_OPCODE: u16 = 101;
+    /// The frame length prefix exceeds the server's configured maximum.
+    /// Fatal per connection: framing cannot be trusted afterwards.
+    pub const FRAME_TOO_LARGE: u16 = 102;
+    /// The connection cap was reached; retry against a less loaded moment
+    /// (sent once on accept, then the connection closes).
+    pub const BUSY: u16 = 103;
+    /// The bounded write queue is full; the write was **not** applied.
+    /// Retryable — this is the backpressure signal.
+    pub const OVERLOADED: u16 = 104;
+    /// The server is draining for shutdown; the write was not applied.
+    pub const SHUTTING_DOWN: u16 = 105;
+    /// A cursor token string did not parse as a `topkcur1` resume token.
+    pub const BAD_TOKEN: u16 = 106;
+
+    /// Whether a non-OK status is worth retrying verbatim.
+    pub fn is_retryable(code: u16) -> bool {
+        code == BUSY || code == OVERLOADED || code == super::SNAPSHOT_INVALIDATED_CODE
+    }
+}
+
+/// [`TopKError::SnapshotInvalidated`]'s stable code, used by
+/// [`status::is_retryable`] without constructing a value.
+const SNAPSHOT_INVALIDATED_CODE: u16 = 6;
+
+/// Request opcodes (the first payload byte).
+pub mod opcode {
+    /// Liveness probe; answers [`super::Response::Pong`].
+    pub const PING: u8 = 0x01;
+    /// Eager top-k query.
+    pub const QUERY: u8 = 0x02;
+    /// Count of points in a coordinate range.
+    pub const COUNT: u8 = 0x03;
+    /// Insert one point (queued, committed in batches).
+    pub const INSERT: u8 = 0x04;
+    /// Delete one point (queued, committed in batches).
+    pub const DELETE: u8 = 0x05;
+    /// Apply a client-assembled atomic batch.
+    pub const BATCH: u8 = 0x06;
+    /// Open a pagination session: first page + resume token.
+    pub const CURSOR_OPEN: u8 = 0x07;
+    /// Fetch the next page from a resume token (stateless: this is also
+    /// "resume on a fresh connection").
+    pub const CURSOR_NEXT: u8 = 0x08;
+    /// Serving counters snapshot.
+    pub const STATS: u8 = 0x09;
+}
+
+/// Response tags (the byte after the status).
+mod tag {
+    pub const PONG: u8 = 0x01;
+    pub const POINTS: u8 = 0x02;
+    pub const COUNT: u8 = 0x03;
+    pub const INSERTED: u8 = 0x04;
+    pub const DELETED: u8 = 0x05;
+    pub const BATCH: u8 = 0x06;
+    pub const PAGE: u8 = 0x07;
+    pub const STATS: u8 = 0x08;
+    pub const ERROR: u8 = 0x09;
+}
+
+/// Everything that can be wrong with a payload, with enough context to log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a field was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// An unknown request opcode byte.
+    BadOpcode(u8),
+    /// An unknown response tag byte.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A length/count field exceeded its decode-side cap.
+    TooLong {
+        /// Which field.
+        what: &'static str,
+        /// The declared length.
+        len: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// Bytes remained after the message was fully decoded.
+    Trailing {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A response carried a non-OK status with a non-error tag (or vice
+    /// versa) — the peer does not speak this protocol.
+    BadStatus(u16),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { what } => write!(f, "payload truncated while decoding {what}"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::BadTag(t) => write!(f, "unknown response tag 0x{t:02x}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::TooLong { what, len, max } => {
+                write!(f, "{what} declares length {len}, above the cap of {max}")
+            }
+            WireError::Trailing { extra } => {
+                write!(f, "{extra} trailing byte(s) after a complete message")
+            }
+            WireError::BadStatus(code) => {
+                write!(f, "status {code} inconsistent with the response tag")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Primitive readers / writers
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked little-endian reader over one payload. Every accessor
+/// returns [`WireError::Truncated`] instead of slicing past the end.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated { what });
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        let bytes = self.take(1, what)?;
+        Ok(bytes.first().copied().unwrap_or_default())
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let bytes = self.take(2, what)?;
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(bytes);
+        Ok(u16::from_le_bytes(raw))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let bytes = self.take(4, what)?;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(bytes);
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let bytes = self.take(8, what)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn point(&mut self, what: &'static str) -> Result<Point, WireError> {
+        let x = self.u64(what)?;
+        let score = self.u64(what)?;
+        Ok(Point::new(x, score))
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        if len > MAX_STRING {
+            return Err(WireError::TooLong {
+                what,
+                len,
+                max: MAX_STRING,
+            });
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn points(&mut self, what: &'static str) -> Result<Vec<Point>, WireError> {
+        let count = self.u32(what)? as usize;
+        // 16 bytes per point: a count the remaining payload cannot hold is
+        // rejected before any allocation is sized by attacker data.
+        if count > self.buf.len() / 16 {
+            return Err(WireError::Truncated { what });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.point(what)?);
+        }
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Trailing {
+                extra: self.buf.len(),
+            })
+        }
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_point(buf: &mut Vec<u8>, p: Point) {
+    put_u64(buf, p.x);
+    put_u64(buf, p.score);
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_points(buf: &mut Vec<u8>, points: &[Point]) {
+    put_u32(buf, points.len() as u32);
+    for &p in points {
+        put_point(buf, p);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One client request — the wire form of the [`topk_core::TopK`] surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Top-`k` over `x ∈ [x1, x2]`, eager.
+    Query {
+        /// Lower end of the range.
+        x1: u64,
+        /// Upper end of the range.
+        x2: u64,
+        /// Number of results requested.
+        k: u32,
+    },
+    /// Number of points with `x ∈ [x1, x2]`.
+    Count {
+        /// Lower end of the range.
+        x1: u64,
+        /// Upper end of the range.
+        x2: u64,
+    },
+    /// Insert one point. Queued into the bounded write queue and committed
+    /// by the committer thread, batched with concurrent writes.
+    Insert {
+        /// The point to insert.
+        point: Point,
+    },
+    /// Delete one point (exact match), queued like [`Request::Insert`].
+    Delete {
+        /// The point to delete.
+        point: Point,
+    },
+    /// Apply these ops as one atomic [`topk_core::UpdateBatch`].
+    Batch {
+        /// The batch, in application order.
+        ops: Vec<UpdateOp>,
+    },
+    /// Open a pagination session: answers the first page plus a resume
+    /// token; `strict` pins a [`topk_core::Consistency::Strict`] snapshot.
+    CursorOpen {
+        /// Lower end of the range.
+        x1: u64,
+        /// Upper end of the range.
+        x2: u64,
+        /// Total number of results the pagination may emit.
+        k: u32,
+        /// Points per page.
+        page: u32,
+        /// Whether the session pins a strict snapshot.
+        strict: bool,
+    },
+    /// Fetch the next page from a resume token. The server is stateless
+    /// across pages, so this same request — on any connection — is also
+    /// "resume".
+    CursorNext {
+        /// The `topkcur1;…` token string from a previous page.
+        token: String,
+    },
+    /// Snapshot of the serving counters.
+    Stats,
+}
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            Request::Ping => buf.push(opcode::PING),
+            Request::Query { x1, x2, k } => {
+                buf.push(opcode::QUERY);
+                put_u64(&mut buf, *x1);
+                put_u64(&mut buf, *x2);
+                put_u32(&mut buf, *k);
+            }
+            Request::Count { x1, x2 } => {
+                buf.push(opcode::COUNT);
+                put_u64(&mut buf, *x1);
+                put_u64(&mut buf, *x2);
+            }
+            Request::Insert { point } => {
+                buf.push(opcode::INSERT);
+                put_point(&mut buf, *point);
+            }
+            Request::Delete { point } => {
+                buf.push(opcode::DELETE);
+                put_point(&mut buf, *point);
+            }
+            Request::Batch { ops } => {
+                buf.push(opcode::BATCH);
+                put_u32(&mut buf, ops.len() as u32);
+                for op in ops {
+                    match op {
+                        UpdateOp::Insert(p) => {
+                            buf.push(0);
+                            put_point(&mut buf, *p);
+                        }
+                        UpdateOp::Delete(p) => {
+                            buf.push(1);
+                            put_point(&mut buf, *p);
+                        }
+                    }
+                }
+            }
+            Request::CursorOpen {
+                x1,
+                x2,
+                k,
+                page,
+                strict,
+            } => {
+                buf.push(opcode::CURSOR_OPEN);
+                put_u64(&mut buf, *x1);
+                put_u64(&mut buf, *x2);
+                put_u32(&mut buf, *k);
+                put_u32(&mut buf, *page);
+                buf.push(u8::from(*strict));
+            }
+            Request::CursorNext { token } => {
+                buf.push(opcode::CURSOR_NEXT);
+                put_string(&mut buf, token);
+            }
+            Request::Stats => buf.push(opcode::STATS),
+        }
+        buf
+    }
+
+    /// Decode a frame payload; total — returns a typed error on any
+    /// malformed input.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(payload);
+        let op = r.u8("opcode")?;
+        let req = match op {
+            opcode::PING => Request::Ping,
+            opcode::QUERY => Request::Query {
+                x1: r.u64("query.x1")?,
+                x2: r.u64("query.x2")?,
+                k: r.u32("query.k")?,
+            },
+            opcode::COUNT => Request::Count {
+                x1: r.u64("count.x1")?,
+                x2: r.u64("count.x2")?,
+            },
+            opcode::INSERT => Request::Insert {
+                point: r.point("insert.point")?,
+            },
+            opcode::DELETE => Request::Delete {
+                point: r.point("delete.point")?,
+            },
+            opcode::BATCH => {
+                let count = r.u32("batch.count")? as usize;
+                if count > MAX_BATCH_OPS {
+                    return Err(WireError::TooLong {
+                        what: "batch.count",
+                        len: count,
+                        max: MAX_BATCH_OPS,
+                    });
+                }
+                let mut ops = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let kind = r.u8("batch.op.kind")?;
+                    let p = r.point("batch.op.point")?;
+                    match kind {
+                        0 => ops.push(UpdateOp::Insert(p)),
+                        1 => ops.push(UpdateOp::Delete(p)),
+                        other => return Err(WireError::BadOpcode(other)),
+                    }
+                }
+                Request::Batch { ops }
+            }
+            opcode::CURSOR_OPEN => Request::CursorOpen {
+                x1: r.u64("open.x1")?,
+                x2: r.u64("open.x2")?,
+                k: r.u32("open.k")?,
+                page: r.u32("open.page")?,
+                strict: r.u8("open.strict")? != 0,
+            },
+            opcode::CURSOR_NEXT => Request::CursorNext {
+                token: r.string("next.token")?,
+            },
+            opcode::STATS => Request::Stats,
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Snapshot of the serving counters ([`Request::Stats`]). All fields are
+/// monotone since server start; rates and mean commit batch size are
+/// derived client-side from deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted into a handler thread.
+    pub conns_accepted: u64,
+    /// Connections turned away with [`status::BUSY`].
+    pub conns_rejected: u64,
+    /// Frames decoded into requests.
+    pub frames: u64,
+    /// Read-plane requests served (query/count/cursor pages).
+    pub reads_served: u64,
+    /// Writes accepted into the bounded queue.
+    pub writes_enqueued: u64,
+    /// Writes refused with [`status::OVERLOADED`] (queue full).
+    pub writes_rejected: u64,
+    /// Commits the committer thread performed.
+    pub batches_committed: u64,
+    /// Writes those commits carried (mean batch = this / commits).
+    pub ops_committed: u64,
+    /// Largest single commit.
+    pub max_commit_batch: u64,
+}
+
+/// One server response. The payload layout is
+/// `[status: u16 LE][tag: u8][body]`; on any non-OK status the tag is the
+/// error tag and the body is a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Query`]: descending by score.
+    Points(Vec<Point>),
+    /// Answer to [`Request::Count`].
+    Count(u64),
+    /// Answer to [`Request::Insert`]: the point is committed.
+    Inserted,
+    /// Answer to [`Request::Delete`]: whether the exact point was present.
+    Deleted(bool),
+    /// Answer to [`Request::Batch`]: the [`topk_core::BatchSummary`] counts.
+    Batch {
+        /// Points inserted.
+        inserted: u64,
+        /// Points deleted.
+        deleted: u64,
+        /// Deletes that matched nothing.
+        missing_deletes: u64,
+    },
+    /// Answer to [`Request::CursorOpen`] / [`Request::CursorNext`]: one
+    /// page, the token to continue from, and whether the pagination is
+    /// exhausted.
+    Page {
+        /// The page, descending by score, strictly below the previous page.
+        points: Vec<Point>,
+        /// Resume token for the next page (valid on any connection).
+        token: String,
+        /// Whether the cursor is exhausted.
+        done: bool,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Any failure: a stable status code plus a diagnostic message.
+    Error {
+        /// [`TopKError::code`] (1..=99) or a [`status`] transport code.
+        code: u16,
+        /// Human-readable context; not part of the stable contract.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The wire form of an index error.
+    pub fn from_topk_error(e: &TopKError) -> Response {
+        Response::Error {
+            code: e.code(),
+            message: e.to_string(),
+        }
+    }
+
+    /// A transport error with a [`status`] code.
+    pub fn transport_error(code: u16, message: impl Into<String>) -> Response {
+        Response::Error {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            Response::Error { code, message } => {
+                put_u16(&mut buf, *code);
+                buf.push(tag::ERROR);
+                put_string(&mut buf, message);
+            }
+            ok => {
+                put_u16(&mut buf, status::OK);
+                match ok {
+                    Response::Pong => buf.push(tag::PONG),
+                    Response::Points(points) => {
+                        buf.push(tag::POINTS);
+                        put_points(&mut buf, points);
+                    }
+                    Response::Count(n) => {
+                        buf.push(tag::COUNT);
+                        put_u64(&mut buf, *n);
+                    }
+                    Response::Inserted => buf.push(tag::INSERTED),
+                    Response::Deleted(found) => {
+                        buf.push(tag::DELETED);
+                        buf.push(u8::from(*found));
+                    }
+                    Response::Batch {
+                        inserted,
+                        deleted,
+                        missing_deletes,
+                    } => {
+                        buf.push(tag::BATCH);
+                        put_u64(&mut buf, *inserted);
+                        put_u64(&mut buf, *deleted);
+                        put_u64(&mut buf, *missing_deletes);
+                    }
+                    Response::Page {
+                        points,
+                        token,
+                        done,
+                    } => {
+                        buf.push(tag::PAGE);
+                        put_points(&mut buf, points);
+                        put_string(&mut buf, token);
+                        buf.push(u8::from(*done));
+                    }
+                    Response::Stats(s) => {
+                        buf.push(tag::STATS);
+                        for v in [
+                            s.conns_accepted,
+                            s.conns_rejected,
+                            s.frames,
+                            s.reads_served,
+                            s.writes_enqueued,
+                            s.writes_rejected,
+                            s.batches_committed,
+                            s.ops_committed,
+                            s.max_commit_batch,
+                        ] {
+                            put_u64(&mut buf, v);
+                        }
+                    }
+                    Response::Error { .. } => {}
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decode a frame payload; total, like [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload);
+        let code = r.u16("status")?;
+        let t = r.u8("tag")?;
+        if t == tag::ERROR {
+            let message = r.string("error.message")?;
+            r.finish()?;
+            if code == status::OK {
+                return Err(WireError::BadStatus(code));
+            }
+            return Ok(Response::Error { code, message });
+        }
+        if code != status::OK {
+            return Err(WireError::BadStatus(code));
+        }
+        let resp = match t {
+            tag::PONG => Response::Pong,
+            tag::POINTS => Response::Points(r.points("points")?),
+            tag::COUNT => Response::Count(r.u64("count")?),
+            tag::INSERTED => Response::Inserted,
+            tag::DELETED => Response::Deleted(r.u8("deleted.found")? != 0),
+            tag::BATCH => Response::Batch {
+                inserted: r.u64("batch.inserted")?,
+                deleted: r.u64("batch.deleted")?,
+                missing_deletes: r.u64("batch.missing")?,
+            },
+            tag::PAGE => Response::Page {
+                points: r.points("page.points")?,
+                token: r.string("page.token")?,
+                done: r.u8("page.done")? != 0,
+            },
+            tag::STATS => Response::Stats(StatsSnapshot {
+                conns_accepted: r.u64("stats")?,
+                conns_rejected: r.u64("stats")?,
+                frames: r.u64("stats")?,
+                reads_served: r.u64("stats")?,
+                writes_enqueued: r.u64("stats")?,
+                writes_rejected: r.u64("stats")?,
+                batches_committed: r.u64("stats")?,
+                ops_committed: r.u64("stats")?,
+                max_commit_batch: r.u64("stats")?,
+            }),
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+/// Why reading a frame off a stream failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (including truncation mid-frame, which
+    /// surfaces as `UnexpectedEof`).
+    Io(io::Error),
+    /// The length prefix exceeds the caller's limit (or the protocol hard
+    /// cap). The stream is desynchronized; close the connection.
+    TooLarge {
+        /// The declared payload length.
+        len: u32,
+        /// The limit it exceeded.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the limit of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame: 4-byte LE length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream (the peer closed at
+/// a frame boundary); truncation inside a frame is an
+/// [`io::ErrorKind::UnexpectedEof`] error. `max` additionally bounds the
+/// accepted payload length below [`MAX_FRAME_HARD`].
+pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    // A clean EOF before the first header byte is a closed connection, not
+    // an error; anything shorter than 4 bytes afterwards is truncation.
+    let mut filled = 0usize;
+    while filled < header.len() {
+        let n = match header.get_mut(filled..) {
+            Some(rest) => r.read(rest)?,
+            None => 0,
+        };
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside a frame header",
+            )));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(header);
+    let cap = max.min(MAX_FRAME_HARD);
+    if len > cap {
+        return Err(FrameError::TooLarge { len, max: cap });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Query {
+                x1: 3,
+                x2: u64::MAX,
+                k: 17,
+            },
+            Request::Count { x1: 0, x2: 99 },
+            Request::Insert {
+                point: Point::new(7, 42),
+            },
+            Request::Delete {
+                point: Point::new(9, 1),
+            },
+            Request::Batch {
+                ops: vec![
+                    UpdateOp::Insert(Point::new(1, 2)),
+                    UpdateOp::Delete(Point::new(3, 4)),
+                ],
+            },
+            Request::CursorOpen {
+                x1: 5,
+                x2: 500,
+                k: 100,
+                page: 10,
+                strict: true,
+            },
+            Request::CursorNext {
+                token: "topkcur1;r=0-10;k=5;f=0;c=p;g=2;e=2;w=9-1;v=-".to_string(),
+            },
+            Request::Stats,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::Points(vec![Point::new(1, 9), Point::new(2, 8)]),
+            Response::Points(Vec::new()),
+            Response::Count(123456789),
+            Response::Inserted,
+            Response::Deleted(true),
+            Response::Deleted(false),
+            Response::Batch {
+                inserted: 3,
+                deleted: 1,
+                missing_deletes: 2,
+            },
+            Response::Page {
+                points: vec![Point::new(4, 400)],
+                token: "topkcur1;r=0-10;k=5;f=0;c=p;g=2;e=2;w=400-4;v=-".to_string(),
+                done: false,
+            },
+            Response::Stats(StatsSnapshot {
+                conns_accepted: 1,
+                conns_rejected: 2,
+                frames: 3,
+                reads_served: 4,
+                writes_enqueued: 5,
+                writes_rejected: 6,
+                batches_committed: 7,
+                ops_committed: 8,
+                max_commit_batch: 9,
+            }),
+            Response::Error {
+                code: status::OVERLOADED,
+                message: "write queue full".to_string(),
+            },
+            Response::from_topk_error(&TopKError::ZeroK),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in all_requests() {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes), Ok(req.clone()), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in all_responses() {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes), Ok(resp.clone()), "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_prefix_decodes_to_an_error_not_a_panic() {
+        for req in all_requests() {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                let prefix = bytes.get(..cut).unwrap_or_default();
+                assert!(
+                    Request::decode(prefix).is_err(),
+                    "{req:?} truncated to {cut} bytes must not decode"
+                );
+            }
+        }
+        for resp in all_responses() {
+            let bytes = resp.encode();
+            for cut in 0..bytes.len() {
+                let prefix = bytes.get(..cut).unwrap_or_default();
+                assert!(
+                    Response::decode(prefix).is_err(),
+                    "{resp:?} truncated to {cut} bytes must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        for req in all_requests() {
+            let mut bytes = req.encode();
+            bytes.push(0xAA);
+            assert_eq!(
+                Request::decode(&bytes),
+                Err(WireError::Trailing { extra: 1 }),
+                "{req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic_the_decoders() {
+        // Deterministic exhaustive single-bit corruption of every encoded
+        // message: decode must return Ok or Err, never panic, and on Ok the
+        // value must re-encode (the decoder stays total and canonical).
+        for req in all_requests() {
+            let bytes = req.encode();
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut corrupted = bytes.clone();
+                    if let Some(b) = corrupted.get_mut(i) {
+                        *b ^= 1 << bit;
+                    }
+                    if let Ok(decoded) = Request::decode(&corrupted) {
+                        let _ = decoded.encode();
+                    }
+                }
+            }
+        }
+        for resp in all_responses() {
+            let bytes = resp.encode();
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut corrupted = bytes.clone();
+                    if let Some(b) = corrupted.get_mut(i) {
+                        *b ^= 1 << bit;
+                    }
+                    if let Ok(decoded) = Response::decode(&corrupted) {
+                        let _ = decoded.encode();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_caps_are_enforced_before_allocation() {
+        // A batch declaring u32::MAX ops must be rejected by the cap, not
+        // by an OOM or a panic.
+        let mut huge = vec![opcode::BATCH];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&huge),
+            Err(WireError::TooLong {
+                what: "batch.count",
+                ..
+            })
+        ));
+        // A token declaring a length above MAX_STRING likewise.
+        let mut long_token = vec![opcode::CURSOR_NEXT];
+        long_token.extend_from_slice(&(MAX_STRING as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            Request::decode(&long_token),
+            Err(WireError::TooLong {
+                what: "next.token",
+                ..
+            })
+        ));
+        // A point list whose count exceeds what the payload can hold is
+        // truncation, detected before the Vec is sized.
+        let mut fake_points = Vec::new();
+        put_u16(&mut fake_points, status::OK);
+        fake_points.push(tag::POINTS);
+        put_u32(&mut fake_points, 1 << 30);
+        assert!(Response::decode(&fake_points).is_err());
+    }
+
+    #[test]
+    fn unknown_opcodes_and_tags_are_typed_errors() {
+        assert_eq!(Request::decode(&[0xFF]), Err(WireError::BadOpcode(0xFF)));
+        assert_eq!(
+            Request::decode(&[]),
+            Err(WireError::Truncated { what: "opcode" })
+        );
+        let mut resp = Vec::new();
+        put_u16(&mut resp, status::OK);
+        resp.push(0x7F);
+        assert_eq!(Response::decode(&resp), Err(WireError::BadTag(0x7F)));
+        // Non-OK status with a non-error tag is a protocol violation.
+        let mut bad = Vec::new();
+        put_u16(&mut bad, status::OVERLOADED);
+        bad.push(tag::PONG);
+        assert_eq!(
+            Response::decode(&bad),
+            Err(WireError::BadStatus(status::OVERLOADED))
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_the_length_cap() {
+        let payload = Request::Query { x1: 1, x2: 2, k: 3 }.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("vec write cannot fail");
+        let mut cursor = io::Cursor::new(buf.clone());
+        let read = read_frame(&mut cursor, 1024).expect("well-formed frame");
+        assert_eq!(read, Some(payload.clone()));
+        assert_eq!(
+            read_frame(&mut cursor, 1024).expect("clean EOF"),
+            None,
+            "stream end at a frame boundary is a clean close"
+        );
+        // A length prefix above the cap is TooLarge, before any read.
+        let mut oversized = (1_000_000u32).to_le_bytes().to_vec();
+        oversized.extend_from_slice(&[0; 8]);
+        let mut cursor = io::Cursor::new(oversized);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(FrameError::TooLarge {
+                len: 1_000_000,
+                max: 1024
+            })
+        ));
+        // Truncation inside the header or payload is UnexpectedEof.
+        let mut cursor = io::Cursor::new(vec![9u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(FrameError::Io(_))
+        ));
+        let mut truncated = buf;
+        truncated.pop();
+        let mut cursor = io::Cursor::new(truncated);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn retryability_table() {
+        assert!(status::is_retryable(status::BUSY));
+        assert!(status::is_retryable(status::OVERLOADED));
+        assert!(status::is_retryable(SNAPSHOT_INVALIDATED_CODE));
+        assert!(!status::is_retryable(status::MALFORMED_FRAME));
+        assert!(!status::is_retryable(TopKError::ZeroK.code()));
+    }
+}

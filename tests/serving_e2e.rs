@@ -1,0 +1,473 @@
+//! Differential end-to-end check of the serving layer: generated
+//! `topk_testkit` traces replayed through a **real** `topk-server` over
+//! localhost, every observable response compared against the [`NaiveTopK`]
+//! oracle — the served twin of `tests/trace_replay.rs`.
+//!
+//! The serving layer is stateless across cursor pages (the `ResumeToken`
+//! string *is* the session), which this suite leans on hard: every
+//! `CursorNext` is a resume, and the trace DSL's `CursorResume` op moves
+//! the pagination to a **fresh TCP connection** mid-flight — the
+//! acceptance-criterion shape (token minted on one connection, resumed on
+//! another).
+//!
+//! Cursor pages are validated against the same sequential spec the
+//! in-process replayer uses: each page is the current oracle state's
+//! points in range, strictly below the low-water mark, descending, capped
+//! at `min(page, k - emitted)`. Strict cursors may instead surface the
+//! stable `SnapshotInvalidated` code (6) — but only once a write has
+//! committed since their pin.
+
+use std::collections::{HashMap, HashSet};
+
+use baselines::NaiveTopK;
+use emsim::{Device, EmConfig};
+use topk_core::{Point, ResumeToken, UpdateOp};
+use topk_server::wire::status;
+use topk_server::{ClientError, CursorPage, Server, ServerConfig, TopkClient};
+use topk_testkit::{generate, BatchItem, OpMix, TraceOp, TraceSpec};
+use workload::PointDistribution;
+
+const SNAPSHOT_INVALIDATED: u16 = 6;
+
+/// The served twin of the replayer's `SpecCursor`, plus the wire state: the
+/// token to continue from and the connection the pagination currently rides.
+struct ServedCursor {
+    x1: u64,
+    x2: u64,
+    k: usize,
+    page: usize,
+    strict: bool,
+    emitted: usize,
+    low_water: Option<u64>,
+    token: String,
+    /// Whether any write committed since the strict pin (set at open).
+    dirty: bool,
+    /// The connection this pagination currently uses; `CursorResume`
+    /// replaces it with a fresh one.
+    conn: TopkClient,
+}
+
+struct ServedReplayer {
+    addr: std::net::SocketAddr,
+    main: TopkClient,
+    spec: NaiveTopK,
+    _spec_device: Device,
+    /// Live points by coordinate (the validity model, as in the replayer).
+    live: HashMap<u64, Point>,
+    scores: HashSet<u64>,
+    cursors: HashMap<u32, ServedCursor>,
+    checked: usize,
+}
+
+impl ServedReplayer {
+    fn new(addr: std::net::SocketAddr) -> Self {
+        let spec_device = Device::new(EmConfig::new(256, 256 * 128));
+        let spec = NaiveTopK::new(&spec_device, "served-spec");
+        Self {
+            addr,
+            main: TopkClient::connect(addr).expect("main connection"),
+            spec,
+            _spec_device: spec_device,
+            live: HashMap::new(),
+            scores: HashSet::new(),
+            cursors: HashMap::new(),
+            checked: 0,
+        }
+    }
+
+    /// A committed write dirties every open strict pin.
+    fn mark_dirty(&mut self) {
+        for cur in self.cursors.values_mut() {
+            cur.dirty = true;
+        }
+    }
+
+    fn valid_insert(&self, p: Point) -> bool {
+        !self.live.contains_key(&p.x) && !self.scores.contains(&p.score)
+    }
+
+    fn apply_insert(&mut self, p: Point) {
+        self.live.insert(p.x, p);
+        self.scores.insert(p.score);
+        self.spec.insert(p).expect("spec accepts a valid insert");
+    }
+
+    fn apply_delete(&mut self, p: Point) -> bool {
+        if self.live.get(&p.x) == Some(&p) {
+            self.live.remove(&p.x);
+            self.scores.remove(&p.score);
+            assert!(self.spec.delete(p).expect("spec delete"), "model desync");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The spec's next page for a cursor (replayer semantics verbatim).
+    fn spec_next_page(&self, cur: &ServedCursor) -> Vec<Point> {
+        let need = cur.page.min(cur.k.saturating_sub(cur.emitted));
+        let total = self
+            .spec
+            .count_in_range(cur.x1, cur.x2)
+            .expect("spec count") as usize;
+        if total == 0 || need == 0 {
+            return Vec::new();
+        }
+        let all = self.spec.query(cur.x1, cur.x2, total).expect("spec query");
+        all.into_iter()
+            .filter(|p| match cur.low_water {
+                None => true,
+                Some(mark) => p.score < mark,
+            })
+            .take(need)
+            .collect()
+    }
+
+    /// Account one fetched page into the cursor's spec state.
+    fn absorb_page(cur: &mut ServedCursor, page: &CursorPage) {
+        cur.emitted += page.points.len();
+        if let Some(last) = page.points.last() {
+            cur.low_water = Some(last.score);
+        }
+        cur.token = page.token.clone();
+        // A strict pin starts clean at each successful round.
+        cur.dirty = false;
+    }
+
+    fn step(&mut self, step: usize, op: &TraceOp) {
+        match op {
+            TraceOp::Insert(p) => {
+                if self.valid_insert(*p) {
+                    self.main
+                        .insert(*p)
+                        .unwrap_or_else(|e| panic!("step {step}: served insert {p:?}: {e}"));
+                    self.apply_insert(*p);
+                    self.mark_dirty();
+                } else {
+                    let err = self
+                        .main
+                        .insert(*p)
+                        .expect_err("server must reject a colliding insert");
+                    let code = err.status_code().unwrap_or(0);
+                    assert!(
+                        code == 1 || code == 2,
+                        "step {step}: colliding insert {p:?} answered code {code}"
+                    );
+                }
+            }
+            TraceOp::Delete(p) => {
+                let expect = self.apply_delete(*p);
+                let got = self
+                    .main
+                    .delete(*p)
+                    .unwrap_or_else(|e| panic!("step {step}: served delete {p:?}: {e}"));
+                assert_eq!(got, expect, "step {step}: delete {p:?} presence diverged");
+                if expect {
+                    self.mark_dirty();
+                }
+            }
+            TraceOp::Batch(items) => {
+                // Validity model first (the generator only emits applicable
+                // batches, but mirror the replayer's pre-filter anyway).
+                let mut inserted = 0u64;
+                let mut deleted = 0u64;
+                let mut missing = 0u64;
+                let mut valid = true;
+                {
+                    let mut xs: HashSet<u64> = HashSet::new();
+                    let mut ss: HashSet<u64> = HashSet::new();
+                    for item in items {
+                        match item {
+                            BatchItem::Insert(p) => {
+                                if !self.valid_insert(*p) || !xs.insert(p.x) || !ss.insert(p.score)
+                                {
+                                    valid = false;
+                                }
+                            }
+                            BatchItem::Delete(_) => {}
+                        }
+                    }
+                }
+                if !valid {
+                    // Not generated today; skip rather than modeling the
+                    // engine's atomic-reject order.
+                    return;
+                }
+                let ops: Vec<UpdateOp> = items
+                    .iter()
+                    .map(|item| match item {
+                        BatchItem::Insert(p) => UpdateOp::Insert(*p),
+                        BatchItem::Delete(p) => UpdateOp::Delete(*p),
+                    })
+                    .collect();
+                for item in items {
+                    match item {
+                        BatchItem::Insert(p) => {
+                            self.apply_insert(*p);
+                            inserted += 1;
+                        }
+                        BatchItem::Delete(p) => {
+                            if self.apply_delete(*p) {
+                                deleted += 1;
+                            } else {
+                                missing += 1;
+                            }
+                        }
+                    }
+                }
+                let got = self
+                    .main
+                    .batch(ops)
+                    .unwrap_or_else(|e| panic!("step {step}: served batch: {e}"));
+                assert_eq!(
+                    (got.inserted, got.deleted, got.missing_deletes),
+                    (inserted, deleted, missing),
+                    "step {step}: batch summary diverged"
+                );
+                self.mark_dirty();
+            }
+            TraceOp::Query { x1, x2, k } => {
+                if *x1 > *x2 || *k == 0 {
+                    return;
+                }
+                let expect = self.spec.query(*x1, *x2, *k).expect("spec query");
+                let got = self
+                    .main
+                    .query(*x1, *x2, *k as u32)
+                    .unwrap_or_else(|e| panic!("step {step}: served query: {e}"));
+                assert_eq!(got, expect, "step {step}: query [{x1}, {x2}] top-{k}");
+                let count = self
+                    .main
+                    .count(*x1, *x2)
+                    .unwrap_or_else(|e| panic!("step {step}: served count: {e}"));
+                assert_eq!(
+                    count,
+                    self.spec.count_in_range(*x1, *x2).expect("spec count"),
+                    "step {step}: count [{x1}, {x2}]"
+                );
+                self.checked += 1;
+            }
+            TraceOp::CursorOpen {
+                id,
+                x1,
+                x2,
+                k,
+                page,
+                strict,
+            } => {
+                if *x1 > *x2 || *k == 0 || *page == 0 {
+                    return;
+                }
+                let mut conn = TopkClient::connect(self.addr).expect("cursor connection");
+                let first = conn
+                    .cursor_open(*x1, *x2, *k as u32, *page as u32, *strict)
+                    .unwrap_or_else(|e| panic!("step {step}: cursor {id} open: {e}"));
+                let mut cur = ServedCursor {
+                    x1: *x1,
+                    x2: *x2,
+                    k: *k,
+                    page: *page,
+                    strict: *strict,
+                    emitted: 0,
+                    low_water: None,
+                    token: String::new(),
+                    dirty: false,
+                    conn,
+                };
+                let expect = self.spec_next_page(&cur);
+                assert_eq!(
+                    first.points, expect,
+                    "step {step}: cursor {id} first page diverged"
+                );
+                Self::absorb_page(&mut cur, &first);
+                self.cursors.insert(*id, cur);
+                self.checked += 1;
+            }
+            TraceOp::CursorNext { id } => {
+                let Some(mut cur) = self.cursors.remove(id) else {
+                    return;
+                };
+                let result = cur.conn.cursor_next(&cur.token);
+                match result {
+                    Ok(page) => {
+                        let expect = self.spec_next_page(&cur);
+                        assert_eq!(
+                            page.points, expect,
+                            "step {step}: cursor {id} page diverged (emitted {})",
+                            cur.emitted
+                        );
+                        Self::absorb_page(&mut cur, &page);
+                        self.checked += 1;
+                        self.cursors.insert(*id, cur);
+                    }
+                    Err(ClientError::Status { code, .. })
+                        if code == SNAPSHOT_INVALIDATED && cur.strict =>
+                    {
+                        // Legal only when a write committed since the pin;
+                        // the cursor is fused afterwards.
+                        assert!(
+                            cur.dirty,
+                            "step {step}: cursor {id} invalidated with no write since its pin"
+                        );
+                        self.checked += 1;
+                    }
+                    Err(e) => panic!("step {step}: cursor {id} next: {e}"),
+                }
+            }
+            TraceOp::CursorResume { id } => {
+                let Some(mut cur) = self.cursors.remove(id) else {
+                    return;
+                };
+                // The wire token is the whole session: parse it back as a
+                // core ResumeToken (round-trip check) and continue the
+                // pagination on a *fresh* connection.
+                let parsed: ResumeToken = cur
+                    .token
+                    .parse()
+                    .unwrap_or_else(|e| panic!("step {step}: cursor {id} token parse: {e}"));
+                assert_eq!(
+                    parsed.to_string(),
+                    cur.token,
+                    "step {step}: cursor {id} token did not round-trip"
+                );
+                assert_eq!(
+                    parsed.emitted(),
+                    cur.emitted,
+                    "step {step}: cursor {id} token emitted count diverged"
+                );
+                cur.conn = TopkClient::connect(self.addr).expect("fresh resume connection");
+                self.cursors.insert(*id, cur);
+            }
+            TraceOp::RebalanceHint => {}
+        }
+    }
+
+    /// Full-state agreement: total count and the complete ranking.
+    fn deep_check(&mut self, step: usize) {
+        let count = self
+            .main
+            .count(0, u64::MAX)
+            .unwrap_or_else(|e| panic!("step {step}: deep count: {e}"));
+        assert_eq!(
+            count,
+            self.live.len() as u64,
+            "step {step}: total count diverged"
+        );
+        if !self.live.is_empty() {
+            let k = self.live.len();
+            let expect = self.spec.query(0, u64::MAX, k).expect("spec full ranking");
+            let got = self
+                .main
+                .query(0, u64::MAX, k as u32)
+                .unwrap_or_else(|e| panic!("step {step}: deep query: {e}"));
+            assert_eq!(got, expect, "step {step}: full ranking diverged");
+        }
+    }
+}
+
+fn replay_served(spec: TraceSpec, what: &str) {
+    let trace = generate(&spec);
+    let server = Server::start(ServerConfig {
+        expected_n: (spec.preload + spec.ops).max(1024),
+        ..ServerConfig::default()
+    })
+    .expect("e2e server starts");
+    let mut replayer = ServedReplayer::new(server.local_addr());
+    for (step, op) in trace.ops.iter().enumerate() {
+        replayer.step(step, op);
+        if step % 64 == 63 {
+            replayer.deep_check(step);
+        }
+    }
+    replayer.deep_check(trace.ops.len());
+    assert!(
+        replayer.checked > 20,
+        "{what}: only {} answers were actually compared — the trace mix is \
+         not exercising the read plane",
+        replayer.checked
+    );
+    server.shutdown();
+}
+
+#[test]
+fn served_replay_matches_oracle_uniform_serving_mix() {
+    replay_served(
+        TraceSpec::new(PointDistribution::Uniform, 0xE2E_0001),
+        "uniform/serving",
+    );
+}
+
+#[test]
+fn served_replay_matches_oracle_clustered_cursor_heavy() {
+    let mut spec = TraceSpec::new(PointDistribution::Clustered, 0xE2E_0002);
+    spec.mix = OpMix::cursor_heavy();
+    replay_served(spec, "clustered/cursor-heavy");
+}
+
+#[test]
+fn served_replay_matches_oracle_sorted_delete_heavy() {
+    let mut spec = TraceSpec::new(PointDistribution::SortedInsertions, 0xE2E_0003);
+    spec.mix = OpMix::delete_heavy();
+    replay_served(spec, "sorted/delete-heavy");
+}
+
+/// The acceptance-criterion shape, deterministically: a pagination opened on
+/// connection A, its token carried to a fresh connection B (A is dropped
+/// entirely), and the concatenation of all pages equals the oracle's full
+/// answer. Also proves the server holds no per-connection cursor state.
+#[test]
+fn token_minted_on_one_connection_resumes_on_a_fresh_connection() {
+    let server = Server::start(ServerConfig {
+        expected_n: 4096,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let spec_device = Device::new(EmConfig::new(256, 256 * 128));
+    let spec = NaiveTopK::new(&spec_device, "resume-spec");
+    let mut seeder = TopkClient::connect(server.local_addr()).expect("seeder");
+    let points = workload::PointGen::uniform(0xC0FFEE).generate(500);
+    for chunk in points.chunks(128) {
+        let ops: Vec<UpdateOp> = chunk.iter().map(|&p| UpdateOp::Insert(p)).collect();
+        seeder.batch(ops).expect("seed batch");
+    }
+    spec.bulk_build(&points).expect("spec bulk build");
+
+    let k = 120;
+    let page = 16;
+    let mut got: Vec<Point> = Vec::new();
+
+    // Connection A: open, take two pages.
+    let token_from_a = {
+        let mut a = TopkClient::connect(server.local_addr()).expect("conn A");
+        let first = a.cursor_open(0, u64::MAX, k, page, false).expect("open");
+        got.extend_from_slice(&first.points);
+        let second = a.cursor_next(&first.token).expect("page 2");
+        got.extend_from_slice(&second.points);
+        second.token
+    }; // A dropped — nothing about the pagination survives server-side.
+
+    // Connection B: resume from the bare token string and drain.
+    let mut b = TopkClient::connect(server.local_addr()).expect("conn B");
+    let mut token = token_from_a;
+    loop {
+        let next = b.cursor_next(&token).expect("resumed page");
+        got.extend_from_slice(&next.points);
+        token = next.token;
+        if next.done || next.points.is_empty() {
+            break;
+        }
+    }
+
+    let expect = spec.query(0, u64::MAX, k as usize).expect("oracle answer");
+    assert_eq!(
+        got, expect,
+        "pages collected across two connections must equal the oracle's top-{k}"
+    );
+
+    // A garbage token is a typed BAD_TOKEN status, not a hang or a panic.
+    let err = b
+        .cursor_next("topkcur1;not-a-token")
+        .expect_err("garbage token must be rejected");
+    assert_eq!(err.status_code(), Some(status::BAD_TOKEN), "{err}");
+    server.shutdown();
+}
