@@ -21,7 +21,7 @@ impl BlockFile {
     fn alloc(&self, _n: u8) {}
 }
 
-// Rule A: the pool mutex (rank 7) is held while a shard lock (rank 3) is
+// Rule A: the pool mutex (rank 8) is held while a shard lock (rank 3) is
 // acquired — the reverse of the declared order.
 fn out_of_order(dev: &Dev, shard: &Shard) {
     let pool = dev.pool.lock().unwrap();
@@ -54,7 +54,7 @@ struct PoolShardCell {
     pool_shard: Mutex<u8>,
 }
 
-// Rule A: a pool-shard mutex (rank 6) is held while the registry (rank 4)
+// Rule A: a pool-shard mutex (rank 7) is held while the registry (rank 4)
 // is acquired — emsim-internal locks sit below every structure lock.
 fn pool_shard_out_of_order(cell: &PoolShardCell, g: &Reg) {
     let pool_shard = cell.pool_shard.lock().unwrap();
@@ -67,6 +67,27 @@ fn pool_shard_io_while_held(cell: &PoolShardCell, file: &BlockFile) {
     let pool_shard = cell.pool_shard.lock().unwrap();
     file.alloc(3);
     drop(pool_shard);
+}
+
+struct Journal {
+    wal: Mutex<u8>,
+}
+
+// Rule A: the WAL mutex (rank 6) is held while the registry (rank 4) is
+// acquired — the journal sits below every structure lock.
+fn wal_out_of_order(j: &Journal, g: &Reg) {
+    let wal = j.wal.lock().unwrap();
+    let _scores = g.scores.lock().unwrap();
+    drop(wal);
+}
+
+// Rule B: a raw file verb invoked while the WAL mutex is held — only the
+// log writer's own page-record append may do this, and it carries the one
+// sanctioned pragma.
+fn io_under_wal(j: &Journal, f: &std::fs::File) {
+    let wal = j.wal.lock().unwrap();
+    f.sync_all().ok();
+    drop(wal);
 }
 
 struct ConnReg {

@@ -184,6 +184,12 @@ fn lex_string(b: &[char], start: usize, mut line: u32) -> (Tok, usize, u32) {
     while i < n {
         match b[i] {
             '\\' if i + 1 < n => {
+                // A `\` line continuation escapes the newline itself — it
+                // still ends a source line, or every later token's line (and
+                // with it pragma targeting) drifts by one.
+                if b[i + 1] == '\n' {
+                    line += 1;
+                }
                 text.push(b[i + 1]);
                 i += 2;
             }
@@ -467,6 +473,14 @@ fn f<'a>(x: &'a str) -> char {
             .iter()
             .any(|t| t.kind == TokKind::Char && t.text == "q"));
         assert!(!toks.iter().any(|t| t.is_ident("nested")));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_as_a_line() {
+        let src = "let s = \"first \\\n    second\";\nafter();\n";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3, "line continuation must not desync lines");
     }
 
     #[test]

@@ -10,12 +10,13 @@
 //! | 3    | shard      | `index`, `inner`       | allowed (write path)    |
 //! | 4    | registry   | `scores`               | allowed (batch commit)  |
 //! | 5    | routercell | `router_stripe`        | allowed (publish)       |
-//! | 6    | poolshard  | `pool_shard`           | forbidden               |
-//! | 7    | pool       | `pool`                 | forbidden               |
-//! | 8    | dir        | `files`                | forbidden               |
-//! | 9    | slab       | `slots`                | forbidden               |
-//! | 10   | page       | `slot`, `s`            | forbidden               |
-//! | 11   | freelist   | `free_list`            | forbidden               |
+//! | 6    | wal        | `wal`                  | forbidden (log writer excepted via pragma) |
+//! | 7    | poolshard  | `pool_shard`           | forbidden               |
+//! | 8    | pool       | `pool`                 | forbidden               |
+//! | 9    | dir        | `files`                | forbidden               |
+//! | 10   | slab       | `slots`                | forbidden               |
+//! | 11   | page       | `slot`, `s`            | forbidden               |
+//! | 12   | freelist   | `free_list`            | forbidden               |
 //!
 //! **Rule A (ordering):** while a guard of rank `r` is live, acquiring a lock
 //! of rank `< r` is flagged; so is re-acquiring a class that does not permit
@@ -23,12 +24,15 @@
 //! convention of the batch/rebalance paths).
 //!
 //! **Rule B (no I/O while held):** while a guard of an emsim-internal class
-//! (pool and below) is live, any call into a device I/O entry point
+//! (wal and below) is live, any call into a device I/O entry point
 //! (`with`, `with_mut`, `alloc`, `free`, `record_*`, `open_file`,
-//! `drop_cache`) or a rebuild/rebalance entry point (`rebuild*`,
-//! `bulk_build*`, `bulk_load*`, `rebalance*`) is flagged: the callee will
-//! take the pool mutex (and possibly page locks) again, which is a
-//! self-deadlock with std's non-reentrant locks.
+//! `drop_cache`), a raw file verb of the durable backend (`write_all_at`,
+//! `read_exact_at`, `sync_all`, `sync_data`, `set_len`) or a
+//! rebuild/rebalance entry point (`rebuild*`, `bulk_build*`, `bulk_load*`,
+//! `rebalance*`) is flagged: the callee either re-takes the pool mutex
+//! (self-deadlock with std's non-reentrant locks) or parks every writer
+//! behind a disk round trip. The WAL log writer's own page-record append
+//! is the single sanctioned exception, via pragma.
 //!
 //! The analysis is intra-procedural and lexical. A guard counts as *held*
 //! when it is `let`-bound (including `let guards = ….collect();` vectors of
@@ -104,48 +108,62 @@ const TABLE: &[LockClass] = &[
         same_ok: false,
         io_forbidden: false,
     },
+    // The write-ahead-log mutex of the durable backend (`FileBackend.wal`,
+    // `DurableStore.wal`). Rule B: no device I/O while it is held — the
+    // journal layers above it copy their plans out and do their `BlockFile`
+    // traffic with the guard released. The single exception is the log
+    // writer itself (the page-record append in `FileBackend::put_page`),
+    // sanctioned via pragma. Sits above the emsim pool locks: the backend
+    // is entered from write-through with no pool guard live.
+    LockClass {
+        name: "wal",
+        rank: 6,
+        receivers: &["wal"],
+        same_ok: false,
+        io_forbidden: true,
+    },
     // One shard of the emsim buffer pool (a CLOCK ring behind a mutex).
     // Address-hashed: every logical access locks exactly one shard, and no
     // code path may hold two (same_ok stays false) or re-enter the device
     // while one is held.
     LockClass {
         name: "poolshard",
-        rank: 6,
+        rank: 7,
         receivers: &["pool_shard"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "pool",
-        rank: 7,
+        rank: 8,
         receivers: &["pool"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "dir",
-        rank: 8,
+        rank: 9,
         receivers: &["files"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "slab",
-        rank: 9,
+        rank: 10,
         receivers: &["slots"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "page",
-        rank: 10,
+        rank: 11,
         receivers: &["slot", "s"],
         same_ok: false,
         io_forbidden: true,
     },
     LockClass {
         name: "freelist",
-        rank: 11,
+        rank: 12,
         receivers: &["free_list"],
         same_ok: false,
         io_forbidden: true,
@@ -165,6 +183,14 @@ const IO_ENTRIES: &[&str] = &[
     "record_free",
     "open_file",
     "drop_cache",
+    // Raw file verbs of the durable backend: physical I/O under the wal
+    // mutex (or any pool lock) blocks every writer behind a disk round
+    // trip — only the log writer's own append is sanctioned, via pragma.
+    "write_all_at",
+    "read_exact_at",
+    "sync_all",
+    "sync_data",
+    "set_len",
 ];
 
 /// Rebuild / rebalance entry-point name prefixes.

@@ -31,11 +31,12 @@ fn of_pass(findings: &[Finding], pass: Pass) -> Vec<&Finding> {
 fn lock_order_fires_on_bad_fixture() {
     let findings = audit("crates/core/src/fixture.rs", LOCK_BAD);
     let hits = of_pass(&findings, Pass::LockOrder);
-    // Rule A five times (out-of-order, same-class registry, pool-shard
-    // inversion, connreg inversion, connreg same-class) and Rule B three
-    // times (I/O + rebuild entry while a forbidden-class guard is live, I/O
-    // under a pool-shard guard).
-    assert_eq!(hits.len(), 8, "findings: {findings:?}");
+    // Rule A six times (out-of-order, same-class registry, pool-shard
+    // inversion, wal inversion, connreg inversion, connreg same-class) and
+    // Rule B four times (I/O + rebuild entry while a forbidden-class guard
+    // is live, I/O under a pool-shard guard, a raw file verb under the WAL
+    // mutex).
+    assert_eq!(hits.len(), 10, "findings: {findings:?}");
     assert!(hits.iter().any(|f| f.message.contains("acquires `shard`")));
     assert!(hits
         .iter()
@@ -51,6 +52,12 @@ fn lock_order_fires_on_bad_fixture() {
         .iter()
         .any(|f| f.message.contains("`poolshard` guard `pool_shard`")
             && f.message.contains("`alloc()`")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("acquires `registry`") && f.message.contains("`wal` guard")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("`sync_all()`") && f.message.contains("`wal` guard")));
     assert!(hits.iter().any(|f| f.message.contains("same-class")));
     assert!(hits.iter().any(|f| f.message.contains("`alloc()`")));
     assert!(hits

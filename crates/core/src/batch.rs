@@ -222,6 +222,7 @@ pub(crate) fn apply_to(index: &TopKIndex, batch: &UpdateBatch) -> Result<BatchSu
             }
             let points: Vec<Point> = live.into_values().collect();
             index.rebuild_unvalidated(&points);
+            index.durable_commit()?;
             return Ok(summary);
         }
     }
@@ -246,6 +247,8 @@ pub(crate) fn apply_to(index: &TopKIndex, batch: &UpdateBatch) -> Result<BatchSu
     }
     debug_assert_eq!(applied, summary, "validation must predict application");
     index.maybe_rebuild();
+    index.maybe_compact_journal();
+    index.durable_commit()?;
     Ok(summary)
 }
 

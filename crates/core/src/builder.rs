@@ -7,9 +7,10 @@
 //! shape (`expected_n`, `small_k`, `crossover_l`), and engine resolution,
 //! with validation at `build()` time instead of panics later.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use emsim::{Device, EmConfig};
+use emsim::{BackendKind, Device, EmConfig};
 
 use crate::concurrent::ConcurrentTopK;
 use crate::config::{SmallKEngine, TopKConfig};
@@ -39,6 +40,8 @@ pub struct IndexBuilder {
     block_words: usize,
     pool_bytes: usize,
     shards: Option<usize>,
+    durable_dir: Option<PathBuf>,
+    backend: Option<BackendKind>,
     config: TopKConfig,
 }
 
@@ -57,6 +60,8 @@ impl IndexBuilder {
             block_words: 512,
             pool_bytes: 16 << 20,
             shards: None,
+            durable_dir: None,
+            backend: None,
             config: TopKConfig::default(),
         }
     }
@@ -78,6 +83,28 @@ impl IndexBuilder {
     /// Overrides [`IndexBuilder::block_words`] / [`IndexBuilder::pool_bytes`].
     pub fn device(mut self, device: &Device) -> Self {
         self.device = Some(device.clone());
+        self
+    }
+
+    /// Make the index **durable**: its device is opened on `dir` with a
+    /// file-backed write-ahead backend, every committed operation is
+    /// journalled, and `build*()` replays the journal — reopening the same
+    /// directory recovers the index to its last committed stamp (DESIGN.md
+    /// §10). Mutually exclusive with [`IndexBuilder::device`]; durable
+    /// indexes serialize writers, so [`IndexBuilder::build_sharded`] (and
+    /// `shards > 1`) is rejected.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Which storage backend a [`IndexBuilder::durable`] device uses:
+    /// [`BackendKind::File`] (default — synchronous pread/pwrite) or
+    /// [`BackendKind::ThreadPool`] (the same file backend behind a
+    /// completion-model worker pool). Setting a durable kind without
+    /// [`IndexBuilder::durable`] is rejected at build time.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = Some(kind);
         self
     }
 
@@ -128,6 +155,9 @@ impl IndexBuilder {
             });
         }
         let (device, config) = self.resolve()?;
+        if device.is_durable() {
+            return TopKIndex::open_durable(&device, config);
+        }
         Ok(TopKIndex::new(&device, config))
     }
 
@@ -160,6 +190,12 @@ impl IndexBuilder {
             None => default_shards(self.config.expected_n),
         };
         let (device, config) = self.resolve()?;
+        if device.is_durable() {
+            return Err(TopKError::InvalidConfig {
+                what: "durable indexes serialize writers through one journal: \
+                       the sharded topology is not supported (drop durable() or shards)",
+            });
+        }
         Ok(ShardedTopK::new(&device, config, shards))
     }
 
@@ -175,6 +211,26 @@ impl IndexBuilder {
     ///
     /// [`TopKError::InvalidConfig`] naming the offending parameter.
     pub fn build_auto(mut self) -> Result<TopK> {
+        // A durable index journals through one serialized write path, so the
+        // only safe concurrent topology is the coarse write lock.
+        if self.durable_dir.is_some() || self.device.as_ref().is_some_and(Device::is_durable) {
+            match self.shards {
+                Some(0) => {
+                    return Err(TopKError::InvalidConfig {
+                        what: "shards must be at least 1",
+                    })
+                }
+                Some(s) if s > 1 => {
+                    return Err(TopKError::InvalidConfig {
+                        what: "durable indexes serialize writers through one journal: \
+                               the sharded topology is not supported (drop durable() or shards)",
+                    });
+                }
+                _ => {}
+            }
+            self.shards = None;
+            return Ok(TopK::Concurrent(Arc::new(self.build_concurrent()?)));
+        }
         let chosen = match self.shards {
             Some(0) => {
                 return Err(TopKError::InvalidConfig {
@@ -212,9 +268,15 @@ impl IndexBuilder {
                 what: "expected_n must be at least 1",
             });
         }
-        let device = match self.device {
-            Some(device) => device,
-            None => {
+        let device = match (self.device, self.durable_dir) {
+            (Some(_), Some(_)) => {
+                return Err(TopKError::InvalidConfig {
+                    what: "device and durable are mutually exclusive: a durable \
+                           device is opened from its directory",
+                });
+            }
+            (Some(device), None) => device,
+            (None, dir) => {
                 if self.block_words < EmConfig::MIN_BLOCK_WORDS {
                     return Err(TopKError::InvalidConfig {
                         what: "block_words below the model minimum of 8",
@@ -226,7 +288,30 @@ impl IndexBuilder {
                         what: "pool_bytes must hold at least two blocks",
                     });
                 }
-                Device::new(EmConfig::new(self.block_words, mem_words))
+                let em = EmConfig::new(self.block_words, mem_words);
+                match dir {
+                    Some(dir) => {
+                        let kind = self.backend.unwrap_or(BackendKind::File);
+                        if matches!(kind, BackendKind::Ram) {
+                            return Err(TopKError::InvalidConfig {
+                                what: "backend(Ram) contradicts durable(dir): \
+                                       pick File or ThreadPool, or drop durable()",
+                            });
+                        }
+                        Device::open(em.backend(kind), &dir).map_err(|e| TopKError::Storage {
+                            what: e.to_string(),
+                        })?
+                    }
+                    None => {
+                        if self.backend.is_some_and(|k| !matches!(k, BackendKind::Ram)) {
+                            return Err(TopKError::InvalidConfig {
+                                what: "backend File/ThreadPool requires durable(dir): \
+                                       a file-backed device needs a directory to live in",
+                            });
+                        }
+                        Device::new(em)
+                    }
+                }
             }
         };
         Ok((device, self.config))
@@ -352,5 +437,127 @@ mod tests {
         index.insert(Point::new(1, 2)).unwrap();
         assert_eq!(index.len(), 1);
         assert_eq!(index.device().block_words(), 256);
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("topk-builder-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_build_recovers_across_reopen() {
+        let dir = scratch("reopen");
+        {
+            let index = TopKIndex::builder()
+                .durable(&dir)
+                .expected_n(200)
+                .crossover_l(64)
+                .build()
+                .unwrap();
+            assert!(index.is_durable());
+            assert_eq!(index.recovered_stamp(), Some(0));
+            for i in 1..=50u64 {
+                index.insert(Point::new(i, i * 7)).unwrap();
+            }
+            for i in (1..=50u64).step_by(5) {
+                assert!(index.delete(Point::new(i, i * 7)).unwrap());
+            }
+        }
+        let index = TopKIndex::builder()
+            .durable(&dir)
+            .expected_n(200)
+            .crossover_l(64)
+            .build()
+            .unwrap();
+        assert_eq!(index.len(), 40);
+        let stamp = index.recovered_stamp().unwrap();
+        assert!(stamp >= 60, "60 committed write ops, got stamp {stamp}");
+        assert_eq!(index.get(2), Some(Point::new(2, 14)));
+        assert_eq!(index.get(1), None);
+        assert_eq!(
+            index.query(0, u64::MAX, 1).unwrap(),
+            vec![Point::new(50, 350)]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_misconfigurations_are_rejected() {
+        let dir = scratch("misconfig");
+        let device = Device::new(EmConfig::new(256, 256 * 64));
+        let cases: Vec<(TopKError, &str)> = vec![
+            // Sharding and the single write-ahead journal don't compose.
+            (
+                TopKIndex::builder()
+                    .durable(&dir)
+                    .shards(4)
+                    .build_sharded()
+                    .unwrap_err(),
+                "journal",
+            ),
+            (
+                TopK::builder()
+                    .durable(&dir)
+                    .shards(4)
+                    .build_auto()
+                    .unwrap_err(),
+                "journal",
+            ),
+            // A file/threaded backend is meaningless without a directory.
+            (
+                TopKIndex::builder()
+                    .backend(emsim::BackendKind::File)
+                    .build()
+                    .unwrap_err(),
+                "durable",
+            ),
+            // And the RAM backend contradicts asking for one.
+            (
+                TopKIndex::builder()
+                    .backend(emsim::BackendKind::Ram)
+                    .durable(&dir)
+                    .build()
+                    .unwrap_err(),
+                "backend",
+            ),
+            // An externally-built device and a managed directory conflict.
+            (
+                TopKIndex::builder()
+                    .device(&device)
+                    .durable(&dir)
+                    .build()
+                    .unwrap_err(),
+                "exclusive",
+            ),
+        ];
+        for (err, needle) in cases {
+            let TopKError::InvalidConfig { what } = err else {
+                panic!("expected InvalidConfig, got {err}");
+            };
+            assert!(what.contains(needle), "{what:?} missing {needle:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_auto_serves_durable_indexes_concurrently() {
+        let dir = scratch("auto");
+        // A size that would normally auto-shard must still pick the
+        // coarse-locked topology when durability is on.
+        let handle = TopK::builder()
+            .durable(&dir)
+            .expected_n(1 << 20)
+            .build_auto()
+            .unwrap();
+        assert!(matches!(handle, TopK::Concurrent(_)));
+        handle.insert(Point::new(9, 4)).unwrap();
+        assert_eq!(handle.recovered_stamp(), Some(0));
+        assert_eq!(handle.query(0, 10, 1).unwrap(), vec![Point::new(9, 4)]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -68,6 +68,14 @@ pub enum TopKError {
         /// Which component disagreed.
         component: &'static str,
     },
+    /// The durable storage backend failed (I/O error, on-disk corruption, or
+    /// an injected crash fault). The in-RAM index may be *ahead* of the
+    /// durable state: treat the handle as lost and reopen the index from its
+    /// directory, which recovers to the last committed stamp.
+    Storage {
+        /// The backend's description of the failure.
+        what: String,
+    },
 }
 
 impl TopKError {
@@ -87,6 +95,7 @@ impl TopKError {
             TopKError::InvalidConfig { .. } => 5,
             TopKError::SnapshotInvalidated { .. } => 6,
             TopKError::Inconsistent { .. } => 7,
+            TopKError::Storage { .. } => 8,
         }
     }
 
@@ -103,6 +112,7 @@ impl TopKError {
             5 => Some("InvalidConfig"),
             6 => Some("SnapshotInvalidated"),
             7 => Some("Inconsistent"),
+            8 => Some("Storage"),
             _ => None,
         }
     }
@@ -143,6 +153,10 @@ impl std::fmt::Display for TopKError {
                 f,
                 "component '{component}' disagrees about membership of ({}, {}): index corrupted",
                 point.x, point.score
+            ),
+            TopKError::Storage { what } => write!(
+                f,
+                "durable storage failed: {what} — reopen the index from its directory"
             ),
         }
     }
@@ -211,6 +225,9 @@ mod tests {
                 point: Point::new(2, 3),
                 component: "pilot",
             },
+            TopKError::Storage {
+                what: "wal append failed".to_string(),
+            },
         ];
         // The published contract: these exact pairs, frozen. Renumbering any
         // of them is a wire-protocol break and must fail here.
@@ -222,6 +239,7 @@ mod tests {
             (5, "InvalidConfig"),
             (6, "SnapshotInvalidated"),
             (7, "Inconsistent"),
+            (8, "Storage"),
         ];
         let mut seen = std::collections::HashSet::new();
         for e in &all {

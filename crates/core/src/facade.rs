@@ -189,6 +189,66 @@ impl TopK {
             TopK::Sharded(i) => i.device(),
         }
     }
+
+    /// Every stored point (an `O(n/B)` scan, in no particular order on the
+    /// unsharded topologies, by descending score on the sharded one). For an
+    /// exact snapshot, call it while no writer is active.
+    pub fn all_points(&self) -> Vec<Point> {
+        match self {
+            TopK::Single(i) => i.all_points(),
+            TopK::Concurrent(i) => i.read().all_points(),
+            TopK::Sharded(i) => {
+                let n = i.len() as usize;
+                if n == 0 {
+                    return Vec::new();
+                }
+                // The full-range top-n query is the sharded scan: every
+                // shard reports everything and the merge keeps all of it.
+                i.query(0, u64::MAX, n).unwrap_or_default()
+            }
+        }
+    }
+
+    /// The version stamp recovered from the journal when this handle was
+    /// opened durably (`TopK::builder().durable(dir)…`); `None` for plain
+    /// in-RAM indexes and for the (never durable) sharded topology.
+    pub fn recovered_stamp(&self) -> Option<u64> {
+        match self {
+            TopK::Single(i) => i.recovered_stamp(),
+            TopK::Concurrent(i) => i.read().recovered_stamp(),
+            TopK::Sharded(_) => None,
+        }
+    }
+
+    /// Snapshot the current contents into a durable index directory: after
+    /// this returns, `dir` holds a complete, checkpointed file-backed image
+    /// that `TopK::builder().durable(dir).build_auto()` reopens — from *any*
+    /// topology, including sharded and RAM-only handles. An existing image
+    /// in `dir` (with the same block size) is overwritten wholesale. Returns
+    /// the number of points captured.
+    ///
+    /// The snapshot is taken with [`TopK::all_points`]; run it while no
+    /// writer is active to capture one exact state. Do not snapshot a
+    /// durable index into its own directory.
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::Storage`](crate::TopKError::Storage) if the directory
+    /// cannot be opened (or holds an image with a different block size) or
+    /// the checkpoint fails.
+    pub fn snapshot_to(&self, dir: &std::path::Path) -> Result<u64> {
+        let storage = |e: emsim::BackendError| crate::TopKError::Storage {
+            what: e.to_string(),
+        };
+        let points = self.all_points();
+        let em = self.device().config().backend(emsim::BackendKind::File);
+        let device = Device::open(em, dir).map_err(storage)?;
+        let (store, _existing, _stamp) =
+            crate::persist::DurableStore::open(&device).map_err(storage)?;
+        store.compact(&points, points.len() as u64);
+        device.checkpoint_backend().map_err(storage)?;
+        Ok(points.len() as u64)
+    }
 }
 
 /// Topology-agnostic commit-stamped operations for the `topk-testkit`

@@ -12,6 +12,7 @@ use crate::batch::{BatchSummary, UpdateBatch};
 use crate::builder::IndexBuilder;
 use crate::config::{SmallKEngine, TopKConfig};
 use crate::error::{Result, TopKError};
+use crate::persist::{DurableStore, OP_DELETE, OP_INSERT};
 use crate::query::{QueryRequest, TopKResults};
 
 /// The dynamic top-k range reporting index of Theorem 1. See the crate docs
@@ -42,6 +43,12 @@ pub struct TopKIndex {
     /// metadata lives outside the EM space accounting; coordinates are
     /// validated structurally through the reporter instead).
     scores: RwLock<HashSet<u64>>,
+    /// The operation journal when the index lives on a durable device
+    /// ([`TopKIndex::open_durable`]); `None` on plain simulated devices.
+    durable: Option<DurableStore>,
+    /// The version stamp recovered from the journal at open time (`None`
+    /// unless this handle came from [`TopKIndex::open_durable`]).
+    recovered: Option<u64>,
 }
 
 impl TopKIndex {
@@ -78,7 +85,61 @@ impl TopKIndex {
             len: AtomicU64::new(0),
             version: AtomicU64::new(0),
             scores: RwLock::new(HashSet::new()),
+            durable: None,
+            recovered: None,
         }
+    }
+
+    /// Open (or create) a **durable** index on `device`: replay the operation
+    /// journal, rebuild the in-RAM structures from the recovered point set,
+    /// and resume stamping from the recovered version. From then on every
+    /// committed mutation is journalled and made durable through the device's
+    /// write-ahead backend commit (DESIGN.md §10) — after a crash, reopening
+    /// recovers exactly the operations whose commit returned `Ok`.
+    ///
+    /// Prefer the builder: `TopK::builder().durable(dir).build_auto()?`.
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::InvalidConfig`] if `device` has no durable backend (use
+    /// [`Device::open`] with [`BackendKind::File`](emsim::BackendKind));
+    /// [`TopKError::Storage`] if the journal cannot be read or is corrupt.
+    pub fn open_durable(device: &Device, config: TopKConfig) -> Result<Self> {
+        if !device.is_durable() {
+            return Err(TopKError::InvalidConfig {
+                what: "open_durable requires a durable device: Device::open with \
+                       EmConfig::backend(BackendKind::File or ThreadPool)",
+            });
+        }
+        let (store, points, stamp) =
+            DurableStore::open(device).map_err(|e| TopKError::Storage {
+                what: e.to_string(),
+            })?;
+        let index = TopKIndex::new(device, config);
+        if !points.is_empty() {
+            // `durable` is still `None` here, so the rebuild does not
+            // re-journal what the journal just told us.
+            index.rebuild_unvalidated(&points);
+        }
+        index.version.store(stamp, Ordering::Release);
+        let index = TopKIndex {
+            durable: Some(store),
+            recovered: Some(stamp),
+            ..index
+        };
+        // Reopen cost stays O(n/B): a journal that outgrew its live set is
+        // compacted now instead of being replayed again next time.
+        if let Some(d) = &index.durable {
+            if d.needs_compact(index.len()) {
+                d.compact(&points, stamp);
+            }
+        }
+        device
+            .checkpoint_backend()
+            .map_err(|e| TopKError::Storage {
+                what: e.to_string(),
+            })?;
+        Ok(index)
     }
 
     /// The monotone write-version stamp: strictly increases with every
@@ -88,6 +149,19 @@ impl TopKIndex {
     /// hold. Strict cursors use it to detect interleaved writers.
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
+    }
+
+    /// The version stamp recovered from the operation journal when this
+    /// handle was created by [`TopKIndex::open_durable`]; `None` for plain
+    /// in-RAM indexes. Every operation committed before a crash has a stamp
+    /// `≤` this value on reopen; nothing uncommitted survives.
+    pub fn recovered_stamp(&self) -> Option<u64> {
+        self.recovered
+    }
+
+    /// Whether this index journals its operations to a durable backend.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
     }
 
     /// The device the index lives on (useful for reading I/O statistics).
@@ -153,7 +227,8 @@ impl TopKIndex {
         }
         self.insert_validated(p);
         self.maybe_rebuild();
-        Ok(())
+        self.maybe_compact_journal();
+        self.durable_commit()
     }
 
     /// Delete a point (exact coordinate and score). Returns `Ok(false)` if it
@@ -168,6 +243,8 @@ impl TopKIndex {
         let deleted = self.delete_validated(p)?;
         if deleted {
             self.maybe_rebuild();
+            self.maybe_compact_journal();
+            self.durable_commit()?;
         }
         Ok(deleted)
     }
@@ -198,7 +275,7 @@ impl TopKIndex {
             }
         }
         self.rebuild_unvalidated(points);
-        Ok(())
+        self.durable_commit()
     }
 
     /// Apply a batch of updates: the whole batch is validated up front
@@ -228,7 +305,10 @@ impl TopKIndex {
         self.small_k.insert(p);
         self.scores.write().unwrap().insert(p.score);
         self.len.fetch_add(1, Ordering::Relaxed);
-        self.version.fetch_add(1, Ordering::Release);
+        let stamp = self.version.fetch_add(1, Ordering::Release) + 1;
+        if let Some(d) = &self.durable {
+            d.append(OP_INSERT, p, stamp);
+        }
     }
 
     /// Delete from every component without checking the rebuild policy.
@@ -250,7 +330,10 @@ impl TopKIndex {
         }
         self.scores.write().unwrap().remove(&p.score);
         self.len.fetch_sub(1, Ordering::Relaxed);
-        self.version.fetch_add(1, Ordering::Release);
+        let stamp = self.version.fetch_add(1, Ordering::Release) + 1;
+        if let Some(d) = &self.durable {
+            d.append(OP_DELETE, p, stamp);
+        }
         Ok(true)
     }
 
@@ -265,7 +348,12 @@ impl TopKIndex {
         self.len.store(points.len() as u64, Ordering::Relaxed);
         self.size_at_rebuild
             .store(points.len() as u64, Ordering::Relaxed);
-        self.version.fetch_add(1, Ordering::Release);
+        let stamp = self.version.fetch_add(1, Ordering::Release) + 1;
+        if let Some(d) = &self.durable {
+            // A rebuild's content *is* the live set: journal it as a
+            // snapshot, which also truncates the accumulated stream.
+            d.compact(points, stamp);
+        }
     }
 
     /// The paper's global rebuilding: once the live size has doubled or halved
@@ -279,6 +367,38 @@ impl TopKIndex {
             let pts = self.reporter.all_points();
             self.rebuild_unvalidated(&pts);
         }
+    }
+
+    /// Compact the journal once it outgrows the live set. Workloads that
+    /// churn around a constant size never trigger the size-drift rebuild, so
+    /// this is what keeps their journal at `O(n/B)` blocks.
+    pub(crate) fn maybe_compact_journal(&self) {
+        if let Some(d) = &self.durable {
+            if d.needs_compact(self.len()) {
+                let pts = self.reporter.all_points();
+                d.compact(&pts, self.version());
+            }
+        }
+    }
+
+    /// Commit everything staged in the device's write-ahead backend (the
+    /// journal appends of the operation that just ran). No-op on non-durable
+    /// indexes.
+    ///
+    /// # Errors
+    ///
+    /// [`TopKError::Storage`] if the backend commit fails — the in-RAM index
+    /// may then be ahead of the durable state: treat the handle as lost and
+    /// reopen from the directory.
+    pub(crate) fn durable_commit(&self) -> Result<()> {
+        if self.durable.is_some() {
+            self.device
+                .commit_backend()
+                .map_err(|e| TopKError::Storage {
+                    what: e.to_string(),
+                })?;
+        }
+        Ok(())
     }
 
     // ----- queries -----

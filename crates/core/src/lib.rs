@@ -95,6 +95,7 @@ mod facade;
 pub mod hooks;
 mod index;
 mod oracle;
+mod persist;
 mod query;
 mod ranked;
 mod sharded;

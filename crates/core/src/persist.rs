@@ -1,0 +1,530 @@
+//! Logical durability: the operation journal behind a durable device.
+//!
+//! The EM structures of this workspace keep their nodes as plain Rust values
+//! in simulated [`BlockFile`]s — persisting every PST node image would couple
+//! the on-disk format to three evolving component layouts. Durability is
+//! therefore *logical*: a [`DurableStore`] records the validated operation
+//! stream (insert/delete, each with the version stamp its commit received)
+//! in one journal file whose pages have a real wire form ([`PersistPage`]),
+//! and recovery replays that stream into an empty index. The journal rides
+//! the device's [`StorageBackend`](emsim::StorageBackend) write-ahead log,
+//! so a crash leaves exactly the operations of the last committed batch —
+//! nothing torn, nothing resurrected (DESIGN.md §10).
+//!
+//! Layout: a single **meta page** (the directory of data pages, in append
+//! order, plus the last durable stamp) and a chain of **data pages** holding
+//! fixed-width operation records. Appends fill the tail data page and touch
+//! the meta page only when the chain grows; `compact` rewrites the whole
+//! journal as a snapshot of the live point set (one insert record per point),
+//! which bounds the journal at `O(n/B)` blocks plus the operations since the
+//! last compaction.
+//!
+//! Locking: the `wal` mutex guards only the in-RAM directory state
+//! (DESIGN.md §8, class `wal` — I/O while holding it is forbidden); every
+//! [`BlockFile`] access happens outside the guard. Writers are serialized by
+//! the serving topology (`Single`'s single-writer contract or
+//! `Concurrent`'s write lock — the builder rejects durable sharding), so the
+//! copy-out/update protocol below never interleaves.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+use emsim::{entries_per_block, BackendError, BackendResult, BlockFile, Device, PageId};
+use emsim::{Page, PersistPage};
+use epst::Point;
+
+/// Journal record op code: the point was inserted.
+pub(crate) const OP_INSERT: u8 = 1;
+/// Journal record op code: the point was deleted.
+pub(crate) const OP_DELETE: u8 = 2;
+
+const TAG_META: u64 = 1;
+const TAG_DATA: u64 = 2;
+
+/// One journalled operation: `op` ([`OP_INSERT`] / [`OP_DELETE`]) applied to
+/// the point `(x, score)` by the commit that received version stamp `stamp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct JRecord {
+    pub op: u8,
+    pub x: u64,
+    pub score: u64,
+    pub stamp: u64,
+}
+
+impl JRecord {
+    /// On-disk width of one record, in words.
+    pub(crate) const WORDS: usize = 4;
+}
+
+/// A page of the journal file: the single meta page (directory of data pages
+/// plus the last durable stamp) or a data page of operation records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum JPage {
+    /// The journal directory: data-page ids in append order.
+    Meta { pages: Vec<u32>, last_stamp: u64 },
+    /// A chunk of the operation stream.
+    Data { records: Vec<JRecord> },
+}
+
+impl Page for JPage {
+    fn words(&self) -> usize {
+        match self {
+            JPage::Meta { pages, .. } => 3 + pages.len(),
+            JPage::Data { records } => 2 + records.len() * JRecord::WORDS,
+        }
+    }
+}
+
+impl PersistPage for JPage {
+    fn encode(&self, out: &mut Vec<u64>) {
+        match self {
+            JPage::Meta { pages, last_stamp } => {
+                out.push(TAG_META);
+                out.push(*last_stamp);
+                out.push(pages.len() as u64);
+                out.extend(pages.iter().map(|p| u64::from(*p)));
+            }
+            JPage::Data { records } => {
+                out.push(TAG_DATA);
+                out.push(records.len() as u64);
+                for r in records {
+                    out.push(u64::from(r.op));
+                    out.push(r.x);
+                    out.push(r.score);
+                    out.push(r.stamp);
+                }
+            }
+        }
+    }
+
+    fn decode(words: &[u64]) -> Option<Self> {
+        let mut it = words.iter().copied();
+        match it.next()? {
+            TAG_META => {
+                let last_stamp = it.next()?;
+                let n = it.next()? as usize;
+                // A corrupt count cannot ask for more entries than the image
+                // holds (guards the `with_capacity` below, too).
+                if n > words.len() {
+                    return None;
+                }
+                let mut pages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pages.push(u32::try_from(it.next()?).ok()?);
+                }
+                Some(JPage::Meta { pages, last_stamp })
+            }
+            TAG_DATA => {
+                let n = it.next()? as usize;
+                if n > words.len() {
+                    return None;
+                }
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let op = u8::try_from(it.next()?).ok()?;
+                    let x = it.next()?;
+                    let score = it.next()?;
+                    let stamp = it.next()?;
+                    records.push(JRecord {
+                        op,
+                        x,
+                        score,
+                        stamp,
+                    });
+                }
+                Some(JPage::Data { records })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// In-RAM directory state of the journal, guarded by the `wal` mutex. Pure
+/// bookkeeping — no device I/O happens while this is locked.
+#[derive(Debug)]
+struct JournalSlate {
+    /// The meta page's id (allocated first on a fresh store).
+    meta: PageId,
+    /// Data pages in append order (mirrors the durable meta page).
+    pages: Vec<PageId>,
+    /// Records in the last data page.
+    tail_len: usize,
+    /// Records per data page.
+    cap: usize,
+    /// Data pages the meta page can list before overflowing a block.
+    meta_cap: usize,
+    /// Highest stamp appended so far.
+    last_stamp: u64,
+    /// Records across all data pages.
+    total_records: u64,
+}
+
+/// The operation journal of a durable [`TopKIndex`](crate::TopKIndex):
+/// appends validated operations, replays them at open, and compacts to a
+/// live-set snapshot when the stream outgrows the set it describes.
+///
+/// Durability granularity is the device's backend commit: appends are staged
+/// in the backend's WAL and become durable only when
+/// [`TopKIndex::durable_commit`](crate::TopKIndex) runs at the end of the
+/// public operation (one commit per insert/delete/batch).
+#[derive(Debug)]
+pub(crate) struct DurableStore {
+    journal: BlockFile<JPage>,
+    wal: Mutex<JournalSlate>,
+}
+
+impl DurableStore {
+    /// Open (or create) the journal on `device` and replay it: returns the
+    /// store, the recovered live point set, and the recovered version stamp.
+    pub(crate) fn open(device: &Device) -> BackendResult<(Self, Vec<Point>, u64)> {
+        let journal: BlockFile<JPage> = device.open_durable_file("topk.journal")?;
+        let block_words = device.block_words();
+        let cap = entries_per_block(block_words, 2, JRecord::WORDS, 4);
+        let meta_cap = block_words.saturating_sub(3).max(8);
+
+        // Locate the meta page among the recovered pages (a fresh store has
+        // none and allocates one).
+        let mut meta_id: Option<PageId> = None;
+        let mut data_live: HashSet<PageId> = HashSet::new();
+        for id in journal.live_ids() {
+            if journal.with(id, |p| matches!(p, JPage::Meta { .. })) {
+                if meta_id.is_some() {
+                    return Err(BackendError::Corrupt(
+                        "journal holds more than one meta page".to_string(),
+                    ));
+                }
+                meta_id = Some(id);
+            } else {
+                data_live.insert(id);
+            }
+        }
+        let (meta, listed, mut stamp) = match meta_id {
+            Some(id) => {
+                let got = journal.with(id, |p| match p {
+                    JPage::Meta { pages, last_stamp } => Some((pages.clone(), *last_stamp)),
+                    JPage::Data { .. } => None,
+                });
+                match got {
+                    Some((pages, last)) => (id, pages, last),
+                    None => {
+                        return Err(BackendError::Corrupt(
+                            "journal meta page changed type under recovery".to_string(),
+                        ))
+                    }
+                }
+            }
+            None => {
+                let id = journal.alloc(JPage::Meta {
+                    pages: Vec::new(),
+                    last_stamp: 0,
+                });
+                (id, Vec::new(), 0)
+            }
+        };
+
+        // Replay the operation stream in directory order.
+        let mut map: HashMap<u64, Point> = HashMap::new();
+        let mut pages: Vec<PageId> = Vec::with_capacity(listed.len());
+        let mut tail_len = 0usize;
+        let mut total_records = 0u64;
+        for raw in &listed {
+            let pid = PageId(*raw);
+            if !data_live.remove(&pid) {
+                return Err(BackendError::Corrupt(format!(
+                    "journal meta lists page {raw}, which did not survive recovery"
+                )));
+            }
+            let recs = journal.with(pid, |p| match p {
+                JPage::Data { records } => Some(records.clone()),
+                JPage::Meta { .. } => None,
+            });
+            let Some(recs) = recs else {
+                return Err(BackendError::Corrupt(format!(
+                    "journal meta lists page {raw}, which is not a data page"
+                )));
+            };
+            tail_len = recs.len();
+            total_records += recs.len() as u64;
+            for r in &recs {
+                stamp = stamp.max(r.stamp);
+                match r.op {
+                    OP_INSERT => {
+                        map.insert(r.x, Point::new(r.x, r.score));
+                    }
+                    OP_DELETE => {
+                        map.remove(&r.x);
+                    }
+                    other => {
+                        return Err(BackendError::Corrupt(format!(
+                            "unknown journal op code {other}"
+                        )))
+                    }
+                }
+            }
+            pages.push(pid);
+        }
+        // Pages the backend recovered but the committed directory does not
+        // list cannot hold committed operations — drop them.
+        for orphan in data_live {
+            journal.free(orphan);
+        }
+
+        let store = Self {
+            journal,
+            wal: Mutex::new(JournalSlate {
+                meta,
+                pages,
+                tail_len,
+                cap,
+                meta_cap,
+                last_stamp: stamp,
+                total_records,
+            }),
+        };
+        Ok((store, map.into_values().collect(), stamp))
+    }
+
+    /// Append one operation record. Staged in the backend's WAL; durable at
+    /// the next device commit. Callers are serialized by the topology's
+    /// write-side locking.
+    pub(crate) fn append(&self, op: u8, p: Point, stamp: u64) {
+        let rec = JRecord {
+            op,
+            x: p.x,
+            score: p.score,
+            stamp,
+        };
+        // Copy the plan out, then do all file I/O with the guard released.
+        let tail = {
+            let st = self.wal.lock().unwrap();
+            st.pages.last().copied().filter(|_| st.tail_len < st.cap)
+        };
+        match tail {
+            Some(pid) => {
+                self.journal.with_mut(pid, |page| {
+                    if let JPage::Data { records } = page {
+                        records.push(rec);
+                    }
+                });
+                let mut st = self.wal.lock().unwrap();
+                st.tail_len += 1;
+                st.total_records += 1;
+                st.last_stamp = stamp;
+            }
+            None => {
+                let pid = self.journal.alloc(JPage::Data { records: vec![rec] });
+                let (meta, pages) = {
+                    let mut st = self.wal.lock().unwrap();
+                    st.pages.push(pid);
+                    st.tail_len = 1;
+                    st.total_records += 1;
+                    st.last_stamp = stamp;
+                    (st.meta, st.pages.iter().map(|p| p.0).collect::<Vec<u32>>())
+                };
+                self.journal.with_mut(meta, move |page| {
+                    *page = JPage::Meta {
+                        pages,
+                        last_stamp: stamp,
+                    };
+                });
+            }
+        }
+    }
+
+    /// Whether the journal has outgrown the live set it describes (or is
+    /// approaching the meta page's directory capacity) and should be
+    /// compacted.
+    pub(crate) fn needs_compact(&self, live: u64) -> bool {
+        let st = self.wal.lock().unwrap();
+        st.total_records > (4 * live).max(256) || st.pages.len() + 2 >= st.meta_cap
+    }
+
+    /// Rewrite the journal as a snapshot of `points` at `stamp`: every old
+    /// data page is freed and the live set is re-journalled as insert
+    /// records. Staged like appends; durable at the next device commit.
+    pub(crate) fn compact(&self, points: &[Point], stamp: u64) {
+        let (meta, cap, old) = {
+            let mut st = self.wal.lock().unwrap();
+            let old = std::mem::take(&mut st.pages);
+            st.tail_len = 0;
+            st.total_records = 0;
+            st.last_stamp = stamp;
+            (st.meta, st.cap, old)
+        };
+        for pid in old {
+            self.journal.free(pid);
+        }
+        let mut new_pages = Vec::new();
+        for chunk in points.chunks(cap) {
+            let records = chunk
+                .iter()
+                .map(|p| JRecord {
+                    op: OP_INSERT,
+                    x: p.x,
+                    score: p.score,
+                    stamp,
+                })
+                .collect();
+            new_pages.push(self.journal.alloc(JPage::Data { records }));
+        }
+        let pages: Vec<u32> = new_pages.iter().map(|p| p.0).collect();
+        {
+            let mut st = self.wal.lock().unwrap();
+            st.tail_len = points.len() - new_pages.len().saturating_sub(1) * cap;
+            st.total_records = points.len() as u64;
+            st.pages = new_pages;
+        }
+        self.journal.with_mut(meta, move |page| {
+            *page = JPage::Meta {
+                pages,
+                last_stamp: stamp,
+            };
+        });
+    }
+
+    /// Journal size in records (test support).
+    #[cfg(test)]
+    pub(crate) fn record_count(&self) -> u64 {
+        self.wal.lock().unwrap().total_records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsim::{BackendKind, EmConfig};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("topk-persist-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn file_device(dir: &std::path::Path) -> Device {
+        Device::open(EmConfig::new(128, 128 * 32).backend(BackendKind::File), dir).unwrap()
+    }
+
+    #[test]
+    fn jpage_images_round_trip() {
+        let pages = [
+            JPage::Meta {
+                pages: vec![3, 1, 4, 1, 5],
+                last_stamp: 99,
+            },
+            JPage::Meta {
+                pages: vec![],
+                last_stamp: 0,
+            },
+            JPage::Data {
+                records: vec![
+                    JRecord {
+                        op: OP_INSERT,
+                        x: 7,
+                        score: 42,
+                        stamp: 1,
+                    },
+                    JRecord {
+                        op: OP_DELETE,
+                        x: 7,
+                        score: 42,
+                        stamp: 2,
+                    },
+                ],
+            },
+            JPage::Data { records: vec![] },
+        ];
+        for p in &pages {
+            let mut words = Vec::new();
+            p.encode(&mut words);
+            assert_eq!(words.len(), p.words(), "encode emits exactly words()");
+            assert_eq!(JPage::decode(&words).as_ref(), Some(p));
+        }
+        assert_eq!(JPage::decode(&[]), None);
+        assert_eq!(JPage::decode(&[77]), None);
+        // A corrupt count must not decode (nor allocate absurdly).
+        assert_eq!(JPage::decode(&[TAG_DATA, u64::MAX]), None);
+        assert_eq!(JPage::decode(&[TAG_META, 1, u64::MAX]), None);
+    }
+
+    #[test]
+    fn journal_replays_its_operation_stream_across_reopen() {
+        let dir = scratch_dir("replay");
+        {
+            let device = file_device(&dir);
+            let (store, points, stamp) = DurableStore::open(&device).unwrap();
+            assert!(points.is_empty());
+            assert_eq!(stamp, 0);
+            store.append(OP_INSERT, Point::new(1, 10), 1);
+            store.append(OP_INSERT, Point::new(2, 20), 2);
+            store.append(OP_INSERT, Point::new(3, 30), 3);
+            store.append(OP_DELETE, Point::new(2, 20), 4);
+            device.commit_backend().unwrap();
+        }
+        {
+            let device = file_device(&dir);
+            let (_store, mut points, stamp) = DurableStore::open(&device).unwrap();
+            points.sort_by_key(|p| p.x);
+            assert_eq!(points, vec![Point::new(1, 10), Point::new(3, 30)]);
+            assert_eq!(stamp, 4);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_appends_do_not_survive_reopen() {
+        let dir = scratch_dir("uncommitted");
+        {
+            let device = file_device(&dir);
+            let (store, _, _) = DurableStore::open(&device).unwrap();
+            store.append(OP_INSERT, Point::new(1, 10), 1);
+            device.commit_backend().unwrap();
+            // Staged but never committed: must vanish.
+            store.append(OP_INSERT, Point::new(2, 20), 2);
+        }
+        {
+            let device = file_device(&dir);
+            let (_store, points, stamp) = DurableStore::open(&device).unwrap();
+            assert_eq!(points, vec![Point::new(1, 10)]);
+            assert_eq!(stamp, 1);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_rewrites_the_stream_as_a_snapshot() {
+        let dir = scratch_dir("compact");
+        let points: Vec<Point> = (0..200u64).map(|i| Point::new(i, i + 1000)).collect();
+        {
+            let device = file_device(&dir);
+            let (store, _, _) = DurableStore::open(&device).unwrap();
+            // Churn: insert everything twice via delete+reinsert.
+            let mut stamp = 0;
+            for p in &points {
+                stamp += 1;
+                store.append(OP_INSERT, *p, stamp);
+            }
+            for p in &points {
+                stamp += 1;
+                store.append(OP_DELETE, *p, stamp);
+                stamp += 1;
+                store.append(OP_INSERT, *p, stamp);
+            }
+            assert_eq!(store.record_count(), 600);
+            assert!(store.needs_compact(100));
+            store.compact(&points, stamp);
+            assert_eq!(store.record_count(), points.len() as u64);
+            device.commit_backend().unwrap();
+        }
+        {
+            let device = file_device(&dir);
+            let (store, mut got, stamp) = DurableStore::open(&device).unwrap();
+            got.sort_by_key(|p| p.x);
+            assert_eq!(got, points);
+            assert_eq!(stamp, 600);
+            assert!(!store.needs_compact(points.len() as u64));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -237,21 +237,33 @@ fn worker(spec: &ScenarioSpec, thread_id: u64, retries: &AtomicU64) -> WorkerRep
     report
 }
 
-fn percentile_us(sorted_ns: &[u64], pct: f64) -> f64 {
+/// The `pct`-th percentile of a sorted latency sample, in microseconds.
+/// `None` when the window is empty (a scenario that completed zero
+/// requests has no latency, not a 0 ns one) — callers print a placeholder
+/// and keep the row out of `BENCH_serving.json`.
+fn percentile_us(sorted_ns: &[u64], pct: f64) -> Option<f64> {
     if sorted_ns.is_empty() {
-        return f64::NAN;
+        return None;
     }
     let rank = ((sorted_ns.len() as f64) * pct / 100.0).ceil() as usize;
     let idx = rank.saturating_sub(1).min(sorted_ns.len() - 1);
-    sorted_ns.get(idx).copied().unwrap_or_default() as f64 / 1000.0
+    Some(sorted_ns.get(idx).copied().unwrap_or_default() as f64 / 1000.0)
+}
+
+/// Render a percentile for the console table: `-` for an empty window.
+fn fmt_us(p: Option<f64>) -> String {
+    match p {
+        Some(v) => format!("{v:.1}"),
+        None => "-".to_string(),
+    }
 }
 
 struct ScenarioResult {
     name: String,
     qps: f64,
-    p50_us: f64,
-    p95_us: f64,
-    p99_us: f64,
+    p50_us: Option<f64>,
+    p95_us: Option<f64>,
+    p99_us: Option<f64>,
     mean_commit_batch: f64,
     max_commit_batch: u64,
     retryable: u64,
@@ -264,10 +276,10 @@ fn run_scenario(
     region: u64,
     read_pct: u32,
     opts: &Options,
-) -> std::result::Result<ScenarioResult, topk_server::ClientError> {
-    let mut control = TopkClient::connect(addr)?;
-    preload(&mut control, dist, region, opts.preload)?;
-    let before = control.stats()?;
+) -> std::result::Result<ScenarioResult, String> {
+    let mut control = TopkClient::connect(addr).map_err(|e| e.to_string())?;
+    preload(&mut control, dist, region, opts.preload).map_err(|e| e.to_string())?;
+    let before = control.stats().map_err(|e| e.to_string())?;
     let retries = AtomicU64::new(0);
     let spec = ScenarioSpec {
         addr,
@@ -277,6 +289,9 @@ fn run_scenario(
         deadline_ms: opts.millis,
     };
     let started = Instant::now();
+    // A panicked worker must fail the scenario, not fold into the aggregate
+    // as zero ops (which silently deflates qps and skews every percentile).
+    let mut panicked: Vec<String> = Vec::new();
     let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
         let spec = &spec;
         let retries = &retries;
@@ -285,11 +300,30 @@ fn run_scenario(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_default())
+            .enumerate()
+            .filter_map(|(t, h)| match h.join() {
+                Ok(report) => Some(report),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                        .unwrap_or("non-string panic payload");
+                    panicked.push(format!("worker {t} panicked: {msg}"));
+                    None
+                }
+            })
             .collect()
     });
+    if let Some(first) = panicked.first() {
+        return Err(format!(
+            "{} of {} workers panicked ({first})",
+            panicked.len(),
+            opts.threads
+        ));
+    }
     let elapsed = started.elapsed().as_secs_f64();
-    let after = control.stats()?;
+    let after = control.stats().map_err(|e| e.to_string())?;
 
     let mut all_ns: Vec<u64> = Vec::new();
     let mut total_ops = 0u64;
@@ -380,13 +414,13 @@ fn main() {
             match run_scenario(addr, &name, dist, region, read_pct, &opts) {
                 Ok(result) => {
                     println!(
-                        "{:<28} {:>6} {:>10.0} {:>9.1} {:>9.1} {:>9.1} {:>7.2} {:>6} {:>6}",
+                        "{:<28} {:>6} {:>10.0} {:>9} {:>9} {:>9} {:>7.2} {:>6} {:>6}",
                         result.name,
                         read_pct,
                         result.qps,
-                        result.p50_us,
-                        result.p95_us,
-                        result.p99_us,
+                        fmt_us(result.p50_us),
+                        fmt_us(result.p95_us),
+                        fmt_us(result.p99_us),
                         result.mean_commit_batch,
                         result.max_commit_batch,
                         result.retryable,
@@ -398,9 +432,22 @@ fn main() {
                             .param(format!("read_pct={read_pct}"))
                     };
                     rows.push(tag("requests_per_sec", result.qps));
-                    rows.push(tag("p50_latency_us", result.p50_us));
-                    rows.push(tag("p95_latency_us", result.p95_us));
-                    rows.push(tag("p99_latency_us", result.p99_us));
+                    // Empty latency windows stay out of the snapshot: a NaN
+                    // (or fabricated 0.0) row would poison downstream
+                    // comparisons against this baseline.
+                    for (metric, value) in [
+                        ("p50_latency_us", result.p50_us),
+                        ("p95_latency_us", result.p95_us),
+                        ("p99_latency_us", result.p99_us),
+                    ] {
+                        match value {
+                            Some(v) => rows.push(tag(metric, v)),
+                            None => eprintln!(
+                                "topk-loadgen: {}: empty latency window, omitting {metric}",
+                                result.name
+                            ),
+                        }
+                    }
                     rows.push(tag("mean_commit_batch", result.mean_commit_batch));
                 }
                 Err(e) => {

@@ -3,7 +3,7 @@
 //! ```text
 //! topk-server [--addr 127.0.0.1:0] [--expected-n 1048576] [--max-conns 256]
 //!             [--max-inflight 128] [--max-frame 1048576]
-//!             [--queue-cap 4096] [--batch-max 1024]
+//!             [--queue-cap 4096] [--batch-max 1024] [--data-dir DIR]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (scripts — the CI
@@ -60,7 +60,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: topk-server [--addr HOST:PORT] [--expected-n N] [--max-conns N]\n\
          \x20                 [--max-inflight N] [--max-frame BYTES]\n\
-         \x20                 [--queue-cap N] [--batch-max N]"
+         \x20                 [--queue-cap N] [--batch-max N] [--data-dir DIR]"
     );
     std::process::exit(2)
 }
@@ -101,6 +101,16 @@ fn parse_config() -> ServerConfig {
             }
             "--queue-cap" => config.queue_cap = parse_usize(value("--queue-cap"), "--queue-cap"),
             "--batch-max" => config.batch_max = parse_usize(value("--batch-max"), "--batch-max"),
+            // Serve durably from DIR (created if missing): committed writes
+            // ride the file-backed WAL and a restart recovers them.
+            "--data-dir" => {
+                let dir = std::path::PathBuf::from(value("--data-dir"));
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("topk-server: --data-dir {}: {e}", dir.display());
+                    std::process::exit(1)
+                }
+                config.data_dir = Some(dir);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("topk-server: unknown flag {other}");

@@ -61,6 +61,11 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Most writes the committer coalesces into one commit.
     pub batch_max: usize,
+    /// When set, serve a **durable** index from this directory: committed
+    /// writes ride the file-backed WAL and a restart recovers to the last
+    /// committed stamp (DESIGN.md §10). `None` (the default) serves the
+    /// in-RAM device.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +78,7 @@ impl Default for ServerConfig {
             max_frame: 1 << 20,
             queue_cap: 4096,
             batch_max: 1024,
+            data_dir: None,
         }
     }
 }
@@ -124,11 +130,15 @@ pub struct Server {
 }
 
 impl Server {
-    /// Build a fresh index (`build_auto` over `expected_n`) and start
-    /// serving it.
+    /// Build a fresh index (`build_auto` over `expected_n`; durable on
+    /// [`ServerConfig::data_dir`] when set, recovering whatever the
+    /// directory already holds) and start serving it.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
-        let handle = TopK::builder()
-            .expected_n(config.expected_n)
+        let mut builder = TopK::builder().expected_n(config.expected_n);
+        if let Some(dir) = &config.data_dir {
+            builder = builder.durable(dir);
+        }
+        let handle = builder
             .build_auto()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         Server::start_with(config, handle)

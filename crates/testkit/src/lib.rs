@@ -21,6 +21,10 @@
 //!   trace against any [`Topology`], with an explicit model of the cursor
 //!   consistency contract (DESIGN.md §6) and token round-trips on every
 //!   resume;
+//! * [`mod@crash`] — the crash-recovery topology: seeded write streams
+//!   against the durable file backend, scripted kills at any phase of any
+//!   commit ([`emsim::KillPhase`]), reopen, and differential verification
+//!   of the recovered state against the spec (DESIGN.md §10);
 //! * [`history`] — a concurrent history [`Recorder`] that timestamps each
 //!   op with the engine's commit stamps (the `testkit-hooks` feature of
 //!   `topk-core`), and a [`check`] pass that
@@ -38,6 +42,7 @@
 //! sharded-4`. Checked-in regression traces live in `traces/` at the
 //! workspace root and replay in `tests/trace_replay.rs`.
 
+pub mod crash;
 pub mod gen;
 pub mod history;
 pub mod replay;
@@ -46,9 +51,10 @@ pub mod shrink;
 pub mod topology;
 pub mod trace;
 
+pub use crash::{crash_recovery_check, scratch_dir, CrashReport, CrashSpec};
 pub use gen::{generate, generate_concurrent, ConcurrentPlan, OpMix, TraceSpec};
 pub use history::{check, Event, History, HistoryReport, HistoryViolation, Recorder};
-pub use replay::{replay, Divergence, ReplayStats};
+pub use replay::{replay, replay_durable, replay_on, Divergence, ReplayStats};
 pub use seed::{Seed, LEGACY_SEED_ENV, SEED_ENV};
 pub use shrink::{replay_or_shrink, repro_dir, shrink, shrink_to_file, ShrinkReport};
 pub use topology::Topology;

@@ -115,7 +115,29 @@ struct Replayer {
 /// against the sequential spec. Returns the first [`Divergence`], or the
 /// replay counters when engine and spec agree throughout.
 pub fn replay(trace: &Trace, topology: Topology) -> Result<ReplayStats, Divergence> {
-    let expected_n = trace
+    let (engine_device, handle) = topology.build(expected_inserts(trace));
+    replay_on(trace, topology, engine_device, handle)
+}
+
+/// Replay `trace` against the durable file backend rooted at `dir`: the
+/// engine is a [`Topology::Concurrent`]-shaped index journaling every
+/// commit through the WAL (sharding is rejected by the builder for durable
+/// indexes). `dir` must be fresh — the sequential spec starts empty, so a
+/// directory with recovered state diverges at step 0 by construction.
+pub fn replay_durable(trace: &Trace, dir: &std::path::Path) -> Result<ReplayStats, Divergence> {
+    let handle = TopK::builder()
+        .expected_n(expected_inserts(trace).max(64))
+        .crossover_l(64)
+        .durable(dir)
+        .build_auto()
+        .expect("durable replay build parameters are valid");
+    let engine_device = handle.device();
+    replay_on(trace, Topology::Concurrent, engine_device, handle)
+}
+
+/// Total inserts a trace can perform — the builder's `expected_n` sizing.
+fn expected_inserts(trace: &Trace) -> usize {
+    trace
         .ops
         .iter()
         .map(|op| match op {
@@ -126,8 +148,18 @@ pub fn replay(trace: &Trace, topology: Topology) -> Result<ReplayStats, Divergen
                 .count(),
             _ => 0,
         })
-        .sum::<usize>();
-    let (engine_device, handle) = topology.build(expected_n);
+        .sum::<usize>()
+}
+
+/// Replay `trace` against an already-built `handle` on `engine_device` —
+/// the backend-agnostic core of [`replay`]. `topology` labels divergences;
+/// the handle must be empty (the spec starts empty).
+pub fn replay_on(
+    trace: &Trace,
+    topology: Topology,
+    engine_device: Device,
+    handle: TopK,
+) -> Result<ReplayStats, Divergence> {
     let spec_device = Device::new(EmConfig::new(256, 256 * 128));
     let spec = NaiveTopK::new(&spec_device, "trace-spec");
     let mut replayer = Replayer {

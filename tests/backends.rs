@@ -1,0 +1,198 @@
+//! Cross-backend contract tests (ISSUE 10, satellite 4).
+//!
+//! The storage backend is below the cost model: an identical logical
+//! operation sequence must produce identical answers on the RAM and file
+//! backends, the simulated I/O counters must stay within a constant factor
+//! of each other (the journal adds traffic, it must not change the shape),
+//! and during serving the durable medium is write-only — physical reads
+//! happen at recovery, bounded by the live image count. Plus the
+//! snapshot/restore round-trip across all five workload distributions.
+
+use emsim::{Device, EmConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topk_core::{Point, TopK, TopKIndex};
+use topk_testkit::{
+    generate, replay, replay_durable, scratch_dir, Topology, TraceSpec, DISTRIBUTIONS,
+};
+use workload::{PointDistribution, PointGen};
+
+fn build_ram(device: &Device, expected_n: usize) -> TopKIndex {
+    TopKIndex::builder()
+        .device(device)
+        .expected_n(expected_n)
+        .crossover_l(64)
+        .build()
+        .unwrap()
+}
+
+fn build_file(dir: &std::path::Path, expected_n: usize) -> TopKIndex {
+    TopKIndex::builder()
+        .durable(dir)
+        .expected_n(expected_n)
+        .crossover_l(64)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn ram_and_file_backends_agree_on_every_answer() {
+    let ram_device = Device::new(EmConfig::new(256, 256 * 64));
+    let ram = build_ram(&ram_device, 600);
+    let dir = scratch_dir("contract");
+    let file = build_file(&dir, 600);
+
+    let points = PointGen {
+        distribution: PointDistribution::Uniform,
+        seed: 0xBACC_0001,
+    }
+    .generate(600);
+    for (i, p) in points.iter().enumerate() {
+        ram.insert(*p).unwrap();
+        file.insert(*p).unwrap();
+        if i % 3 == 2 {
+            let victim = points[i - 2];
+            assert!(ram.delete(victim).unwrap());
+            assert!(file.delete(victim).unwrap());
+        }
+    }
+    assert_eq!(ram.len(), file.len());
+
+    let x_max = points.iter().map(|p| p.x).max().unwrap() + 2;
+    let mut rng = StdRng::seed_from_u64(0xBACC_0002);
+    for _ in 0..32 {
+        let a = rng.gen_range(0..x_max);
+        let b = rng.gen_range(a..=x_max);
+        let k = [1usize, 4, 17, 64, 300][rng.gen_range(0usize..5)];
+        assert_eq!(
+            ram.query(a, b, k).unwrap(),
+            file.query(a, b, k).unwrap(),
+            "top-{k} over [{a}, {b}] depends on the backend"
+        );
+    }
+
+    // The cost model must not drift across media: the journal adds pool
+    // traffic but stays within a constant factor.
+    let sim_ram = ram_device.stats();
+    let sim_file = file.device().stats();
+    assert!(
+        sim_file.reads <= 4 * sim_ram.reads + 64,
+        "file-backend simulated reads blew past the RAM baseline: {} vs {}",
+        sim_file.reads,
+        sim_ram.reads
+    );
+    // During serving the durable medium is write-only — every read is
+    // served from the typed pool above it.
+    let ds = file.device().durable_stats();
+    assert_eq!(ds.preads, 0, "serving must not read the data file");
+    assert!(ds.commits > 0 && ds.pwrites > 0);
+    drop(file);
+
+    // Recovery reads each live image once (plus the WAL tail), never more
+    // than a constant per recovered page.
+    let reopened = build_file(&dir, 600);
+    let ds = reopened.device().durable_stats();
+    assert!(ds.preads > 0, "recovery must read the data file");
+    assert!(
+        ds.preads <= 2 * ds.recovered_pages + 16,
+        "unbounded physical reads at recovery: {} preads for {} pages",
+        ds.preads,
+        ds.recovered_pages
+    );
+    assert_eq!(reopened.len(), ram.len());
+    for _ in 0..8 {
+        let a = rng.gen_range(0..x_max);
+        let b = rng.gen_range(a..=x_max);
+        assert_eq!(
+            ram.query(a, b, 25).unwrap(),
+            reopened.query(a, b, 25).unwrap()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generated_traces_replay_clean_over_the_file_backend() {
+    // The same spec-checked differential replay CI runs on the RAM
+    // topologies, over a journaling index: every answer (queries, cursor
+    // pages, batch commits) checked against the sequential spec.
+    let spec = TraceSpec {
+        preload: 256,
+        ops: 160,
+        ..TraceSpec::new(PointDistribution::Clustered, 29)
+    };
+    let trace = generate(&spec);
+    let ram = replay(&trace, Topology::Concurrent).unwrap_or_else(|d| panic!("{d}"));
+    let dir = scratch_dir("replay");
+    let file = replay_durable(&trace, &dir).unwrap_or_else(|d| panic!("{d}"));
+    // Identical logical sequence: both replays apply and check the same ops.
+    assert_eq!(ram.applied, file.applied);
+    assert_eq!(ram.skipped, file.skipped);
+    assert_eq!(ram.checked_answers, file.checked_answers);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_restore_round_trips_across_every_distribution() {
+    for (i, distribution) in DISTRIBUTIONS.into_iter().enumerate() {
+        let source = TopK::builder()
+            .expected_n(300)
+            .crossover_l(64)
+            .build_auto()
+            .unwrap();
+        let points = PointGen {
+            distribution,
+            seed: 0x5AAB + i as u64,
+        }
+        .generate(240);
+        for p in &points {
+            source.insert(*p).unwrap();
+        }
+        // Age the set a little so the snapshot is not just the insert log.
+        for p in points.iter().step_by(4) {
+            assert!(source.delete(*p).unwrap());
+        }
+
+        let dir = scratch_dir(&format!("snap-{i}"));
+        let snapped = source.snapshot_to(&dir).unwrap();
+        assert_eq!(snapped, source.len());
+
+        let restored = TopK::builder()
+            .durable(&dir)
+            .expected_n(300)
+            .crossover_l(64)
+            .build_auto()
+            .unwrap();
+        assert_eq!(restored.len(), source.len(), "{distribution:?}");
+        let mut got = restored.all_points();
+        got.sort_by_key(|p| p.x);
+        let mut want = source.all_points();
+        want.sort_by_key(|p| p.x);
+        assert_eq!(got, want, "{distribution:?} point set mutated in transit");
+
+        let x_max = points.iter().map(|p| p.x).max().unwrap() + 2;
+        let mut rng = StdRng::seed_from_u64(0x5AAB ^ i as u64);
+        for _ in 0..12 {
+            let a = rng.gen_range(0..x_max);
+            let b = rng.gen_range(a..=x_max);
+            let k = [1usize, 8, 40, 240][rng.gen_range(0usize..4)];
+            assert_eq!(
+                source.query(a, b, k).unwrap(),
+                restored.query(a, b, k).unwrap(),
+                "{distribution:?}: top-{k} over [{a}, {b}] diverges after restore"
+            );
+        }
+        // A restored index keeps journaling: one more durable write survives
+        // another reopen.
+        let extra = Point::new(x_max + 10, u64::MAX - 3);
+        restored.insert(extra).unwrap();
+        drop(restored);
+        let again = TopK::builder()
+            .durable(&dir)
+            .expected_n(300)
+            .build_auto()
+            .unwrap();
+        assert_eq!(again.len(), source.len() + 1, "{distribution:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

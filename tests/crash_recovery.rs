@@ -1,0 +1,120 @@
+//! The kill-after-op-N crash-recovery matrix (ISSUE 10 acceptance
+//! criterion): ≥ 3 seeds × both commit-boundary kill phases, each run
+//! verified by the testkit crash topology — zero lost committed ops, zero
+//! resurrected uncommitted ops, and point-for-point agreement with
+//! `NaiveTopK` at the recovered stamp. Plus the flush/drop-cache ordering
+//! regression under the fault hook (satellite 3).
+
+use emsim::{FaultPlan, KillPhase};
+use topk_core::{Point, TopKError, TopKIndex};
+use topk_testkit::{crash_recovery_check, scratch_dir, CrashSpec, Seed};
+
+#[test]
+fn kill_matrix_seeds_by_phases() {
+    for seed in [101u64, 202, 303] {
+        for phase in [KillPhase::BeforeWalFsync, KillPhase::AfterWalFsync] {
+            for kill_after in [5u64, 37] {
+                let spec = CrashSpec::new(seed, kill_after, phase);
+                let dir = scratch_dir(&format!("matrix-{seed}-{kill_after}"));
+                let report = crash_recovery_check(&spec, &dir);
+                assert!(
+                    report.failed_at.is_some(),
+                    "the scripted kill must land inside the stream ({spec:?})"
+                );
+                assert_eq!(report.applied_ok as u64, kill_after, "{spec:?}");
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
+    }
+}
+
+/// The CI matrix hook: `TOPK_SEED` (one seed per matrix leg) drives a full
+/// phase × kill-point sweep, so every CI run covers fresh op streams while
+/// any failure reproduces from the printed seed line.
+#[test]
+fn kill_matrix_env_seeded_phase_sweep() {
+    let seed = Seed::from_env(77);
+    eprintln!("{}", seed.repro("crash_recovery"));
+    for (salt, phase) in [
+        (1u64, KillPhase::BeforeWalFsync),
+        (2, KillPhase::AfterWalFsync),
+        (3, KillPhase::MidApply),
+    ] {
+        for kill_after in [3u64, 29, 61] {
+            let spec = CrashSpec::new(seed.derive(salt ^ (kill_after << 8)), kill_after, phase);
+            let dir = scratch_dir(&format!("env-{salt}-{kill_after}"));
+            let report = crash_recovery_check(&spec, &dir);
+            assert!(report.failed_at.is_some(), "{spec:?}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn mid_apply_kills_recover_the_full_batch() {
+    for seed in [404u64, 505, 606] {
+        let spec = CrashSpec::new(seed, 19, KillPhase::MidApply);
+        let dir = scratch_dir(&format!("midapply-{seed}"));
+        let report = crash_recovery_check(&spec, &dir);
+        assert!(report.failed_at.is_some(), "{spec:?}");
+        // The commit record was durable before the apply tore: recovery
+        // completes the batch, landing exactly on the wedged stamp.
+        assert_eq!(report.recovered_stamp, report.wedged_stamp, "{spec:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn flush_and_drop_cache_interleave_safely_under_faults() {
+    let dir = scratch_dir("interleave");
+    let index = TopKIndex::builder()
+        .durable(&dir)
+        .expected_n(200)
+        .crossover_l(64)
+        .build()
+        .unwrap();
+    // Interleave cache maintenance with committed writes: neither verb may
+    // discard a logged write or reorder around the WAL.
+    for i in 1..=40u64 {
+        index.insert(Point::new(i, i * 3)).unwrap();
+        if i % 10 == 0 {
+            index.device().drop_cache();
+        }
+        if i % 16 == 0 {
+            index.device().flush();
+        }
+    }
+    let committed_len = index.len();
+
+    // Kill the backend at the next commit: the failing drop_cache/flush
+    // must not lose committed state, and the sticky error must surface on
+    // the next index write rather than vanish.
+    let device = index.device().clone();
+    let base = device.durable_stats().commits;
+    device.arm_backend_fault(FaultPlan::kill_at_commit(base, KillPhase::BeforeWalFsync));
+    device.drop_cache();
+    device.flush();
+    assert!(
+        matches!(
+            index.insert(Point::new(1000, 1000)),
+            Err(TopKError::Storage { .. })
+        ),
+        "the swallowed maintenance failure must resurface on the next write"
+    );
+    // Reads keep serving from the pool above the dead medium.
+    assert_eq!(index.query(0, 100, 1).unwrap(), vec![Point::new(40, 120)]);
+    drop(index);
+
+    let recovered = TopKIndex::builder()
+        .durable(&dir)
+        .expected_n(200)
+        .crossover_l(64)
+        .build()
+        .unwrap();
+    assert_eq!(recovered.len(), committed_len, "committed ops were lost");
+    for i in 1..=40u64 {
+        assert_eq!(recovered.get(i), Some(Point::new(i, i * 3)));
+    }
+    assert_eq!(recovered.get(1000), None, "uncommitted insert resurrected");
+    std::fs::remove_dir_all(&dir).ok();
+}
