@@ -228,14 +228,17 @@ impl TopK {
     /// the number of points captured.
     ///
     /// The snapshot is taken with [`TopK::all_points`]; run it while no
-    /// writer is active to capture one exact state. Do not snapshot a
-    /// durable index into its own directory.
+    /// writer is active to capture one exact state. The image is stamped
+    /// with `max(self's current version, the stamp already in dir)`, so
+    /// reopening never observes the version stamp going backwards — even
+    /// when overwriting an older, higher-stamped image.
     ///
     /// # Errors
     ///
     /// [`TopKError::Storage`](crate::TopKError::Storage) if the directory
-    /// cannot be opened (or holds an image with a different block size) or
-    /// the checkpoint fails.
+    /// cannot be opened — including a durable index's *own* directory,
+    /// whose advisory lock this handle already holds — or holds an image
+    /// with a different block size, or the checkpoint fails.
     pub fn snapshot_to(&self, dir: &std::path::Path) -> Result<u64> {
         let storage = |e: emsim::BackendError| crate::TopKError::Storage {
             what: e.to_string(),
@@ -243,9 +246,14 @@ impl TopK {
         let points = self.all_points();
         let em = self.device().config().backend(emsim::BackendKind::File);
         let device = Device::open(em, dir).map_err(storage)?;
-        let (store, _existing, _stamp) =
+        let (store, _existing, prior_stamp) =
             crate::persist::DurableStore::open(&device).map_err(storage)?;
-        store.compact(&points, points.len() as u64);
+        let current = match self {
+            TopK::Single(i) => i.version(),
+            TopK::Concurrent(i) => i.read().version(),
+            TopK::Sharded(i) => i.read().version(),
+        };
+        store.compact(&points, current.max(prior_stamp));
         device.checkpoint_backend().map_err(storage)?;
         Ok(points.len() as u64)
     }

@@ -391,7 +391,8 @@ impl TopKIndex {
     /// may then be ahead of the durable state: treat the handle as lost and
     /// reopen from the directory.
     pub(crate) fn durable_commit(&self) -> Result<()> {
-        if self.durable.is_some() {
+        if let Some(d) = &self.durable {
+            d.flush();
             self.device
                 .commit_backend()
                 .map_err(|e| TopKError::Storage {

@@ -11,13 +11,22 @@
 //! so a crash leaves exactly the operations of the last committed batch —
 //! nothing torn, nothing resurrected (DESIGN.md §10).
 //!
-//! Layout: a single **meta page** (the directory of data pages, in append
-//! order, plus the last durable stamp) and a chain of **data pages** holding
-//! fixed-width operation records. Appends fill the tail data page and touch
-//! the meta page only when the chain grows; `compact` rewrites the whole
-//! journal as a snapshot of the live point set (one insert record per point),
-//! which bounds the journal at `O(n/B)` blocks plus the operations since the
-//! last compaction.
+//! Layout: a **meta chain** (the directory of data pages, in append order,
+//! plus the last durable stamp) and a chain of **data pages** holding
+//! fixed-width operation records. The directory starts in the single head
+//! meta page and spills into linked continuation pages once it outgrows one
+//! block, so the durable index size is bounded by the device, not by one
+//! block's worth of directory entries. `compact` rewrites the whole journal
+//! as a snapshot of the live point set (one insert record per point), which
+//! bounds the journal at `O(n/B)` blocks plus the operations since the last
+//! compaction.
+//!
+//! Appends are buffered: [`DurableStore::append`] only pushes the record
+//! into an in-RAM pending list, and [`DurableStore::flush`] — run once per
+//! durable commit, just before the backend commit — writes the records into
+//! data pages. A commit therefore logs one tail-page image (plus whole new
+//! pages) instead of re-logging the tail page once per operation, keeping
+//! the backend's WAL volume per commit at `O(pages touched)` page images.
 //!
 //! Locking: the `wal` mutex guards only the in-RAM directory state
 //! (DESIGN.md §8, class `wal` — I/O while holding it is forbidden); every
@@ -40,6 +49,21 @@ pub(crate) const OP_DELETE: u8 = 2;
 
 const TAG_META: u64 = 1;
 const TAG_DATA: u64 = 2;
+const TAG_META_CONT: u64 = 3;
+/// On-disk sentinel for "no continuation page follows".
+const NO_NEXT: u64 = u64::MAX;
+
+fn encode_next(next: Option<u32>) -> u64 {
+    next.map_or(NO_NEXT, u64::from)
+}
+
+fn decode_next(word: u64) -> Option<Option<u32>> {
+    if word == NO_NEXT {
+        Some(None)
+    } else {
+        u32::try_from(word).ok().map(Some)
+    }
+}
 
 /// One journalled operation: `op` ([`OP_INSERT`] / [`OP_DELETE`]) applied to
 /// the point `(x, score)` by the commit that received version stamp `stamp`.
@@ -56,12 +80,20 @@ impl JRecord {
     pub(crate) const WORDS: usize = 4;
 }
 
-/// A page of the journal file: the single meta page (directory of data pages
-/// plus the last durable stamp) or a data page of operation records.
+/// A page of the journal file: the head meta page (start of the directory of
+/// data pages, plus the last durable stamp), a continuation of the directory
+/// chain, or a data page of operation records.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum JPage {
-    /// The journal directory: data-page ids in append order.
-    Meta { pages: Vec<u32>, last_stamp: u64 },
+    /// The head of the journal directory: data-page ids in append order,
+    /// continued in `next` when the directory outgrows one block.
+    Meta {
+        pages: Vec<u32>,
+        last_stamp: u64,
+        next: Option<u32>,
+    },
+    /// A continuation of the directory chain.
+    MetaCont { pages: Vec<u32>, next: Option<u32> },
     /// A chunk of the operation stream.
     Data { records: Vec<JRecord> },
 }
@@ -69,7 +101,8 @@ pub(crate) enum JPage {
 impl Page for JPage {
     fn words(&self) -> usize {
         match self {
-            JPage::Meta { pages, .. } => 3 + pages.len(),
+            JPage::Meta { pages, .. } => 4 + pages.len(),
+            JPage::MetaCont { pages, .. } => 3 + pages.len(),
             JPage::Data { records } => 2 + records.len() * JRecord::WORDS,
         }
     }
@@ -78,9 +111,20 @@ impl Page for JPage {
 impl PersistPage for JPage {
     fn encode(&self, out: &mut Vec<u64>) {
         match self {
-            JPage::Meta { pages, last_stamp } => {
+            JPage::Meta {
+                pages,
+                last_stamp,
+                next,
+            } => {
                 out.push(TAG_META);
                 out.push(*last_stamp);
+                out.push(encode_next(*next));
+                out.push(pages.len() as u64);
+                out.extend(pages.iter().map(|p| u64::from(*p)));
+            }
+            JPage::MetaCont { pages, next } => {
+                out.push(TAG_META_CONT);
+                out.push(encode_next(*next));
                 out.push(pages.len() as u64);
                 out.extend(pages.iter().map(|p| u64::from(*p)));
             }
@@ -102,6 +146,7 @@ impl PersistPage for JPage {
         match it.next()? {
             TAG_META => {
                 let last_stamp = it.next()?;
+                let next = decode_next(it.next()?)?;
                 let n = it.next()? as usize;
                 // A corrupt count cannot ask for more entries than the image
                 // holds (guards the `with_capacity` below, too).
@@ -112,7 +157,23 @@ impl PersistPage for JPage {
                 for _ in 0..n {
                     pages.push(u32::try_from(it.next()?).ok()?);
                 }
-                Some(JPage::Meta { pages, last_stamp })
+                Some(JPage::Meta {
+                    pages,
+                    last_stamp,
+                    next,
+                })
+            }
+            TAG_META_CONT => {
+                let next = decode_next(it.next()?)?;
+                let n = it.next()? as usize;
+                if n > words.len() {
+                    return None;
+                }
+                let mut pages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pages.push(u32::try_from(it.next()?).ok()?);
+                }
+                Some(JPage::MetaCont { pages, next })
             }
             TAG_DATA => {
                 let n = it.next()? as usize;
@@ -143,28 +204,37 @@ impl PersistPage for JPage {
 /// bookkeeping — no device I/O happens while this is locked.
 #[derive(Debug)]
 struct JournalSlate {
-    /// The meta page's id (allocated first on a fresh store).
-    meta: PageId,
-    /// Data pages in append order (mirrors the durable meta page).
+    /// The directory chain in order: the head meta page first, then its
+    /// continuations. Never empty (a fresh store allocates the head).
+    metas: Vec<PageId>,
+    /// Directory entries in the chain's last page.
+    dir_tail_len: usize,
+    /// Data pages in append order (mirrors the durable directory chain).
     pages: Vec<PageId>,
     /// Records in the last data page.
     tail_len: usize,
     /// Records per data page.
     cap: usize,
-    /// Data pages the meta page can list before overflowing a block.
-    meta_cap: usize,
+    /// Data-page ids the head meta page can list before filling its block.
+    head_cap: usize,
+    /// Data-page ids a continuation page can list before filling its block.
+    cont_cap: usize,
     /// Highest stamp appended so far.
     last_stamp: u64,
-    /// Records across all data pages.
+    /// Records across all data pages (excluding `pending`).
     total_records: u64,
+    /// Appended records not yet written into data pages; drained by
+    /// [`DurableStore::flush`] once per durable commit.
+    pending: Vec<JRecord>,
 }
 
 /// The operation journal of a durable [`TopKIndex`](crate::TopKIndex):
 /// appends validated operations, replays them at open, and compacts to a
 /// live-set snapshot when the stream outgrows the set it describes.
 ///
-/// Durability granularity is the device's backend commit: appends are staged
-/// in the backend's WAL and become durable only when
+/// Durability granularity is the device's backend commit: appends are
+/// buffered in RAM, [`flush`](DurableStore::flush)ed into journal pages (and
+/// thereby into the backend's WAL) and become durable only when
 /// [`TopKIndex::durable_commit`](crate::TopKIndex) runs at the end of the
 /// public operation (one commit per insert/delete/batch).
 #[derive(Debug)]
@@ -180,47 +250,82 @@ impl DurableStore {
         let journal: BlockFile<JPage> = device.open_durable_file("topk.journal")?;
         let block_words = device.block_words();
         let cap = entries_per_block(block_words, 2, JRecord::WORDS, 4);
-        let meta_cap = block_words.saturating_sub(3).max(8);
+        let head_cap = block_words.saturating_sub(4).max(4);
+        let cont_cap = block_words.saturating_sub(3).max(4);
 
-        // Locate the meta page among the recovered pages (a fresh store has
-        // none and allocates one).
-        let mut meta_id: Option<PageId> = None;
+        // Classify the recovered pages: exactly one head meta (a fresh store
+        // has none and allocates one), any number of continuations, and the
+        // data pages.
+        enum Kind {
+            Head(Vec<u32>, u64, Option<u32>),
+            Cont(Vec<u32>, Option<u32>),
+            Data,
+        }
+        let mut head: Option<(PageId, Vec<u32>, u64, Option<u32>)> = None;
+        let mut conts: HashMap<PageId, (Vec<u32>, Option<u32>)> = HashMap::new();
         let mut data_live: HashSet<PageId> = HashSet::new();
         for id in journal.live_ids() {
-            if journal.with(id, |p| matches!(p, JPage::Meta { .. })) {
-                if meta_id.is_some() {
-                    return Err(BackendError::Corrupt(
-                        "journal holds more than one meta page".to_string(),
-                    ));
+            let kind = journal.with(id, |p| match p {
+                JPage::Meta {
+                    pages,
+                    last_stamp,
+                    next,
+                } => Kind::Head(pages.clone(), *last_stamp, *next),
+                JPage::MetaCont { pages, next } => Kind::Cont(pages.clone(), *next),
+                JPage::Data { .. } => Kind::Data,
+            });
+            match kind {
+                Kind::Head(pages, stamp, next) => {
+                    if head.is_some() {
+                        return Err(BackendError::Corrupt(
+                            "journal holds more than one head meta page".to_string(),
+                        ));
+                    }
+                    head = Some((id, pages, stamp, next));
                 }
-                meta_id = Some(id);
-            } else {
-                data_live.insert(id);
+                Kind::Cont(pages, next) => {
+                    conts.insert(id, (pages, next));
+                }
+                Kind::Data => {
+                    data_live.insert(id);
+                }
             }
         }
-        let (meta, listed, mut stamp) = match meta_id {
-            Some(id) => {
-                let got = journal.with(id, |p| match p {
-                    JPage::Meta { pages, last_stamp } => Some((pages.clone(), *last_stamp)),
-                    JPage::Data { .. } => None,
-                });
-                match got {
-                    Some((pages, last)) => (id, pages, last),
-                    None => {
-                        return Err(BackendError::Corrupt(
-                            "journal meta page changed type under recovery".to_string(),
-                        ))
-                    }
-                }
-            }
+        let (meta, listed_head, mut stamp, head_next) = match head {
+            Some(h) => h,
             None => {
                 let id = journal.alloc(JPage::Meta {
                     pages: Vec::new(),
                     last_stamp: 0,
+                    next: None,
                 });
-                (id, Vec::new(), 0)
+                (id, Vec::new(), 0, None)
             }
         };
+
+        // Walk the directory chain, concatenating its listings. Visited
+        // continuations leave `conts`; whatever remains is unreachable and
+        // cannot hold committed directory state — drop it below.
+        let mut metas = vec![meta];
+        let mut dir_tail_len = listed_head.len();
+        let mut listed = listed_head;
+        let mut next = head_next;
+        while let Some(n) = next {
+            let pid = PageId(n);
+            let Some((pgs, nx)) = conts.remove(&pid) else {
+                return Err(BackendError::Corrupt(format!(
+                    "journal meta chain names page {n}, which is not a live \
+                     continuation page"
+                )));
+            };
+            dir_tail_len = pgs.len();
+            listed.extend(pgs);
+            metas.push(pid);
+            next = nx;
+        }
+        for orphan in conts.into_keys() {
+            journal.free(orphan);
+        }
 
         // Replay the operation stream in directory order.
         let mut map: HashMap<u64, Point> = HashMap::new();
@@ -236,7 +341,7 @@ impl DurableStore {
             }
             let recs = journal.with(pid, |p| match p {
                 JPage::Data { records } => Some(records.clone()),
-                JPage::Meta { .. } => None,
+                JPage::Meta { .. } | JPage::MetaCont { .. } => None,
             });
             let Some(recs) = recs else {
                 return Err(BackendError::Corrupt(format!(
@@ -272,86 +377,181 @@ impl DurableStore {
         let store = Self {
             journal,
             wal: Mutex::new(JournalSlate {
-                meta,
+                metas,
+                dir_tail_len,
                 pages,
                 tail_len,
                 cap,
-                meta_cap,
+                head_cap,
+                cont_cap,
                 last_stamp: stamp,
                 total_records,
+                pending: Vec::new(),
             }),
         };
         Ok((store, map.into_values().collect(), stamp))
     }
 
-    /// Append one operation record. Staged in the backend's WAL; durable at
-    /// the next device commit. Callers are serialized by the topology's
-    /// write-side locking.
+    /// Buffer one operation record. Written to journal pages by the next
+    /// [`flush`](Self::flush) and durable at the next device commit. Callers
+    /// are serialized by the topology's write-side locking. Costs no I/O.
     pub(crate) fn append(&self, op: u8, p: Point, stamp: u64) {
-        let rec = JRecord {
+        let mut st = self.wal.lock().unwrap();
+        st.pending.push(JRecord {
             op,
             x: p.x,
             score: p.score,
             stamp,
-        };
+        });
+        st.last_stamp = stamp;
+    }
+
+    /// Drain the buffered records into journal data pages: top up the tail
+    /// page (one page image into the backend WAL regardless of how many
+    /// records arrived) and append whole new pages for the remainder,
+    /// growing the directory chain as needed. Run once per durable commit,
+    /// just before the backend commit.
+    pub(crate) fn flush(&self) {
         // Copy the plan out, then do all file I/O with the guard released.
-        let tail = {
-            let st = self.wal.lock().unwrap();
-            st.pages.last().copied().filter(|_| st.tail_len < st.cap)
-        };
-        match tail {
-            Some(pid) => {
-                self.journal.with_mut(pid, |page| {
-                    if let JPage::Data { records } = page {
-                        records.push(rec);
-                    }
-                });
-                let mut st = self.wal.lock().unwrap();
-                st.tail_len += 1;
-                st.total_records += 1;
-                st.last_stamp = stamp;
+        let (pending, tail, cap) = {
+            let mut st = self.wal.lock().unwrap();
+            if st.pending.is_empty() {
+                return;
             }
-            None => {
-                let pid = self.journal.alloc(JPage::Data { records: vec![rec] });
-                let (meta, pages) = {
+            let pending = std::mem::take(&mut st.pending);
+            let tail = st
+                .pages
+                .last()
+                .copied()
+                .map(|p| (p, st.tail_len))
+                .filter(|(_, len)| *len < st.cap);
+            (pending, tail, st.cap)
+        };
+        let mut recs = pending.as_slice();
+        if let Some((pid, tail_len)) = tail {
+            let take = (cap - tail_len).min(recs.len());
+            let (chunk, rest) = recs.split_at(take);
+            let chunk = chunk.to_vec();
+            self.journal.with_mut(pid, |page| {
+                if let JPage::Data { records } = page {
+                    records.extend_from_slice(&chunk);
+                }
+            });
+            let mut st = self.wal.lock().unwrap();
+            st.tail_len += take;
+            st.total_records += take as u64;
+            recs = rest;
+        }
+        for chunk in recs.chunks(cap) {
+            let pid = self.journal.alloc(JPage::Data {
+                records: chunk.to_vec(),
+            });
+            {
+                let mut st = self.wal.lock().unwrap();
+                st.pages.push(pid);
+                st.tail_len = chunk.len();
+                st.total_records += chunk.len() as u64;
+            }
+            self.link_page(pid);
+        }
+    }
+
+    /// Record a freshly allocated data page in the directory chain: append
+    /// its id to the chain's tail page, growing the chain with a linked
+    /// continuation page when the tail is full.
+    fn link_page(&self, pid: PageId) {
+        enum Plan {
+            /// Room in the chain's tail page: push the id there.
+            Tail { meta: PageId, stamp: u64 },
+            /// Tail full: allocate a continuation and link it from `prev`.
+            Grow { prev: PageId },
+        }
+        let plan = {
+            let mut st = self.wal.lock().unwrap();
+            let meta = *st
+                .metas
+                .last()
+                .expect("directory chain holds at least the head meta page");
+            let cap = if st.metas.len() == 1 {
+                st.head_cap
+            } else {
+                st.cont_cap
+            };
+            if st.dir_tail_len < cap {
+                st.dir_tail_len += 1;
+                Plan::Tail {
+                    meta,
+                    stamp: st.last_stamp,
+                }
+            } else {
+                Plan::Grow { prev: meta }
+            }
+        };
+        match plan {
+            Plan::Tail { meta, stamp } => {
+                self.journal.with_mut(meta, |page| match page {
+                    JPage::Meta {
+                        pages, last_stamp, ..
+                    } => {
+                        pages.push(pid.0);
+                        *last_stamp = stamp;
+                    }
+                    JPage::MetaCont { pages, .. } => pages.push(pid.0),
+                    JPage::Data { .. } => {}
+                });
+            }
+            Plan::Grow { prev } => {
+                let cont = self.journal.alloc(JPage::MetaCont {
+                    pages: vec![pid.0],
+                    next: None,
+                });
+                {
                     let mut st = self.wal.lock().unwrap();
-                    st.pages.push(pid);
-                    st.tail_len = 1;
-                    st.total_records += 1;
-                    st.last_stamp = stamp;
-                    (st.meta, st.pages.iter().map(|p| p.0).collect::<Vec<u32>>())
-                };
-                self.journal.with_mut(meta, move |page| {
-                    *page = JPage::Meta {
-                        pages,
-                        last_stamp: stamp,
-                    };
+                    st.metas.push(cont);
+                    st.dir_tail_len = 1;
+                }
+                self.journal.with_mut(prev, |page| match page {
+                    JPage::Meta { next, .. } | JPage::MetaCont { next, .. } => {
+                        *next = Some(cont.0);
+                    }
+                    JPage::Data { .. } => {}
                 });
             }
         }
     }
 
-    /// Whether the journal has outgrown the live set it describes (or is
-    /// approaching the meta page's directory capacity) and should be
-    /// compacted.
+    /// Whether the journal (including still-buffered appends) has outgrown
+    /// the live set it describes and should be compacted.
     pub(crate) fn needs_compact(&self, live: u64) -> bool {
         let st = self.wal.lock().unwrap();
-        st.total_records > (4 * live).max(256) || st.pages.len() + 2 >= st.meta_cap
+        st.total_records + st.pending.len() as u64 > (4 * live).max(256)
     }
 
     /// Rewrite the journal as a snapshot of `points` at `stamp`: every old
-    /// data page is freed and the live set is re-journalled as insert
-    /// records. Staged like appends; durable at the next device commit.
+    /// data page and directory continuation is freed and the live set is
+    /// re-journalled as insert records. Buffered appends are dropped — their
+    /// effects are part of `points`. Staged like flushes; durable at the
+    /// next device commit.
     pub(crate) fn compact(&self, points: &[Point], stamp: u64) {
-        let (meta, cap, old) = {
+        let (head, cap, head_cap, cont_cap, old_data, old_conts) = {
             let mut st = self.wal.lock().unwrap();
-            let old = std::mem::take(&mut st.pages);
+            let old_data = std::mem::take(&mut st.pages);
+            let old_conts = st.metas.split_off(1);
+            let head = *st
+                .metas
+                .first()
+                .expect("directory chain holds at least the head meta page");
+            st.pending.clear();
             st.tail_len = 0;
+            st.dir_tail_len = 0;
             st.total_records = 0;
             st.last_stamp = stamp;
-            (st.meta, st.cap, old)
+            (head, st.cap, st.head_cap, st.cont_cap, old_data, old_conts)
         };
-        for pid in old {
+        for pid in old_data {
+            self.journal.free(pid);
+        }
+        for pid in old_conts {
             self.journal.free(pid);
         }
         let mut new_pages = Vec::new();
@@ -367,25 +567,56 @@ impl DurableStore {
                 .collect();
             new_pages.push(self.journal.alloc(JPage::Data { records }));
         }
-        let pages: Vec<u32> = new_pages.iter().map(|p| p.0).collect();
+        let ids: Vec<u32> = new_pages.iter().map(|p| p.0).collect();
+        // Rebuild the directory chain: the head lists the first `head_cap`
+        // ids, the remainder spills into continuations — allocated last to
+        // first so each page already knows its successor.
+        let head_take = ids.len().min(head_cap);
+        let (head_ids, spill) = ids.split_at(head_take);
+        let dir_tail_len = spill
+            .chunks(cont_cap)
+            .last()
+            .map_or(head_take, <[u32]>::len);
+        let mut next: Option<u32> = None;
+        let mut conts: Vec<PageId> = Vec::new();
+        for chunk in spill.chunks(cont_cap).rev() {
+            let cont = self.journal.alloc(JPage::MetaCont {
+                pages: chunk.to_vec(),
+                next,
+            });
+            next = Some(cont.0);
+            conts.push(cont);
+        }
+        conts.reverse();
+        let head_pages = head_ids.to_vec();
         {
             let mut st = self.wal.lock().unwrap();
             st.tail_len = points.len() - new_pages.len().saturating_sub(1) * cap;
+            st.dir_tail_len = dir_tail_len;
             st.total_records = points.len() as u64;
             st.pages = new_pages;
+            st.metas.extend(conts);
         }
-        self.journal.with_mut(meta, move |page| {
+        self.journal.with_mut(head, move |page| {
             *page = JPage::Meta {
-                pages,
+                pages: head_pages,
                 last_stamp: stamp,
+                next,
             };
         });
     }
 
-    /// Journal size in records (test support).
+    /// Journal size in records, buffered appends included (test support).
     #[cfg(test)]
     pub(crate) fn record_count(&self) -> u64 {
-        self.wal.lock().unwrap().total_records
+        let st = self.wal.lock().unwrap();
+        st.total_records + st.pending.len() as u64
+    }
+
+    /// Length of the directory chain in meta pages (test support).
+    #[cfg(test)]
+    pub(crate) fn meta_chain_len(&self) -> usize {
+        self.wal.lock().unwrap().metas.len()
     }
 }
 
@@ -412,10 +643,20 @@ mod tests {
             JPage::Meta {
                 pages: vec![3, 1, 4, 1, 5],
                 last_stamp: 99,
+                next: Some(12),
             },
             JPage::Meta {
                 pages: vec![],
                 last_stamp: 0,
+                next: None,
+            },
+            JPage::MetaCont {
+                pages: vec![9, 2, 6],
+                next: Some(5),
+            },
+            JPage::MetaCont {
+                pages: vec![],
+                next: None,
             },
             JPage::Data {
                 records: vec![
@@ -445,7 +686,8 @@ mod tests {
         assert_eq!(JPage::decode(&[77]), None);
         // A corrupt count must not decode (nor allocate absurdly).
         assert_eq!(JPage::decode(&[TAG_DATA, u64::MAX]), None);
-        assert_eq!(JPage::decode(&[TAG_META, 1, u64::MAX]), None);
+        assert_eq!(JPage::decode(&[TAG_META, 1, NO_NEXT, u64::MAX]), None);
+        assert_eq!(JPage::decode(&[TAG_META_CONT, NO_NEXT, u64::MAX]), None);
     }
 
     #[test]
@@ -460,6 +702,7 @@ mod tests {
             store.append(OP_INSERT, Point::new(2, 20), 2);
             store.append(OP_INSERT, Point::new(3, 30), 3);
             store.append(OP_DELETE, Point::new(2, 20), 4);
+            store.flush();
             device.commit_backend().unwrap();
         }
         {
@@ -479,9 +722,11 @@ mod tests {
             let device = file_device(&dir);
             let (store, _, _) = DurableStore::open(&device).unwrap();
             store.append(OP_INSERT, Point::new(1, 10), 1);
+            store.flush();
             device.commit_backend().unwrap();
-            // Staged but never committed: must vanish.
+            // Flushed into the backend WAL but never committed: must vanish.
             store.append(OP_INSERT, Point::new(2, 20), 2);
+            store.flush();
         }
         {
             let device = file_device(&dir);
@@ -489,6 +734,26 @@ mod tests {
             assert_eq!(points, vec![Point::new(1, 10)]);
             assert_eq!(stamp, 1);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unflushed_appends_stay_buffered() {
+        let dir = scratch_dir("buffered");
+        let device = file_device(&dir);
+        let (store, _, _) = DurableStore::open(&device).unwrap();
+        let before = device.durable_stats().wal_appends;
+        store.append(OP_INSERT, Point::new(1, 10), 1);
+        store.append(OP_INSERT, Point::new(2, 20), 2);
+        assert_eq!(store.record_count(), 2, "pending records are counted");
+        assert_eq!(
+            device.durable_stats().wal_appends,
+            before,
+            "append alone must not touch the backend WAL"
+        );
+        store.flush();
+        assert!(device.durable_stats().wal_appends > before);
+        assert_eq!(store.record_count(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -505,12 +770,14 @@ mod tests {
                 stamp += 1;
                 store.append(OP_INSERT, *p, stamp);
             }
+            store.flush();
             for p in &points {
                 stamp += 1;
                 store.append(OP_DELETE, *p, stamp);
                 stamp += 1;
                 store.append(OP_INSERT, *p, stamp);
             }
+            store.flush();
             assert_eq!(store.record_count(), 600);
             assert!(store.needs_compact(100));
             store.compact(&points, stamp);
@@ -524,6 +791,54 @@ mod tests {
             assert_eq!(got, points);
             assert_eq!(stamp, 600);
             assert!(!store.needs_compact(points.len() as u64));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Tiny blocks so a few thousand records overflow a single meta page's
+    /// directory capacity: with `B = 32`, a data page holds 7 records and
+    /// the head meta lists 28 data pages, so the journal below *must* chain.
+    /// This is the regression test for the ~64k-point cap of the single
+    /// meta-page layout (which used to brick the store permanently).
+    #[test]
+    fn journal_directory_chains_past_one_meta_page() {
+        let dir = scratch_dir("chain");
+        let cfg = EmConfig::new(32, 32 * 64).backend(BackendKind::File);
+        let points: Vec<Point> = (0..2000u64).map(|i| Point::new(i, i + 10_000)).collect();
+        {
+            let device = Device::open(cfg, &dir).unwrap();
+            let (store, _, _) = DurableStore::open(&device).unwrap();
+            for (i, p) in points.iter().enumerate() {
+                store.append(OP_INSERT, *p, i as u64 + 1);
+            }
+            store.flush();
+            assert!(
+                store.meta_chain_len() > 1,
+                "2000 records on 32-word blocks must spill the directory \
+                 into a chain (got {} meta pages)",
+                store.meta_chain_len()
+            );
+            device.commit_backend().unwrap();
+        }
+        {
+            let device = Device::open(cfg, &dir).unwrap();
+            let (store, mut got, stamp) = DurableStore::open(&device).unwrap();
+            got.sort_by_key(|p| p.x);
+            assert_eq!(got, points);
+            assert_eq!(stamp, 2000);
+            // Compaction of a chained directory must also survive reopen
+            // (the old single-page layout died here on an oversized image).
+            store.compact(&points, 2000);
+            assert!(store.meta_chain_len() > 1);
+            device.checkpoint_backend().unwrap();
+        }
+        {
+            let device = Device::open(cfg, &dir).unwrap();
+            let (store, mut got, stamp) = DurableStore::open(&device).unwrap();
+            got.sort_by_key(|p| p.x);
+            assert_eq!(got, points);
+            assert_eq!(stamp, 2000);
+            assert_eq!(store.record_count(), points.len() as u64);
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

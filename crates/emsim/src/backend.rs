@@ -45,6 +45,11 @@
 //! [4, stable, name_bytes, name…, crc]   file-name binding
 //! ```
 //!
+//! `lock.topk` — an empty file held under an exclusive advisory lock
+//! (`File::try_lock`) for the backend's lifetime: a second open of a live
+//! directory fails instead of corrupting it. The kernel drops the lock when
+//! the holder dies, so a crash never bricks the directory.
+//!
 //! ## Locking
 //!
 //! All backend state sits behind the single `wal` mutex — the auditor's
@@ -475,6 +480,9 @@ struct SlotInfo {
 #[derive(Debug)]
 struct WalState {
     dir: PathBuf,
+    /// Held (flock-style, via `File::try_lock`) for the backend's lifetime:
+    /// one directory, one live device. Released when the state drops.
+    _lock: File,
     wal_file: File,
     data_file: File,
     block_words: usize,
@@ -490,6 +498,12 @@ struct WalState {
     slot_count: u32,
     /// Last durable commit.
     lsn: u64,
+    /// Last *checkpointed* commit: every batch `≤ ckpt_lsn` has been fsynced
+    /// into `data.topk`. This — never the live `lsn` — is what `meta.topk`
+    /// records, because recovery skips WAL batches `≤` the meta lsn: writing
+    /// the live lsn there would skip replaying batches whose slot writes were
+    /// applied but never fsynced.
+    ckpt_lsn: u64,
     /// Append offset into the WAL file.
     wal_len: u64,
     stats: DurableStats,
@@ -658,7 +672,7 @@ impl WalState {
         text.push_str(META_HEADER);
         text.push('\n');
         text.push_str(&format!("block_words {}\n", self.block_words));
-        text.push_str(&format!("lsn {}\n", self.lsn));
+        text.push_str(&format!("lsn {}\n", self.ckpt_lsn));
         for name in &self.names {
             text.push_str(&format!("file {name}\n"));
         }
@@ -681,6 +695,9 @@ impl WalState {
         if let Err(e) = self.data_file.sync_data() {
             return Err(self.die_io(format!("data fsync failed: {e}")));
         }
+        // Only after the data fsync may the meta lsn advance: everything up
+        // to `lsn` is now durably applied, so recovery may skip it.
+        self.ckpt_lsn = self.lsn;
         self.persist_meta()?;
         let truncate = || -> std::io::Result<()> {
             self.wal_file.set_len(0)?;
@@ -719,6 +736,28 @@ impl FileBackend {
                 .open(dir.join(name))
                 .map_err(|e| BackendError::Io(format!("open {name}: {e}")))
         };
+        // One directory, one live device: an advisory exclusive lock held
+        // for the backend's lifetime. Two devices recovering, truncating and
+        // appending to the same WAL would silently corrupt committed state —
+        // this turns that into an open error (and is what makes
+        // `snapshot_to` fail fast on an index's own directory). The lock is
+        // per open-file-description, so it also rejects a second open from
+        // within the same process, and the kernel releases it when the
+        // process dies — a crashed process never bricks its directory.
+        let lock = open_rw("lock.topk")?;
+        match lock.try_lock() {
+            Ok(()) => {}
+            Err(std::fs::TryLockError::WouldBlock) => {
+                return Err(BackendError::Io(format!(
+                    "directory {} is already open as a durable device \
+                     (lock.topk is held)",
+                    dir.display()
+                )));
+            }
+            Err(std::fs::TryLockError::Error(e)) => {
+                return Err(BackendError::Io(format!("lock lock.topk: {e}")));
+            }
+        }
         let meta_path = dir.join("meta.topk");
         let mut block_words = config.block_words;
         let mut lsn = 0;
@@ -737,6 +776,7 @@ impl FileBackend {
         }
         let mut st = WalState {
             dir: dir.to_path_buf(),
+            _lock: lock,
             wal_file: open_rw("wal.topk")?,
             data_file: open_rw("data.topk")?,
             block_words,
@@ -747,6 +787,7 @@ impl FileBackend {
             free_slots: Vec::new(),
             slot_count: 0,
             lsn,
+            ckpt_lsn: lsn,
             wal_len: 0,
             stats: DurableStats::default(),
             fault: None,
@@ -1436,6 +1477,53 @@ mod tests {
         b.bind_file(0, "nodes").unwrap();
         assert_eq!(b.get_page(addr(0)).unwrap(), Some(vec![1]));
         assert_eq!(b.get_page(addr(1)).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_open_of_a_live_directory_is_refused() {
+        let dir = scratch("lock");
+        let first = FileBackend::open(&dir, cfg()).unwrap();
+        // Held lock: a concurrent device (same process or another — the
+        // advisory lock is per open-file-description) must be turned away.
+        match FileBackend::open(&dir, cfg()) {
+            Err(BackendError::Io(msg)) => assert!(msg.contains("lock.topk"), "{msg}"),
+            other => panic!("second open must fail with Io, got {other:?}"),
+        }
+        drop(first);
+        // Released on drop: reopening afterwards works.
+        let again = FileBackend::open(&dir, cfg()).unwrap();
+        drop(again);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn meta_lsn_stays_at_the_checkpoint_across_binds() {
+        let dir = scratch("bindlsn");
+        {
+            let b = FileBackend::open(&dir, cfg()).unwrap();
+            b.bind_file(0, "nodes").unwrap();
+            b.put_page(addr(0), &[1, 2]).unwrap();
+            assert_eq!(b.commit().unwrap(), 1);
+            // Binding a new name rewrites meta.topk; the recorded lsn must be
+            // the last *checkpointed* commit (0 — only recovery's checkpoint
+            // ran), not the live commit lsn (1): otherwise recovery would
+            // skip replaying batch 1, whose slot writes were never fsynced.
+            b.bind_file(1, "extra").unwrap();
+            let meta = std::fs::read_to_string(dir.join("meta.topk")).unwrap();
+            assert!(
+                meta.lines().any(|l| l == "lsn 0"),
+                "meta must hold the checkpointed lsn, got:\n{meta}"
+            );
+            // Crash here (no checkpoint).
+        }
+        let b = FileBackend::open(&dir, cfg()).unwrap();
+        b.bind_file(0, "nodes").unwrap();
+        assert_eq!(b.get_page(addr(0)).unwrap(), Some(vec![1, 2]));
+        assert!(
+            b.durable_stats().recovered_commits >= 1,
+            "batch 1 must be replayed from the WAL on reopen"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

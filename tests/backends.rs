@@ -196,3 +196,72 @@ fn snapshot_restore_round_trips_across_every_distribution() {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+#[test]
+fn snapshot_stamp_never_goes_backwards() {
+    // A directory that already lived through many commits holds a high
+    // version stamp; snapshotting a young index into it must not rewind the
+    // stamp (strict-cursor and crash-window comparisons rely on monotony).
+    let dir = scratch_dir("snap-stamp");
+    {
+        let old = TopK::builder()
+            .durable(&dir)
+            .expected_n(300)
+            .build_auto()
+            .unwrap();
+        for i in 0..60u64 {
+            old.insert(Point::new(i, i + 1)).unwrap();
+        }
+    }
+    let prior = {
+        let reopened = TopK::builder()
+            .durable(&dir)
+            .expected_n(300)
+            .build_auto()
+            .unwrap();
+        reopened.recovered_stamp().unwrap()
+    };
+    assert!(prior >= 60, "60 committed inserts must stamp at least 60");
+
+    let young = TopK::builder().expected_n(64).build_auto().unwrap();
+    for i in 0..3u64 {
+        young.insert(Point::new(1000 + i, i + 1)).unwrap();
+    }
+    assert_eq!(young.snapshot_to(&dir).unwrap(), 3);
+
+    let restored = TopK::builder()
+        .durable(&dir)
+        .expected_n(300)
+        .build_auto()
+        .unwrap();
+    assert_eq!(restored.len(), 3, "the snapshot replaces the old contents");
+    assert!(
+        restored.recovered_stamp().unwrap() >= prior,
+        "snapshot rewound the version stamp: {} < {prior}",
+        restored.recovered_stamp().unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_into_own_directory_is_refused() {
+    // The index's own directory is locked while the handle is alive, so the
+    // self-snapshot footgun (recovery + WAL truncation racing the live
+    // backend) fails fast instead of corrupting committed state.
+    let dir = scratch_dir("snap-self");
+    let index = TopK::builder()
+        .durable(&dir)
+        .expected_n(64)
+        .build_auto()
+        .unwrap();
+    index.insert(Point::new(7, 7)).unwrap();
+    let err = index.snapshot_to(&dir).unwrap_err();
+    assert!(
+        err.to_string().contains("lock.topk"),
+        "self-snapshot must trip the directory lock, got: {err}"
+    );
+    // The live handle is unharmed.
+    index.insert(Point::new(8, 8)).unwrap();
+    assert_eq!(index.len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}

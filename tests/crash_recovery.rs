@@ -103,7 +103,10 @@ fn flush_and_drop_cache_interleave_safely_under_faults() {
     );
     // Reads keep serving from the pool above the dead medium.
     assert_eq!(index.query(0, 100, 1).unwrap(), vec![Point::new(40, 120)]);
+    // Both handles share the backend, which holds the directory's advisory
+    // lock until the last one drops — release it before reopening.
     drop(index);
+    drop(device);
 
     let recovered = TopKIndex::builder()
         .durable(&dir)
